@@ -1,0 +1,115 @@
+//! Figure 7: implementation efficiency of the plan evaluator.
+//!
+//! Compares three evaluator builds on identical capacity-addition
+//! workloads: *Vanilla* (per-flow commodities, full rescan each step),
+//! *SA* (+ source aggregation) and *NeuroPlan* (+ stateful failure
+//! checking and certificate reuse). The paper reports running time
+//! normalized to NeuroPlan per topology, with Vanilla ×-ed out when it
+//! exceeds 2 hours; our cutoff scales with `--quick`/`--full`.
+
+use np_bench::{cell, ratio_cell, ExpArgs, Table};
+use np_eval::{EvalConfig, PlanEvaluator};
+use np_topology::{generator::preset_network, LinkId, Network, TopologyPreset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// One recorded workload action: add `units` to `link`.
+type Action = (LinkId, u32);
+
+/// Pre-generate the exact step sequence all evaluator builds will replay:
+/// random valid capacity additions, restarting from base whenever the
+/// plan becomes feasible — the paper's "average running time for 10
+/// epochs" shape.
+fn record_workload(net: &Network, steps: usize, seed: u64) -> Vec<(Action, bool)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sim = net.clone();
+    let mut evaluator = PlanEvaluator::new(&sim, EvalConfig::default());
+    let mut out = Vec::with_capacity(steps);
+    let links: Vec<LinkId> = sim.link_ids().collect();
+    while out.len() < steps {
+        let link = links[rng.gen_range(0..links.len())];
+        let units = rng.gen_range(1..=4u32);
+        if !sim.can_add_units(link, units) {
+            continue;
+        }
+        sim.add_units(link, units).expect("validated");
+        let feasible = evaluator.check_network(&sim).feasible;
+        out.push(((link, units), feasible));
+        if feasible {
+            sim.reset_to_base();
+            evaluator.reset();
+        }
+    }
+    out
+}
+
+/// Replay the workload under one evaluator configuration; returns the
+/// time spent inside the evaluator, or `None` if the cutoff was blown
+/// (the figure's ×).
+fn replay(
+    net: &Network,
+    workload: &[(Action, bool)],
+    cfg: EvalConfig,
+    cutoff: Duration,
+) -> Option<Duration> {
+    let mut sim = net.clone();
+    let mut evaluator = PlanEvaluator::new(&sim, cfg);
+    let t0 = Instant::now();
+    for &((link, units), reset_after) in workload {
+        sim.add_units(link, units).expect("same sequence as recording");
+        let _ = evaluator.check_network(&sim);
+        if reset_after {
+            sim.reset_to_base();
+            evaluator.reset();
+        }
+        if t0.elapsed() > cutoff {
+            return None;
+        }
+    }
+    Some(t0.elapsed())
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let presets: &[TopologyPreset] = if args.quick {
+        &[TopologyPreset::A, TopologyPreset::B, TopologyPreset::C]
+    } else {
+        &TopologyPreset::ALL
+    };
+    let steps = if args.quick { 150 } else { 600 };
+    let cutoff = Duration::from_secs(if args.quick { 120 } else { 1800 });
+
+    println!("Figure 7: plan-evaluator efficiency (normalized to NeuroPlan)\n");
+    let mut table = Table::new(&["topology", "Vanilla", "SA", "NeuroPlan"]);
+    for &preset in presets {
+        let net = preset_network(preset);
+        let workload = record_workload(&net, steps, args.seed ^ preset as u64);
+        let neuro = replay(&net, &workload, EvalConfig::default(), cutoff)
+            .expect("the optimized evaluator must finish its own workload");
+        let sa = replay(&net, &workload, EvalConfig::sa_only(), cutoff);
+        let vanilla = replay(&net, &workload, EvalConfig::vanilla(), cutoff);
+        let norm = |d: Option<Duration>| {
+            d.map(|d| d.as_secs_f64() / neuro.as_secs_f64().max(1e-9))
+        };
+        println!(
+            "{}: neuroplan evaluator took {:.3}s over {} steps",
+            preset.name(),
+            neuro.as_secs_f64(),
+            workload.len()
+        );
+        table.row(vec![
+            cell(preset.name()),
+            ratio_cell(norm(vanilla)),
+            ratio_cell(norm(sa)),
+            ratio_cell(Some(1.0)),
+        ]);
+    }
+    println!();
+    table.print();
+    table.write_csv(&args.out_dir, "fig07.csv");
+    println!(
+        "\npaper shape: SA ≥ ~2x slower than NeuroPlan, Vanilla slower still \
+         (and x-ed out on the big topologies)."
+    );
+}

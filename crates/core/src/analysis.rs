@@ -1,0 +1,189 @@
+//! Post-plan analysis: where the headroom is, scenario by scenario.
+//!
+//! Once a plan ships, operators ask different questions than the solver
+//! did: *which failure comes closest to breaking us* (the tightest λ),
+//! and *which links are loaded in the worst case* (upgrade candidates
+//! for the next cycle). This module answers both from the same
+//! max-concurrent-flow machinery the evaluator uses.
+
+use np_eval::scenario::{build_all, ScenarioCtx};
+use np_flow::mwu::{max_concurrent_flow, MwuConfig};
+use np_topology::{LinkId, Network};
+
+/// Load picture of one scenario under a fixed plan.
+#[derive(Clone, Debug)]
+pub struct ScenarioLoad {
+    /// Dense scenario index (0 = no failure).
+    pub index: usize,
+    /// Human-readable scenario name.
+    pub name: String,
+    /// Concurrent-flow headroom: λ ≥ 1 means the scenario is satisfied
+    /// with `(λ − 1)·100%` slack; λ < 1 means violated.
+    pub lambda: f64,
+    /// Worst-loaded links `(link, utilization)` at the concurrent-flow
+    /// routing, utilization in `[0, 1]`, descending.
+    pub bottlenecks: Vec<(LinkId, f64)>,
+}
+
+/// Whole-plan analysis.
+#[derive(Clone, Debug)]
+pub struct PlanAnalysis {
+    /// Per-scenario loads, in scenario order.
+    pub scenarios: Vec<ScenarioLoad>,
+    /// Per-link worst-case utilization across scenarios, descending.
+    pub hot_links: Vec<(LinkId, f64)>,
+}
+
+impl PlanAnalysis {
+    /// The scenario with the least headroom.
+    pub fn tightest(&self) -> Option<&ScenarioLoad> {
+        self.scenarios
+            .iter()
+            .min_by(|a, b| a.lambda.partial_cmp(&b.lambda).expect("finite"))
+    }
+
+    /// Render a short operator-facing summary.
+    pub fn describe(&self, net: &Network) -> String {
+        let mut out = String::new();
+        if let Some(tight) = self.tightest() {
+            out.push_str(&format!(
+                "tightest scenario: {} (headroom {:+.1}%)\n",
+                tight.name,
+                (tight.lambda - 1.0) * 100.0
+            ));
+        }
+        out.push_str("hottest links (worst-case utilization):\n");
+        for &(l, u) in self.hot_links.iter().take(5) {
+            let link = net.link(l);
+            out.push_str(&format!(
+                "  {l} {} - {}: {:.0}%\n",
+                net.site(link.src).name,
+                net.site(link.dst).name,
+                u * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// Analyze a plan (total units per link) against every scenario.
+pub fn analyze_plan(net: &Network, units: &[u32]) -> PlanAnalysis {
+    assert_eq!(units.len(), net.links().len());
+    let mut ctxs = build_all(net, true);
+    let caps = |l: LinkId| f64::from(units[l.index()]) * net.unit_gbps;
+    let mut scenarios = Vec::with_capacity(ctxs.len());
+    let mut worst: Vec<f64> = vec![0.0; net.links().len()];
+    for (index, ctx) in ctxs.iter_mut().enumerate() {
+        ctx.refresh(caps);
+        let load = scenario_load(net, ctx, index);
+        for &(l, u) in &load.bottlenecks {
+            worst[l.index()] = worst[l.index()].max(u);
+        }
+        scenarios.push(load);
+    }
+    let mut hot_links: Vec<(LinkId, f64)> = worst
+        .iter()
+        .enumerate()
+        .filter(|&(_, &u)| u > 0.0)
+        .map(|(i, &u)| (LinkId::new(i), u))
+        .collect();
+    hot_links.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    PlanAnalysis { scenarios, hot_links }
+}
+
+fn scenario_load(net: &Network, ctx: &ScenarioCtx, index: usize) -> ScenarioLoad {
+    let name = match index {
+        0 => "no-failure".to_string(),
+        k => net.failure(np_topology::FailureId::new(k - 1)).name.clone(),
+    };
+    let cf = max_concurrent_flow(
+        &ctx.graph,
+        &ctx.commodities,
+        &MwuConfig { epsilon: 0.08, ..Default::default() },
+    );
+    // Utilization per link = max over its two arcs of flow/cap, using the
+    // scaled (capacity-feasible) MWU flow normalized to serve exactly the
+    // demands when λ ≥ 1.
+    let scale = if cf.lambda > 1.0 { 1.0 / cf.lambda } else { 1.0 };
+    let mut util: Vec<f64> = vec![0.0; net.links().len()];
+    for (a, arc) in ctx.graph.arcs().iter().enumerate() {
+        if let Some(l) = arc.link {
+            if arc.cap > 0.0 {
+                let u = (cf.flow[a] * scale / arc.cap).min(1.0);
+                util[l.index()] = util[l.index()].max(u);
+            }
+        }
+    }
+    let mut bottlenecks: Vec<(LinkId, f64)> = util
+        .iter()
+        .enumerate()
+        .filter(|&(_, &u)| u > 1e-9)
+        .map(|(i, &u)| (LinkId::new(i), u))
+        .collect();
+    bottlenecks.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    bottlenecks.truncate(10);
+    ScenarioLoad { index, name, lambda: cf.lambda, bottlenecks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_augment;
+    use np_eval::EvalConfig;
+    use np_topology::generator::GeneratorConfig;
+
+    fn planned_instance() -> (Network, Vec<u32>) {
+        let mut net = GeneratorConfig::a_variant(0.0).generate();
+        greedy_augment(&mut net, EvalConfig::default()).unwrap();
+        let units = net.link_ids().map(|l| net.link(l).capacity_units).collect();
+        (net, units)
+    }
+
+    #[test]
+    fn feasible_plans_have_headroom_everywhere() {
+        let (net, units) = planned_instance();
+        let analysis = analyze_plan(&net, &units);
+        assert_eq!(analysis.scenarios.len(), net.failures().len() + 1);
+        for s in &analysis.scenarios {
+            assert!(
+                s.lambda >= 0.95,
+                "scenario {} reports λ = {} on a feasible plan",
+                s.name,
+                s.lambda
+            );
+        }
+        assert!(!analysis.hot_links.is_empty());
+        assert!(analysis.hot_links.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn overprovisioning_raises_every_lambda() {
+        let (net, units) = planned_instance();
+        let base = analyze_plan(&net, &units);
+        let doubled: Vec<u32> = units.iter().map(|&u| u * 2).collect();
+        let rich = analyze_plan(&net, &doubled);
+        let min_base = base.tightest().unwrap().lambda;
+        let min_rich = rich.tightest().unwrap().lambda;
+        assert!(
+            min_rich >= min_base * 1.5,
+            "doubling capacity must raise the tightest headroom ({min_base} -> {min_rich})"
+        );
+    }
+
+    #[test]
+    fn describe_names_real_entities() {
+        let (net, units) = planned_instance();
+        let analysis = analyze_plan(&net, &units);
+        let text = analysis.describe(&net);
+        assert!(text.contains("tightest scenario"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn empty_plan_reports_violations() {
+        let net = GeneratorConfig::a_variant(0.0).generate();
+        let zeros = vec![0u32; net.links().len()];
+        let analysis = analyze_plan(&net, &zeros);
+        assert!(analysis.tightest().unwrap().lambda < 1.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! `neuroplan` — command-line planner.
+//!
+//! ```text
+//! neuroplan generate --preset b --fill 0.5 --out topo.json
+//! neuroplan plan     --preset a [--alpha 1.5] [--quick|--default] [--seed 7]
+//! neuroplan plan     --topology topo.json --out plan.json
+//! neuroplan evaluate --topology topo.json --plan plan.json
+//! neuroplan baseline --preset a --method ilp|ilp-heur
+//! ```
+//!
+//! The JSON formats are `np_topology::Network::to_json` for topologies
+//! and a flat `{"units": [u32...], "cost": f64}` object for plans.
+
+use neuroplan::baselines::{solve_ilp, solve_ilp_heur, BaselineBudget};
+use neuroplan::{validate_plan, NeuroPlan, NeuroPlanConfig};
+use np_eval::{EvalConfig, PlanEvaluator};
+use np_topology::generator::{GeneratorConfig, TopologyPreset};
+use np_topology::Network;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  neuroplan generate --preset <a..e> [--fill <0..1>] [--long-term] \
+         [--seed <u64>] [--out <file>]\n  neuroplan plan [--preset <a..e> | --topology \
+         <file>] [--fill <0..1>] [--alpha <f64>] [--quick|--default] [--seed <u64>] \
+         [--out <file>]\n  neuroplan evaluate --topology <file> [--plan <file>]\n  \
+         neuroplan baseline [--preset <a..e> | --topology <file>] --method \
+         <ilp|ilp-heur|decompose> [--time <secs>]"
+    );
+    exit(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("unexpected argument {a}");
+            usage();
+        };
+        match key {
+            "long-term" | "quick" | "default" => {
+                map.insert(key.to_string(), "true".to_string());
+            }
+            _ => {
+                let Some(v) = it.next() else {
+                    eprintln!("--{key} needs a value");
+                    usage();
+                };
+                map.insert(key.to_string(), v.clone());
+            }
+        }
+    }
+    map
+}
+
+fn preset_of(flags: &HashMap<String, String>) -> Option<TopologyPreset> {
+    flags.get("preset").map(|p| match p.to_ascii_lowercase().as_str() {
+        "a" => TopologyPreset::A,
+        "b" => TopologyPreset::B,
+        "c" => TopologyPreset::C,
+        "d" => TopologyPreset::D,
+        "e" => TopologyPreset::E,
+        other => {
+            eprintln!("unknown preset {other}");
+            usage()
+        }
+    })
+}
+
+fn load_network(flags: &HashMap<String, String>) -> Network {
+    if let Some(path) = flags.get("topology") {
+        let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1)
+        });
+        return Network::from_json(&json).unwrap_or_else(|e| {
+            eprintln!("invalid topology file: {e}");
+            exit(1)
+        });
+    }
+    let Some(preset) = preset_of(flags) else {
+        eprintln!("need --preset or --topology");
+        usage()
+    };
+    let mut cfg = GeneratorConfig::preset(preset);
+    if let Some(fill) = flags.get("fill") {
+        cfg.capacity_fill = fill.parse().unwrap_or_else(|_| {
+            eprintln!("--fill takes a number in [0,1]");
+            exit(2)
+        });
+    }
+    if flags.contains_key("long-term") {
+        cfg.long_term = true;
+    }
+    if let Some(seed) = flags.get("seed") {
+        cfg.seed = seed.parse().expect("--seed takes a u64");
+    }
+    cfg.generate()
+}
+
+fn write_or_print(flags: &HashMap<String, String>, body: &str) {
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, body).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                exit(1)
+            });
+            println!("wrote {path}");
+        }
+        None => println!("{body}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else { usage() };
+    let flags = parse_flags(rest);
+    match cmd.as_str() {
+        "generate" => {
+            let net = load_network(&flags);
+            eprintln!(
+                "generated: {} sites, {} fibers, {} links, {} flows, {} failures",
+                net.sites().len(),
+                net.fibers().len(),
+                net.links().len(),
+                net.flows().len(),
+                net.failures().len()
+            );
+            write_or_print(&flags, &net.to_json());
+        }
+        "plan" => {
+            let net = load_network(&flags);
+            let mut cfg = if flags.contains_key("default") {
+                NeuroPlanConfig::default()
+            } else {
+                NeuroPlanConfig::quick()
+            };
+            if let Some(alpha) = flags.get("alpha") {
+                cfg.relax_factor = alpha.parse().expect("--alpha takes a number >= 1");
+            }
+            if let Some(seed) = flags.get("seed") {
+                cfg = cfg.with_seed(seed.parse().expect("--seed takes a u64"));
+            }
+            let result = NeuroPlan::new(cfg).plan(&net);
+            assert!(validate_plan(&net, &result.final_units));
+            eprintln!(
+                "first-stage {:.1} -> final {:.1} ({} epochs, {} B&B nodes, {} cuts)",
+                result.first_stage_cost,
+                result.final_cost,
+                result.train_report.epochs_run(),
+                result.master.nodes,
+                result.master.cuts_added
+            );
+            let body = serde_json::json!({
+                "units": result.final_units,
+                "cost": result.final_cost,
+                "first_stage_cost": result.first_stage_cost,
+            });
+            write_or_print(&flags, &serde_json::to_string_pretty(&body).expect("json"));
+        }
+        "evaluate" => {
+            let net = load_network(&flags);
+            let units: Vec<u32> = match flags.get("plan") {
+                Some(path) => {
+                    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                        eprintln!("cannot read {path}: {e}");
+                        exit(1)
+                    });
+                    let v: serde_json::Value =
+                        serde_json::from_str(&body).expect("plan file is JSON");
+                    serde_json::from_value(v["units"].clone())
+                        .expect("plan file has a units array")
+                }
+                None => net.link_ids().map(|l| net.link(l).capacity_units).collect(),
+            };
+            let caps: Vec<f64> =
+                units.iter().map(|&u| f64::from(u) * net.unit_gbps).collect();
+            let mut evaluator = PlanEvaluator::new(&net, EvalConfig::default());
+            let outcome = evaluator.check(&caps);
+            if outcome.feasible {
+                println!("feasible: every flow survives every failure scenario");
+            } else {
+                let idx = outcome.first_violated.expect("infeasible has an index");
+                let name = match idx {
+                    0 => "no-failure state".to_string(),
+                    k => net.failure(np_topology::FailureId::new(k - 1)).name.clone(),
+                };
+                println!(
+                    "INFEASIBLE at scenario {idx} ({name}){}",
+                    if outcome.structural { " — structurally unfixable" } else { "" }
+                );
+                exit(1);
+            }
+        }
+        "baseline" => {
+            let net = load_network(&flags);
+            let time = flags
+                .get("time")
+                .map(|t| t.parse().expect("--time takes seconds"))
+                .unwrap_or(120.0);
+            let budget = BaselineBudget { node_limit: 50_000, time_limit_secs: time };
+            match flags.get("method").map(String::as_str) {
+                Some("ilp") => {
+                    let out = solve_ilp(&net, EvalConfig::default(), budget);
+                    println!(
+                        "ILP: cost {:.1}, proven {}, {:.1}s, {} nodes, {} cuts",
+                        out.cost(),
+                        out.solved_to_optimality,
+                        out.elapsed_secs,
+                        out.master.nodes,
+                        out.master.cuts_added
+                    );
+                }
+                Some("ilp-heur") => {
+                    let out = solve_ilp_heur(&net, EvalConfig::default(), budget, 4);
+                    println!("ILP-heur: cost {:.1}, {:.1}s", out.cost(), out.elapsed_secs);
+                }
+                Some("decompose") => {
+                    let t0 = std::time::Instant::now();
+                    match neuroplan::solve_decomposed(&net, EvalConfig::default(), time / 4.0, 3)
+                    {
+                        Ok(out) => println!(
+                            "decomposed: cost {:.1} over {} regions ({} inter-region                              links), {:.1}s",
+                            out.cost,
+                            out.regions,
+                            out.inter_region_links,
+                            t0.elapsed().as_secs_f64()
+                        ),
+                        Err(e) => {
+                            eprintln!("decomposition failed: {e}");
+                            exit(1);
+                        }
+                    }
+                }
+                _ => {
+                    eprintln!("--method must be ilp, ilp-heur or decompose");
+                    usage()
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

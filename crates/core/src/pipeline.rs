@@ -1,0 +1,272 @@
+//! The two-stage NeuroPlan pipeline (Fig. 2 / Fig. 3).
+
+use crate::config::NeuroPlanConfig;
+use crate::env::PlanningEnv;
+use crate::greedy::greedy_augment;
+use crate::master::{apply_units, solve_master, MasterConfig, MasterOutcome};
+use crate::report::PruningReport;
+use np_eval::EvalStats;
+use np_flow::MetricCut;
+use np_rl::{train, ActorCritic, GraphEnv, TrainReport};
+use np_topology::Network;
+
+/// Outputs of the RL stage.
+#[derive(Clone, Debug)]
+pub struct FirstStage {
+    /// Units per link of the initial plan handed to stage 2 (the best RL
+    /// plan, or the greedy reference when RL never completed a
+    /// trajectory).
+    pub units: Vec<u32>,
+    /// Cost of that plan.
+    pub cost: f64,
+    /// Cost of the best plan the **RL agent itself** found (`None` =
+    /// "does not converge", the crosses of Fig. 10).
+    pub rl_cost: Option<f64>,
+    /// Cost of the greedy reference plan (also the reward normalizer).
+    pub reference_cost: f64,
+    /// Per-epoch training statistics.
+    pub report: TrainReport,
+    /// Metric-cut certificates harvested from the evaluator.
+    pub certificates: Vec<MetricCut>,
+    /// Evaluator instrumentation.
+    pub stats: EvalStats,
+}
+
+/// A complete NeuroPlan run's outputs.
+#[derive(Clone, Debug)]
+pub struct NeuroPlanResult {
+    /// Cost of the best feasible plan the RL stage produced
+    /// (*First-stage* in the paper's figures).
+    pub first_stage_cost: f64,
+    /// Units per link of the first-stage plan.
+    pub first_stage_units: Vec<u32>,
+    /// Cost after the α-pruned ILP stage (*NeuroPlan* in the figures).
+    pub final_cost: f64,
+    /// Units per link of the final plan.
+    pub final_units: Vec<u32>,
+    /// Per-epoch RL training statistics.
+    pub train_report: TrainReport,
+    /// Second-stage solver outcome.
+    pub master: MasterOutcome,
+    /// Evaluator instrumentation accumulated across the run.
+    pub eval_stats: EvalStats,
+    /// The interpretable pruning summary (§4.3).
+    pub pruning: PruningReport,
+}
+
+/// The NeuroPlan planner.
+pub struct NeuroPlan {
+    /// Pipeline configuration.
+    pub cfg: NeuroPlanConfig,
+}
+
+impl NeuroPlan {
+    /// New planner with the given configuration.
+    pub fn new(cfg: NeuroPlanConfig) -> Self {
+        NeuroPlan { cfg }
+    }
+
+    /// Run both stages on a planning instance.
+    ///
+    /// Panics if the instance is structurally infeasible (some protected
+    /// demand has no surviving path under some scenario) — the generator
+    /// never produces such instances, and a user instance with that
+    /// property has no plan at any cost.
+    pub fn plan(&self, net: &Network) -> NeuroPlanResult {
+        let first = self.first_stage(net);
+        let FirstStage {
+            units: first_units,
+            cost: first_cost,
+            report: train_report,
+            certificates: seed_cuts,
+            stats: mut eval_stats,
+            ..
+        } = first;
+        let (master, pruning) =
+            self.second_stage(net, &first_units, first_cost, seed_cuts, &mut eval_stats);
+        // Final plan: the master incumbent when it beats the first stage,
+        // otherwise the first-stage plan itself.
+        let (final_cost, final_units) =
+            if master.has_plan() && master.cost < first_cost {
+                (master.cost, master.units.clone())
+            } else {
+                (first_cost, first_units.clone())
+            };
+        NeuroPlanResult {
+            first_stage_cost: first_cost,
+            first_stage_units: first_units,
+            final_cost,
+            final_units,
+            train_report,
+            master,
+            eval_stats,
+            pruning,
+        }
+    }
+
+    /// Stage 1: train the agent and extract the best feasible plan. A
+    /// greedy certificate-guided plan provides the reward normalizer and
+    /// the fallback if training never completes a trajectory.
+    pub fn first_stage(&self, net: &Network) -> FirstStage {
+        // Reference plan: reward scale + fallback.
+        let mut ref_net = net.clone();
+        let ref_cost = greedy_augment(&mut ref_net, self.cfg.eval)
+            .expect("planning instance must admit a feasible plan");
+        let ref_units: Vec<u32> =
+            ref_net.link_ids().map(|l| ref_net.link(l).capacity_units).collect();
+        let norm = ref_cost.max(1e-6);
+
+        let mut env = PlanningEnv::new(
+            net.clone(),
+            self.cfg.eval,
+            self.cfg.max_units_per_step,
+            norm,
+        );
+        let mut agent = ActorCritic::new(
+            env.adjacency().clone(),
+            env.feature_dim(),
+            self.cfg.max_units_per_step,
+            &self.cfg.agent,
+        );
+        let report = train(&mut env, &mut agent, &self.cfg.train);
+
+        // Final rollouts: stochastic samples plus one greedy decode.
+        agent.reseed_sampling(self.cfg.seed ^ 0xdead_beef);
+        let rollout_cap = self.cfg.train.max_traj_len * 4;
+        for k in 0..=self.cfg.final_rollouts {
+            let greedy_decode = k == self.cfg.final_rollouts;
+            let mut obs = env.reset();
+            for _ in 0..rollout_cap {
+                if !obs.has_valid_action() {
+                    break;
+                }
+                let action = if greedy_decode {
+                    agent.act_greedy(&obs.features, &obs.action_mask)
+                } else {
+                    agent.act(&obs.features, &obs.action_mask).0
+                };
+                let (o, _, done) = env.step(action);
+                obs = o;
+                if done {
+                    break;
+                }
+            }
+        }
+
+        let rl_best = env.best_plan().cloned();
+        let rl_cost = rl_best.as_ref().map(|(c, _)| *c);
+        let (cost, units) = match rl_best {
+            Some((cost, snap)) if cost <= ref_cost => (cost, snap.as_slice().to_vec()),
+            _ => (ref_cost, ref_units),
+        };
+        // Harvest every certificate the evaluator collected: free,
+        // already-validated rows for the master.
+        let evaluator = env.evaluator_mut();
+        let certs: Vec<MetricCut> = (0..evaluator.num_scenarios())
+            .filter_map(|i| evaluator.certificate(i).cloned())
+            .collect();
+        let stats = evaluator.take_stats();
+        FirstStage {
+            units,
+            cost,
+            rl_cost,
+            reference_cost: ref_cost,
+            report,
+            certificates: certs,
+            stats,
+        }
+    }
+
+    /// Stage 2: α-pruned ILP around the first-stage plan.
+    pub fn second_stage(
+        &self,
+        net: &Network,
+        first_units: &[u32],
+        first_cost: f64,
+        seed_cuts: Vec<MetricCut>,
+        eval_stats: &mut EvalStats,
+    ) -> (MasterOutcome, PruningReport) {
+        let spectrum = MasterConfig::spectrum_bounds(net);
+        let bounds = MasterConfig::pruned_bounds(net, first_units, self.cfg.relax_factor);
+        let pruning =
+            PruningReport::new(net, first_units, &bounds, &spectrum, self.cfg.relax_factor);
+        let mut evaluator = np_eval::PlanEvaluator::new(net, self.cfg.eval);
+        let cfg = MasterConfig {
+            upper_bounds: bounds,
+            // The first-stage plan is feasible inside the pruned bounds, so
+            // its cost (plus slack for ties) is a valid cutoff.
+            cutoff: Some(first_cost * (1.0 + 1e-9) + 1e-9),
+            node_limit: self.cfg.mip_node_limit,
+            time_limit_secs: self.cfg.mip_time_limit_secs,
+            max_cuts_per_round: 8,
+            seed_cuts,
+            granularity: 1,
+            gap_tol: MasterConfig::DEFAULT_GAP,
+            // Stage 2 starts from the first-stage plan: polish it, use it
+            // as the incumbent, never return anything worse.
+            warm_units: Some(first_units.to_vec()),
+        };
+        let outcome = solve_master(net, &mut evaluator, &cfg);
+        eval_stats.merge(&evaluator.take_stats());
+        (outcome, pruning)
+    }
+}
+
+/// Validate a finished plan end-to-end with a fresh exact evaluator —
+/// harnesses call this before trusting any reported cost.
+pub fn validate_plan(net: &Network, units: &[u32]) -> bool {
+    let mut check = net.clone();
+    apply_units(&mut check, units);
+    let mut evaluator = np_eval::PlanEvaluator::new(&check, self_exact());
+    evaluator.check_network(&check).feasible
+}
+
+fn self_exact() -> np_eval::EvalConfig {
+    np_eval::EvalConfig::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NeuroPlanConfig;
+    use np_topology::generator::GeneratorConfig;
+
+    fn quick_plan(fill: f64) -> (Network, NeuroPlanResult) {
+        let net = GeneratorConfig::a_variant(fill).generate();
+        let planner = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(1));
+        let result = planner.plan(&net);
+        (net, result)
+    }
+
+    #[test]
+    fn two_stage_produces_a_valid_plan_from_scratch() {
+        let (net, result) = quick_plan(0.0);
+        assert!(result.final_cost > 0.0);
+        assert!(result.final_cost <= result.first_stage_cost + 1e-9);
+        assert!(validate_plan(&net, &result.final_units));
+        assert!(validate_plan(&net, &result.first_stage_units));
+    }
+
+    #[test]
+    fn second_stage_only_trims_from_a_warm_start() {
+        let (net, result) = quick_plan(0.75);
+        // With most capacity pre-provisioned, stage 2 must still deliver a
+        // feasible plan within bounds.
+        assert!(validate_plan(&net, &result.final_units));
+        // Bounds honored: every final capacity within the pruned bound.
+        for (i, &(l, _, _, ub, _)) in result.pruning.per_link.iter().enumerate() {
+            assert!(
+                result.final_units[i] <= ub,
+                "link {l} exceeds its pruned bound"
+            );
+        }
+    }
+
+    #[test]
+    fn training_report_and_stats_are_populated() {
+        let (_, result) = quick_plan(0.5);
+        assert!(result.train_report.epochs_run() > 0);
+        assert!(result.eval_stats.scenario_checks > 0);
+        assert!(result.pruning.reduction_log10() >= 0.0);
+    }
+}

@@ -1,0 +1,475 @@
+//! Stateful plan evaluation across all scenarios, with certificate reuse
+//! and parallel failure groups.
+
+use crate::checker::{check_scenario, CheckConfig, Verdict};
+use crate::scenario::{build_all, ScenarioCtx};
+use crate::stats::EvalStats;
+use np_flow::MetricCut;
+use np_topology::{LinkId, Network};
+use std::time::Instant;
+
+/// Evaluator configuration: which paper optimizations are active. The
+/// Fig. 7 harness toggles these to reproduce *Vanilla*, *SA* and
+/// *NeuroPlan*.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalConfig {
+    /// Per-scenario verdict pipeline configuration.
+    pub check: CheckConfig,
+    /// Merge flows by `(src, dst)` (the paper's source aggregation; the
+    /// exact-LP backend additionally aggregates by source alone).
+    pub source_aggregation: bool,
+    /// Resume checking from the first previously-failed scenario
+    /// (valid because the RL action space only *adds* capacity).
+    pub stateful: bool,
+    /// Re-evaluate stored infeasibility certificates (metric cuts are
+    /// valid for every capacity vector, so this never lies).
+    pub reuse_certificates: bool,
+    /// Worker threads for scanning many scenarios at once (1 = serial).
+    pub parallel_workers: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            check: CheckConfig::default(),
+            source_aggregation: true,
+            stateful: true,
+            reuse_certificates: true,
+            parallel_workers: 1,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// The paper's *Vanilla* evaluator: per-flow commodities, full rescan
+    /// every step, no certificate reuse.
+    pub fn vanilla() -> Self {
+        EvalConfig {
+            source_aggregation: false,
+            stateful: false,
+            reuse_certificates: false,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's *SA* evaluator: source aggregation only.
+    pub fn sa_only() -> Self {
+        EvalConfig { stateful: false, reuse_certificates: false, ..Default::default() }
+    }
+}
+
+/// Result of evaluating a plan against every scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrajectoryCheck {
+    /// Whether every scenario passed.
+    pub feasible: bool,
+    /// Dense index (0 = no-failure) of the first violated scenario.
+    pub first_violated: Option<usize>,
+    /// The violated scenario admits no fix by adding capacity.
+    pub structural: bool,
+}
+
+/// Outcome of a separation round for the ILP master.
+#[derive(Clone, Debug)]
+pub enum Separation {
+    /// The candidate capacities satisfy every scenario.
+    Feasible,
+    /// Violated metric cuts (at least one) over link capacities in Gbps.
+    Cuts(Vec<MetricCut>),
+    /// Some scenario is structurally unfixable: the planning instance
+    /// itself is infeasible.
+    StructurallyInfeasible(usize),
+}
+
+/// The plan evaluator of Fig. 3.
+///
+/// Construction precomputes every scenario's structure; each call to
+/// [`PlanEvaluator::check`] patches capacities in and runs the verdict
+/// pipeline with the configured optimizations.
+pub struct PlanEvaluator {
+    cfg: EvalConfig,
+    ctxs: Vec<ScenarioCtx>,
+    certs: Vec<Option<MetricCut>>,
+    cursor: usize,
+    /// Aggregated instrumentation (reset with [`PlanEvaluator::take_stats`]).
+    pub stats: EvalStats,
+}
+
+impl PlanEvaluator {
+    /// Build an evaluator for a planning instance.
+    pub fn new(net: &Network, cfg: EvalConfig) -> Self {
+        let ctxs = build_all(net, cfg.source_aggregation);
+        let certs = vec![None; ctxs.len()];
+        PlanEvaluator { cfg, ctxs, certs, cursor: 0, stats: EvalStats::default() }
+    }
+
+    /// Number of scenarios (no-failure + failures).
+    pub fn num_scenarios(&self) -> usize {
+        self.ctxs.len()
+    }
+
+    /// Start a fresh trajectory: rewind the stateful cursor. Stored
+    /// certificates stay — they are valid for any capacities.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Collect and clear the accumulated statistics.
+    pub fn take_stats(&mut self) -> EvalStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Evaluate per-link capacities (Gbps, indexed by `LinkId`) against
+    /// all scenarios.
+    pub fn check(&mut self, caps_gbps: &[f64]) -> TrajectoryCheck {
+        let t0 = Instant::now();
+        let start = if self.cfg.stateful { self.cursor } else { 0 };
+        self.stats.stateful_skips += start as u64;
+        let mut outcome =
+            TrajectoryCheck { feasible: true, first_violated: None, structural: false };
+        let total = self.ctxs.len();
+        let mut idx = start;
+        while idx < total {
+            let remaining = total - idx;
+            if self.cfg.parallel_workers > 1 && remaining >= 2 * self.cfg.parallel_workers {
+                // Parallel failure groups: scan the rest in chunks.
+                let result = self.check_parallel(idx, caps_gbps);
+                match result {
+                    None => idx = total,
+                    Some((violated, structural)) => {
+                        outcome.feasible = false;
+                        outcome.first_violated = Some(violated);
+                        outcome.structural = structural;
+                        if self.cfg.stateful {
+                            self.cursor = violated;
+                        }
+                        break;
+                    }
+                }
+                continue;
+            }
+            match self.check_one(idx, caps_gbps) {
+                Verdict::Feasible => {
+                    if self.cfg.stateful {
+                        self.cursor = idx + 1;
+                    }
+                    idx += 1;
+                }
+                Verdict::Infeasible(_) => {
+                    outcome.feasible = false;
+                    outcome.first_violated = Some(idx);
+                    break;
+                }
+                Verdict::StructurallyInfeasible => {
+                    outcome.feasible = false;
+                    outcome.first_violated = Some(idx);
+                    outcome.structural = true;
+                    break;
+                }
+            }
+        }
+        self.stats.elapsed += t0.elapsed();
+        outcome
+    }
+
+    /// Convenience: evaluate a network's current capacities.
+    pub fn check_network(&mut self, net: &Network) -> TrajectoryCheck {
+        let caps: Vec<f64> = net.link_ids().map(|l| net.capacity_gbps(l)).collect();
+        self.check(&caps)
+    }
+
+    /// Check one scenario; updates certificates and stats.
+    fn check_one(&mut self, idx: usize, caps: &[f64]) -> Verdict {
+        if self.cfg.reuse_certificates {
+            if let Some(cert) = &self.certs[idx] {
+                if cert.is_violated(|l| caps[l.index()]) {
+                    self.stats.cut_reuse_hits += 1;
+                    return Verdict::Infeasible(Some(cert.clone()));
+                }
+            }
+        }
+        self.ctxs[idx].refresh(|l| caps[l.index()]);
+        let verdict = check_scenario(&self.ctxs[idx], &self.cfg.check, &mut self.stats);
+        if let Verdict::Infeasible(Some(cut)) = &verdict {
+            self.certs[idx] = Some(cut.clone());
+        }
+        verdict
+    }
+
+    /// Parallel scan of scenarios `start..`; returns the first violated
+    /// index (+ structural flag) or `None` if all pass.
+    fn check_parallel(&mut self, start: usize, caps: &[f64]) -> Option<(usize, bool)> {
+        let workers = self.cfg.parallel_workers;
+        let cfg = self.cfg;
+        let total = self.ctxs.len();
+        let chunk = (total - start).div_ceil(workers);
+        let tail = &mut self.ctxs[start..];
+        let certs_tail = &mut self.certs[start..];
+        let results: Vec<(usize, Vec<(usize, Verdict)>, EvalStats)> =
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (w, (ctx_chunk, cert_chunk)) in
+                    tail.chunks_mut(chunk).zip(certs_tail.chunks_mut(chunk)).enumerate()
+                {
+                    let caps_ref = &caps;
+                    handles.push(scope.spawn(move |_| {
+                        let mut st = EvalStats::default();
+                        let mut verdicts = Vec::new();
+                        for (k, (ctx, cert)) in
+                            ctx_chunk.iter_mut().zip(cert_chunk.iter_mut()).enumerate()
+                        {
+                            let verdict = if cfg.reuse_certificates
+                                && cert
+                                    .as_ref()
+                                    .is_some_and(|c| c.is_violated(|l| caps_ref[l.index()]))
+                            {
+                                st.cut_reuse_hits += 1;
+                                Verdict::Infeasible(cert.clone())
+                            } else {
+                                ctx.refresh(|l| caps_ref[l.index()]);
+                                let v = check_scenario(ctx, &cfg.check, &mut st);
+                                if let Verdict::Infeasible(Some(cut)) = &v {
+                                    *cert = Some(cut.clone());
+                                }
+                                v
+                            };
+                            let bad = !verdict.is_feasible();
+                            verdicts.push((w * chunk + k, verdict));
+                            if bad {
+                                break; // later scenarios in this chunk can wait
+                            }
+                        }
+                        (w, verdicts, st)
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("scope");
+        let mut first: Option<(usize, bool)> = None;
+        for (_, verdicts, st) in results {
+            self.stats.merge(&st);
+            for (off, v) in verdicts {
+                if !v.is_feasible() {
+                    let idx = start + off;
+                    let structural = matches!(v, Verdict::StructurallyInfeasible);
+                    if first.map_or(true, |(f, _)| idx < f) {
+                        first = Some((idx, structural));
+                    }
+                }
+            }
+        }
+        if first.is_none() && self.cfg.stateful {
+            self.cursor = total;
+        }
+        first
+    }
+
+    /// Benders separation for the ILP master: scan **all** scenarios under
+    /// the candidate capacities and return violated cuts (up to
+    /// `max_cuts`). Uses the exact-capable Auto pipeline regardless of the
+    /// RL-loop backend, so the master's acceptance is never approximate.
+    pub fn separate(&mut self, caps_gbps: &[f64], max_cuts: usize) -> Separation {
+        let t0 = Instant::now();
+        let mut cuts = Vec::new();
+        for idx in 0..self.ctxs.len() {
+            // Certificate fast path.
+            if let Some(cert) = &self.certs[idx] {
+                if cert.is_violated(|l| caps_gbps[l.index()]) {
+                    self.stats.cut_reuse_hits += 1;
+                    cuts.push(cert.clone());
+                    if cuts.len() >= max_cuts {
+                        break;
+                    }
+                    continue;
+                }
+            }
+            self.ctxs[idx].refresh(|l| caps_gbps[l.index()]);
+            let check = CheckConfig {
+                backend: crate::Backend::Auto,
+                allow_exact_lp: true,
+                ..self.cfg.check
+            };
+            match check_scenario(&self.ctxs[idx], &check, &mut self.stats) {
+                Verdict::Feasible => {}
+                Verdict::StructurallyInfeasible => {
+                    self.stats.elapsed += t0.elapsed();
+                    return Separation::StructurallyInfeasible(idx);
+                }
+                Verdict::Infeasible(Some(cut)) => {
+                    self.certs[idx] = Some(cut.clone());
+                    cuts.push(cut);
+                    if cuts.len() >= max_cuts {
+                        break;
+                    }
+                }
+                Verdict::Infeasible(None) => {
+                    // The pipeline ends in the exact LP, whose dual always
+                    // yields a cut on truly infeasible scenarios; reaching
+                    // here means a numerical corner. Escalate by failing
+                    // loudly rather than looping forever in the master.
+                    panic!(
+                        "separator could not certify infeasibility of scenario {idx}; \
+                         numerical breakdown in the LP duals"
+                    );
+                }
+            }
+        }
+        self.stats.elapsed += t0.elapsed();
+        if cuts.is_empty() {
+            Separation::Feasible
+        } else {
+            Separation::Cuts(cuts)
+        }
+    }
+
+    /// The stored certificate for a scenario, if any (interpretability:
+    /// operators can inspect *why* a scenario failed).
+    pub fn certificate(&self, scenario_idx: usize) -> Option<&MetricCut> {
+        self.certs[scenario_idx].as_ref()
+    }
+}
+
+/// Helper for tests and harnesses: capacities of a network as a dense
+/// Gbps vector.
+pub fn caps_of(net: &Network) -> Vec<f64> {
+    net.link_ids().map(|l| net.capacity_gbps(l)).collect()
+}
+
+/// Helper: capacity lookup closure over a dense Gbps vector.
+pub fn caps_fn(caps: &[f64]) -> impl Fn(LinkId) -> f64 + '_ {
+    move |l| caps[l.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_topology::{
+        generator::{preset_network, GeneratorConfig},
+        TopologyPreset,
+    };
+
+    fn abundant(net: &Network) -> Vec<f64> {
+        net.link_ids().map(|_| 1e6).collect()
+    }
+
+    #[test]
+    fn abundant_capacity_passes_everything() {
+        let net = preset_network(TopologyPreset::A);
+        let mut ev = PlanEvaluator::new(&net, EvalConfig::default());
+        let r = ev.check(&abundant(&net));
+        assert!(r.feasible);
+        assert_eq!(r.first_violated, None);
+    }
+
+    #[test]
+    fn dark_network_fails_at_the_first_scenario() {
+        let net = GeneratorConfig::a_variant(0.0).generate();
+        let mut ev = PlanEvaluator::new(&net, EvalConfig::default());
+        let caps = vec![0.0; net.links().len()];
+        let r = ev.check(&caps);
+        assert!(!r.feasible);
+        assert_eq!(r.first_violated, Some(0));
+        assert!(!r.structural, "capacity can fix a dark network");
+    }
+
+    #[test]
+    fn stateful_cursor_skips_verified_scenarios() {
+        let net = preset_network(TopologyPreset::A);
+        let mut ev = PlanEvaluator::new(&net, EvalConfig::default());
+        let good = abundant(&net);
+        assert!(ev.check(&good).feasible);
+        let before = ev.stats.clone();
+        // A second check of the same plan does zero scenario work.
+        assert!(ev.check(&good).feasible);
+        assert_eq!(ev.stats.scenario_checks, before.scenario_checks);
+        assert!(ev.stats.stateful_skips > before.stateful_skips);
+        // After reset the scan starts over.
+        ev.reset();
+        assert!(ev.check(&good).feasible);
+        assert!(ev.stats.scenario_checks > before.scenario_checks);
+    }
+
+    #[test]
+    fn certificates_short_circuit_repeat_failures() {
+        let net = GeneratorConfig::a_variant(0.0).generate();
+        let mut ev = PlanEvaluator::new(&net, EvalConfig::default());
+        let caps = vec![0.0; net.links().len()];
+        assert!(!ev.check(&caps).feasible);
+        let checks_before = ev.stats.scenario_checks;
+        assert!(!ev.check(&caps).feasible);
+        assert_eq!(
+            ev.stats.scenario_checks, checks_before,
+            "second failure must come from the stored certificate"
+        );
+        assert!(ev.stats.cut_reuse_hits >= 1);
+        assert!(ev.certificate(0).is_some());
+    }
+
+    #[test]
+    fn vanilla_and_neuroplan_configs_agree_on_verdicts() {
+        let net = preset_network(TopologyPreset::A);
+        let mut fast = PlanEvaluator::new(&net, EvalConfig::default());
+        let mut slow = PlanEvaluator::new(&net, EvalConfig::vanilla());
+        for scale in [0.0, 0.5, 20.0] {
+            fast.reset();
+            slow.reset();
+            let caps: Vec<f64> =
+                net.link_ids().map(|l| net.capacity_gbps(l) * scale).collect();
+            assert_eq!(
+                fast.check(&caps).feasible,
+                slow.check(&caps).feasible,
+                "configs disagree at scale {scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_workers_match_serial_verdicts() {
+        let net = preset_network(TopologyPreset::B);
+        let mut serial = PlanEvaluator::new(&net, EvalConfig::default());
+        let mut parallel = PlanEvaluator::new(
+            &net,
+            EvalConfig { parallel_workers: 4, ..EvalConfig::default() },
+        );
+        for scale in [0.3, 2.0, 50.0] {
+            serial.reset();
+            parallel.reset();
+            let caps: Vec<f64> =
+                net.link_ids().map(|l| (net.capacity_gbps(l) + 10.0) * scale).collect();
+            let a = serial.check(&caps);
+            let b = parallel.check(&caps);
+            assert_eq!(a.feasible, b.feasible, "scale {scale}");
+            assert_eq!(a.first_violated, b.first_violated, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn separation_returns_feasible_or_violated_cuts() {
+        let net = preset_network(TopologyPreset::A);
+        let mut ev = PlanEvaluator::new(&net, EvalConfig::default());
+        match ev.separate(&abundant(&net), 8) {
+            Separation::Feasible => {}
+            other => panic!("abundant capacity must separate feasible, got {other:?}"),
+        }
+        let zeros = vec![0.0; net.links().len()];
+        match ev.separate(&zeros, 8) {
+            Separation::Cuts(cuts) => {
+                assert!(!cuts.is_empty());
+                for cut in &cuts {
+                    assert!(cut.is_violated(|l| zeros[l.index()]));
+                }
+            }
+            other => panic!("dark capacities must yield cuts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn take_stats_resets_counters() {
+        let net = preset_network(TopologyPreset::A);
+        let mut ev = PlanEvaluator::new(&net, EvalConfig::default());
+        ev.check(&abundant(&net));
+        let st = ev.take_stats();
+        assert!(st.scenario_checks > 0);
+        assert_eq!(ev.stats, EvalStats::default());
+    }
+}

@@ -1,0 +1,42 @@
+//! # np-eval
+//!
+//! The NeuroPlan **plan evaluator** (Fig. 3): given the network plan (the
+//! per-link capacities), decide per failure scenario whether every active
+//! demand can be routed, and produce the reward-relevant verdicts for the
+//! RL environment plus the infeasibility certificates (metric cuts) for
+//! the ILP stage.
+//!
+//! The paper's evaluator is a Gurobi LP plus two throughput optimizations
+//! (§5): **source aggregation** (flows sharing a source become one
+//! multi-sink commodity, shrinking the constraint count from
+//! `s(fm + 2l)` to `s(m² + 2l)`) and **stateful failure checking** (a
+//! plan that survived a failure keeps surviving it as capacity only ever
+//! grows, so checking resumes from the first previously-failed scenario).
+//! Both are implemented here, along with two further from-scratch
+//! accelerations that exploit our certificate machinery:
+//!
+//! * **certificate reuse** — the violated metric cut that failed a
+//!   scenario last time is re-evaluated in `O(links)` first; while it
+//!   stays violated the expensive check is skipped entirely;
+//! * **witness fast path** — a greedy multicommodity routing attempt
+//!   proves feasibility cheaply in the common late-trajectory case.
+//!
+//! The verdict pipeline per scenario (backend [`Backend::Auto`]) is:
+//! stored cut → degree cuts → greedy witness → MWU (coarse, then fine)
+//! with exact cut verification → exact source-aggregated LP. Every
+//! infeasibility answer is certified by an exactly-checked metric
+//! inequality or the LP; every feasibility answer by a primal flow or the
+//! LP — the approximation never decides anything unverified.
+//!
+//! Parallel failure groups (§5's multi-machine trick, here crossbeam
+//! threads) are used when many scenarios must be checked at once.
+
+pub mod checker;
+pub mod evaluator;
+pub mod scenario;
+pub mod stats;
+
+pub use checker::{check_scenario, Backend, CheckConfig, Verdict};
+pub use evaluator::{caps_of, EvalConfig, PlanEvaluator, Separation, TrajectoryCheck};
+pub use scenario::{scenario_count, Scenario, ScenarioCtx};
+pub use stats::EvalStats;

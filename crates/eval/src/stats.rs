@@ -1,0 +1,66 @@
+//! Evaluator instrumentation, the raw material of Figure 7.
+
+use std::time::Duration;
+
+/// Counters and timing accumulated by the evaluator. All costs of the
+/// verdict pipeline are visible here so the Fig. 7 harness can attribute
+/// speedups to source aggregation, stateful checking and certificate
+/// reuse individually.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EvalStats {
+    /// Scenario checks actually executed (after stateful skipping).
+    pub scenario_checks: u64,
+    /// Scenario checks skipped because of the stateful cursor.
+    pub stateful_skips: u64,
+    /// Infeasibility decided by re-evaluating a stored certificate.
+    pub cut_reuse_hits: u64,
+    /// Infeasibility decided by the degree (node-cut) shortcut.
+    pub degree_cut_hits: u64,
+    /// Greedy routing attempts / successes.
+    pub greedy_attempts: u64,
+    /// Greedy routing successes (feasibility witnesses).
+    pub greedy_hits: u64,
+    /// MWU solver invocations.
+    pub mwu_calls: u64,
+    /// Exact LP invocations.
+    pub lp_calls: u64,
+    /// Wall-clock time inside the evaluator.
+    pub elapsed: Duration,
+}
+
+impl EvalStats {
+    /// Merge another stats block into this one (used when joining
+    /// parallel failure-group workers).
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.scenario_checks += other.scenario_checks;
+        self.stateful_skips += other.stateful_skips;
+        self.cut_reuse_hits += other.cut_reuse_hits;
+        self.degree_cut_hits += other.degree_cut_hits;
+        self.greedy_attempts += other.greedy_attempts;
+        self.greedy_hits += other.greedy_hits;
+        self.mwu_calls += other.mwu_calls;
+        self.lp_calls += other.lp_calls;
+        self.elapsed += other.elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = EvalStats { scenario_checks: 2, greedy_hits: 1, ..Default::default() };
+        let b = EvalStats {
+            scenario_checks: 3,
+            mwu_calls: 4,
+            elapsed: Duration::from_millis(5),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.scenario_checks, 5);
+        assert_eq!(a.greedy_hits, 1);
+        assert_eq!(a.mwu_calls, 4);
+        assert_eq!(a.elapsed, Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,87 @@
+//! Commodities: the demands a feasibility check must route.
+
+use crate::graph::NodeId;
+
+/// A point-to-point demand of `demand` Gbps from `src` to `dst`.
+///
+/// The evaluator applies the paper's *source aggregation* (§5) before
+/// building commodities: all flows with the same `(src, dst)` that are
+/// active under the scenario are summed into one commodity, and the LP
+/// backend further aggregates by source alone.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Commodity {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Demand volume in Gbps (strictly positive).
+    pub demand: f64,
+}
+
+impl Commodity {
+    /// Create a commodity; demand must be positive and src ≠ dst.
+    pub fn new(src: NodeId, dst: NodeId, demand: f64) -> Self {
+        assert!(src != dst, "commodity endpoints must differ");
+        assert!(demand > 0.0 && demand.is_finite(), "demand must be positive");
+        Commodity { src, dst, demand }
+    }
+}
+
+/// Sum demands that share an `(src, dst)` pair, dropping nothing else.
+/// Output is sorted by `(src, dst)` for determinism.
+pub fn merge_parallel(commodities: &[Commodity]) -> Vec<Commodity> {
+    let mut sorted: Vec<Commodity> = commodities.to_vec();
+    sorted.sort_by_key(|c| (c.src, c.dst));
+    let mut out: Vec<Commodity> = Vec::with_capacity(sorted.len());
+    for c in sorted {
+        match out.last_mut() {
+            Some(last) if last.src == c.src && last.dst == c.dst => last.demand += c.demand,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Total demand volume.
+pub fn total_demand(commodities: &[Commodity]) -> f64 {
+    commodities.iter().map(|c| c.demand).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_same_pairs_and_sorts() {
+        let merged = merge_parallel(&[
+            Commodity::new(2, 1, 5.0),
+            Commodity::new(0, 1, 3.0),
+            Commodity::new(2, 1, 2.0),
+        ]);
+        assert_eq!(merged, vec![Commodity::new(0, 1, 3.0), Commodity::new(2, 1, 7.0)]);
+    }
+
+    #[test]
+    fn merge_keeps_distinct_pairs() {
+        let merged = merge_parallel(&[Commodity::new(0, 1, 1.0), Commodity::new(1, 0, 1.0)]);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn total_sums_demands() {
+        let cs = [Commodity::new(0, 1, 1.5), Commodity::new(1, 2, 2.5)];
+        assert_eq!(total_demand(&cs), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn rejects_self_loop() {
+        Commodity::new(3, 3, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_demand() {
+        Commodity::new(0, 1, 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Single-source shortest paths under arbitrary non-negative arc lengths.
+//!
+//! This is the workhorse of the MWU concurrent-flow solver (one call per
+//! routed path) and of metric-cut evaluation (one call per source), so it
+//! is written to avoid allocation on repeat use: a [`DijkstraWorkspace`]
+//! can be reused across calls on graphs of the same size.
+
+use crate::graph::{ArcId, FlowGraph, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a shortest-path computation: distances from the source and
+/// the predecessor arc of each reached node.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    /// `dist[v]` = length of the shortest path source → `v`
+    /// (`f64::INFINITY` if unreachable).
+    pub dist: Vec<f64>,
+    /// Arc entering `v` on a shortest path, if `v` was reached.
+    pub prev: Vec<Option<ArcId>>,
+}
+
+impl ShortestPaths {
+    /// Reconstruct the arc path from the source to `dst`, or `None` if
+    /// `dst` is unreachable.
+    pub fn path_to(&self, graph: &FlowGraph, dst: NodeId) -> Option<Vec<ArcId>> {
+        if self.dist[dst].is_infinite() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut at = dst;
+        while let Some(arc) = self.prev[at] {
+            path.push(arc);
+            at = graph.arc(arc).from;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Reusable scratch space for repeated Dijkstra runs.
+#[derive(Clone, Debug, Default)]
+pub struct DijkstraWorkspace {
+    heap: BinaryHeap<(Reverse<NotNan>, NodeId)>,
+}
+
+/// Dijkstra from `src` where arc `a` has length `lengths(a)`; arcs with
+/// non-finite or negative length are treated as absent (used to skip
+/// zero-capacity arcs).
+///
+/// `usable` additionally filters arcs (e.g. to skip saturated ones).
+pub fn shortest_paths_with(
+    graph: &FlowGraph,
+    src: NodeId,
+    mut length: impl FnMut(ArcId) -> f64,
+    mut usable: impl FnMut(ArcId) -> bool,
+    ws: &mut DijkstraWorkspace,
+) -> ShortestPaths {
+    let n = graph.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![None; n];
+    ws.heap.clear();
+    dist[src] = 0.0;
+    ws.heap.push((Reverse(NotNan(0.0)), src));
+    while let Some((Reverse(NotNan(d)), u)) = ws.heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &aid in graph.out_arcs(u) {
+            if !usable(aid) {
+                continue;
+            }
+            let len = length(aid);
+            if !(len >= 0.0) || !len.is_finite() {
+                continue;
+            }
+            let v = graph.arc(aid).to;
+            let nd = d + len;
+            if nd < dist[v] {
+                dist[v] = nd;
+                prev[v] = Some(aid);
+                ws.heap.push((Reverse(NotNan(nd)), v));
+            }
+        }
+    }
+    ShortestPaths { dist, prev }
+}
+
+/// Dijkstra with a per-arc length slice and no extra filtering.
+pub fn shortest_paths(graph: &FlowGraph, src: NodeId, lengths: &[f64]) -> ShortestPaths {
+    let mut ws = DijkstraWorkspace::default();
+    shortest_paths_with(graph, src, |a| lengths[a], |_| true, &mut ws)
+}
+
+/// f64 wrapper that asserts no NaN, giving a total order for the heap.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+struct NotNan(f64);
+
+impl Eq for NotNan {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for NotNan {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("lengths are never NaN")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 → 1 → 2 with a direct (longer) 0 → 2.
+    fn triangle() -> FlowGraph {
+        let mut g = FlowGraph::new(3);
+        g.add_arc(0, 1, 1.0, None); // arc 0
+        g.add_arc(1, 2, 1.0, None); // arc 1
+        g.add_arc(0, 2, 1.0, None); // arc 2
+        g
+    }
+
+    #[test]
+    fn picks_the_shorter_route() {
+        let g = triangle();
+        let sp = shortest_paths(&g, 0, &[1.0, 1.0, 5.0]);
+        assert_eq!(sp.dist[2], 2.0);
+        assert_eq!(sp.path_to(&g, 2), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn direct_arc_wins_when_cheaper() {
+        let g = triangle();
+        let sp = shortest_paths(&g, 0, &[1.0, 1.0, 1.5]);
+        assert_eq!(sp.dist[2], 1.5);
+        assert_eq!(sp.path_to(&g, 2), Some(vec![2]));
+    }
+
+    #[test]
+    fn unreachable_nodes_report_infinity() {
+        let mut g = FlowGraph::new(3);
+        g.add_arc(0, 1, 1.0, None);
+        let sp = shortest_paths(&g, 0, &[1.0]);
+        assert!(sp.dist[2].is_infinite());
+        assert_eq!(sp.path_to(&g, 2), None);
+    }
+
+    #[test]
+    fn usable_filter_excludes_arcs() {
+        let g = triangle();
+        let mut ws = DijkstraWorkspace::default();
+        // Forbid arc 0: path must go direct.
+        let sp = shortest_paths_with(&g, 0, |_| 1.0, |a| a != 0, &mut ws);
+        assert_eq!(sp.path_to(&g, 2), Some(vec![2]));
+    }
+
+    #[test]
+    fn source_distance_is_zero_and_path_empty() {
+        let g = triangle();
+        let sp = shortest_paths(&g, 0, &[1.0, 1.0, 1.0]);
+        assert_eq!(sp.dist[0], 0.0);
+        assert_eq!(sp.path_to(&g, 0), Some(vec![]));
+    }
+
+    #[test]
+    fn zero_length_arcs_are_allowed() {
+        let g = triangle();
+        let sp = shortest_paths(&g, 0, &[0.0, 0.0, 1.0]);
+        assert_eq!(sp.dist[2], 0.0);
+    }
+
+    #[test]
+    fn workspace_reuse_gives_identical_results() {
+        let g = triangle();
+        let mut ws = DijkstraWorkspace::default();
+        let a = shortest_paths_with(&g, 0, |_| 1.0, |_| true, &mut ws);
+        let b = shortest_paths_with(&g, 0, |_| 1.0, |_| true, &mut ws);
+        assert_eq!(a.dist, b.dist);
+    }
+}

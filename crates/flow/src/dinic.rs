@@ -1,0 +1,211 @@
+//! Dinic's algorithm: exact single-commodity max-flow.
+//!
+//! Used for (a) cheap *necessary* feasibility conditions in the evaluator
+//! — the max flow from one source to a super-sink over all its
+//! destinations upper-bounds what any multicommodity solution can carry
+//! for that source — and (b) as an independent oracle in tests for the
+//! MWU and LP backends on single-commodity instances.
+
+use crate::graph::{FlowGraph, NodeId};
+
+/// Residual-network edge.
+#[derive(Clone, Copy, Debug)]
+struct Edge {
+    to: usize,
+    cap: f64,
+    /// Index of the reverse edge in `edges`.
+    rev: usize,
+}
+
+/// Dinic max-flow solver over its own residual representation.
+///
+/// Construction copies the arcs of a [`FlowGraph`]; extra arcs (e.g. to a
+/// super-sink) can be added before calling [`Dinic::max_flow`].
+pub struct Dinic {
+    edges: Vec<Edge>,
+    head: Vec<Vec<usize>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+/// Flows below this are treated as zero to stop augmenting on numerical
+/// dust.
+const EPS: f64 = 1e-9;
+
+impl Dinic {
+    /// Build a residual network with `extra_nodes` additional nodes
+    /// appended after the graph's own (for super-sources/sinks).
+    pub fn from_graph(graph: &FlowGraph, extra_nodes: usize) -> Self {
+        let n = graph.num_nodes() + extra_nodes;
+        let mut d =
+            Dinic { edges: Vec::new(), head: vec![Vec::new(); n], level: vec![], iter: vec![] };
+        for arc in graph.arcs() {
+            d.add_edge(arc.from, arc.to, arc.cap);
+        }
+        d
+    }
+
+    /// A residual network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Dinic { edges: Vec::new(), head: vec![Vec::new(); n], level: vec![], iter: vec![] }
+    }
+
+    /// Add a directed edge with capacity `cap`.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: f64) {
+        assert!(cap >= 0.0 && cap.is_finite());
+        let fwd = self.edges.len();
+        self.edges.push(Edge { to, cap, rev: fwd + 1 });
+        self.edges.push(Edge { to: from, cap: 0.0, rev: fwd });
+        self.head[from].push(fwd);
+        self.head[to].push(fwd + 1);
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level = vec![-1; self.head.len()];
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &e in &self.head[u] {
+                let edge = self.edges[e];
+                if edge.cap > EPS && self.level[edge.to] < 0 {
+                    self.level[edge.to] = self.level[u] + 1;
+                    queue.push_back(edge.to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, pushed: f64) -> f64 {
+        if u == t {
+            return pushed;
+        }
+        while self.iter[u] < self.head[u].len() {
+            let e = self.head[u][self.iter[u]];
+            let Edge { to, cap, rev } = self.edges[e];
+            if cap > EPS && self.level[to] == self.level[u] + 1 {
+                let got = self.dfs(to, t, pushed.min(cap));
+                if got > EPS {
+                    self.edges[e].cap -= got;
+                    self.edges[rev].cap += got;
+                    return got;
+                }
+            }
+            self.iter[u] += 1;
+        }
+        0.0
+    }
+
+    /// Compute the max flow from `s` to `t`, consuming residual capacity.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        assert_ne!(s, t);
+        let mut flow = 0.0;
+        while self.bfs(s, t) {
+            self.iter = vec![0; self.head.len()];
+            loop {
+                let pushed = self.dfs(s, t, f64::INFINITY);
+                if pushed <= EPS {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+        flow
+    }
+}
+
+/// Max flow value from `src` to `dst` in `graph`.
+pub fn max_flow(graph: &FlowGraph, src: NodeId, dst: NodeId) -> f64 {
+    Dinic::from_graph(graph, 0).max_flow(src, dst)
+}
+
+/// Max flow from `src` to a super-sink attached to every `(dst, demand)`
+/// with capacity `demand`. Returns the flow value; it equals the total
+/// demand iff `src` can simultaneously serve all its destinations when it
+/// has the network to itself — a *necessary* condition for multicommodity
+/// feasibility that costs one max-flow instead of an LP.
+pub fn single_source_max_flow(graph: &FlowGraph, src: NodeId, sinks: &[(NodeId, f64)]) -> f64 {
+    let t = graph.num_nodes();
+    let mut d = Dinic::from_graph(graph, 1);
+    for &(dst, demand) in sinks {
+        d.add_edge(dst, t, demand);
+    }
+    d.max_flow(src, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic 4-node diamond: 0→{1,2}→3, each side cap 10, cross arc 1→2.
+    fn diamond(cross: f64) -> FlowGraph {
+        let mut g = FlowGraph::new(4);
+        g.add_arc(0, 1, 10.0, None);
+        g.add_arc(0, 2, 10.0, None);
+        g.add_arc(1, 3, 10.0, None);
+        g.add_arc(2, 3, 10.0, None);
+        if cross > 0.0 {
+            g.add_arc(1, 2, cross, None);
+        }
+        g
+    }
+
+    #[test]
+    fn diamond_max_flow() {
+        assert!((max_flow(&diamond(0.0), 0, 3) - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bottleneck_limits_flow() {
+        let mut g = FlowGraph::new(3);
+        g.add_arc(0, 1, 100.0, None);
+        g.add_arc(1, 2, 7.0, None);
+        assert!((max_flow(&g, 0, 2) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_gives_zero() {
+        let g = FlowGraph::new(3);
+        assert_eq!(max_flow(&g, 0, 2), 0.0);
+    }
+
+    #[test]
+    fn respects_direction() {
+        let mut g = FlowGraph::new(2);
+        g.add_arc(1, 0, 5.0, None);
+        assert_eq!(max_flow(&g, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn single_source_multi_sink() {
+        let g = diamond(0.0);
+        // Source 0 serving 5 to node 1 and 12 to node 3: feasible (17 ≤ 20
+        // and each path has room).
+        let f = single_source_max_flow(&g, 0, &[(1, 5.0), (3, 12.0)]);
+        assert!((f - 17.0).abs() < 1e-6);
+        // Demanding 15 to node 1 exceeds the 10-cap arc 0→1... but flow can
+        // not reach 1 any other way, so only 10 of the 15 arrive.
+        let f = single_source_max_flow(&g, 0, &[(1, 15.0)]);
+        assert!((f - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fractional_capacities() {
+        let mut g = FlowGraph::new(2);
+        g.add_arc(0, 1, 2.5, None);
+        g.add_arc(0, 1, 0.25, None);
+        assert!((max_flow(&g, 0, 1) - 2.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_cut_equals_max_flow_on_layered_graph() {
+        // 0→1 (3), 0→2 (2), 1→3 (2), 2→3 (3): min cut = min(5, 2+... ) = 4.
+        let mut g = FlowGraph::new(4);
+        g.add_arc(0, 1, 3.0, None);
+        g.add_arc(0, 2, 2.0, None);
+        g.add_arc(1, 3, 2.0, None);
+        g.add_arc(2, 3, 3.0, None);
+        assert!((max_flow(&g, 0, 3) - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,169 @@
+//! Directed flow graph with arc capacities.
+
+use np_topology::LinkId;
+
+/// A graph node (a site index in evaluator-built graphs).
+pub type NodeId = usize;
+
+/// Index of an arc in [`FlowGraph::arcs`].
+pub type ArcId = usize;
+
+/// A directed arc with a capacity in Gbps.
+///
+/// Evaluator-built graphs create two arcs per surviving IP link (the
+/// formulation gives each direction the full link capacity — "2l
+/// constraints for IP link capacity, two directions for every IP link",
+/// §5); `link` remembers which IP link an arc came from so dual length
+/// functions can be folded back into per-link metric-cut coefficients.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Arc {
+    /// Tail node.
+    pub from: NodeId,
+    /// Head node.
+    pub to: NodeId,
+    /// Capacity in Gbps.
+    pub cap: f64,
+    /// The IP link this arc instantiates, if any.
+    pub link: Option<LinkId>,
+}
+
+/// A small dense directed graph in adjacency-list form, optimised for the
+/// repeated Dijkstra / flow computations of the plan evaluator.
+#[derive(Clone, Debug, Default)]
+pub struct FlowGraph {
+    num_nodes: usize,
+    arcs: Vec<Arc>,
+    out: Vec<Vec<ArcId>>,
+}
+
+impl FlowGraph {
+    /// An empty graph with `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        FlowGraph { num_nodes, arcs: Vec::new(), out: vec![Vec::new(); num_nodes] }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// All arcs, indexed by [`ArcId`].
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// The arc with the given id.
+    pub fn arc(&self, id: ArcId) -> &Arc {
+        &self.arcs[id]
+    }
+
+    /// Ids of arcs leaving `node`.
+    pub fn out_arcs(&self, node: NodeId) -> &[ArcId] {
+        &self.out[node]
+    }
+
+    /// Add a directed arc; returns its id. Capacity must be non-negative
+    /// and finite.
+    pub fn add_arc(&mut self, from: NodeId, to: NodeId, cap: f64, link: Option<LinkId>) -> ArcId {
+        assert!(from < self.num_nodes && to < self.num_nodes, "arc endpoint out of range");
+        assert!(cap >= 0.0 && cap.is_finite(), "capacity must be finite and non-negative");
+        let id = self.arcs.len();
+        self.arcs.push(Arc { from, to, cap, link });
+        self.out[from].push(id);
+        id
+    }
+
+    /// Add both directions of an IP link with capacity `cap` each;
+    /// returns `(forward, backward)` arc ids.
+    pub fn add_link_arcs(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        cap: f64,
+        link: LinkId,
+    ) -> (ArcId, ArcId) {
+        (self.add_arc(a, b, cap, Some(link)), self.add_arc(b, a, cap, Some(link)))
+    }
+
+    /// Update the capacity of an arc in place (used when the evaluator
+    /// patches a cached scenario graph instead of rebuilding it — the
+    /// paper's "only update the constraints that are influenced" trick).
+    pub fn set_cap(&mut self, id: ArcId, cap: f64) {
+        assert!(cap >= 0.0 && cap.is_finite());
+        self.arcs[id].cap = cap;
+    }
+
+    /// Total capacity leaving `node` (a cheap cut bound: the net demand
+    /// sourced at a node can never exceed this).
+    pub fn out_capacity(&self, node: NodeId) -> f64 {
+        self.out[node].iter().map(|&a| self.arcs[a].cap).sum()
+    }
+
+    /// Total capacity entering `node`.
+    pub fn in_capacity(&self, node: NodeId) -> f64 {
+        self.arcs.iter().filter(|a| a.to == node).map(|a| a.cap).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = FlowGraph::new(3);
+        let a = g.add_arc(0, 1, 5.0, None);
+        let b = g.add_arc(1, 2, 3.0, None);
+        let c = g.add_arc(0, 2, 1.0, None);
+        assert_eq!(g.num_arcs(), 3);
+        assert_eq!(g.out_arcs(0), &[a, c]);
+        assert_eq!(g.out_arcs(1), &[b]);
+        assert_eq!(g.arc(b).to, 2);
+    }
+
+    #[test]
+    fn link_arcs_are_paired_and_tagged() {
+        let mut g = FlowGraph::new(2);
+        let (f, r) = g.add_link_arcs(0, 1, 100.0, LinkId::new(7));
+        assert_eq!(g.arc(f).from, 0);
+        assert_eq!(g.arc(r).from, 1);
+        assert_eq!(g.arc(f).link, Some(LinkId::new(7)));
+        assert_eq!(g.arc(f).cap, g.arc(r).cap);
+    }
+
+    #[test]
+    fn set_cap_patches_in_place() {
+        let mut g = FlowGraph::new(2);
+        let a = g.add_arc(0, 1, 1.0, None);
+        g.set_cap(a, 9.0);
+        assert_eq!(g.arc(a).cap, 9.0);
+    }
+
+    #[test]
+    fn cut_capacities() {
+        let mut g = FlowGraph::new(3);
+        g.add_arc(0, 1, 5.0, None);
+        g.add_arc(0, 2, 2.0, None);
+        g.add_arc(1, 0, 7.0, None);
+        assert_eq!(g.out_capacity(0), 7.0);
+        assert_eq!(g.in_capacity(0), 7.0);
+        assert_eq!(g.in_capacity(2), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_endpoints() {
+        FlowGraph::new(2).add_arc(0, 2, 1.0, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_capacity() {
+        FlowGraph::new(2).add_arc(0, 1, -1.0, None);
+    }
+}

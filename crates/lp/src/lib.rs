@@ -1,0 +1,42 @@
+//! # np-lp
+//!
+//! Linear and mixed-integer programming substrate for the NeuroPlan
+//! reproduction — the from-scratch stand-in for the Gurobi/CPLEX solver
+//! the paper calls (§3.2, §4.3, §5).
+//!
+//! * [`model`] — a solver-agnostic model builder: variables with bounds,
+//!   objective coefficients and integrality; linear constraints with
+//!   `≤ / = / ≥` senses. The same model type is consumed by both solvers.
+//! * [`simplex`] — a dense **bounded-variable two-phase primal simplex**.
+//!   Phase 1 drives artificial variables out of an all-artificial basis;
+//!   phase 2 optimizes the true objective. The basis inverse is kept
+//!   explicitly and refactorized periodically; Dantzig pricing with a
+//!   Bland fallback guards against cycling.
+//! * `presolve` — safe model reductions (singleton rows, redundant
+//!   rows, bound tightening with integer rounding) applied before the
+//!   heavy machinery;
+//! * [`milp`] — **branch & bound** over the simplex relaxation:
+//!   best-bound node selection, most-fractional branching, incumbent and
+//!   gap management, node/time limits, and — crucially for NeuroPlan —
+//!   **lazy-constraint callbacks**: every integer-feasible candidate is
+//!   offered to a user callback that may reject it with violated cuts
+//!   (our Benders metric-inequality separation), exactly the mechanism
+//!   commercial solvers expose for row generation.
+//!
+//! Scale honesty: this is a dense textbook implementation engineered for
+//! the repository's problem sizes (hundreds of rows/columns per LP). It
+//! is *not* a sparse revised simplex with LU updates — see DESIGN.md §1
+//! for why the Benders decomposition keeps every LP we solve inside this
+//! envelope.
+
+pub mod gomory;
+pub mod milp;
+pub mod presolve;
+pub mod model;
+pub mod simplex;
+
+pub use milp::{solve_mip, Cut, MipConfig, MipSolution, MipStatus};
+pub use model::{ConstrId, Model, Sense, VarId};
+pub use gomory::GmiCut;
+pub use presolve::{presolve, PresolveReport};
+pub use simplex::{solve_lp, solve_lp_tableau, LpSolution, LpStatus, SimplexConfig, TableauView};

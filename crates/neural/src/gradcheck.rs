@@ -1,0 +1,106 @@
+//! Finite-difference gradient verification.
+//!
+//! Hand-written backprop is only trustworthy if every layer's analytic
+//! gradient is checked against central differences; this helper does the
+//! perturb-and-compare loop generically so each layer's test is a few
+//! lines.
+
+use crate::param::Param;
+
+/// Verify the analytic parameter gradients of `layer`.
+///
+/// * `loss` — evaluates the scalar loss via a fresh forward pass;
+/// * `backprop` — runs forward + backward once, leaving gradients
+///   accumulated in the layer's params;
+/// * `params_of` — accessor for the layer's trainable parameters;
+/// * `eps` — central-difference step;
+/// * `tol` — maximum allowed absolute error per component.
+///
+/// Panics (with the offending coordinate) on mismatch.
+pub fn check_param_gradients<L>(
+    loss: &mut dyn FnMut(&mut L) -> f64,
+    backprop: &mut dyn FnMut(&mut L),
+    layer: &mut L,
+    mut params_of: impl FnMut(&mut L) -> Vec<&mut Param>,
+    eps: f64,
+    tol: f64,
+) {
+    // Accumulate analytic gradients once.
+    for p in params_of(layer) {
+        p.zero_grad();
+    }
+    backprop(layer);
+    let analytic: Vec<Vec<f64>> =
+        params_of(layer).iter().map(|p| p.grad.as_slice().to_vec()).collect();
+    let num_params = analytic.len();
+    for pi in 0..num_params {
+        let len = analytic[pi].len();
+        for k in 0..len {
+            let fd = {
+                {
+                    let mut ps = params_of(layer);
+                    ps[pi].value.as_mut_slice()[k] += eps;
+                }
+                let fp = loss(layer);
+                {
+                    let mut ps = params_of(layer);
+                    ps[pi].value.as_mut_slice()[k] -= 2.0 * eps;
+                }
+                let fm = loss(layer);
+                {
+                    let mut ps = params_of(layer);
+                    ps[pi].value.as_mut_slice()[k] += eps;
+                }
+                (fp - fm) / (2.0 * eps)
+            };
+            let got = analytic[pi][k];
+            assert!(
+                (got - fd).abs() <= tol * (1.0 + fd.abs()),
+                "param {pi} component {k}: analytic {got} vs finite-difference {fd}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    /// A fake 1-parameter "layer" with loss w² so dL/dw = 2w.
+    struct Quad {
+        w: Param,
+    }
+
+    #[test]
+    fn accepts_correct_gradients() {
+        let mut layer = Quad { w: Param::new(Matrix::from_vec(1, 1, vec![3.0])) };
+        check_param_gradients(
+            &mut |l: &mut Quad| l.w.value.get(0, 0).powi(2),
+            &mut |l: &mut Quad| {
+                let g = 2.0 * l.w.value.get(0, 0);
+                l.w.grad.as_mut_slice()[0] += g;
+            },
+            &mut layer,
+            |l| vec![&mut l.w],
+            1e-5,
+            1e-6,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite-difference")]
+    fn rejects_wrong_gradients() {
+        let mut layer = Quad { w: Param::new(Matrix::from_vec(1, 1, vec![3.0])) };
+        check_param_gradients(
+            &mut |l: &mut Quad| l.w.value.get(0, 0).powi(2),
+            &mut |l: &mut Quad| {
+                l.w.grad.as_mut_slice()[0] += 1.0; // deliberately wrong
+            },
+            &mut layer,
+            |l| vec![&mut l.w],
+            1e-5,
+            1e-6,
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Multi-layer perceptron: `Linear → ReLU → … → Linear`.
+
+use crate::layers::{Linear, Relu};
+use crate::matrix::Matrix;
+use crate::param::Param;
+use rand::Rng;
+
+/// An MLP with ReLU between hidden layers and a linear output layer —
+/// the shape of both the actor and critic heads in Fig. 6 (hidden sizes
+/// from Table 2: 64×64 … 512×512).
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activations: Vec<Relu>,
+}
+
+impl Mlp {
+    /// Build with the given layer widths, e.g. `[in, 64, 64, out]`.
+    pub fn new(widths: &[usize], rng: &mut impl Rng) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        let mut layers = Vec::new();
+        let mut activations = Vec::new();
+        for w in widths.windows(2) {
+            layers.push(Linear::new(w[0], w[1], rng));
+        }
+        for _ in 0..layers.len().saturating_sub(1) {
+            activations.push(Relu::new());
+        }
+        Mlp { layers, activations }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut h = self.layers[0].forward(x);
+        for i in 1..self.layers.len() {
+            h = self.activations[i - 1].forward(&h);
+            h = self.layers[i].forward(&h);
+        }
+        h
+    }
+
+    /// Backward pass; returns `∂L/∂input`.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        for i in (0..self.layers.len()).rev() {
+            g = self.layers[i].backward(&g);
+            if i > 0 {
+                g = self.activations[i - 1].backward(&g);
+            }
+        }
+        g
+    }
+
+    /// All trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_param_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn widths_define_architecture() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(&[8, 64, 64, 3], &mut rng);
+        assert_eq!(mlp.num_params(), 8 * 64 + 64 + 64 * 64 + 64 + 64 * 3 + 3);
+    }
+
+    #[test]
+    fn single_layer_mlp_is_linear() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mlp = Mlp::new(&[2, 1], &mut rng);
+        mlp.layers[0].w.value = Matrix::from_vec(2, 1, vec![2.0, -1.0]);
+        mlp.layers[0].b.value = Matrix::from_vec(1, 1, vec![0.5]);
+        let y = mlp.forward(&Matrix::from_vec(1, 2, vec![3.0, 1.0]));
+        assert_eq!(y.as_slice(), &[5.5]);
+    }
+
+    #[test]
+    fn deep_mlp_gradients_pass_finite_difference_check() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Matrix::kaiming(3, 4, &mut rng);
+        let mut mlp = Mlp::new(&[4, 8, 8, 2], &mut rng);
+        check_param_gradients(
+            &mut |m: &mut Mlp| m.forward(&x).as_slice().iter().sum::<f64>(),
+            &mut |m: &mut Mlp| {
+                let y = m.forward(&x);
+                let ones = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; 6]);
+                m.backward(&ones);
+            },
+            &mut mlp,
+            |m| m.params_mut(),
+            1e-5,
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn backward_returns_input_gradient_of_right_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mlp = Mlp::new(&[5, 16, 2], &mut rng);
+        let x = Matrix::kaiming(7, 5, &mut rng);
+        let y = mlp.forward(&x);
+        let g = mlp.backward(&Matrix::zeros(y.rows(), y.cols()));
+        assert_eq!((g.rows(), g.cols()), (7, 5));
+    }
+}

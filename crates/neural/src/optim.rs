@@ -1,0 +1,109 @@
+//! Adam optimizer (Kingma & Ba), the optimizer behind Table 2's actor and
+//! critic learning rates.
+
+use crate::param::Param;
+
+/// Adam with the standard defaults (`β₁=0.9, β₂=0.999, ε=1e-8`).
+///
+/// The bias-corrected step count `t` lives here; the per-parameter
+/// moments live on the [`Param`]s themselves so layers can be moved
+/// around freely.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// Exponential decay for the first moment.
+    pub beta1: f64,
+    /// Exponential decay for the second moment.
+    pub beta2: f64,
+    /// Denominator fuzz.
+    pub eps: f64,
+    t: u64,
+}
+
+impl Adam {
+    /// New optimizer with the given learning rate.
+    pub fn new(lr: f64) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+
+    /// Apply one update to every parameter from its accumulated gradient,
+    /// then zero the gradients.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for p in params.iter_mut() {
+            let n = p.len();
+            for k in 0..n {
+                let g = p.grad.as_slice()[k];
+                let m = self.beta1 * p.m.as_slice()[k] + (1.0 - self.beta1) * g;
+                let v = self.beta2 * p.v.as_slice()[k] + (1.0 - self.beta2) * g * g;
+                p.m.as_mut_slice()[k] = m;
+                p.v.as_mut_slice()[k] = v;
+                let mhat = m / b1t;
+                let vhat = v / b2t;
+                p.value.as_mut_slice()[k] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn first_step_moves_by_learning_rate() {
+        // With bias correction, the first Adam step has magnitude ≈ lr.
+        let mut p = Param::new(Matrix::from_vec(1, 1, vec![1.0]));
+        p.grad.as_mut_slice()[0] = 123.0;
+        let mut adam = Adam::new(0.01);
+        adam.step(&mut [&mut p]);
+        assert!((p.value.get(0, 0) - (1.0 - 0.01)).abs() < 1e-6);
+        assert_eq!(p.grad.as_slice()[0], 0.0, "step zeroes the gradient");
+    }
+
+    #[test]
+    fn converges_on_a_quadratic() {
+        // Minimize (w − 3)² by gradient 2(w − 3).
+        let mut p = Param::new(Matrix::from_vec(1, 1, vec![-2.0]));
+        let mut adam = Adam::new(0.1);
+        for _ in 0..600 {
+            let w = p.value.get(0, 0);
+            p.grad.as_mut_slice()[0] = 2.0 * (w - 3.0);
+            adam.step(&mut [&mut p]);
+        }
+        assert!((p.value.get(0, 0) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn handles_multiple_params() {
+        let mut a = Param::new(Matrix::zeros(1, 1));
+        let mut b = Param::new(Matrix::zeros(2, 2));
+        a.grad.as_mut_slice()[0] = 1.0;
+        for g in b.grad.as_mut_slice() {
+            *g = -1.0;
+        }
+        let mut adam = Adam::new(0.5);
+        adam.step(&mut [&mut a, &mut b]);
+        assert!(a.value.get(0, 0) < 0.0);
+        assert!(b.value.as_slice().iter().all(|&v| v > 0.0));
+        assert_eq!(adam.steps(), 1);
+    }
+
+    #[test]
+    fn zero_gradient_leaves_value_unchanged() {
+        let mut p = Param::new(Matrix::from_vec(1, 1, vec![7.0]));
+        let mut adam = Adam::new(0.1);
+        adam.step(&mut [&mut p]);
+        assert!((p.value.get(0, 0) - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! CSR sparse matrices for the GCN propagation operator `Â`.
+
+use crate::matrix::Matrix;
+
+/// A square sparse matrix in compressed-sparse-row form.
+///
+/// Built once per planning problem from
+/// `np_topology::TransformedGraph::normalized_adjacency` and reused for
+/// every GCN forward/backward of every trajectory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from `(row, col, value)` triples (duplicates summed).
+    pub fn from_triples(n: usize, triples: &[(usize, usize, f64)]) -> Self {
+        let mut sorted: Vec<(usize, usize, f64)> = triples.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
+        let mut last_rc: Option<(usize, usize)> = None;
+        for &(r, c, v) in &sorted {
+            assert!(r < n && c < n, "triple out of range");
+            if last_rc == Some((r, c)) {
+                *values.last_mut().expect("entry exists") += v;
+                continue;
+            }
+            last_rc = Some((r, c));
+            // row_ptr[r+1] counts entries in row r until the prefix-sum below.
+            col_idx.push(c);
+            values.push(v);
+            row_ptr[r + 1] += 1;
+        }
+        for r in 0..n {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        Csr { n, row_ptr, col_idx, values }
+    }
+
+    /// The identity matrix (a GCN with "0 layers" degenerates to this).
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `self · dense` — the `ÂH` product of Eq. 7.
+    pub fn matmul_dense(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.n, dense.rows(), "spmm shape mismatch");
+        let m = dense.cols();
+        let mut out = Matrix::zeros(self.n, m);
+        for r in 0..self.n {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                let v = self.values[k];
+                let src = &dense.as_slice()[c * m..(c + 1) * m];
+                let dst = &mut out.as_mut_slice()[r * m..(r + 1) * m];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += v * s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the matrix is symmetric (the normalized adjacency must be,
+    /// which lets the GCN backward pass reuse `Â` instead of `Âᵀ`).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for r in 0..self.n {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                let v = self.values[k];
+                let mirror = self.get(c, r);
+                if (v - mirror).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Off-diagonal neighbour lists (for attention-style layers that want
+    /// raw adjacency rather than the normalized operator).
+    pub fn neighbor_lists(&self) -> Vec<Vec<usize>> {
+        (0..self.n)
+            .map(|r| {
+                self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+                    .iter()
+                    .copied()
+                    .filter(|&c| c != r)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Entry accessor (binary search within the row).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let row = &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]];
+        match row.binary_search(&c) {
+            Ok(k) => self.values[self.row_ptr[r] + k],
+            Err(_) => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_triples_and_get() {
+        let a = Csr::from_triples(3, &[(0, 1, 2.0), (1, 0, 2.0), (2, 2, 1.0)]);
+        assert_eq!(a.get(0, 1), 2.0);
+        assert_eq!(a.get(1, 0), 2.0);
+        assert_eq!(a.get(0, 2), 0.0);
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn duplicate_triples_sum() {
+        let a = Csr::from_triples(2, &[(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(a.get(0, 0), 3.5);
+        assert_eq!(a.nnz(), 1);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let a = Csr::from_triples(2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)]);
+        let h = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let out = a.matmul_dense(&h);
+        assert_eq!(out.as_slice(), &[1.0, 2.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_is_a_no_op() {
+        let h = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(Csr::identity(3).matmul_dense(&h), h);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let sym = Csr::from_triples(2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        assert!(sym.is_symmetric(1e-12));
+        let asym = Csr::from_triples(2, &[(0, 1, 1.0)]);
+        assert!(!asym.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn transformed_graph_adjacency_roundtrips() {
+        // Normalized adjacency entries from np-topology form a valid
+        // symmetric CSR.
+        use np_topology::{generator::preset_network, transform, TopologyPreset};
+        let net = preset_network(TopologyPreset::A);
+        let g = transform(&net);
+        let adj = Csr::from_triples(g.num_nodes(), &g.normalized_adjacency());
+        assert!(adj.is_symmetric(1e-12));
+        assert_eq!(adj.n(), net.links().len());
+    }
+}

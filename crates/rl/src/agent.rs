@@ -1,0 +1,480 @@
+//! The actor-critic network of Fig. 6.
+//!
+//! Architecture: `L` GCN layers (Eq. 7) encode the node-link-transformed
+//! topology into per-node embeddings `H`; the **actor** MLP is applied
+//! per node to produce `m` logits per node (flattened to the
+//! `node · m + units` action space and masked); the **critic** MLP reads
+//! the mean-pooled embedding and outputs a scalar value.
+//!
+//! Both heads share the GCN (parameters `θ_g` of Algorithm 1), and both
+//! the policy and value updates flow gradients into it — we keep two
+//! Adam optimizers (actor lr / critic lr from Table 2) and let each step
+//! the GCN with its own loss, mirroring Algorithm 1 lines 16–22.
+
+use crate::buffer::StepRecord;
+use np_neural::ops::{masked_log_prob, masked_softmax, policy_logit_grad, sample_categorical};
+use np_neural::{Adam, Csr, Gat, Gcn, Matrix, Mlp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which graph encoder the agent uses (§4.2 compares both and finds the
+/// GCN stronger for this problem; the GAT is kept for the ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Encoder {
+    /// Graph convolution (Eq. 7) over the normalized adjacency.
+    Gcn,
+    /// Single-head graph attention.
+    Gat,
+}
+
+/// Agent hyperparameters (Table 2).
+#[derive(Clone, Debug)]
+pub struct AgentConfig {
+    /// Graph encoder type.
+    pub encoder: Encoder,
+    /// Number of GNN layers (0, 2 or 4 in the paper's sensitivity study).
+    pub gnn_layers: usize,
+    /// Width of the GCN embeddings.
+    pub gnn_hidden: usize,
+    /// Hidden widths of both MLP heads (e.g. `[64, 64]` … `[512, 512]`).
+    pub mlp_hidden: Vec<usize>,
+    /// Actor learning rate (Table 2: 3e-4).
+    pub actor_lr: f64,
+    /// Critic learning rate (Table 2: 1e-3).
+    pub critic_lr: f64,
+    /// Parameter-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            encoder: Encoder::Gcn,
+            gnn_layers: 2,
+            gnn_hidden: 64,
+            mlp_hidden: vec![64, 64],
+            actor_lr: 3e-4,
+            critic_lr: 1e-3,
+            seed: 0,
+        }
+    }
+}
+
+/// The stack of graph layers shared by both heads.
+enum EncoderStack {
+    Gcn(Vec<Gcn>),
+    Gat(Vec<Gat>),
+}
+
+impl EncoderStack {
+    fn forward(&mut self, features: &Matrix) -> Matrix {
+        let mut h = features.clone();
+        match self {
+            EncoderStack::Gcn(layers) => {
+                for l in layers {
+                    h = l.forward(&h);
+                }
+            }
+            EncoderStack::Gat(layers) => {
+                for l in layers {
+                    h = l.forward(&h);
+                }
+            }
+        }
+        h
+    }
+
+    fn backward(&mut self, grad: &Matrix) {
+        let mut g = grad.clone();
+        match self {
+            EncoderStack::Gcn(layers) => {
+                for l in layers.iter_mut().rev() {
+                    g = l.backward(&g);
+                }
+            }
+            EncoderStack::Gat(layers) => {
+                for l in layers.iter_mut().rev() {
+                    g = l.backward(&g);
+                }
+            }
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut np_neural::Param> {
+        match self {
+            EncoderStack::Gcn(layers) => {
+                layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+            }
+            EncoderStack::Gat(layers) => {
+                layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+            }
+        }
+    }
+}
+
+/// The shared-encoder actor-critic.
+pub struct ActorCritic {
+    encoder: EncoderStack,
+    actor: Mlp,
+    critic: Mlp,
+    adam_actor: Adam,
+    adam_critic: Adam,
+    num_unit_choices: usize,
+    /// RNG for action sampling (separate from init so runs with the same
+    /// seed sample identically regardless of architecture size).
+    sample_rng: StdRng,
+}
+
+impl ActorCritic {
+    /// Build for a fixed graph (`adjacency` from the node-link
+    /// transformation), `feature_dim` input features per node and `m`
+    /// unit choices per node.
+    pub fn new(
+        adjacency: Csr,
+        feature_dim: usize,
+        num_unit_choices: usize,
+        cfg: &AgentConfig,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut dim = feature_dim;
+        let encoder = match cfg.encoder {
+            Encoder::Gcn => {
+                let mut layers = Vec::new();
+                for _ in 0..cfg.gnn_layers {
+                    layers.push(Gcn::new(adjacency.clone(), dim, cfg.gnn_hidden, &mut rng));
+                    dim = cfg.gnn_hidden;
+                }
+                EncoderStack::Gcn(layers)
+            }
+            Encoder::Gat => {
+                let neighbors = adjacency.neighbor_lists();
+                let mut layers = Vec::new();
+                for _ in 0..cfg.gnn_layers {
+                    layers.push(Gat::new(neighbors.clone(), dim, cfg.gnn_hidden, &mut rng));
+                    dim = cfg.gnn_hidden;
+                }
+                EncoderStack::Gat(layers)
+            }
+        };
+        let mut actor_widths = vec![dim];
+        actor_widths.extend_from_slice(&cfg.mlp_hidden);
+        actor_widths.push(num_unit_choices);
+        let mut critic_widths = vec![dim];
+        critic_widths.extend_from_slice(&cfg.mlp_hidden);
+        critic_widths.push(1);
+        ActorCritic {
+            encoder,
+            actor: Mlp::new(&actor_widths, &mut rng),
+            critic: Mlp::new(&critic_widths, &mut rng),
+            adam_actor: Adam::new(cfg.actor_lr),
+            adam_critic: Adam::new(cfg.critic_lr),
+            num_unit_choices,
+            sample_rng: StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    fn embed(&mut self, features: &Matrix) -> Matrix {
+        self.encoder.forward(features)
+    }
+
+    /// Flat masked logits and the critic value for an observation.
+    pub fn policy_value(&mut self, features: &Matrix) -> (Vec<f64>, f64) {
+        let h = self.embed(features);
+        let logits = self.actor.forward(&h); // n × m
+        let pooled = h.mean_rows();
+        let value = self.critic.forward(&pooled).get(0, 0);
+        (logits.as_slice().to_vec(), value)
+    }
+
+    /// Critic value only.
+    pub fn value(&mut self, features: &Matrix) -> f64 {
+        let h = self.embed(features);
+        let pooled = h.mean_rows();
+        self.critic.forward(&pooled).get(0, 0)
+    }
+
+    /// Sample an action from the masked policy; returns
+    /// `(action, log_prob, value)`.
+    pub fn act(&mut self, features: &Matrix, mask: &[bool]) -> (usize, f64, f64) {
+        let (logits, value) = self.policy_value(features);
+        let probs = masked_softmax(&logits, mask);
+        let action = sample_categorical(&probs, &mut self.sample_rng);
+        let logp = masked_log_prob(&logits, mask, action);
+        (action, logp, value)
+    }
+
+    /// Policy update (Algorithm 1's `ComputePLoss` + line 19): mean
+    /// policy-gradient loss over the epoch, backpropagated through the
+    /// actor *and* the shared GCN, then one Adam step on both.
+    pub fn update_policy(&mut self, steps: &[StepRecord]) {
+        let scale = 1.0 / steps.len().max(1) as f64;
+        for step in steps {
+            let h = self.embed(&step.features);
+            let logits = self.actor.forward(&h);
+            let probs = masked_softmax(logits.as_slice(), &step.mask);
+            let grad_flat =
+                policy_logit_grad(&probs, &step.mask, step.action, step.advantage * scale);
+            let grad =
+                Matrix::from_vec(logits.rows(), logits.cols(), grad_flat);
+            let grad_h = self.actor.backward(&grad);
+            self.backprop_gcn(&grad_h);
+        }
+        let mut params = self.actor.params_mut();
+        params.extend(self.encoder.params_mut());
+        self.adam_actor.step(&mut params);
+    }
+
+    /// Value update (`ComputeVLoss` + line 22): mean squared error against
+    /// rewards-to-go, backpropagated through the critic *and* the GCN.
+    pub fn update_value(&mut self, steps: &[StepRecord]) {
+        let scale = 1.0 / steps.len().max(1) as f64;
+        for step in steps {
+            let h = self.embed(&step.features);
+            let pooled = h.mean_rows();
+            let v = self.critic.forward(&pooled).get(0, 0);
+            let dv = 2.0 * (v - step.reward_to_go) * scale;
+            let grad_pooled =
+                self.critic.backward(&Matrix::from_vec(1, 1, vec![dv]));
+            // Mean-pool backward: distribute evenly over nodes.
+            let n = h.rows();
+            let mut grad_h = Matrix::zeros(n, h.cols());
+            for r in 0..n {
+                for c in 0..h.cols() {
+                    grad_h.set(r, c, grad_pooled.get(0, c) / n as f64);
+                }
+            }
+            self.backprop_gcn(&grad_h);
+        }
+        let mut params = self.critic.params_mut();
+        params.extend(self.encoder.params_mut());
+        self.adam_critic.step(&mut params);
+    }
+
+    fn backprop_gcn(&mut self, grad_h: &Matrix) {
+        self.encoder.backward(grad_h);
+    }
+
+    /// `m`: unit choices per node.
+    pub fn num_unit_choices(&self) -> usize {
+        self.num_unit_choices
+    }
+
+    /// Total trainable parameter count (diagnostics).
+    pub fn num_params(&mut self) -> usize {
+        let enc: usize = self.encoder.params_mut().iter().map(|p| p.len()).sum();
+        enc + self.actor.num_params() + self.critic.num_params()
+    }
+
+    /// Reseed the sampling RNG (used to decorrelate evaluation rollouts).
+    pub fn reseed_sampling(&mut self, seed: u64) {
+        self.sample_rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Sample greedily (argmax) instead of stochastically — used when
+    /// extracting the final first-stage plan.
+    pub fn act_greedy(&mut self, features: &Matrix, mask: &[bool]) -> usize {
+        let (logits, _) = self.policy_value(features);
+        let probs = masked_softmax(&logits, mask);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .expect("non-empty action space")
+    }
+}
+
+/// Draw a u64 seed from an RNG (helper for deterministic seed fan-out).
+pub fn derive_seed(rng: &mut impl Rng) -> u64 {
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_neural::Csr;
+
+    fn agent(n: usize, layers: usize) -> ActorCritic {
+        let adj = Csr::identity(n);
+        ActorCritic::new(
+            adj,
+            1,
+            2,
+            &AgentConfig {
+                encoder: Encoder::Gcn,
+                gnn_layers: layers,
+                gnn_hidden: 8,
+                mlp_hidden: vec![16],
+                actor_lr: 0.02,
+                critic_lr: 0.05,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn obs(n: usize) -> Matrix {
+        Matrix::from_vec(n, 1, (0..n).map(|i| i as f64 / n as f64).collect())
+    }
+
+    #[test]
+    fn logits_cover_the_flat_action_space() {
+        let mut a = agent(5, 2);
+        let (logits, _) = a.policy_value(&obs(5));
+        assert_eq!(logits.len(), 10);
+    }
+
+    #[test]
+    fn zero_gnn_layers_degenerates_to_mlp() {
+        let mut a = agent(4, 0);
+        let (logits, v) = a.policy_value(&obs(4));
+        assert_eq!(logits.len(), 8);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn act_respects_the_mask() {
+        let mut a = agent(3, 1);
+        let mut mask = vec![false; 6];
+        mask[4] = true;
+        for _ in 0..10 {
+            let (action, logp, _) = a.act(&obs(3), &mask);
+            assert_eq!(action, 4);
+            assert!((logp - 0.0).abs() < 1e-9, "single valid action has prob 1");
+        }
+    }
+
+    #[test]
+    fn policy_update_shifts_probability_toward_advantaged_actions() {
+        let mut a = agent(3, 1);
+        let features = obs(3);
+        let mask = vec![true; 6];
+        let (logits0, _) = a.policy_value(&features);
+        let p0 = masked_softmax(&logits0, &mask)[2];
+        // Fake an epoch where action 2 had positive advantage: descending
+        // the −logp·A loss must raise its probability.
+        let steps: Vec<StepRecord> = (0..8)
+            .map(|_| StepRecord {
+                features: features.clone(),
+                mask: mask.clone(),
+                action: 2,
+                reward: 0.0,
+                value: 0.0,
+                advantage: 1.0,
+                reward_to_go: 0.0,
+            })
+            .collect();
+        a.update_policy(&steps);
+        let (logits1, _) = a.policy_value(&features);
+        let p1 = masked_softmax(&logits1, &mask)[2];
+        assert!(
+            p1 > p0,
+            "positive advantage must increase the action's probability (p0={p0}, p1={p1})"
+        );
+        // And sustained negative advantage must push it back down (several
+        // updates: a single step cannot overcome Adam's first-moment
+        // momentum from the positive phase).
+        let mut down = steps;
+        for s in &mut down {
+            s.advantage = -1.0;
+        }
+        for _ in 0..10 {
+            a.update_policy(&down);
+        }
+        let (logits2, _) = a.policy_value(&features);
+        let p2 = masked_softmax(&logits2, &mask)[2];
+        assert!(p2 < p1, "sustained negative advantage must decrease the probability");
+    }
+
+    #[test]
+    fn value_update_regresses_toward_targets() {
+        let mut a = agent(3, 1);
+        let features = obs(3);
+        let target = -5.0;
+        for _ in 0..300 {
+            let v = a.value(&features);
+            let steps = vec![StepRecord {
+                features: features.clone(),
+                mask: vec![true; 6],
+                action: 0,
+                reward: 0.0,
+                value: v,
+                advantage: 0.0,
+                reward_to_go: target,
+            }];
+            a.update_value(&steps);
+        }
+        assert!((a.value(&features) - target).abs() < 0.5);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mk = || {
+            let mut a = agent(4, 1);
+            let mask = vec![true; 8];
+            (0..5).map(|_| a.act(&obs(4), &mask).0).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn greedy_action_is_the_argmax() {
+        let mut a = agent(3, 0);
+        let mask = vec![true; 6];
+        let (logits, _) = a.policy_value(&obs(3));
+        let probs = masked_softmax(&logits, &mask);
+        let argmax =
+            probs.iter().enumerate().max_by(|x, y| x.1.partial_cmp(y.1).unwrap()).unwrap().0;
+        assert_eq!(a.act_greedy(&obs(3), &mask), argmax);
+    }
+
+    #[test]
+    fn gat_encoder_is_a_drop_in_replacement() {
+        let adj = Csr::from_triples(
+            3,
+            &[(0, 0, 0.5), (1, 1, 0.4), (2, 2, 0.5), (0, 1, 0.3), (1, 0, 0.3), (1, 2, 0.3), (2, 1, 0.3)],
+        );
+        let mut a = ActorCritic::new(
+            adj,
+            1,
+            2,
+            &AgentConfig {
+                encoder: Encoder::Gat,
+                gnn_layers: 2,
+                gnn_hidden: 8,
+                mlp_hidden: vec![16],
+                actor_lr: 0.02,
+                critic_lr: 0.05,
+                ..Default::default()
+            },
+        );
+        let mask = vec![true; 6];
+        let (logits0, v0) = a.policy_value(&obs(3));
+        assert_eq!(logits0.len(), 6);
+        assert!(v0.is_finite());
+        // A policy update with positive advantage on action 1 must raise
+        // its probability — the GAT gradients flow end to end.
+        let probs0 = masked_softmax(&logits0, &mask);
+        let steps: Vec<StepRecord> = (0..8)
+            .map(|_| StepRecord {
+                features: obs(3),
+                mask: mask.clone(),
+                action: 1,
+                reward: 0.0,
+                value: 0.0,
+                advantage: 1.0,
+                reward_to_go: 0.0,
+            })
+            .collect();
+        a.update_policy(&steps);
+        let (logits1, _) = a.policy_value(&obs(3));
+        let probs1 = masked_softmax(&logits1, &mask);
+        assert!(probs1[1] > probs0[1]);
+    }
+
+    #[test]
+    fn num_params_counts_all_components() {
+        let mut with_gnn = agent(4, 2);
+        let mut without = agent(4, 0);
+        assert!(with_gnn.num_params() > without.num_params());
+    }
+}

@@ -1,0 +1,198 @@
+//! Epoch buffers: trajectory bookkeeping, GAE(λ) and rewards-to-go.
+
+use np_neural::Matrix;
+
+/// Everything recorded for one environment step.
+#[derive(Clone, Debug)]
+pub struct StepRecord {
+    /// Observation features at the time of the action.
+    pub features: Matrix,
+    /// Action mask at the time of the action.
+    pub mask: Vec<bool>,
+    /// The sampled (flat) action.
+    pub action: usize,
+    /// Intermediate reward received.
+    pub reward: f64,
+    /// Critic value of the observation.
+    pub value: f64,
+    /// GAE(λ) advantage — filled in by [`EpochBuffer::finish_path`].
+    pub advantage: f64,
+    /// Discounted reward-to-go — ditto.
+    pub reward_to_go: f64,
+}
+
+/// Collects the steps of one epoch across multiple trajectories
+/// (Algorithm 1's `epochBuffer`).
+#[derive(Debug, Default)]
+pub struct EpochBuffer {
+    steps: Vec<StepRecord>,
+    path_start: usize,
+}
+
+impl EpochBuffer {
+    /// Fresh empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Steps stored so far.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Clear for the next epoch.
+    pub fn clear(&mut self) {
+        self.steps.clear();
+        self.path_start = 0;
+    }
+
+    /// Record one step (advantage/rtg are filled in later).
+    pub fn push(&mut self, features: Matrix, mask: Vec<bool>, action: usize, reward: f64, value: f64) {
+        self.steps.push(StepRecord {
+            features,
+            mask,
+            action,
+            reward,
+            value,
+            advantage: 0.0,
+            reward_to_go: 0.0,
+        });
+    }
+
+    /// Close the current trajectory segment, computing Eq. 6 advantages
+    /// and discounted rewards-to-go.
+    ///
+    /// `bootstrap` is `V(s_T)` when the trajectory was *cut* (length cap
+    /// or epoch end) and `0` when the environment terminated — the
+    /// standard distinction between truncation and termination.
+    pub fn finish_path(&mut self, bootstrap: f64, gamma: f64, lam: f64) {
+        let path = &mut self.steps[self.path_start..];
+        let mut gae = 0.0;
+        let mut next_value = bootstrap;
+        let mut rtg = bootstrap;
+        for step in path.iter_mut().rev() {
+            let delta = step.reward + gamma * next_value - step.value;
+            gae = delta + gamma * lam * gae;
+            step.advantage = gae;
+            next_value = step.value;
+            rtg = step.reward + gamma * rtg;
+            step.reward_to_go = rtg;
+        }
+        self.path_start = self.steps.len();
+    }
+
+    /// Normalize advantages across the epoch to zero mean / unit std —
+    /// the reward-scaling trick the paper cites (its ref. 21) for stable training.
+    pub fn normalize_advantages(&mut self) {
+        let n = self.steps.len();
+        if n < 2 {
+            return;
+        }
+        let mean: f64 = self.steps.iter().map(|s| s.advantage).sum::<f64>() / n as f64;
+        let var: f64 = self
+            .steps
+            .iter()
+            .map(|s| (s.advantage - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        let std = var.sqrt().max(1e-8);
+        for s in &mut self.steps {
+            s.advantage = (s.advantage - mean) / std;
+        }
+    }
+
+    /// The recorded steps (after `finish_path` calls).
+    pub fn steps(&self) -> &[StepRecord] {
+        &self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push_n(buf: &mut EpochBuffer, rewards: &[f64], values: &[f64]) {
+        for (&r, &v) in rewards.iter().zip(values) {
+            buf.push(Matrix::zeros(1, 1), vec![true], 0, r, v);
+        }
+    }
+
+    #[test]
+    fn rewards_to_go_with_termination() {
+        let mut buf = EpochBuffer::new();
+        push_n(&mut buf, &[1.0, 2.0, 3.0], &[0.0, 0.0, 0.0]);
+        buf.finish_path(0.0, 1.0, 1.0);
+        let rtg: Vec<f64> = buf.steps().iter().map(|s| s.reward_to_go).collect();
+        assert_eq!(rtg, vec![6.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn discounting_applies() {
+        let mut buf = EpochBuffer::new();
+        push_n(&mut buf, &[1.0, 1.0], &[0.0, 0.0]);
+        buf.finish_path(0.0, 0.5, 1.0);
+        let rtg: Vec<f64> = buf.steps().iter().map(|s| s.reward_to_go).collect();
+        assert_eq!(rtg, vec![1.5, 1.0]);
+    }
+
+    #[test]
+    fn bootstrap_feeds_cut_trajectories() {
+        let mut buf = EpochBuffer::new();
+        push_n(&mut buf, &[0.0], &[0.0]);
+        buf.finish_path(10.0, 0.9, 0.95);
+        assert!((buf.steps()[0].reward_to_go - 9.0).abs() < 1e-12);
+        // GAE with zero value estimates: delta = 0 + 0.9·10 − 0 = 9.
+        assert!((buf.steps()[0].advantage - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gae_matches_hand_computed_example() {
+        // Two steps, gamma=1, lam=1: GAE = Σ deltas.
+        let mut buf = EpochBuffer::new();
+        push_n(&mut buf, &[1.0, 2.0], &[0.5, 0.25]);
+        buf.finish_path(0.0, 1.0, 1.0);
+        // delta_1 = 2 + 0 − 0.25 = 1.75; delta_0 = 1 + 0.25 − 0.5 = 0.75.
+        assert!((buf.steps()[1].advantage - 1.75).abs() < 1e-12);
+        assert!((buf.steps()[0].advantage - (0.75 + 1.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_paths_are_independent() {
+        let mut buf = EpochBuffer::new();
+        push_n(&mut buf, &[5.0], &[0.0]);
+        buf.finish_path(0.0, 1.0, 1.0);
+        push_n(&mut buf, &[7.0], &[0.0]);
+        buf.finish_path(0.0, 1.0, 1.0);
+        assert_eq!(buf.steps()[0].reward_to_go, 5.0);
+        assert_eq!(buf.steps()[1].reward_to_go, 7.0);
+    }
+
+    #[test]
+    fn normalization_centers_and_scales() {
+        let mut buf = EpochBuffer::new();
+        push_n(&mut buf, &[1.0, 3.0], &[0.0, 0.0]);
+        buf.finish_path(0.0, 1.0, 1.0);
+        buf.normalize_advantages();
+        let advs: Vec<f64> = buf.steps().iter().map(|s| s.advantage).collect();
+        let mean = (advs[0] + advs[1]) / 2.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((advs[0].powi(2) + advs[1].powi(2)) / 2.0 - 1.0 < 1e-9);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut buf = EpochBuffer::new();
+        push_n(&mut buf, &[1.0], &[0.0]);
+        buf.finish_path(0.0, 1.0, 1.0);
+        buf.clear();
+        assert!(buf.is_empty());
+        push_n(&mut buf, &[2.0], &[0.0]);
+        buf.finish_path(0.0, 1.0, 1.0);
+        assert_eq!(buf.steps()[0].reward_to_go, 2.0);
+    }
+}

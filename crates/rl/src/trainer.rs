@@ -1,0 +1,298 @@
+//! The epoch loop of Algorithm 1.
+
+use crate::agent::ActorCritic;
+use crate::buffer::EpochBuffer;
+use crate::env::GraphEnv;
+
+/// Training hyperparameters (Table 2 defaults, scaled for CPU).
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Epochs to train ("Max epochs to train").
+    pub epochs: usize,
+    /// Steps collected per epoch ("Max length per epoch").
+    pub steps_per_epoch: usize,
+    /// Trajectory length cap ("Max length per trajectory") — the early
+    /// stop on unpromising trajectories.
+    pub max_traj_len: usize,
+    /// Discount factor γ (Table 2: 0.99).
+    pub gamma: f64,
+    /// GAE smoothing λ (Table 2: 0.97).
+    pub lam: f64,
+    /// Normalize advantages per epoch.
+    pub normalize_advantages: bool,
+    /// Extra penalty added when a trajectory hits the length cap without
+    /// satisfying the service expectations (§4.2: "we add −1 as the extra
+    /// penalty").
+    pub truncation_penalty: f64,
+    /// Stop early once an epoch's mean trajectory return changes by less
+    /// than this for `patience` consecutive epochs (0 disables).
+    pub convergence_tol: f64,
+    /// Consecutive converged epochs required to stop early.
+    pub patience: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 120,
+            steps_per_epoch: 1024,
+            max_traj_len: 512,
+            gamma: 0.99,
+            lam: 0.97,
+            normalize_advantages: true,
+            truncation_penalty: -1.0,
+            convergence_tol: 0.0,
+            patience: 10,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Clone, Debug)]
+pub struct EpochStats {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Mean return over the trajectories finished this epoch.
+    pub mean_return: f64,
+    /// Trajectories that reached `done` (satisfied the expectations).
+    pub completed: usize,
+    /// Trajectories cut by the length cap or epoch end.
+    pub truncated: usize,
+    /// Mean length of finished trajectories.
+    pub mean_length: f64,
+}
+
+/// Result of a training run.
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    /// One entry per epoch, in order.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainReport {
+    /// Mean return of the final epoch (the paper's "epoch reward").
+    pub fn final_return(&self) -> f64 {
+        self.epochs.last().map(|e| e.mean_return).unwrap_or(f64::NEG_INFINITY)
+    }
+
+    /// Epochs actually run (early stopping may cut `cfg.epochs` short).
+    pub fn epochs_run(&self) -> usize {
+        self.epochs.len()
+    }
+}
+
+/// Train `agent` on `env` per Algorithm 1. Returns per-epoch statistics;
+/// the environment itself is the owner of any best-plan bookkeeping.
+pub fn train(env: &mut dyn GraphEnv, agent: &mut ActorCritic, cfg: &TrainConfig) -> TrainReport {
+    let mut report = TrainReport::default();
+    let mut buffer = EpochBuffer::new();
+    let mut converged_run = 0usize;
+    let mut prev_return = f64::NAN;
+    for epoch in 0..cfg.epochs {
+        buffer.clear();
+        let mut obs = env.reset();
+        let mut traj_len = 0usize;
+        let mut traj_return = 0.0f64;
+        let mut returns: Vec<f64> = Vec::new();
+        let mut lengths: Vec<usize> = Vec::new();
+        let mut completed = 0usize;
+        let mut truncated = 0usize;
+        while buffer.len() < cfg.steps_per_epoch {
+            if !obs.has_valid_action() {
+                // Fully masked state: nothing can be added; the trajectory
+                // cannot proceed (spectrum exhausted everywhere). Treat as
+                // truncation with the penalty.
+                buffer.finish_path(0.0, cfg.gamma, cfg.lam);
+                truncated += 1;
+                returns.push(traj_return + cfg.truncation_penalty);
+                lengths.push(traj_len);
+                obs = env.reset();
+                traj_len = 0;
+                traj_return = 0.0;
+                continue;
+            }
+            let (action, _logp, value) = agent.act(&obs.features, &obs.action_mask);
+            let (next_obs, mut reward, done) = env.step(action);
+            traj_len += 1;
+            let cut = traj_len >= cfg.max_traj_len && !done;
+            if cut {
+                reward += cfg.truncation_penalty;
+            }
+            traj_return += reward;
+            buffer.push(obs.features, obs.action_mask, action, reward, value);
+            obs = next_obs;
+            if done || cut {
+                let bootstrap = if done { 0.0 } else { agent.value(&obs.features) };
+                buffer.finish_path(bootstrap, cfg.gamma, cfg.lam);
+                if done {
+                    completed += 1;
+                } else {
+                    truncated += 1;
+                }
+                returns.push(traj_return);
+                lengths.push(traj_len);
+                obs = env.reset();
+                traj_len = 0;
+                traj_return = 0.0;
+            }
+        }
+        // Epoch cut of the in-flight trajectory.
+        if traj_len > 0 {
+            let bootstrap = agent.value(&obs.features);
+            buffer.finish_path(bootstrap, cfg.gamma, cfg.lam);
+            truncated += 1;
+            returns.push(traj_return);
+            lengths.push(traj_len);
+        }
+        if cfg.normalize_advantages {
+            buffer.normalize_advantages();
+        }
+        agent.update_policy(buffer.steps());
+        agent.update_value(buffer.steps());
+
+        let mean_return = returns.iter().sum::<f64>() / returns.len().max(1) as f64;
+        let mean_length =
+            lengths.iter().sum::<usize>() as f64 / lengths.len().max(1) as f64;
+        report.epochs.push(EpochStats {
+            epoch,
+            mean_return,
+            completed,
+            truncated,
+            mean_length,
+        });
+        // Optional convergence-based early stop.
+        if cfg.convergence_tol > 0.0 {
+            if (mean_return - prev_return).abs() <= cfg.convergence_tol {
+                converged_run += 1;
+                if converged_run >= cfg.patience {
+                    break;
+                }
+            } else {
+                converged_run = 0;
+            }
+            prev_return = mean_return;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{ActorCritic, AgentConfig};
+    use crate::env::testenv::CounterEnv;
+    use crate::env::GraphEnv;
+
+    fn small_agent(env: &CounterEnv, seed: u64) -> ActorCritic {
+        ActorCritic::new(
+            env.adjacency().clone(),
+            env.feature_dim(),
+            env.num_unit_choices(),
+            &AgentConfig {
+                encoder: crate::agent::Encoder::Gcn,
+                gnn_layers: 1,
+                gnn_hidden: 8,
+                mlp_hidden: vec![16],
+                actor_lr: 0.05,
+                critic_lr: 0.05,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn training_improves_the_counter_policy() {
+        // Optimal return: all 6 units on node 0 → −0.06. Random policy over
+        // 4 nodes averages ≈ −0.4. Training must close most of the gap.
+        let mut env = CounterEnv::new(4, 1, 6);
+        let mut agent = small_agent(&env, 3);
+        let cfg = TrainConfig {
+            epochs: 80,
+            steps_per_epoch: 256,
+            max_traj_len: 64,
+            ..Default::default()
+        };
+        let report = train(&mut env, &mut agent, &cfg);
+        let first = report.epochs[0].mean_return;
+        let last = report.final_return();
+        assert!(
+            last > first + 0.05,
+            "training must improve returns (first {first}, last {last})"
+        );
+        assert!(last > -0.2, "policy should be near-optimal, got {last}");
+    }
+
+    #[test]
+    fn every_epoch_reports_statistics() {
+        let mut env = CounterEnv::new(3, 2, 4);
+        let mut agent = small_agent(&env, 1);
+        let cfg = TrainConfig {
+            epochs: 3,
+            steps_per_epoch: 64,
+            max_traj_len: 16,
+            ..Default::default()
+        };
+        let report = train(&mut env, &mut agent, &cfg);
+        assert_eq!(report.epochs_run(), 3);
+        for (i, e) in report.epochs.iter().enumerate() {
+            assert_eq!(e.epoch, i);
+            assert!(e.completed + e.truncated > 0);
+            assert!(e.mean_length > 0.0);
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let run = || {
+            let mut env = CounterEnv::new(3, 1, 5);
+            let mut agent = small_agent(&env, 7);
+            let cfg = TrainConfig {
+                epochs: 4,
+                steps_per_epoch: 64,
+                max_traj_len: 32,
+                ..Default::default()
+            };
+            train(&mut env, &mut agent, &cfg)
+                .epochs
+                .iter()
+                .map(|e| e.mean_return)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn truncation_penalty_is_applied() {
+        // Impossible target with a tiny length cap: every trajectory is
+        // truncated and the mean return must include the −1 penalty.
+        let mut env = CounterEnv::new(2, 1, 1000);
+        let mut agent = small_agent(&env, 2);
+        let cfg = TrainConfig {
+            epochs: 1,
+            steps_per_epoch: 32,
+            max_traj_len: 4,
+            ..Default::default()
+        };
+        let report = train(&mut env, &mut agent, &cfg);
+        let e = &report.epochs[0];
+        assert_eq!(e.completed, 0);
+        assert!(e.truncated > 0);
+        assert!(e.mean_return < -0.9, "penalty must dominate: {}", e.mean_return);
+    }
+
+    #[test]
+    fn early_stopping_respects_patience() {
+        let mut env = CounterEnv::new(2, 1, 2);
+        let mut agent = small_agent(&env, 5);
+        let cfg = TrainConfig {
+            epochs: 50,
+            steps_per_epoch: 32,
+            max_traj_len: 8,
+            convergence_tol: 10.0, // everything counts as converged
+            patience: 3,
+            ..Default::default()
+        };
+        let report = train(&mut env, &mut agent, &cfg);
+        assert!(report.epochs_run() <= 5, "ran {} epochs", report.epochs_run());
+    }
+}

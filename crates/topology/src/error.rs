@@ -1,0 +1,59 @@
+//! Error type for topology construction and mutation.
+
+use crate::ids::{FiberId, LinkId, SiteId};
+use std::fmt;
+
+/// Errors raised while building or mutating a [`crate::Network`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologyError {
+    /// An id referenced an entity that does not exist.
+    UnknownSite(SiteId),
+    /// An id referenced a fiber that does not exist.
+    UnknownFiber(FiberId),
+    /// An id referenced an IP link that does not exist.
+    UnknownLink(LinkId),
+    /// An IP link's fiber path is not a connected walk from `src` to `dst`.
+    BrokenFiberPath(LinkId),
+    /// Adding capacity would exceed the available spectrum on a fiber
+    /// (Eq. 4); carries the first violated fiber.
+    SpectrumExceeded { link: LinkId, fiber: FiberId },
+    /// Capacity would fall below the link's `C_l^min` (Eq. 5).
+    BelowMinimumCapacity(LinkId),
+    /// The network failed structural validation; the message names the
+    /// first violated invariant.
+    Invalid(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownSite(id) => write!(f, "unknown site {id}"),
+            TopologyError::UnknownFiber(id) => write!(f, "unknown fiber {id}"),
+            TopologyError::UnknownLink(id) => write!(f, "unknown IP link {id}"),
+            TopologyError::BrokenFiberPath(id) => {
+                write!(f, "fiber path of {id} is not a walk between its endpoints")
+            }
+            TopologyError::SpectrumExceeded { link, fiber } => {
+                write!(f, "adding capacity on {link} exceeds spectrum of {fiber}")
+            }
+            TopologyError::BelowMinimumCapacity(id) => {
+                write!(f, "capacity of {id} would fall below its minimum")
+            }
+            TopologyError::Invalid(msg) => write!(f, "invalid topology: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_entity() {
+        let e = TopologyError::SpectrumExceeded { link: LinkId::new(3), fiber: FiberId::new(9) };
+        assert_eq!(e.to_string(), "adding capacity on l3 exceeds spectrum of f9");
+        assert_eq!(TopologyError::UnknownSite(SiteId::new(1)).to_string(), "unknown site s1");
+    }
+}

@@ -1,0 +1,112 @@
+//! Strongly-typed index newtypes.
+//!
+//! Every entity in the topology is referred to by a dense `u32` index into
+//! its owning arena on [`crate::Network`]. Using distinct newtypes rather
+//! than bare `usize` makes it impossible to hand a fiber index to an API
+//! expecting an IP link, a bug class that bit us repeatedly in early
+//! prototypes of the plan evaluator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Build an id from a dense arena index.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize);
+                Self(index as u32)
+            }
+
+            /// The dense arena index this id refers to.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self::new(index)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an IP/optical site (PoP or datacenter).
+    SiteId,
+    "s"
+);
+define_id!(
+    /// Identifier of a layer-1 fiber span between two sites.
+    FiberId,
+    "f"
+);
+define_id!(
+    /// Identifier of a layer-3 IP link (an overlay edge riding a fiber path).
+    LinkId,
+    "l"
+);
+define_id!(
+    /// Identifier of a site-to-site traffic flow.
+    FlowId,
+    "w"
+);
+define_id!(
+    /// Identifier of a failure scenario.
+    FailureId,
+    "x"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let id = LinkId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(LinkId::from(42usize), id);
+    }
+
+    #[test]
+    fn display_uses_tag() {
+        assert_eq!(SiteId::new(3).to_string(), "s3");
+        assert_eq!(FiberId::new(0).to_string(), "f0");
+        assert_eq!(format!("{:?}", FailureId::new(7)), "x7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(FlowId::new(1) < FlowId::new(2));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&LinkId::new(5)).unwrap();
+        assert_eq!(json, "5");
+        let back: LinkId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, LinkId::new(5));
+    }
+}

@@ -1,0 +1,776 @@
+//! The [`Network`] aggregate: the full cross-layer planning instance.
+
+use crate::cost::CostModel;
+use crate::error::TopologyError;
+use crate::ids::{FailureId, FiberId, FlowId, LinkId, SiteId};
+use crate::model::{Failure, FailureKind, Fiber, Flow, IpLink, Site};
+use crate::policy::ReliabilityPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Everything failed by one scenario, precomputed at construction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FailureImpact {
+    /// IP links with zero usable capacity under this scenario.
+    pub dead_links: Vec<LinkId>,
+    /// Sites that are down; traffic sourced or sunk there is excused.
+    pub dead_sites: Vec<SiteId>,
+}
+
+/// A snapshot of the mutable plan state (per-link capacities), used by the
+/// RL environment to reset trajectories and by the evaluator to explore
+/// candidate plans without cloning the whole network.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlanSnapshot {
+    units: Vec<u32>,
+}
+
+impl PlanSnapshot {
+    /// Capacity (in units) of `link` in this snapshot.
+    pub fn units(&self, link: LinkId) -> u32 {
+        self.units[link.index()]
+    }
+
+    /// Per-link capacities, indexed by `LinkId`.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.units
+    }
+}
+
+/// A complete network-planning instance: the L1/L3 topology, the traffic
+/// matrix, the failure set, the reliability policy and the cost model —
+/// the five inputs of Figure 3 in the paper.
+///
+/// The only mutable state is the per-link capacity (`C_l`); everything
+/// else is fixed for the lifetime of a planning problem. Derived
+/// structures (links over each fiber `Δ_f`, failure impacts) are computed
+/// once in [`Network::new`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Network {
+    sites: Vec<Site>,
+    fibers: Vec<Fiber>,
+    links: Vec<IpLink>,
+    flows: Vec<Flow>,
+    failures: Vec<Failure>,
+    /// Which flows must survive which failures.
+    pub policy: ReliabilityPolicy,
+    /// The Eq. 1 objective parameters.
+    pub cost_model: CostModel,
+    /// Size of one capacity unit in Gbps (links are provisioned in integer
+    /// multiples of this — Eq. 3's integrality).
+    pub unit_gbps: f64,
+    /// Capacities at construction time; plan cost is charged for capacity
+    /// *added above* this baseline plus newly-lit fibers.
+    base_units: Vec<u32>,
+    links_over_fiber: Vec<Vec<LinkId>>,
+    impacts: Vec<FailureImpact>,
+    /// Per-unit cost of each link (IP term + amortized optical share),
+    /// derived; rebuilt on load.
+    #[serde(skip)]
+    unit_costs: Vec<f64>,
+}
+
+impl Network {
+    /// Build and validate a planning instance.
+    ///
+    /// Validation enforces: every id in range, every fiber path a connected
+    /// walk between the link endpoints, no zero-demand flows, no
+    /// self-loops, and initial capacities within spectrum (Eq. 4).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        sites: Vec<Site>,
+        fibers: Vec<Fiber>,
+        links: Vec<IpLink>,
+        flows: Vec<Flow>,
+        failures: Vec<Failure>,
+        policy: ReliabilityPolicy,
+        cost_model: CostModel,
+        unit_gbps: f64,
+    ) -> Result<Self, TopologyError> {
+        let base_units = links.iter().map(|l| l.capacity_units).collect();
+        let mut net = Network {
+            sites,
+            fibers,
+            links,
+            flows,
+            failures,
+            policy,
+            cost_model,
+            unit_gbps,
+            base_units,
+            links_over_fiber: Vec::new(),
+            impacts: Vec::new(),
+            unit_costs: Vec::new(),
+        };
+        net.validate()?;
+        net.rebuild_caches();
+        for fiber in net.fiber_ids() {
+            if net.spectrum_used(fiber) > net.fibers[fiber.index()].spectrum_ghz + 1e-9 {
+                return Err(TopologyError::Invalid(format!(
+                    "initial capacities exceed spectrum of {fiber}"
+                )));
+            }
+        }
+        Ok(net)
+    }
+
+    fn validate(&self) -> Result<(), TopologyError> {
+        let ns = self.sites.len();
+        let nf = self.fibers.len();
+        for (i, fiber) in self.fibers.iter().enumerate() {
+            let (a, b) = fiber.endpoints;
+            if a.index() >= ns || b.index() >= ns {
+                return Err(TopologyError::UnknownSite(if a.index() >= ns { a } else { b }));
+            }
+            if a == b {
+                return Err(TopologyError::Invalid(format!("fiber f{i} is a self-loop")));
+            }
+            if fiber.spectrum_ghz <= 0.0 || fiber.length_km <= 0.0 {
+                return Err(TopologyError::Invalid(format!(
+                    "fiber f{i} has non-positive spectrum or length"
+                )));
+            }
+        }
+        for (i, link) in self.links.iter().enumerate() {
+            let id = LinkId::new(i);
+            if link.src.index() >= ns || link.dst.index() >= ns {
+                return Err(TopologyError::UnknownSite(link.src));
+            }
+            if link.src == link.dst {
+                return Err(TopologyError::Invalid(format!("IP link {id} is a self-loop")));
+            }
+            if link.fiber_path.is_empty() {
+                return Err(TopologyError::BrokenFiberPath(id));
+            }
+            // The fiber path must be a walk src -> dst: each fiber must
+            // continue from where the previous one ended.
+            let mut at = link.src;
+            for &(fid, eff) in &link.fiber_path {
+                if fid.index() >= nf {
+                    return Err(TopologyError::UnknownFiber(fid));
+                }
+                if eff <= 0.0 {
+                    return Err(TopologyError::Invalid(format!(
+                        "link {id} has non-positive spectral efficiency on {fid}"
+                    )));
+                }
+                let fiber = &self.fibers[fid.index()];
+                at = match fiber.touches(at) {
+                    true => fiber
+                        .endpoints
+                        .0
+                        .eq(&at)
+                        .then_some(fiber.endpoints.1)
+                        .unwrap_or(fiber.endpoints.0),
+                    false => return Err(TopologyError::BrokenFiberPath(id)),
+                };
+            }
+            if at != link.dst {
+                return Err(TopologyError::BrokenFiberPath(id));
+            }
+        }
+        for (i, flow) in self.flows.iter().enumerate() {
+            if flow.src.index() >= ns || flow.dst.index() >= ns {
+                return Err(TopologyError::UnknownSite(flow.src));
+            }
+            if flow.src == flow.dst || flow.demand_gbps <= 0.0 {
+                return Err(TopologyError::Invalid(format!(
+                    "flow w{i} is a self-loop or has non-positive demand"
+                )));
+            }
+        }
+        for failure in &self.failures {
+            match &failure.kind {
+                FailureKind::FiberCut(f) if f.index() >= nf => {
+                    return Err(TopologyError::UnknownFiber(*f))
+                }
+                FailureKind::SiteDown(s) if s.index() >= ns => {
+                    return Err(TopologyError::UnknownSite(*s))
+                }
+                FailureKind::Srlg(fs) => {
+                    if let Some(f) = fs.iter().find(|f| f.index() >= nf) {
+                        return Err(TopologyError::UnknownFiber(*f));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn rebuild_caches(&mut self) {
+        self.links_over_fiber = vec![Vec::new(); self.fibers.len()];
+        for (i, link) in self.links.iter().enumerate() {
+            for &(fid, _) in &link.fiber_path {
+                self.links_over_fiber[fid.index()].push(LinkId::new(i));
+            }
+        }
+        self.impacts = self.failures.iter().map(|f| self.compute_impact(f)).collect();
+        self.unit_costs = self
+            .links
+            .iter()
+            .map(|link| {
+                let optical_share: f64 = link
+                    .fiber_path
+                    .iter()
+                    .map(|&(f, eff)| {
+                        let fiber = &self.fibers[f.index()];
+                        fiber.build_cost * eff / fiber.spectrum_ghz
+                    })
+                    .sum();
+                self.cost_model.link_unit_cost(self.unit_gbps, link.length_km, optical_share)
+            })
+            .collect();
+    }
+
+    fn compute_impact(&self, failure: &Failure) -> FailureImpact {
+        let mut dead = vec![false; self.links.len()];
+        let mut dead_sites = Vec::new();
+        let kill_fiber = |fid: FiberId, dead: &mut Vec<bool>| {
+            for l in &self.links_over_fiber[fid.index()] {
+                dead[l.index()] = true;
+            }
+        };
+        match &failure.kind {
+            FailureKind::FiberCut(f) => kill_fiber(*f, &mut dead),
+            FailureKind::Srlg(fs) => {
+                for f in fs {
+                    kill_fiber(*f, &mut dead);
+                }
+            }
+            FailureKind::SiteDown(s) => {
+                dead_sites.push(*s);
+                for (i, link) in self.links.iter().enumerate() {
+                    if link.touches(*s) {
+                        dead[i] = true;
+                    }
+                }
+                for (i, fiber) in self.fibers.iter().enumerate() {
+                    if fiber.touches(*s) {
+                        kill_fiber(FiberId::new(i), &mut dead);
+                    }
+                }
+            }
+        }
+        FailureImpact {
+            dead_links: dead
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &d)| d.then(|| LinkId::new(i)))
+                .collect(),
+            dead_sites,
+        }
+    }
+
+    // ----- entity access -------------------------------------------------
+
+    /// All sites, indexed by [`SiteId`].
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// All fibers, indexed by [`FiberId`].
+    pub fn fibers(&self) -> &[Fiber] {
+        &self.fibers
+    }
+
+    /// All IP links, indexed by [`LinkId`].
+    pub fn links(&self) -> &[IpLink] {
+        &self.links
+    }
+
+    /// All flows, indexed by [`FlowId`].
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// All failure scenarios, indexed by [`FailureId`].
+    pub fn failures(&self) -> &[Failure] {
+        &self.failures
+    }
+
+    /// The site with the given id.
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.index()]
+    }
+
+    /// The fiber with the given id.
+    pub fn fiber(&self, id: FiberId) -> &Fiber {
+        &self.fibers[id.index()]
+    }
+
+    /// The IP link with the given id.
+    pub fn link(&self, id: LinkId) -> &IpLink {
+        &self.links[id.index()]
+    }
+
+    /// The flow with the given id.
+    pub fn flow(&self, id: FlowId) -> &Flow {
+        &self.flows[id.index()]
+    }
+
+    /// The failure scenario with the given id.
+    pub fn failure(&self, id: FailureId) -> &Failure {
+        &self.failures[id.index()]
+    }
+
+    /// Iterator over all site ids.
+    pub fn site_ids(&self) -> impl Iterator<Item = SiteId> {
+        (0..self.sites.len()).map(SiteId::new)
+    }
+
+    /// Iterator over all fiber ids.
+    pub fn fiber_ids(&self) -> impl Iterator<Item = FiberId> {
+        (0..self.fibers.len()).map(FiberId::new)
+    }
+
+    /// Iterator over all IP link ids.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> {
+        (0..self.links.len()).map(LinkId::new)
+    }
+
+    /// Iterator over all flow ids.
+    pub fn flow_ids(&self) -> impl Iterator<Item = FlowId> {
+        (0..self.flows.len()).map(FlowId::new)
+    }
+
+    /// Iterator over all failure ids.
+    pub fn failure_ids(&self) -> impl Iterator<Item = FailureId> {
+        (0..self.failures.len()).map(FailureId::new)
+    }
+
+    // ----- cross-layer queries -------------------------------------------
+
+    /// The set `Δ_f`: IP links routed over `fiber`.
+    pub fn links_over_fiber(&self, fiber: FiberId) -> &[LinkId] {
+        &self.links_over_fiber[fiber.index()]
+    }
+
+    /// Precomputed impact of a failure scenario.
+    pub fn impact(&self, failure: FailureId) -> &FailureImpact {
+        &self.impacts[failure.index()]
+    }
+
+    /// Whether `link` still carries traffic under `failure`
+    /// (`None` = no-failure state).
+    pub fn link_alive(&self, link: LinkId, failure: Option<FailureId>) -> bool {
+        match failure {
+            None => true,
+            Some(f) => !self.impacts[f.index()].dead_links.contains(&link),
+        }
+    }
+
+    /// Whether `flow` must be carried under `failure`, combining the
+    /// reliability policy with site-loss excusal (a flow whose endpoint is
+    /// down cannot and need not be carried).
+    pub fn flow_active(&self, flow: FlowId, failure: Option<FailureId>) -> bool {
+        let fl = &self.flows[flow.index()];
+        let f = failure.map(|f| &self.failures[f.index()]);
+        if !self.policy.must_carry(fl.cos, f) {
+            return false;
+        }
+        if let Some(fid) = failure {
+            let impact = &self.impacts[fid.index()];
+            if impact.dead_sites.contains(&fl.src) || impact.dead_sites.contains(&fl.dst) {
+                return false;
+            }
+        }
+        true
+    }
+
+    // ----- capacity state -------------------------------------------------
+
+    /// Current capacity of `link` in Gbps.
+    pub fn capacity_gbps(&self, link: LinkId) -> f64 {
+        f64::from(self.links[link.index()].capacity_units) * self.unit_gbps
+    }
+
+    /// Spectrum currently consumed on `fiber` in GHz
+    /// (`Σ_{l ∈ Δ_f} C_l · φ_{lf}`, the left side of Eq. 4).
+    pub fn spectrum_used(&self, fiber: FiberId) -> f64 {
+        self.links_over_fiber[fiber.index()]
+            .iter()
+            .map(|&l| {
+                let link = &self.links[l.index()];
+                let eff = link
+                    .fiber_path
+                    .iter()
+                    .find(|(f, _)| *f == fiber)
+                    .map(|&(_, e)| e)
+                    .unwrap_or(0.0);
+                f64::from(link.capacity_units) * eff
+            })
+            .sum()
+    }
+
+    /// Remaining spectrum on `fiber` in GHz.
+    pub fn spectrum_headroom(&self, fiber: FiberId) -> f64 {
+        self.fibers[fiber.index()].spectrum_ghz - self.spectrum_used(fiber)
+    }
+
+    /// How many more capacity units `link` can take before some fiber on
+    /// its path runs out of spectrum. This is the basis of the RL **action
+    /// mask** (§4.2): an action adding more than this is masked off.
+    pub fn spectrum_room_units(&self, link: LinkId) -> u32 {
+        let l = &self.links[link.index()];
+        let mut room = u32::MAX;
+        for &(fid, eff) in &l.fiber_path {
+            let head = self.spectrum_headroom(fid);
+            let units = if head <= 0.0 { 0 } else { (head / eff + 1e-9).floor() as u32 };
+            room = room.min(units);
+        }
+        room
+    }
+
+    /// Whether `units` more capacity units fit on `link` (Eq. 4 check).
+    pub fn can_add_units(&self, link: LinkId, units: u32) -> bool {
+        self.spectrum_room_units(link) >= units
+    }
+
+    /// Add `units` capacity units to `link`, enforcing the spectrum
+    /// constraint (Eq. 4).
+    pub fn add_units(&mut self, link: LinkId, units: u32) -> Result<(), TopologyError> {
+        if !self.can_add_units(link, units) {
+            let l = &self.links[link.index()];
+            let fiber = l
+                .fiber_path
+                .iter()
+                .map(|&(f, _)| f)
+                .min_by(|a, b| {
+                    self.spectrum_headroom(*a).partial_cmp(&self.spectrum_headroom(*b)).unwrap()
+                })
+                .expect("validated links have non-empty fiber paths");
+            return Err(TopologyError::SpectrumExceeded { link, fiber });
+        }
+        self.links[link.index()].capacity_units += units;
+        Ok(())
+    }
+
+    /// Set the capacity of `link` outright (used when applying an ILP
+    /// solution), enforcing Eq. 4 and Eq. 5.
+    pub fn set_units(&mut self, link: LinkId, units: u32) -> Result<(), TopologyError> {
+        let l = &self.links[link.index()];
+        if units < l.min_units {
+            return Err(TopologyError::BelowMinimumCapacity(link));
+        }
+        let current = l.capacity_units;
+        self.links[link.index()].capacity_units = units;
+        for &(fid, _) in self.links[link.index()].fiber_path.clone().iter() {
+            if self.spectrum_used(fid) > self.fibers[fid.index()].spectrum_ghz + 1e-9 {
+                self.links[link.index()].capacity_units = current;
+                return Err(TopologyError::SpectrumExceeded { link, fiber: fid });
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot the current per-link capacities.
+    pub fn snapshot(&self) -> PlanSnapshot {
+        PlanSnapshot { units: self.links.iter().map(|l| l.capacity_units).collect() }
+    }
+
+    /// Restore a previously-taken snapshot.
+    pub fn restore(&mut self, snap: &PlanSnapshot) {
+        assert_eq!(snap.units.len(), self.links.len(), "snapshot from a different network");
+        for (l, &u) in self.links.iter_mut().zip(&snap.units) {
+            l.capacity_units = u;
+        }
+    }
+
+    /// Reset all capacities to the construction-time baseline (the RL
+    /// environment's `RESET(G*)`).
+    pub fn reset_to_base(&mut self) {
+        for (l, &u) in self.links.iter_mut().zip(self.base_units.clone().iter()) {
+            l.capacity_units = u;
+        }
+    }
+
+    /// The construction-time baseline capacity of `link`, in units.
+    pub fn base_units(&self, link: LinkId) -> u32 {
+        self.base_units[link.index()]
+    }
+
+    // ----- cost (Eq. 1) ----------------------------------------------------
+
+    /// Per-unit cost of `link` (Eq. 1 linearized: IP cost per unit plus
+    /// the amortized optical share of the fibers underneath).
+    pub fn unit_cost(&self, link: LinkId) -> f64 {
+        self.unit_costs[link.index()]
+    }
+
+    /// Plan cost (Eq. 1, linear form), charged relative to the
+    /// construction-time baseline: added units times per-unit cost.
+    pub fn plan_cost(&self) -> f64 {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, link)| {
+                let added = link.capacity_units.saturating_sub(self.base_units[i]);
+                f64::from(added) * self.unit_costs[i]
+            })
+            .sum()
+    }
+
+    /// Marginal cost of adding `units` on `link` (the per-step RL reward
+    /// magnitude). With the linear Eq. 1 objective this is exactly
+    /// `units · unit_cost(link)`.
+    pub fn marginal_cost(&self, link: LinkId, units: u32) -> f64 {
+        f64::from(units) * self.unit_costs[link.index()]
+    }
+
+    /// Total demand in Gbps that must be carried in the no-failure state.
+    pub fn total_demand_gbps(&self) -> f64 {
+        self.flows.iter().map(|f| f.demand_gbps).sum()
+    }
+
+    // ----- serialization ----------------------------------------------------
+
+    /// Serialize the full instance to JSON (for sharing reproducible
+    /// planning problems).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("network serializes")
+    }
+
+    /// Deserialize an instance from [`Network::to_json`] output and
+    /// re-validate it.
+    pub fn from_json(json: &str) -> Result<Self, TopologyError> {
+        let mut net: Network = serde_json::from_str(json)
+            .map_err(|e| TopologyError::Invalid(format!("bad JSON: {e}")))?;
+        net.validate()?;
+        net.rebuild_caches();
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::model::CosClass;
+
+    /// Square topology: sites 0-1-2-3 in a ring of fibers, one IP link per
+    /// fiber plus a two-hop link 0-2 via site 1, and a parallel 0-1 link.
+    pub(crate) fn square() -> Network {
+        let sites = (0..4)
+            .map(|i| Site {
+                name: format!("s{i}"),
+                pos: (f64::from(i % 2) * 100.0, f64::from(i / 2) * 100.0),
+                is_datacenter: i == 0,
+            })
+            .collect();
+        let fibers = [(0, 1), (1, 2), (2, 3), (3, 0)]
+            .iter()
+            .map(|&(a, b)| Fiber {
+                endpoints: (SiteId::new(a), SiteId::new(b)),
+                length_km: 100.0,
+                spectrum_ghz: 1000.0,
+                build_cost: 5.0,
+            })
+            .collect();
+        let mk = |src: usize, dst: usize, path: &[usize], units: u32| IpLink {
+            src: SiteId::new(src),
+            dst: SiteId::new(dst),
+            fiber_path: path.iter().map(|&f| (FiberId::new(f), 1.0)).collect(),
+            capacity_units: units,
+            min_units: 0,
+            length_km: 100.0 * path.len() as f64,
+        };
+        let links = vec![
+            mk(0, 1, &[0], 2),
+            mk(1, 2, &[1], 2),
+            mk(2, 3, &[2], 0),
+            mk(3, 0, &[3], 0),
+            mk(0, 2, &[0, 1], 1), // two-hop link sharing fibers 0 and 1
+            mk(0, 1, &[0], 0),    // parallel to links[0]
+        ];
+        let flows = vec![
+            Flow {
+                src: SiteId::new(0),
+                dst: SiteId::new(2),
+                demand_gbps: 100.0,
+                cos: CosClass::Gold,
+            },
+            Flow {
+                src: SiteId::new(1),
+                dst: SiteId::new(3),
+                demand_gbps: 50.0,
+                cos: CosClass::Bronze,
+            },
+        ];
+        let failures = vec![
+            Failure { name: "cut:f0".into(), kind: FailureKind::FiberCut(FiberId::new(0)) },
+            Failure { name: "down:s1".into(), kind: FailureKind::SiteDown(SiteId::new(1)) },
+        ];
+        Network::new(
+            sites,
+            fibers,
+            links,
+            flows,
+            failures,
+            ReliabilityPolicy::default(),
+            CostModel { cost_ip_per_gbps_km: 0.001, fiber_cost_scale: 1.0 },
+            100.0,
+        )
+        .expect("square network is valid")
+    }
+
+    #[test]
+    fn links_over_fiber_includes_multihop_and_parallel() {
+        let net = square();
+        let over0: Vec<_> = net.links_over_fiber(FiberId::new(0)).to_vec();
+        assert_eq!(over0, vec![LinkId::new(0), LinkId::new(4), LinkId::new(5)]);
+    }
+
+    #[test]
+    fn fiber_cut_kills_every_link_on_the_fiber() {
+        let net = square();
+        let impact = net.impact(FailureId::new(0));
+        assert_eq!(impact.dead_links, vec![LinkId::new(0), LinkId::new(4), LinkId::new(5)]);
+        assert!(impact.dead_sites.is_empty());
+        assert!(!net.link_alive(LinkId::new(0), Some(FailureId::new(0))));
+        assert!(net.link_alive(LinkId::new(1), Some(FailureId::new(0))));
+    }
+
+    #[test]
+    fn site_failure_kills_adjacent_links_and_fibers() {
+        let net = square();
+        let impact = net.impact(FailureId::new(1));
+        // Site 1 down: links 0 (0-1), 1 (1-2), 4 (0-2 via 1), 5 (0-1 parallel).
+        assert_eq!(
+            impact.dead_links,
+            vec![LinkId::new(0), LinkId::new(1), LinkId::new(4), LinkId::new(5)]
+        );
+        assert_eq!(impact.dead_sites, vec![SiteId::new(1)]);
+    }
+
+    #[test]
+    fn flow_activity_respects_policy_and_site_excusal() {
+        let net = square();
+        // Gold flow 0-2 active everywhere (its endpoints don't fail).
+        assert!(net.flow_active(FlowId::new(0), None));
+        assert!(net.flow_active(FlowId::new(0), Some(FailureId::new(0))));
+        assert!(net.flow_active(FlowId::new(0), Some(FailureId::new(1))));
+        // Bronze flow only in the no-failure state...
+        assert!(net.flow_active(FlowId::new(1), None));
+        assert!(!net.flow_active(FlowId::new(1), Some(FailureId::new(0))));
+        // ...and is doubly excused under the site-1 failure (its source).
+        assert!(!net.flow_active(FlowId::new(1), Some(FailureId::new(1))));
+    }
+
+    #[test]
+    fn spectrum_accounting_shares_fibers() {
+        let net = square();
+        // Fiber 0 carries link0 (2 units) + link4 (1 unit) + link5 (0), eff 1.0.
+        assert!((net.spectrum_used(FiberId::new(0)) - 3.0).abs() < 1e-9);
+        assert!((net.spectrum_headroom(FiberId::new(0)) - 997.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectrum_room_is_min_over_path() {
+        let mut net = square();
+        // Exhaust fiber 1 almost fully via link 1 (single-hop).
+        net.set_units(LinkId::new(1), 995).unwrap();
+        // Link 4 rides fibers 0 and 1; fiber 1 has 1000 - 995 - 1 = 4 left.
+        assert_eq!(net.spectrum_room_units(LinkId::new(4)), 4);
+        assert!(net.can_add_units(LinkId::new(4), 4));
+        assert!(!net.can_add_units(LinkId::new(4), 5));
+        assert!(net.add_units(LinkId::new(4), 5).is_err());
+        assert!(net.add_units(LinkId::new(4), 4).is_ok());
+        assert_eq!(net.spectrum_room_units(LinkId::new(4)), 0);
+    }
+
+    #[test]
+    fn set_units_enforces_min_and_spectrum_and_rolls_back() {
+        let mut net = square();
+        net.links[0].min_units = 1;
+        assert_eq!(
+            net.set_units(LinkId::new(0), 0),
+            Err(TopologyError::BelowMinimumCapacity(LinkId::new(0)))
+        );
+        let before = net.link(LinkId::new(0)).capacity_units;
+        assert!(matches!(
+            net.set_units(LinkId::new(0), 100_000),
+            Err(TopologyError::SpectrumExceeded { .. })
+        ));
+        assert_eq!(net.link(LinkId::new(0)).capacity_units, before, "failed set rolls back");
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut net = square();
+        let snap = net.snapshot();
+        net.add_units(LinkId::new(2), 3).unwrap();
+        assert_ne!(net.snapshot(), snap);
+        net.restore(&snap);
+        assert_eq!(net.snapshot(), snap);
+    }
+
+    #[test]
+    fn reset_returns_to_baseline() {
+        let mut net = square();
+        net.add_units(LinkId::new(3), 7).unwrap();
+        net.reset_to_base();
+        assert_eq!(net.link(LinkId::new(3)).capacity_units, 0);
+        assert_eq!(net.link(LinkId::new(0)).capacity_units, 2);
+    }
+
+    #[test]
+    fn plan_cost_is_linear_in_added_units() {
+        let mut net = square();
+        assert_eq!(net.plan_cost(), 0.0, "baseline plan costs nothing");
+        // One unit on link 2: IP term 1 * 100 Gbps * 0.001 * 100 km = 10,
+        // plus the amortized optical share 5 * (1 GHz / 1000 GHz) = 0.005.
+        let unit2 = net.unit_cost(LinkId::new(2));
+        assert!((unit2 - 10.005).abs() < 1e-9, "unit cost {unit2}");
+        net.add_units(LinkId::new(2), 1).unwrap();
+        assert!((net.plan_cost() - unit2).abs() < 1e-9);
+        // The two-hop link 4 (200 km, two fibers) costs double.
+        let unit4 = net.unit_cost(LinkId::new(4));
+        assert!((unit4 - 20.01).abs() < 1e-9, "unit cost {unit4}");
+        net.add_units(LinkId::new(4), 2).unwrap();
+        assert!((net.plan_cost() - unit2 - 2.0 * unit4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginal_cost_matches_plan_cost_delta() {
+        let mut net = square();
+        for link in [LinkId::new(2), LinkId::new(3), LinkId::new(0)] {
+            let before = net.plan_cost();
+            let marginal = net.marginal_cost(link, 2);
+            net.add_units(link, 2).unwrap();
+            assert!(
+                (net.plan_cost() - before - marginal).abs() < 1e-9,
+                "marginal cost must equal the plan-cost delta for {link}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_broken_fiber_paths() {
+        let mut net = square();
+        let mut links = net.links.clone();
+        // Path [f2] does not connect sites 0 and 1.
+        links[0].fiber_path = vec![(FiberId::new(2), 1.0)];
+        let result = Network::new(
+            net.sites.clone(),
+            net.fibers.clone(),
+            links,
+            net.flows.clone(),
+            net.failures.clone(),
+            net.policy.clone(),
+            net.cost_model.clone(),
+            net.unit_gbps,
+        );
+        assert_eq!(result.unwrap_err(), TopologyError::BrokenFiberPath(LinkId::new(0)));
+        // Multi-hop fiber walks in either orientation are accepted.
+        net.links[0].capacity_units = 0;
+        assert!(net.validate().is_ok());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let net = square();
+        let back = Network::from_json(&net.to_json()).unwrap();
+        assert_eq!(back.links(), net.links());
+        assert_eq!(back.flows(), net.flows());
+        assert_eq!(back.impact(FailureId::new(1)), net.impact(FailureId::new(1)));
+    }
+}

@@ -1,0 +1,88 @@
+//! Reliability policy: which traffic must survive which failures.
+
+use crate::model::{CosClass, Failure};
+use serde::{Deserialize, Serialize};
+
+/// The reliability policy of §2/§4.1: "the demand of flows with which
+/// Classes of Service has to be satisfied under which subset of failure
+/// scenarios".
+///
+/// We express it as the most-permissive class that must still be carried in
+/// a given scenario kind. In the no-failure state every class must be
+/// satisfied; under simple (single-element) failures at least
+/// `protect_simple` and better; under compound failures (site down, SRLG)
+/// at least `protect_compound` and better.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityPolicy {
+    /// Least-protected class that must survive single-element failures.
+    pub protect_simple: CosClass,
+    /// Least-protected class that must survive compound failures.
+    pub protect_compound: CosClass,
+}
+
+impl Default for ReliabilityPolicy {
+    fn default() -> Self {
+        // Production default: everything but scavenger-class survives a
+        // fiber cut; only gold survives a site loss or SRLG event.
+        Self { protect_simple: CosClass::Silver, protect_compound: CosClass::Gold }
+    }
+}
+
+impl ReliabilityPolicy {
+    /// A policy in which every class must survive every failure.
+    pub fn protect_all() -> Self {
+        Self { protect_simple: CosClass::Bronze, protect_compound: CosClass::Bronze }
+    }
+
+    /// Whether a flow of class `cos` must be satisfied under `failure`.
+    /// `None` means the no-failure state, where everything must be carried.
+    pub fn must_carry(&self, cos: CosClass, failure: Option<&Failure>) -> bool {
+        match failure {
+            None => true,
+            Some(f) if f.is_compound() => cos <= self.protect_compound,
+            Some(_) => cos <= self.protect_simple,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FiberId, SiteId};
+    use crate::model::FailureKind;
+
+    fn cut() -> Failure {
+        Failure { name: "cut".into(), kind: FailureKind::FiberCut(FiberId::new(0)) }
+    }
+
+    fn site_down() -> Failure {
+        Failure { name: "down".into(), kind: FailureKind::SiteDown(SiteId::new(0)) }
+    }
+
+    #[test]
+    fn no_failure_carries_everything() {
+        let p = ReliabilityPolicy::default();
+        for cos in CosClass::ALL {
+            assert!(p.must_carry(cos, None));
+        }
+    }
+
+    #[test]
+    fn default_policy_drops_bronze_under_cut_and_silver_under_site_loss() {
+        let p = ReliabilityPolicy::default();
+        assert!(p.must_carry(CosClass::Gold, Some(&cut())));
+        assert!(p.must_carry(CosClass::Silver, Some(&cut())));
+        assert!(!p.must_carry(CosClass::Bronze, Some(&cut())));
+        assert!(p.must_carry(CosClass::Gold, Some(&site_down())));
+        assert!(!p.must_carry(CosClass::Silver, Some(&site_down())));
+    }
+
+    #[test]
+    fn protect_all_carries_everything_everywhere() {
+        let p = ReliabilityPolicy::protect_all();
+        for cos in CosClass::ALL {
+            assert!(p.must_carry(cos, Some(&cut())));
+            assert!(p.must_carry(cos, Some(&site_down())));
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Reference topologies: hand-coded public WAN maps.
+//!
+//! The paper's production topologies are proprietary, but well-known
+//! public research topologies make good non-synthetic planning instances
+//! for examples and cross-checks:
+//!
+//! * [`abilene`] — the Internet2 Abilene backbone (11 PoPs, 14 spans);
+//! * [`geant`] — a GÉANT-like European research network (16 PoPs,
+//!   23 spans).
+//!
+//! Coordinates are approximate city positions projected to a flat
+//! kilometre grid; spans follow the published adjacency. Traffic is a
+//! deterministic gravity model seeded per topology; failures are every
+//! single-span cut.
+
+use crate::cost::CostModel;
+use crate::ids::{FiberId, SiteId};
+use crate::model::{CosClass, Failure, FailureKind, Fiber, Flow, IpLink, Site};
+use crate::network::Network;
+use crate::policy::ReliabilityPolicy;
+
+struct RefSpec {
+    names: &'static [&'static str],
+    /// (x, y) in km on a local grid.
+    coords: &'static [(f64, f64)],
+    edges: &'static [(usize, usize)],
+    /// Indices of datacenter-weighted sites.
+    heavy: &'static [usize],
+    demand_seed: u64,
+}
+
+/// The Internet2 Abilene backbone (11 PoPs, 14 spans).
+pub fn abilene(capacity_fill: f64) -> Network {
+    build(
+        &RefSpec {
+            names: &[
+                "seattle", "sunnyvale", "losangeles", "denver", "kansascity", "houston",
+                "atlanta", "washington", "newyork", "chicago", "indianapolis",
+            ],
+            coords: &[
+                (0.0, 2900.0),
+                (100.0, 1500.0),
+                (500.0, 900.0),
+                (1700.0, 2000.0),
+                (2500.0, 1800.0),
+                (2400.0, 700.0),
+                (3400.0, 1000.0),
+                (4100.0, 1900.0),
+                (4300.0, 2200.0),
+                (3000.0, 2300.0),
+                (3100.0, 1900.0),
+            ],
+            edges: &[
+                (0, 1),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 5),
+                (3, 4),
+                (4, 5),
+                (4, 10),
+                (5, 6),
+                (6, 7),
+                (6, 10),
+                (7, 8),
+                (8, 9),
+                (9, 10),
+            ],
+            heavy: &[1, 8, 9],
+            demand_seed: 0xab11e7e,
+        },
+        capacity_fill,
+    )
+}
+
+/// A GÉANT-like European research backbone (16 PoPs, 23 spans).
+pub fn geant(capacity_fill: f64) -> Network {
+    build(
+        &RefSpec {
+            names: &[
+                "london", "paris", "amsterdam", "frankfurt", "geneva", "madrid", "milan",
+                "vienna", "prague", "copenhagen", "stockholm", "warsaw", "budapest",
+                "athens", "dublin", "lisbon",
+            ],
+            coords: &[
+                (0.0, 1200.0),
+                (200.0, 800.0),
+                (450.0, 1350.0),
+                (750.0, 1150.0),
+                (600.0, 600.0),
+                (-700.0, 0.0),
+                (850.0, 500.0),
+                (1250.0, 850.0),
+                (1100.0, 1050.0),
+                (900.0, 1750.0),
+                (1300.0, 2200.0),
+                (1650.0, 1350.0),
+                (1500.0, 800.0),
+                (1900.0, -300.0),
+                (-500.0, 1500.0),
+                (-1000.0, -100.0),
+            ],
+            edges: &[
+                (0, 1),
+                (0, 2),
+                (0, 14),
+                (1, 4),
+                (1, 5),
+                (2, 3),
+                (2, 9),
+                (3, 4),
+                (3, 8),
+                (3, 7),
+                (4, 6),
+                (5, 15),
+                (5, 6),
+                (6, 7),
+                (7, 12),
+                (7, 8),
+                (8, 11),
+                (9, 10),
+                (10, 11),
+                (11, 12),
+                (12, 13),
+                (13, 6),
+                (14, 15),
+            ],
+            heavy: &[0, 1, 3],
+            demand_seed: 0x9ea47,
+        },
+        capacity_fill,
+    )
+}
+
+fn build(spec: &RefSpec, capacity_fill: f64) -> Network {
+    assert!((0.0..=1.0).contains(&capacity_fill));
+    let n = spec.names.len();
+    assert_eq!(spec.coords.len(), n);
+    let sites: Vec<Site> = (0..n)
+        .map(|i| Site {
+            name: spec.names[i].to_string(),
+            pos: spec.coords[i],
+            is_datacenter: spec.heavy.contains(&i),
+        })
+        .collect();
+    let dist = |a: usize, b: usize| -> f64 {
+        let (x1, y1) = spec.coords[a];
+        let (x2, y2) = spec.coords[b];
+        ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt().max(50.0)
+    };
+    let fibers: Vec<Fiber> = spec
+        .edges
+        .iter()
+        .map(|&(a, b)| Fiber {
+            endpoints: (SiteId::new(a.min(b)), SiteId::new(a.max(b))),
+            length_km: dist(a, b),
+            spectrum_ghz: 4800.0,
+            build_cost: 2.0 + dist(a, b) * 0.004,
+        })
+        .collect();
+    let links: Vec<IpLink> = spec
+        .edges
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, b))| {
+            let len = dist(a, b);
+            IpLink {
+                src: SiteId::new(a),
+                dst: SiteId::new(b),
+                fiber_path: vec![(FiberId::new(i), 37.5 * (1.0 + (len / 4000.0).min(1.0)))],
+                capacity_units: 0,
+                min_units: 0,
+                length_km: len,
+            }
+        })
+        .collect();
+    // Deterministic gravity demands between heavy sites and everything
+    // else; a cheap xorshift keeps this free of the rand dependency.
+    let mut state = spec.demand_seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1000) as f64 / 1000.0
+    };
+    let mut flows = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let heavy_ends = spec.heavy.contains(&a) as u32 + spec.heavy.contains(&b) as u32;
+            let base = match heavy_ends {
+                2 => 350.0,
+                1 => 200.0,
+                _ => 80.0,
+            };
+            let jitter = 0.6 + 0.8 * next();
+            // Keep the matrix sparse: drop ~half of the light pairs.
+            if heavy_ends == 0 && next() < 0.5 {
+                continue;
+            }
+            let cos = match (a + b) % 3 {
+                0 => CosClass::Gold,
+                1 => CosClass::Silver,
+                _ => CosClass::Bronze,
+            };
+            flows.push(Flow {
+                src: SiteId::new(a),
+                dst: SiteId::new(b),
+                demand_gbps: (base * jitter).round().max(10.0),
+                cos,
+            });
+        }
+    }
+    let failures: Vec<Failure> = (0..fibers.len())
+        .map(|f| Failure {
+            name: format!("cut:{}-{}", spec.names[spec.edges[f].0], spec.names[spec.edges[f].1]),
+            kind: FailureKind::FiberCut(FiberId::new(f)),
+        })
+        .collect();
+    let mut net = Network::new(
+        sites,
+        fibers,
+        links,
+        flows,
+        failures,
+        ReliabilityPolicy::default(),
+        CostModel::default(),
+        100.0,
+    )
+    .expect("reference topology is valid");
+    if capacity_fill > 0.0 {
+        // Pre-provision: spread a uniform share of total demand.
+        let per_link = (net.total_demand_gbps() * 1.3 * capacity_fill
+            / (net.links().len() as f64 * net.unit_gbps))
+            .ceil() as u32;
+        for l in net.link_ids() {
+            net.set_units(l, per_link).expect("uniform fill fits spectrum");
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::transform;
+
+    #[test]
+    fn abilene_matches_the_published_shape() {
+        let net = abilene(0.0);
+        assert_eq!(net.sites().len(), 11);
+        assert_eq!(net.fibers().len(), 14);
+        assert_eq!(net.links().len(), 14);
+        assert_eq!(net.failures().len(), 14);
+        assert!(net.flows().len() > 40);
+    }
+
+    #[test]
+    fn geant_matches_the_published_shape() {
+        let net = geant(0.0);
+        assert_eq!(net.sites().len(), 16);
+        assert_eq!(net.fibers().len(), 23);
+        assert!(net.flows().len() > 80);
+    }
+
+    #[test]
+    fn reference_topologies_are_deterministic() {
+        assert_eq!(abilene(0.0).to_json(), abilene(0.0).to_json());
+        assert_eq!(geant(0.5).to_json(), geant(0.5).to_json());
+    }
+
+    #[test]
+    fn every_single_cut_leaves_the_backbone_connected() {
+        // Both reference plants are 2-edge-connected: any cut scenario
+        // leaves all sites reachable over surviving links.
+        for net in [abilene(0.0), geant(0.0)] {
+            for f in net.failure_ids() {
+                let impact = net.impact(f);
+                let n = net.sites().len();
+                let mut seen = vec![false; n];
+                seen[0] = true;
+                let mut stack = vec![SiteId::new(0)];
+                while let Some(u) = stack.pop() {
+                    for l in net.link_ids() {
+                        if impact.dead_links.contains(&l) {
+                            continue;
+                        }
+                        if let Some(v) = net.link(l).opposite(u) {
+                            if !seen[v.index()] {
+                                seen[v.index()] = true;
+                                stack.push(v);
+                            }
+                        }
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&s| s),
+                    "{} disconnects the backbone",
+                    net.failure(f).name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fill_provisions_capacity() {
+        let dark = abilene(0.0);
+        let filled = abilene(0.6);
+        assert!(dark.link_ids().all(|l| dark.link(l).capacity_units == 0));
+        assert!(filled.link_ids().all(|l| filled.link(l).capacity_units > 0));
+    }
+
+    #[test]
+    fn transformation_applies_to_references() {
+        let g = transform(&abilene(0.0));
+        assert_eq!(g.num_nodes(), 14);
+        assert!(g.num_edges() > 10);
+    }
+}

@@ -1,0 +1,58 @@
+//! The three-way comparison behind Figure 9, on one topology: raw ILP
+//! vs hand-tuned heuristics (ILP-heur) vs NeuroPlan.
+//!
+//! ```sh
+//! cargo run --release --example heuristic_comparison
+//! ```
+
+use neuroplan::baselines::{solve_ilp, solve_ilp_heur, BaselineBudget};
+use neuroplan::{validate_plan, NeuroPlan, NeuroPlanConfig};
+use np_eval::EvalConfig;
+use np_topology::generator::GeneratorConfig;
+
+fn main() {
+    let net = GeneratorConfig::a_variant(0.25).generate();
+    let budget = BaselineBudget { node_limit: 20_000, time_limit_secs: 90.0 };
+
+    println!("solving with the raw ILP (exact formulation, full search space)...");
+    let ilp = solve_ilp(&net, EvalConfig::default(), budget);
+    println!(
+        "  cost {:.1}, proven optimal (2% practical gap): {}, {:.1}s, {} nodes",
+        ilp.cost(),
+        ilp.solved_to_optimality,
+        ilp.elapsed_secs,
+        ilp.master.nodes
+    );
+
+    println!("\nsolving with ILP-heur (capacity chunks of 4 + warm start)...");
+    let heur = solve_ilp_heur(&net, EvalConfig::default(), budget, 4);
+    println!("  cost {:.1}, {:.1}s", heur.cost(), heur.elapsed_secs);
+
+    println!("\nsolving with NeuroPlan (RL pruning + alpha=1.5 ILP)...");
+    let planner = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(3));
+    let t0 = std::time::Instant::now();
+    let np = planner.plan(&net);
+    println!(
+        "  first-stage {:.1} -> final {:.1}, {:.1}s",
+        np.first_stage_cost,
+        np.final_cost,
+        t0.elapsed().as_secs_f64()
+    );
+
+    for (name, units) in
+        [("ILP", &ilp.master.units), ("ILP-heur", &heur.master.units), ("NeuroPlan", &np.final_units)]
+    {
+        assert!(validate_plan(&net, units), "{name} plan must validate");
+    }
+
+    println!("\nnormalized to ILP-heur = 1.000:");
+    let denom = heur.cost();
+    println!("  ILP       {:>6.3}", ilp.cost() / denom);
+    println!("  NeuroPlan {:>6.3}", np.final_cost / denom);
+    println!("  ILP-heur   1.000");
+    println!(
+        "\nthe paper's story: the hand-tuned heuristic trades optimality for \
+         tractability with one fixed setting; NeuroPlan prunes per-instance \
+         and recovers (near-)ILP quality at a fraction of the search."
+    );
+}

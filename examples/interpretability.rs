@@ -1,0 +1,67 @@
+//! Interpretability (§4.3): operators can audit what the RL stage did
+//! before committing the ILP to its pruned space — the per-link bounds,
+//! the size of the removed search space, and the evaluator's stored
+//! infeasibility certificates ("why did scenario X fail?").
+//!
+//! ```sh
+//! cargo run --release --example interpretability
+//! ```
+
+use neuroplan::{NeuroPlan, NeuroPlanConfig};
+use np_eval::{EvalConfig, PlanEvaluator};
+use np_topology::generator::GeneratorConfig;
+
+fn main() {
+    let net = GeneratorConfig::a_variant(0.0).generate();
+    let planner = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(5));
+    let result = planner.plan(&net);
+
+    // 1. The pruning strategy the agent generated, as a table an operator
+    //    can eyeball and veto (the paper: "examine the solution from the
+    //    RL agent and check whether the changes match their intuition").
+    println!("{}", result.pruning.describe());
+
+    // 2. The knob: how much optimality headroom does alpha leave?
+    println!(
+        "relax factor alpha = {} left the ILP a search space of 10^{:.1} plans\n\
+         (the unpruned formulation has 10^{:.1}).\n",
+        result.pruning.alpha,
+        result.pruning.pruned_space_log10(),
+        result.pruning.full_space_log10()
+    );
+
+    // 3. Why scenarios fail: metric-cut certificates. Re-check the *empty*
+    //    plan and print the first certificate in operator terms.
+    let mut evaluator = PlanEvaluator::new(&net, EvalConfig::default());
+    let zeros = vec![0.0; net.links().len()];
+    let outcome = evaluator.check(&zeros);
+    if let Some(idx) = outcome.first_violated {
+        if let Some(cut) = evaluator.certificate(idx) {
+            let scenario = match idx {
+                0 => "no-failure state".to_string(),
+                k => format!("failure '{}'", net.failure(np_topology::FailureId::new(k - 1)).name),
+            };
+            println!("certificate for the {scenario} under the empty plan:");
+            println!(
+                "  the demands need Σ w·C ≥ {:.0} Gbps·(length) across these links:",
+                cut.rhs
+            );
+            for &(l, w) in cut.coeff.iter().take(6) {
+                let link = net.link(l);
+                println!(
+                    "    {l} ({} - {}) with weight {:.3}",
+                    net.site(link.src).name,
+                    net.site(link.dst).name,
+                    w
+                );
+            }
+            if cut.coeff.len() > 6 {
+                println!("    ... and {} more links", cut.coeff.len() - 6);
+            }
+            println!(
+                "  any capacity plan violating this inequality is infeasible — an\n  \
+                 auditable, solver-independent explanation of the requirement."
+            );
+        }
+    }
+}

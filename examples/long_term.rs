@@ -1,0 +1,64 @@
+//! Long-term planning (§2, §4.1): the fiber footprint itself is up for
+//! change. Candidate IP links over *dark* candidate fibers enter the
+//! topology with zero capacity and `C_l^min = 0`; the planner decides
+//! which to light. The paper's key unification: this is the same problem
+//! as short-term planning with a zero-capacity starting topology, solved
+//! by the same agent.
+//!
+//! ```sh
+//! cargo run --release --example long_term
+//! ```
+
+use neuroplan::{validate_plan, NeuroPlan, NeuroPlanConfig};
+use np_topology::generator::{GeneratorConfig, TopologyPreset};
+
+fn main() {
+    let mut cfg = GeneratorConfig::preset(TopologyPreset::A);
+    cfg.capacity_fill = 0.0; // everything starts dark
+    cfg.long_term = true; // add candidate fibers + candidate links
+    let net = cfg.generate();
+
+    let base = GeneratorConfig::preset(TopologyPreset::A).generate();
+    println!(
+        "long-term instance: {} fibers ({} candidates beyond today's {}), {} IP links",
+        net.fibers().len(),
+        net.fibers().len() - base.fibers().len(),
+        base.fibers().len(),
+        net.links().len()
+    );
+
+    let planner = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(23));
+    let result = planner.plan(&net);
+    assert!(validate_plan(&net, &result.final_units));
+
+    // Which candidate fibers did the plan actually light?
+    let mut lit_candidates = 0;
+    let mut dark_candidates = 0;
+    for f in net.fiber_ids() {
+        if f.index() < base.fibers().len() {
+            continue; // pre-existing fiber
+        }
+        let used = net
+            .links_over_fiber(f)
+            .iter()
+            .any(|&l| result.final_units[l.index()] > 0);
+        if used {
+            lit_candidates += 1;
+        } else {
+            dark_candidates += 1;
+        }
+    }
+    println!(
+        "\nplan cost {:.1}: lights {lit_candidates} candidate fibers, leaves \
+         {dark_candidates} dark",
+        result.final_cost
+    );
+    println!(
+        "first-stage -> final improvement: {:.1}%",
+        100.0 * (1.0 - result.final_cost / result.first_stage_cost)
+    );
+    println!("\ninterpretable pruning summary (first lines):");
+    for line in result.pruning.describe().lines().take(8) {
+        println!("  {line}");
+    }
+}

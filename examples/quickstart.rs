@@ -1,0 +1,69 @@
+//! Quickstart: plan a small WAN end-to-end with NeuroPlan.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates the calibrated topology A (the paper's smallest production
+//! topology, §6), runs the two-stage pipeline — RL first stage, α-pruned
+//! ILP second stage — and prints the plan with its cost breakdown.
+
+use neuroplan::{validate_plan, NeuroPlan, NeuroPlanConfig};
+use np_topology::{generator::preset_network, TopologyPreset};
+
+fn main() {
+    let net = preset_network(TopologyPreset::A);
+    println!(
+        "topology A: {} sites, {} fibers, {} IP links, {} flows, {} failure scenarios",
+        net.sites().len(),
+        net.fibers().len(),
+        net.links().len(),
+        net.flows().len(),
+        net.failures().len()
+    );
+    println!(
+        "total demand: {:.0} Gbps; baseline capacity provisioned at 50% of reference\n",
+        net.total_demand_gbps()
+    );
+
+    // `quick()` scales Table 2's budgets down for a laptop demo; use
+    // `NeuroPlanConfig::default()` for the full training schedule.
+    let planner = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(7));
+    println!("running stage 1 (RL) + stage 2 (alpha-pruned ILP)...");
+    let result = planner.plan(&net);
+
+    println!(
+        "\nfirst-stage plan cost : {:10.1}   (RL agent, {} training epochs)",
+        result.first_stage_cost,
+        result.train_report.epochs_run()
+    );
+    println!(
+        "final plan cost       : {:10.1}   ({} B&B nodes, {} Benders cuts)",
+        result.final_cost, result.master.nodes, result.master.cuts_added
+    );
+    println!(
+        "search-space pruning  : 10^{:.1} -> 10^{:.1} candidate plans",
+        result.pruning.full_space_log10(),
+        result.pruning.pruned_space_log10()
+    );
+
+    // Independent end-to-end validation with a fresh exact evaluator.
+    assert!(validate_plan(&net, &result.final_units), "plan must survive all scenarios");
+    println!("\nplan validated: every flow survives every failure scenario ✓");
+
+    println!("\nper-link plan (only links whose capacity changed):");
+    println!("link   base -> planned (units of {} Gbps)", net.unit_gbps);
+    for l in net.link_ids() {
+        let base = net.base_units(l);
+        let planned = result.final_units[l.index()];
+        if planned != base {
+            let link = net.link(l);
+            println!(
+                "{l:<5} {base:>4} -> {planned:<4}  {} - {} ({:.0} km)",
+                net.site(link.src).name,
+                net.site(link.dst).name,
+                link.length_km
+            );
+        }
+    }
+}

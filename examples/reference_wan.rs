@@ -1,0 +1,47 @@
+//! Plan a real (public) WAN map: the Internet2 Abilene backbone, then
+//! audit the result with the scenario-load analyzer.
+//!
+//! ```sh
+//! cargo run --release --example reference_wan
+//! ```
+
+use neuroplan::{analyze_plan, validate_plan, NeuroPlan, NeuroPlanConfig};
+use np_topology::reference;
+
+fn main() {
+    // Abilene with 40% of demand pre-provisioned.
+    let net = reference::abilene(0.4);
+    println!(
+        "Abilene: {} PoPs, {} spans, {} flows, {} single-cut scenarios, \
+         total demand {:.1} Tbps",
+        net.sites().len(),
+        net.fibers().len(),
+        net.flows().len(),
+        net.failures().len(),
+        net.total_demand_gbps() / 1000.0
+    );
+
+    let planner = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(42));
+    let result = planner.plan(&net);
+    assert!(validate_plan(&net, &result.final_units));
+    println!(
+        "\nplan: first-stage {:.0} -> final {:.0} ({} Benders cuts)",
+        result.first_stage_cost, result.final_cost, result.master.cuts_added
+    );
+
+    // Operator audit: where is the headroom after this plan?
+    let analysis = analyze_plan(&net, &result.final_units);
+    println!("\n{}", analysis.describe(&net));
+
+    // And the same machinery on the GÉANT-like map, evaluation only.
+    let geant = reference::geant(0.8);
+    let units: Vec<u32> =
+        geant.link_ids().map(|l| geant.link(l).capacity_units).collect();
+    let ga = analyze_plan(&geant, &units);
+    let tight = ga.tightest().expect("geant has scenarios");
+    println!(
+        "GEANT at 80% uniform fill: tightest scenario {} with headroom {:+.1}%",
+        tight.name,
+        (tight.lambda - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,60 @@
+//! Short-term planning (§2): the IP topology is given and partially
+//! provisioned; the task is deciding *capacity additions on existing
+//! links* for the next few months, respecting the existing-topology
+//! constraint `C_l ≥ C_l^min` (Eq. 5).
+//!
+//! ```sh
+//! cargo run --release --example short_term
+//! ```
+
+use neuroplan::{validate_plan, NeuroPlan, NeuroPlanConfig};
+use np_eval::{EvalConfig, PlanEvaluator};
+use np_topology::generator::{GeneratorConfig, TopologyPreset};
+
+fn main() {
+    // 75% of reference capacity already in the ground — the typical
+    // short-term posture: demand grew, the plan must top things up.
+    let mut cfg = GeneratorConfig::preset(TopologyPreset::B);
+    cfg.capacity_fill = 0.75;
+    let net = cfg.generate();
+
+    // The baseline is *not* feasible: demand outgrew it.
+    let mut evaluator = PlanEvaluator::new(&net, EvalConfig::default());
+    let check = evaluator.check_network(&net);
+    println!(
+        "existing provisioning feasible? {} (first violated scenario: {:?})",
+        check.feasible, check.first_violated
+    );
+    assert!(!check.feasible, "the demo expects a capacity shortfall");
+
+    // Eq. 5 in action: every link keeps at least its current capacity.
+    assert!(net.link_ids().all(|l| net.link(l).min_units == net.link(l).capacity_units));
+
+    let planner = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(11));
+    let result = planner.plan(&net);
+    assert!(validate_plan(&net, &result.final_units));
+
+    let upgrades: Vec<_> = net
+        .link_ids()
+        .filter(|&l| result.final_units[l.index()] > net.base_units(l))
+        .collect();
+    println!(
+        "\nshort-term plan: upgrade {} of {} links, added cost {:.1}",
+        upgrades.len(),
+        net.links().len(),
+        result.final_cost
+    );
+    for l in upgrades {
+        let link = net.link(l);
+        println!(
+            "  {l}: +{} units on {} - {}",
+            result.final_units[l.index()] - net.base_units(l),
+            net.site(link.src).name,
+            net.site(link.dst).name,
+        );
+    }
+    println!(
+        "\nno link shrank below its production capacity (Eq. 5): {}",
+        net.link_ids().all(|l| result.final_units[l.index()] >= net.link(l).min_units)
+    );
+}

@@ -1,0 +1,11 @@
+//! Workspace-level umbrella crate: hosts the cross-crate integration tests
+//! in `tests/` and the runnable examples in `examples/`. Re-exports the
+//! member crates so tests and examples can use a single dependency root.
+
+pub use neuroplan;
+pub use np_eval;
+pub use np_flow;
+pub use np_lp;
+pub use np_neural;
+pub use np_rl;
+pub use np_topology;

@@ -1,0 +1,194 @@
+//! Cross-validation of the plan evaluator against independent oracles:
+//! the exact LP backend, brute single-commodity max-flow, and hand-built
+//! instances with known answers.
+
+use np_eval::{Backend, CheckConfig, EvalConfig, PlanEvaluator, ScenarioCtx, Verdict};
+use np_topology::{
+    CosClass, CostModel, Failure, FailureKind, Fiber, FiberId, Flow, IpLink, Network,
+    ReliabilityPolicy, SiteId,
+};
+
+/// Line network 0 - 1 - 2 with one flow 0→2 of 300 Gbps; capacities are
+/// (left, right) units of 100 Gbps.
+fn line(left: u32, right: u32, failures: Vec<Failure>) -> Network {
+    let sites = (0..3)
+        .map(|i| np_topology::Site {
+            name: format!("s{i}"),
+            pos: (f64::from(i) * 100.0, 0.0),
+            is_datacenter: false,
+        })
+        .collect();
+    let fibers = vec![
+        Fiber {
+            endpoints: (SiteId::new(0), SiteId::new(1)),
+            length_km: 100.0,
+            spectrum_ghz: 4800.0,
+            build_cost: 1.0,
+        },
+        Fiber {
+            endpoints: (SiteId::new(1), SiteId::new(2)),
+            length_km: 100.0,
+            spectrum_ghz: 4800.0,
+            build_cost: 1.0,
+        },
+    ];
+    let mk = |src: usize, dst: usize, fiber: usize, units: u32| IpLink {
+        src: SiteId::new(src),
+        dst: SiteId::new(dst),
+        fiber_path: vec![(FiberId::new(fiber), 40.0)],
+        capacity_units: units,
+        min_units: 0,
+        length_km: 100.0,
+    };
+    Network::new(
+        sites,
+        fibers,
+        vec![mk(0, 1, 0, left), mk(1, 2, 1, right)],
+        vec![Flow {
+            src: SiteId::new(0),
+            dst: SiteId::new(2),
+            demand_gbps: 300.0,
+            cos: CosClass::Gold,
+        }],
+        failures,
+        ReliabilityPolicy::protect_all(),
+        CostModel::default(),
+        100.0,
+    )
+    .unwrap()
+}
+
+#[test]
+fn line_feasibility_threshold_is_exact() {
+    // 300 Gbps needs 3 units on both hops.
+    for (l, r, expect) in
+        [(3, 3, true), (2, 3, false), (3, 2, false), (4, 3, true), (2, 2, false)]
+    {
+        let net = line(l, r, vec![]);
+        let mut ev = PlanEvaluator::new(&net, EvalConfig::default());
+        assert_eq!(
+            ev.check_network(&net).feasible,
+            expect,
+            "left={l} right={r}"
+        );
+    }
+}
+
+#[test]
+fn a_fiber_cut_on_a_line_is_structurally_fatal() {
+    let net = line(
+        5,
+        5,
+        vec![Failure { name: "cut".into(), kind: FailureKind::FiberCut(FiberId::new(0)) }],
+    );
+    let mut ev = PlanEvaluator::new(&net, EvalConfig::default());
+    let out = ev.check_network(&net);
+    assert!(!out.feasible);
+    assert!(out.structural, "no capacity fixes a severed line");
+    assert_eq!(out.first_violated, Some(1));
+}
+
+#[test]
+fn backends_agree_up_to_documented_mwu_conservatism() {
+    let verdict = |net: &Network, backend: Backend| {
+        let mut ctx = ScenarioCtx::build(net, None, true);
+        ctx.refresh(|link| net.capacity_gbps(link));
+        let cfg = CheckConfig { backend, ..CheckConfig::default() };
+        let mut stats = np_eval::EvalStats::default();
+        np_eval::check_scenario(&ctx, &cfg, &mut stats).is_feasible()
+    };
+    // (3,3) is the exact λ* = 1 boundary: the approximate backend is
+    // allowed (documented) to be conservative there, never permissive.
+    for (l, r) in [(3u32, 3u32), (2, 3), (1, 1), (9, 9)] {
+        let net = line(l, r, vec![]);
+        let exact = verdict(&net, Backend::ExactLp);
+        let auto = verdict(&net, Backend::Auto);
+        let mwu = verdict(&net, Backend::Mwu);
+        assert_eq!(auto, exact, "Auto must match the exact LP on ({l},{r})");
+        if !exact {
+            assert!(!mwu, "Mwu must never accept an infeasible plan ({l},{r})");
+        }
+        if mwu {
+            assert!(exact, "Mwu feasibility is a primal witness and cannot lie ({l},{r})");
+        }
+    }
+}
+
+#[test]
+fn parallel_links_pool_capacity() {
+    // Two parallel links 0-1 of 2 units each must carry a 300 Gbps flow
+    // (capacity pools across parallels: 400 Gbps total).
+    let sites = (0..2)
+        .map(|i| np_topology::Site {
+            name: format!("s{i}"),
+            pos: (f64::from(i) * 100.0, 0.0),
+            is_datacenter: false,
+        })
+        .collect();
+    let fibers = vec![
+        Fiber {
+            endpoints: (SiteId::new(0), SiteId::new(1)),
+            length_km: 100.0,
+            spectrum_ghz: 4800.0,
+            build_cost: 1.0,
+        },
+        Fiber {
+            endpoints: (SiteId::new(0), SiteId::new(1)),
+            length_km: 150.0,
+            spectrum_ghz: 4800.0,
+            build_cost: 1.0,
+        },
+    ];
+    let links = (0..2)
+        .map(|i| IpLink {
+            src: SiteId::new(0),
+            dst: SiteId::new(1),
+            fiber_path: vec![(FiberId::new(i), 40.0)],
+            capacity_units: 2,
+            min_units: 0,
+            length_km: 100.0,
+        })
+        .collect();
+    let net = Network::new(
+        sites,
+        fibers,
+        links,
+        vec![Flow {
+            src: SiteId::new(0),
+            dst: SiteId::new(1),
+            demand_gbps: 300.0,
+            cos: CosClass::Gold,
+        }],
+        vec![Failure { name: "cut:f1".into(), kind: FailureKind::FiberCut(FiberId::new(1)) }],
+        ReliabilityPolicy::protect_all(),
+        CostModel::default(),
+        100.0,
+    )
+    .unwrap();
+    let mut ev = PlanEvaluator::new(&net, EvalConfig::default());
+    // No failure: 400 ≥ 300 OK; under cut of fiber 1, only 200 Gbps
+    // survives → infeasible at scenario index 1.
+    let out = ev.check_network(&net);
+    assert!(!out.feasible);
+    assert_eq!(out.first_violated, Some(1));
+    assert!(!out.structural, "adding capacity on the surviving parallel fixes it");
+    // Give the surviving link 3 units: feasible everywhere.
+    let caps = vec![300.0, 200.0];
+    let mut ev2 = PlanEvaluator::new(&net, EvalConfig::default());
+    assert!(ev2.check(&caps).feasible);
+}
+
+#[test]
+fn verdict_pipeline_reports_cuts_on_mwu_backend() {
+    let net = line(1, 1, vec![]);
+    let mut ctx = ScenarioCtx::build(&net, None, true);
+    ctx.refresh(|l| net.capacity_gbps(l));
+    let cfg = CheckConfig { backend: Backend::Mwu, ..CheckConfig::default() };
+    let mut stats = np_eval::EvalStats::default();
+    match np_eval::check_scenario(&ctx, &cfg, &mut stats) {
+        Verdict::Infeasible(Some(cut)) => {
+            assert!(cut.is_violated(|l| net.capacity_gbps(l)));
+        }
+        other => panic!("expected a certified infeasibility, got {other:?}"),
+    }
+}

@@ -1,0 +1,109 @@
+//! Property test: the simplex agrees with brute-force vertex enumeration
+//! on random 2-variable LPs (where the optimum, if it exists, sits on an
+//! intersection of two active constraints/bounds).
+
+use np_lp::{solve_lp, LpStatus, Model, Sense, SimplexConfig};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct TinyLp {
+    obj: [f64; 2],
+    ub: [f64; 2],
+    rows: Vec<([f64; 2], f64, bool)>, // (coeffs, rhs, is_ge)
+}
+
+fn tiny_lp() -> impl Strategy<Value = TinyLp> {
+    let row = (0.1f64..2.0, 0.1f64..2.0, 0.5f64..6.0, any::<bool>())
+        .prop_map(|(a, b, rhs, ge)| ([a, b], rhs, ge));
+    (
+        (-2.0f64..2.0, -2.0f64..2.0),
+        (1.0f64..8.0, 1.0f64..8.0),
+        proptest::collection::vec(row, 1..4),
+    )
+        .prop_map(|(obj, ub, rows)| TinyLp {
+            obj: [obj.0, obj.1],
+            ub: [ub.0, ub.1],
+            rows,
+        })
+}
+
+fn build(lp: &TinyLp) -> Model {
+    let mut m = Model::new("tiny");
+    let x = m.add_var("x", 0.0, lp.ub[0], lp.obj[0], false);
+    let y = m.add_var("y", 0.0, lp.ub[1], lp.obj[1], false);
+    for (i, (coeffs, rhs, ge)) in lp.rows.iter().enumerate() {
+        m.add_constr(
+            format!("r{i}"),
+            vec![(x, coeffs[0]), (y, coeffs[1])],
+            if *ge { Sense::Ge } else { Sense::Le },
+            *rhs,
+        );
+    }
+    m
+}
+
+/// All candidate vertices: pairwise intersections of the boundary lines
+/// (constraints as equalities, plus the four box sides).
+fn brute_force(lp: &TinyLp) -> Option<f64> {
+    let mut lines: Vec<([f64; 2], f64)> = vec![
+        ([1.0, 0.0], 0.0),
+        ([0.0, 1.0], 0.0),
+        ([1.0, 0.0], lp.ub[0]),
+        ([0.0, 1.0], lp.ub[1]),
+    ];
+    for (coeffs, rhs, _) in &lp.rows {
+        lines.push((*coeffs, *rhs));
+    }
+    let feasible = |p: [f64; 2]| -> bool {
+        if p[0] < -1e-7 || p[1] < -1e-7 || p[0] > lp.ub[0] + 1e-7 || p[1] > lp.ub[1] + 1e-7 {
+            return false;
+        }
+        lp.rows.iter().all(|(c, rhs, ge)| {
+            let lhs = c[0] * p[0] + c[1] * p[1];
+            if *ge {
+                lhs >= rhs - 1e-7
+            } else {
+                lhs <= rhs + 1e-7
+            }
+        })
+    };
+    let mut best: Option<f64> = None;
+    for i in 0..lines.len() {
+        for j in i + 1..lines.len() {
+            let (a, b) = (lines[i], lines[j]);
+            let det = a.0[0] * b.0[1] - a.0[1] * b.0[0];
+            if det.abs() < 1e-9 {
+                continue;
+            }
+            let x = (a.1 * b.0[1] - b.1 * a.0[1]) / det;
+            let y = (a.0[0] * b.1 - b.0[0] * a.1) / det;
+            let p = [x, y];
+            if feasible(p) {
+                let v = lp.obj[0] * x + lp.obj[1] * y;
+                best = Some(best.map_or(v, |b: f64| b.min(v)));
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn simplex_matches_vertex_enumeration(lp in tiny_lp()) {
+        let model = build(&lp);
+        let sol = solve_lp(&model, &SimplexConfig::default());
+        match brute_force(&lp) {
+            None => prop_assert_eq!(sol.status, LpStatus::Infeasible),
+            Some(best) => {
+                prop_assert_eq!(sol.status, LpStatus::Optimal);
+                prop_assert!(
+                    (sol.objective - best).abs() <= 1e-5 * (1.0 + best.abs()),
+                    "simplex {} vs brute force {}", sol.objective, best
+                );
+                prop_assert!(model.is_feasible(&sol.x, 1e-6));
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Integration: reference topologies flow through the whole stack —
+//! greedy planning, exact validation, scenario-load analysis.
+
+use neuroplan::{analyze_plan, greedy_augment};
+use np_eval::{EvalConfig, PlanEvaluator};
+use np_topology::reference;
+
+#[test]
+fn abilene_plans_and_validates_end_to_end() {
+    let mut net = reference::abilene(0.0);
+    let cost = greedy_augment(&mut net, EvalConfig::default()).expect("abilene is plannable");
+    assert!(cost > 0.0);
+    let mut check = PlanEvaluator::new(&net, EvalConfig::default());
+    assert!(check.check_network(&net).feasible);
+    // Analysis agrees: every scenario has λ ≈ ≥ 1.
+    let units: Vec<u32> = net.link_ids().map(|l| net.link(l).capacity_units).collect();
+    let analysis = analyze_plan(&net, &units);
+    assert!(analysis.tightest().unwrap().lambda >= 0.95);
+}
+
+#[test]
+fn geant_partial_fill_fails_exactly_where_analysis_says() {
+    let net = reference::geant(0.3);
+    let units: Vec<u32> = net.link_ids().map(|l| net.link(l).capacity_units).collect();
+    let analysis = analyze_plan(&net, &units);
+    let mut evaluator = PlanEvaluator::new(&net, EvalConfig::default());
+    let caps: Vec<f64> = units.iter().map(|&u| f64::from(u) * net.unit_gbps).collect();
+    let outcome = evaluator.check(&caps);
+    let tightest = analysis.tightest().unwrap();
+    if outcome.feasible {
+        assert!(
+            tightest.lambda >= 0.95,
+            "evaluator says feasible but analysis sees λ = {}",
+            tightest.lambda
+        );
+    } else {
+        assert!(
+            tightest.lambda < 1.05,
+            "evaluator says infeasible but analysis sees λ = {}",
+            tightest.lambda
+        );
+    }
+}
+
+#[test]
+fn reference_maps_survive_json_roundtrip() {
+    let net = reference::abilene(0.5);
+    let back = np_topology::Network::from_json(&net.to_json()).unwrap();
+    assert_eq!(net.links(), back.links());
+    assert_eq!(net.flows(), back.flows());
+}

@@ -1,0 +1,48 @@
+//! Persistence: planning instances round-trip through JSON and stay
+//! solvable — the workflow for sharing reproducible planning problems.
+
+use np_eval::{EvalConfig, PlanEvaluator};
+use np_topology::{generator::GeneratorConfig, Network, TopologyPreset};
+
+#[test]
+fn generated_networks_roundtrip_through_json() {
+    for preset in [TopologyPreset::A, TopologyPreset::B] {
+        let net = GeneratorConfig::preset(preset).generate();
+        let json = net.to_json();
+        let back = Network::from_json(&json).expect("roundtrip");
+        assert_eq!(back.links(), net.links());
+        assert_eq!(back.flows(), net.flows());
+        assert_eq!(back.failures(), net.failures());
+        assert_eq!(back.to_json(), json, "serialization is canonical");
+    }
+}
+
+#[test]
+fn deserialized_instances_evaluate_identically() {
+    let net = GeneratorConfig::a_variant(0.5).generate();
+    let back = Network::from_json(&net.to_json()).unwrap();
+    // Derived caches (unit costs, failure impacts) must be rebuilt
+    // correctly: evaluation and costs agree exactly.
+    for l in net.link_ids() {
+        assert_eq!(net.unit_cost(l), back.unit_cost(l));
+    }
+    let mut ev1 = PlanEvaluator::new(&net, EvalConfig::default());
+    let mut ev2 = PlanEvaluator::new(&back, EvalConfig::default());
+    let caps: Vec<f64> = net.link_ids().map(|l| net.capacity_gbps(l) + 100.0).collect();
+    let a = ev1.check(&caps);
+    let b = ev2.check(&caps);
+    assert_eq!(a.feasible, b.feasible);
+    assert_eq!(a.first_violated, b.first_violated);
+}
+
+#[test]
+fn greedy_plan_on_deserialized_instance_matches() {
+    let net = GeneratorConfig::a_variant(0.0).generate();
+    let back = Network::from_json(&net.to_json()).unwrap();
+    let mut n1 = net.clone();
+    let mut n2 = back.clone();
+    let c1 = neuroplan::greedy_augment(&mut n1, EvalConfig::default()).unwrap();
+    let c2 = neuroplan::greedy_augment(&mut n2, EvalConfig::default()).unwrap();
+    assert!((c1 - c2).abs() < 1e-9, "identical instances plan identically");
+    assert_eq!(n1.snapshot(), n2.snapshot());
+}
