@@ -77,11 +77,7 @@ fn bench_gcn(c: &mut Criterion) {
     c.bench_function("gcn_forward_backward_C", |b| {
         b.iter(|| {
             let y = layer.forward(&x);
-            let ones = Matrix::from_vec(
-                y.rows(),
-                y.cols(),
-                vec![1.0; y.rows() * y.cols()],
-            );
+            let ones = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
             layer.backward(&ones)
         })
     });
@@ -89,8 +85,10 @@ fn bench_gcn(c: &mut Criterion) {
 
 fn bench_evaluator(c: &mut Criterion) {
     let net = preset_network(TopologyPreset::B);
-    let caps: Vec<f64> =
-        net.link_ids().map(|l| net.capacity_gbps(l) + 300.0).collect();
+    let caps: Vec<f64> = net
+        .link_ids()
+        .map(|l| net.capacity_gbps(l) + 300.0)
+        .collect();
     c.bench_function("evaluator_full_check_B", |b| {
         b.iter(|| {
             let mut ev = PlanEvaluator::new(&net, EvalConfig::default());

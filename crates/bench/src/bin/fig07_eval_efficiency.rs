@@ -57,7 +57,8 @@ fn replay(
     let mut evaluator = PlanEvaluator::new(&sim, cfg);
     let t0 = Instant::now();
     for &((link, units), reset_after) in workload {
-        sim.add_units(link, units).expect("same sequence as recording");
+        sim.add_units(link, units)
+            .expect("same sequence as recording");
         let _ = evaluator.check_network(&sim);
         if reset_after {
             sim.reset_to_base();
@@ -89,9 +90,7 @@ fn main() {
             .expect("the optimized evaluator must finish its own workload");
         let sa = replay(&net, &workload, EvalConfig::sa_only(), cutoff);
         let vanilla = replay(&net, &workload, EvalConfig::vanilla(), cutoff);
-        let norm = |d: Option<Duration>| {
-            d.map(|d| d.as_secs_f64() / neuro.as_secs_f64().max(1e-9))
-        };
+        let norm = |d: Option<Duration>| d.map(|d| d.as_secs_f64() / neuro.as_secs_f64().max(1e-9));
         println!(
             "{}: neuroplan evaluator took {:.3}s over {} steps",
             preset.name(),

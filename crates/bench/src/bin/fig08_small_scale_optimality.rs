@@ -28,8 +28,7 @@ fn main() {
     np_cfg.relax_factor = 2.0;
 
     println!("Figure 8: small-scale optimality (normalized to ILP)\n");
-    let mut table =
-        Table::new(&["variant", "First-stage", "NeuroPlan", "ILP", "ILP-proven"]);
+    let mut table = Table::new(&["variant", "First-stage", "NeuroPlan", "ILP", "ILP-proven"]);
     for &fill in fills {
         let net = GeneratorConfig::a_variant(fill).generate();
         let ilp = solve_ilp(&net, EvalConfig::default(), ilp_budget);

@@ -14,8 +14,11 @@ use np_topology::generator::GeneratorConfig;
 fn main() {
     let args = ExpArgs::parse();
     let fills: &[f64] = &[0.0, 0.5, 1.0];
-    let hidden_sizes: &[usize] =
-        if args.quick { &[16, 64, 256] } else { &[16, 64, 256, 512] };
+    let hidden_sizes: &[usize] = if args.quick {
+        &[16, 64, 256]
+    } else {
+        &[16, 64, 256, 512]
+    };
     let ilp_budget = BaselineBudget {
         node_limit: if args.quick { 30_000 } else { 120_000 },
         time_limit_secs: if args.quick { 120.0 } else { 600.0 },

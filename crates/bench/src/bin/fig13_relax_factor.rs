@@ -20,8 +20,7 @@ fn main() {
     let alphas = [1.0, 1.25, 1.5];
 
     println!("Figure 13: relax factor α (NeuroPlan cost / First-stage cost)\n");
-    let mut table =
-        Table::new(&["topology", "alpha=1", "alpha=1.25", "alpha=1.5"]);
+    let mut table = Table::new(&["topology", "alpha=1", "alpha=1.25", "alpha=1.5"]);
     for &preset in presets {
         let net = preset_network(preset);
         let base_cfg = if args.quick {

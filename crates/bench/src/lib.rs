@@ -36,20 +36,24 @@ pub struct ExpArgs {
 impl ExpArgs {
     /// Parse from `std::env::args`. Unknown flags abort with usage help.
     pub fn parse() -> ExpArgs {
-        let mut args =
-            ExpArgs { quick: true, seed: 0, out_dir: PathBuf::from("results") };
+        let mut args = ExpArgs {
+            quick: true,
+            seed: 0,
+            out_dir: PathBuf::from("results"),
+        };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => args.quick = true,
                 "--full" => args.quick = false,
                 "--seed" => {
-                    args.seed =
-                        it.next().and_then(|v| v.parse().ok()).expect("--seed takes a u64");
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed takes a u64");
                 }
                 "--out" => {
-                    args.out_dir =
-                        PathBuf::from(it.next().expect("--out takes a directory"));
+                    args.out_dir = PathBuf::from(it.next().expect("--out takes a directory"));
                 }
                 other => {
                     eprintln!(
@@ -73,7 +77,10 @@ pub struct Table {
 impl Table {
     /// New table with the given column headers.
     pub fn new(header: &[&str]) -> Table {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: vec![] }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: vec![],
+        }
     }
 
     /// Append one row (stringified cells).
@@ -98,7 +105,10 @@ impl Table {
             println!("{}", out.trim_end());
         };
         line(&self.header);
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             line(row);
         }

@@ -88,7 +88,10 @@ pub fn analyze_plan(net: &Network, units: &[u32]) -> PlanAnalysis {
         .map(|(i, &u)| (LinkId::new(i), u))
         .collect();
     hot_links.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-    PlanAnalysis { scenarios, hot_links }
+    PlanAnalysis {
+        scenarios,
+        hot_links,
+    }
 }
 
 fn scenario_load(net: &Network, ctx: &ScenarioCtx, index: usize) -> ScenarioLoad {
@@ -99,12 +102,19 @@ fn scenario_load(net: &Network, ctx: &ScenarioCtx, index: usize) -> ScenarioLoad
     let cf = max_concurrent_flow(
         &ctx.graph,
         &ctx.commodities,
-        &MwuConfig { epsilon: 0.08, ..Default::default() },
+        &MwuConfig {
+            epsilon: 0.08,
+            ..Default::default()
+        },
     );
     // Utilization per link = max over its two arcs of flow/cap, using the
     // scaled (capacity-feasible) MWU flow normalized to serve exactly the
     // demands when λ ≥ 1.
-    let scale = if cf.lambda > 1.0 { 1.0 / cf.lambda } else { 1.0 };
+    let scale = if cf.lambda > 1.0 {
+        1.0 / cf.lambda
+    } else {
+        1.0
+    };
     let mut util: Vec<f64> = vec![0.0; net.links().len()];
     for (a, arc) in ctx.graph.arcs().iter().enumerate() {
         if let Some(l) = arc.link {
@@ -122,7 +132,12 @@ fn scenario_load(net: &Network, ctx: &ScenarioCtx, index: usize) -> ScenarioLoad
         .collect();
     bottlenecks.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     bottlenecks.truncate(10);
-    ScenarioLoad { index, name, lambda: cf.lambda, bottlenecks }
+    ScenarioLoad {
+        index,
+        name,
+        lambda: cf.lambda,
+        bottlenecks,
+    }
 }
 
 #[cfg(test)]

@@ -40,7 +40,10 @@ pub struct BaselineBudget {
 
 impl Default for BaselineBudget {
     fn default() -> Self {
-        BaselineBudget { node_limit: 4000, time_limit_secs: 120.0 }
+        BaselineBudget {
+            node_limit: 4000,
+            time_limit_secs: 120.0,
+        }
     }
 }
 
@@ -121,9 +124,11 @@ pub fn solve_ilp_heur(
         gap_tol: MasterConfig::DEFAULT_GAP,
         // The production posture: the known-good design both warm-starts
         // the solver and is the guaranteed fallback.
-        warm_units: warm_cost
-            .is_some()
-            .then(|| warm.link_ids().map(|l| warm.link(l).capacity_units).collect()),
+        warm_units: warm_cost.is_some().then(|| {
+            warm.link_ids()
+                .map(|l| warm.link(l).capacity_units)
+                .collect()
+        }),
     };
     let master = solve_master(net, &mut evaluator, &cfg);
     BaselineOutcome {
@@ -147,8 +152,9 @@ fn k_shortest_route_links(net: &Network, k: usize) -> Vec<bool> {
         arc_link.push(l);
         arc_link.push(l);
     }
-    let lengths: Vec<f64> =
-        (0..graph.num_arcs()).map(|a| net.link(arc_link[a]).length_km).collect();
+    let lengths: Vec<f64> = (0..graph.num_arcs())
+        .map(|a| net.link(arc_link[a]).length_km)
+        .collect();
     let mut on_route = vec![false; net.links().len()];
     let mut pairs: Vec<(usize, usize)> = net
         .flows()
@@ -182,7 +188,10 @@ mod tests {
     fn raw_ilp_solves_topology_a_optimally() {
         let net = instance();
         let out = solve_ilp(&net, EvalConfig::default(), BaselineBudget::default());
-        assert!(out.solved_to_optimality, "topology A is within the ILP's reach");
+        assert!(
+            out.solved_to_optimality,
+            "topology A is within the ILP's reach"
+        );
         assert!(validate_plan(&net, &out.master.units));
     }
 
@@ -190,8 +199,7 @@ mod tests {
     fn ilp_heur_is_feasible_but_no_cheaper_than_ilp() {
         let net = instance();
         let exact = solve_ilp(&net, EvalConfig::default(), BaselineBudget::default());
-        let heur =
-            solve_ilp_heur(&net, EvalConfig::default(), BaselineBudget::default(), 4);
+        let heur = solve_ilp_heur(&net, EvalConfig::default(), BaselineBudget::default(), 4);
         assert!(heur.master.has_plan());
         assert!(validate_plan(&net, &heur.master.units));
         // Both incumbents carry the solver's practical gap; the heuristic
@@ -207,8 +215,7 @@ mod tests {
     #[test]
     fn chunked_capacities_land_on_the_coarse_lattice() {
         let net = instance();
-        let heur =
-            solve_ilp_heur(&net, EvalConfig::default(), BaselineBudget::default(), 4);
+        let heur = solve_ilp_heur(&net, EvalConfig::default(), BaselineBudget::default(), 4);
         // Either the chunked master solved (all additions multiples of 4)
         // or the greedy fallback shipped. Both must be feasible.
         let mut check = net.clone();
@@ -231,8 +238,14 @@ mod tests {
         let out = solve_ilp(
             &net,
             EvalConfig::default(),
-            BaselineBudget { node_limit: 1, time_limit_secs: 0.05 },
+            BaselineBudget {
+                node_limit: 1,
+                time_limit_secs: 0.05,
+            },
         );
-        assert!(!out.solved_to_optimality, "one node cannot prove optimality here");
+        assert!(
+            !out.solved_to_optimality,
+            "one node cannot prove optimality here"
+        );
     }
 }

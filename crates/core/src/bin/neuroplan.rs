@@ -14,6 +14,7 @@
 use neuroplan::baselines::{solve_ilp, solve_ilp_heur, BaselineBudget};
 use neuroplan::{validate_plan, NeuroPlan, NeuroPlanConfig};
 use np_eval::{EvalConfig, PlanEvaluator};
+use np_telemetry::Telemetry;
 use np_topology::generator::{GeneratorConfig, TopologyPreset};
 use np_topology::Network;
 use std::collections::HashMap;
@@ -24,9 +25,10 @@ fn usage() -> ! {
         "usage:\n  neuroplan generate --preset <a..e> [--fill <0..1>] [--long-term] \
          [--seed <u64>] [--out <file>]\n  neuroplan plan [--preset <a..e> | --topology \
          <file>] [--fill <0..1>] [--alpha <f64>] [--quick|--default] [--seed <u64>] \
-         [--out <file>]\n  neuroplan evaluate --topology <file> [--plan <file>]\n  \
-         neuroplan baseline [--preset <a..e> | --topology <file>] --method \
-         <ilp|ilp-heur|decompose> [--time <secs>]"
+         [--telemetry <file>] [--out <file>]\n  neuroplan evaluate --topology <file> \
+         [--plan <file>] [--telemetry <file>]\n  neuroplan baseline [--preset <a..e> | \
+         --topology <file>] --method <ilp|ilp-heur|decompose> [--time <secs>] \
+         [--telemetry <file>]"
     );
     exit(2)
 }
@@ -56,17 +58,19 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 }
 
 fn preset_of(flags: &HashMap<String, String>) -> Option<TopologyPreset> {
-    flags.get("preset").map(|p| match p.to_ascii_lowercase().as_str() {
-        "a" => TopologyPreset::A,
-        "b" => TopologyPreset::B,
-        "c" => TopologyPreset::C,
-        "d" => TopologyPreset::D,
-        "e" => TopologyPreset::E,
-        other => {
-            eprintln!("unknown preset {other}");
-            usage()
-        }
-    })
+    flags
+        .get("preset")
+        .map(|p| match p.to_ascii_lowercase().as_str() {
+            "a" => TopologyPreset::A,
+            "b" => TopologyPreset::B,
+            "c" => TopologyPreset::C,
+            "d" => TopologyPreset::D,
+            "e" => TopologyPreset::E,
+            other => {
+                eprintln!("unknown preset {other}");
+                usage()
+            }
+        })
 }
 
 fn load_network(flags: &HashMap<String, String>) -> Network {
@@ -100,6 +104,29 @@ fn load_network(flags: &HashMap<String, String>) -> Network {
     cfg.generate()
 }
 
+/// `--telemetry <path>`: a JSONL sink at `path`, else the free no-op.
+fn telemetry_of(flags: &HashMap<String, String>) -> Telemetry {
+    match flags.get("telemetry") {
+        Some(path) => Telemetry::jsonl(path).unwrap_or_else(|e| {
+            eprintln!("cannot open telemetry file {path}: {e}");
+            exit(1)
+        }),
+        None => Telemetry::noop(),
+    }
+}
+
+/// Flush the sink and print the per-phase breakdown to stderr.
+fn finish_telemetry(tel: &Telemetry, flags: &HashMap<String, String>) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.flush();
+    eprint!("{}", tel.render_summary());
+    if let Some(path) = flags.get("telemetry") {
+        eprintln!("telemetry written to {path}");
+    }
+}
+
 fn write_or_print(flags: &HashMap<String, String>, body: &str) {
     match flags.get("out") {
         Some(path) => {
@@ -115,7 +142,9 @@ fn write_or_print(flags: &HashMap<String, String>, body: &str) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = args.split_first() else { usage() };
+    let Some((cmd, rest)) = args.split_first() else {
+        usage()
+    };
     let flags = parse_flags(rest);
     match cmd.as_str() {
         "generate" => {
@@ -143,8 +172,10 @@ fn main() {
             if let Some(seed) = flags.get("seed") {
                 cfg = cfg.with_seed(seed.parse().expect("--seed takes a u64"));
             }
-            let result = NeuroPlan::new(cfg).plan(&net);
+            let tel = telemetry_of(&flags);
+            let result = NeuroPlan::with_telemetry(cfg, tel.clone()).plan(&net);
             assert!(validate_plan(&net, &result.final_units));
+            finish_telemetry(&tel, &flags);
             eprintln!(
                 "first-stage {:.1} -> final {:.1} ({} epochs, {} B&B nodes, {} cuts)",
                 result.first_stage_cost,
@@ -170,15 +201,19 @@ fn main() {
                     });
                     let v: serde_json::Value =
                         serde_json::from_str(&body).expect("plan file is JSON");
-                    serde_json::from_value(v["units"].clone())
-                        .expect("plan file has a units array")
+                    serde_json::from_value(v["units"].clone()).expect("plan file has a units array")
                 }
                 None => net.link_ids().map(|l| net.link(l).capacity_units).collect(),
             };
-            let caps: Vec<f64> =
-                units.iter().map(|&u| f64::from(u) * net.unit_gbps).collect();
-            let mut evaluator = PlanEvaluator::new(&net, EvalConfig::default());
+            let caps: Vec<f64> = units
+                .iter()
+                .map(|&u| f64::from(u) * net.unit_gbps)
+                .collect();
+            let tel = telemetry_of(&flags);
+            let mut evaluator =
+                PlanEvaluator::with_telemetry(&net, EvalConfig::default(), tel.clone());
             let outcome = evaluator.check(&caps);
+            finish_telemetry(&tel, &flags);
             if outcome.feasible {
                 println!("feasible: every flow survives every failure scenario");
             } else {
@@ -189,7 +224,11 @@ fn main() {
                 };
                 println!(
                     "INFEASIBLE at scenario {idx} ({name}){}",
-                    if outcome.structural { " — structurally unfixable" } else { "" }
+                    if outcome.structural {
+                        " — structurally unfixable"
+                    } else {
+                        ""
+                    }
                 );
                 exit(1);
             }
@@ -200,7 +239,10 @@ fn main() {
                 .get("time")
                 .map(|t| t.parse().expect("--time takes seconds"))
                 .unwrap_or(120.0);
-            let budget = BaselineBudget { node_limit: 50_000, time_limit_secs: time };
+            let budget = BaselineBudget {
+                node_limit: 50_000,
+                time_limit_secs: time,
+            };
             match flags.get("method").map(String::as_str) {
                 Some("ilp") => {
                     let out = solve_ilp(&net, EvalConfig::default(), budget);
@@ -219,10 +261,18 @@ fn main() {
                 }
                 Some("decompose") => {
                     let t0 = std::time::Instant::now();
-                    match neuroplan::solve_decomposed(&net, EvalConfig::default(), time / 4.0, 3)
-                    {
+                    let tel = telemetry_of(&flags);
+                    let solved = neuroplan::solve_decomposed_telemetry(
+                        &net,
+                        EvalConfig::default(),
+                        time / 4.0,
+                        3,
+                        &tel,
+                    );
+                    finish_telemetry(&tel, &flags);
+                    match solved {
                         Ok(out) => println!(
-                            "decomposed: cost {:.1} over {} regions ({} inter-region                              links), {:.1}s",
+                            "decomposed: cost {:.1} over {} regions ({} inter-region links), {:.1}s",
                             out.cost,
                             out.regions,
                             out.inter_region_links,

@@ -13,8 +13,11 @@
 //! certificate-guided greedy augmentation and 1-opt polish.
 
 use crate::greedy::greedy_augment;
-use crate::master::{apply_units, plan_cost_of, polish_units, solve_master, MasterConfig};
+use crate::master::{
+    apply_units, plan_cost_of, polish_units, solve_master_telemetry, MasterConfig,
+};
 use np_eval::{EvalConfig, PlanEvaluator};
+use np_telemetry::{sys, Telemetry};
 use np_topology::{FailureKind, LinkId, Network, SiteId};
 
 /// Result of a decomposed solve.
@@ -57,6 +60,26 @@ pub fn solve_decomposed(
     per_region_time_secs: f64,
     num_regions: usize,
 ) -> Result<DecomposedOutcome, crate::greedy::GreedyError> {
+    solve_decomposed_telemetry(
+        net,
+        eval_cfg,
+        per_region_time_secs,
+        num_regions,
+        &Telemetry::noop(),
+    )
+}
+
+/// [`solve_decomposed`] reporting through `tel`: a `decompose` span plus
+/// region counts under `pipeline`, with each regional master reporting
+/// its own `master`/`lp`/`eval` counters.
+pub fn solve_decomposed_telemetry(
+    net: &Network,
+    eval_cfg: EvalConfig,
+    per_region_time_secs: f64,
+    num_regions: usize,
+    tel: &Telemetry,
+) -> Result<DecomposedOutcome, crate::greedy::GreedyError> {
+    let _decompose_span = tel.span(sys::PIPELINE, "decompose");
     let region = angular_regions(net, num_regions);
     let regions = *region.iter().max().unwrap_or(&0) + 1;
     let mut units: Vec<u32> = net.link_ids().map(|l| net.base_units(l)).collect();
@@ -67,7 +90,7 @@ pub fn solve_decomposed(
             if sub.net.flows().is_empty() {
                 continue;
             }
-            let mut evaluator = PlanEvaluator::new(&sub.net, eval_cfg);
+            let mut evaluator = PlanEvaluator::with_telemetry(&sub.net, eval_cfg, tel.clone());
             let cfg = MasterConfig {
                 upper_bounds: MasterConfig::spectrum_bounds(&sub.net),
                 cutoff: None,
@@ -79,7 +102,8 @@ pub fn solve_decomposed(
                 gap_tol: MasterConfig::DEFAULT_GAP,
                 warm_units: None,
             };
-            let out = solve_master(&sub.net, &mut evaluator, &cfg);
+            let out = solve_master_telemetry(&sub.net, &mut evaluator, &cfg, tel);
+            tel.incr(sys::PIPELINE, "regions_solved", 1);
             if out.has_plan() {
                 for (sub_idx, &global) in sub.link_map.iter().enumerate() {
                     units[global.index()] = units[global.index()].max(out.units[sub_idx]);
@@ -100,12 +124,24 @@ pub fn solve_decomposed(
     let mut stitched = net.clone();
     apply_units(&mut stitched, &units);
     greedy_augment(&mut stitched, eval_cfg)?;
-    let mut final_units: Vec<u32> =
-        stitched.link_ids().map(|l| stitched.link(l).capacity_units).collect();
-    let mut evaluator = PlanEvaluator::new(net, eval_cfg);
+    let mut final_units: Vec<u32> = stitched
+        .link_ids()
+        .map(|l| stitched.link(l).capacity_units)
+        .collect();
+    let mut evaluator = PlanEvaluator::with_telemetry(net, eval_cfg, tel.clone());
     polish_units(net, &mut evaluator, &mut final_units);
     let cost = plan_cost_of(net, &final_units);
-    Ok(DecomposedOutcome { units: final_units, cost, regions, inter_region_links })
+    tel.incr(
+        sys::PIPELINE,
+        "inter_region_links",
+        inter_region_links as u64,
+    );
+    Ok(DecomposedOutcome {
+        units: final_units,
+        cost,
+        regions,
+        inter_region_links,
+    })
 }
 
 struct SubInstance {
@@ -118,8 +154,7 @@ struct SubInstance {
 /// region, fibers and links entirely inside it, flows between its sites,
 /// and the failure scenarios that still reference something inside.
 fn extract_region(net: &Network, region: &[usize], r: usize) -> Option<SubInstance> {
-    let site_ids: Vec<usize> =
-        (0..net.sites().len()).filter(|&s| region[s] == r).collect();
+    let site_ids: Vec<usize> = (0..net.sites().len()).filter(|&s| region[s] == r).collect();
     if site_ids.len() < 2 {
         return None;
     }
@@ -150,7 +185,10 @@ fn extract_region(net: &Network, region: &[usize], r: usize) -> Option<SubInstan
         let link = net.link(l);
         let inside = site_new[link.src.index()] != usize::MAX
             && site_new[link.dst.index()] != usize::MAX
-            && link.fiber_path.iter().all(|&(f, _)| fiber_new[f.index()] != usize::MAX);
+            && link
+                .fiber_path
+                .iter()
+                .all(|&(f, _)| fiber_new[f.index()] != usize::MAX);
         if !inside {
             continue;
         }
@@ -172,9 +210,7 @@ fn extract_region(net: &Network, region: &[usize], r: usize) -> Option<SubInstan
     let flows: Vec<_> = net
         .flows()
         .iter()
-        .filter(|f| {
-            site_new[f.src.index()] != usize::MAX && site_new[f.dst.index()] != usize::MAX
-        })
+        .filter(|f| site_new[f.src.index()] != usize::MAX && site_new[f.dst.index()] != usize::MAX)
         .map(|f| {
             let mut nf = f.clone();
             nf.src = SiteId::new(site_new[f.src.index()]);
@@ -186,9 +222,9 @@ fn extract_region(net: &Network, region: &[usize], r: usize) -> Option<SubInstan
     let mut failures = Vec::new();
     for failure in net.failures() {
         let kind = match &failure.kind {
-            FailureKind::FiberCut(f) if fiber_new[f.index()] != usize::MAX => {
-                Some(FailureKind::FiberCut(np_topology::FiberId::new(fiber_new[f.index()])))
-            }
+            FailureKind::FiberCut(f) if fiber_new[f.index()] != usize::MAX => Some(
+                FailureKind::FiberCut(np_topology::FiberId::new(fiber_new[f.index()])),
+            ),
             FailureKind::SiteDown(s) if site_new[s.index()] != usize::MAX => {
                 Some(FailureKind::SiteDown(SiteId::new(site_new[s.index()])))
             }
@@ -203,7 +239,10 @@ fn extract_region(net: &Network, region: &[usize], r: usize) -> Option<SubInstan
             _ => None,
         };
         if let Some(kind) = kind {
-            failures.push(np_topology::Failure { name: failure.name.clone(), kind });
+            failures.push(np_topology::Failure {
+                name: failure.name.clone(),
+                kind,
+            });
         }
     }
     let net = Network::new(
@@ -223,6 +262,7 @@ fn extract_region(net: &Network, region: &[usize], r: usize) -> Option<SubInstan
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::master::solve_master;
     use crate::pipeline::validate_plan;
     use np_topology::{generator::GeneratorConfig, TopologyPreset};
 
@@ -234,7 +274,7 @@ mod tests {
         assert!(region.iter().all(|&r| r < 3));
         // Every region non-empty for a 12-site topology.
         for r in 0..3 {
-            assert!(region.iter().any(|&x| x == r), "region {r} empty");
+            assert!(region.contains(&r), "region {r} empty");
         }
     }
 
@@ -260,8 +300,7 @@ mod tests {
         // The heuristic's whole point: regional myopia costs something
         // (or at best ties the global solve).
         let net = GeneratorConfig::a_variant(0.0).generate();
-        let decomposed =
-            solve_decomposed(&net, EvalConfig::default(), 10.0, 2).unwrap();
+        let decomposed = solve_decomposed(&net, EvalConfig::default(), 10.0, 2).unwrap();
         let mut evaluator = PlanEvaluator::new(&net, EvalConfig::default());
         let global = solve_master(
             &net,
@@ -285,6 +324,171 @@ mod tests {
             decomposed.cost,
             global.cost
         );
+    }
+
+    /// A minimal valid planning instance whose only interesting content
+    /// is the site positions: a fiber/link ring, no flows, no failures.
+    fn positions_net(positions: &[(f64, f64)]) -> Network {
+        use np_topology::{Fiber, FiberId, IpLink, Site};
+        let n = positions.len();
+        assert!(n >= 3, "ring construction needs >= 3 sites");
+        let sites = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &pos)| Site {
+                name: format!("s{i}"),
+                pos,
+                is_datacenter: false,
+            })
+            .collect();
+        let fibers = (0..n)
+            .map(|i| {
+                let j = (i + 1) % n;
+                Fiber {
+                    endpoints: (SiteId::new(i.min(j)), SiteId::new(i.max(j))),
+                    length_km: 1.0,
+                    spectrum_ghz: 4800.0,
+                    build_cost: 1.0,
+                }
+            })
+            .collect();
+        let links = (0..n)
+            .map(|i| {
+                let j = (i + 1) % n;
+                IpLink {
+                    src: SiteId::new(i.min(j)),
+                    dst: SiteId::new(i.max(j)),
+                    fiber_path: vec![(FiberId::new(i), 1.0)],
+                    capacity_units: 0,
+                    min_units: 0,
+                    length_km: 1.0,
+                }
+            })
+            .collect();
+        Network::new(
+            sites,
+            fibers,
+            links,
+            vec![],
+            vec![],
+            Default::default(),
+            Default::default(),
+            100.0,
+        )
+        .expect("ring instance is valid")
+    }
+
+    /// Positions with an exact centroid at the origin: every sampled
+    /// point is paired with its reflection.
+    fn symmetric_positions(polar: &[(f64, f64)]) -> Vec<(f64, f64)> {
+        let mut out = Vec::with_capacity(polar.len() * 2);
+        for &(theta, r) in polar {
+            let p = (r * theta.cos(), r * theta.sin());
+            out.push(p);
+            out.push((-p.0, -p.1));
+        }
+        out
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn regions_are_in_range_and_cover_0_to_k(
+                polar in proptest::collection::vec((0.0f64..std::f64::consts::TAU, 0.5f64..10.0), 2..8),
+                k in 1usize..9,
+            ) {
+                let net = positions_net(&symmetric_positions(&polar));
+                let n = net.sites().len();
+                let region = angular_regions(&net, k);
+                let k_eff = k.clamp(1, n);
+                prop_assert_eq!(region.len(), n);
+                prop_assert!(region.iter().all(|&r| r < k_eff));
+                // Non-empty for every region index when k <= n.
+                if k <= n {
+                    for r in 0..k_eff {
+                        prop_assert!(
+                            region.contains(&r),
+                            "region {} empty with k={} n={}", r, k, n
+                        );
+                    }
+                }
+                // Contiguous angular sectors are balanced: sizes differ by
+                // at most one.
+                let mut sizes = vec![0usize; k_eff];
+                for &r in &region {
+                    sizes[r] += 1;
+                }
+                let (lo, hi) =
+                    (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                prop_assert!(hi - lo <= 1, "unbalanced sizes {:?}", sizes);
+            }
+
+            #[test]
+            fn assignment_ignores_radius_at_equal_angles(
+                polar in proptest::collection::vec((0.0f64..std::f64::consts::TAU, 0.5f64..10.0), 2..6),
+                theta in 0.0f64..std::f64::consts::TAU,
+                (r1, r2) in (0.5f64..10.0, 0.5f64..10.0),
+                k in 1usize..6,
+            ) {
+                // Two sites on the same ray from the centroid (equal
+                // angular position, different radii), centroid pinned at
+                // the origin by reflected partners. Swapping which site
+                // carries which radius may reorder the tied sites in the
+                // angular sort, so regions may permute *within* each
+                // equal-angle pair — but never leak outside it: every
+                // other site keeps its region and region sizes are
+                // unchanged.
+                let mut polar_a = polar.clone();
+                polar_a.push((theta, r1));
+                polar_a.push((theta, r2));
+                let mut polar_b = polar;
+                polar_b.push((theta, r2));
+                polar_b.push((theta, r1));
+                let net_a = positions_net(&symmetric_positions(&polar_a));
+                let net_b = positions_net(&symmetric_positions(&polar_b));
+                let ra = angular_regions(&net_a, k);
+                let rb = angular_regions(&net_b, k);
+                let n = ra.len();
+                // symmetric_positions interleaves reflections: the added
+                // pair sits at indices n-4 / n-2, its reflections (also an
+                // equal-angle pair) at n-3 / n-1.
+                for i in 0..n - 4 {
+                    prop_assert_eq!(
+                        ra[i], rb[i],
+                        "site {} outside the tied pairs moved region", i
+                    );
+                }
+                for pair in [[n - 4, n - 2], [n - 3, n - 1]] {
+                    let mut a = [ra[pair[0]], ra[pair[1]]];
+                    let mut b = [rb[pair[0]], rb[pair[1]]];
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    prop_assert_eq!(a, b, "tied pair changed its region multiset");
+                }
+                let sizes = |r: &[usize]| {
+                    let mut s = vec![0usize; k];
+                    for &x in r {
+                        s[x] += 1;
+                    }
+                    s
+                };
+                prop_assert_eq!(sizes(&ra), sizes(&rb), "region sizes changed");
+            }
+
+            #[test]
+            fn assignment_is_deterministic(
+                polar in proptest::collection::vec((0.0f64..std::f64::consts::TAU, 0.5f64..10.0), 2..8),
+                k in 1usize..9,
+            ) {
+                let net = positions_net(&symmetric_positions(&polar));
+                prop_assert_eq!(angular_regions(&net, k), angular_regions(&net, k));
+            }
+        }
     }
 
     #[test]

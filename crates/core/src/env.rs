@@ -30,7 +30,12 @@ pub struct PlanningEnv {
 impl PlanningEnv {
     /// Build the environment. `reward_norm` must be a positive cost scale
     /// (callers use the greedy reference plan's cost).
-    pub fn new(net: Network, eval_cfg: EvalConfig, num_unit_choices: usize, reward_norm: f64) -> Self {
+    pub fn new(
+        net: Network,
+        eval_cfg: EvalConfig,
+        num_unit_choices: usize,
+        reward_norm: f64,
+    ) -> Self {
         assert!(num_unit_choices >= 1);
         assert!(reward_norm > 0.0, "reward normalizer must be positive");
         let adjacency = {
@@ -61,12 +66,26 @@ impl PlanningEnv {
         const F: usize = 5;
         let mut m = Matrix::zeros(n, F);
         for (i, link) in links.iter().enumerate() {
-            let added = link.capacity_units.saturating_sub(self.net.base_units(LinkId::new(i)));
+            let added = link
+                .capacity_units
+                .saturating_sub(self.net.base_units(LinkId::new(i)));
             m.set(i, 0, f64::from(link.capacity_units));
             m.set(i, 1, f64::from(added));
             m.set(i, 2, link.length_km);
-            m.set(i, 3, f64::from(self.net.spectrum_room_units(LinkId::new(i)).min(1_000)));
-            m.set(i, 4, if self.net.base_units(LinkId::new(i)) == 0 { 1.0 } else { 0.0 });
+            m.set(
+                i,
+                3,
+                f64::from(self.net.spectrum_room_units(LinkId::new(i)).min(1_000)),
+            );
+            m.set(
+                i,
+                4,
+                if self.net.base_units(LinkId::new(i)) == 0 {
+                    1.0
+                } else {
+                    0.0
+                },
+            );
         }
         // Column-wise standardization.
         for c in 0..F {
@@ -81,7 +100,11 @@ impl PlanningEnv {
             }
             let std = (var / n as f64).sqrt();
             for r in 0..n {
-                let v = if std > 1e-9 { (m.get(r, c) - mean) / std } else { 0.0 };
+                let v = if std > 1e-9 {
+                    (m.get(r, c) - mean) / std
+                } else {
+                    0.0
+                };
                 m.set(r, c, v);
             }
         }
@@ -102,7 +125,10 @@ impl PlanningEnv {
     }
 
     fn observation(&self) -> Observation {
-        Observation { features: self.features(), action_mask: self.mask() }
+        Observation {
+            features: self.features(),
+            action_mask: self.mask(),
+        }
     }
 
     /// The cheapest feasible plan found so far, if any.
@@ -170,9 +196,14 @@ impl GraphEnv for PlanningEnv {
         self.steps_taken += 1;
         let (node, units) = self.decode_action(action);
         let link = LinkId::new(node);
-        debug_assert!(self.net.can_add_units(link, units), "masked action leaked through");
+        debug_assert!(
+            self.net.can_add_units(link, units),
+            "masked action leaked through"
+        );
         let marginal = self.net.marginal_cost(link, units);
-        self.net.add_units(link, units).expect("action mask guarantees spectrum room");
+        self.net
+            .add_units(link, units)
+            .expect("action mask guarantees spectrum room");
         let reward = -(marginal / self.reward_norm).min(1.0);
         self.refresh_caps();
         let caps = std::mem::take(&mut self.caps_scratch);
@@ -181,7 +212,7 @@ impl GraphEnv for PlanningEnv {
         let done = outcome.feasible;
         if done {
             let cost = self.net.plan_cost();
-            if self.best.as_ref().map_or(true, |(c, _)| cost < *c) {
+            if self.best.as_ref().is_none_or(|(c, _)| cost < *c) {
                 self.best = Some((cost, self.net.snapshot()));
             }
         }
@@ -240,10 +271,16 @@ mod tests {
         e.step(0);
         e.step(5);
         let obs = e.reset();
-        let base: Vec<u32> =
-            e.network().link_ids().map(|l| e.network().base_units(l)).collect();
-        let now: Vec<u32> =
-            e.network().link_ids().map(|l| e.network().link(l).capacity_units).collect();
+        let base: Vec<u32> = e
+            .network()
+            .link_ids()
+            .map(|l| e.network().base_units(l))
+            .collect();
+        let now: Vec<u32> = e
+            .network()
+            .link_ids()
+            .map(|l| e.network().link(l).capacity_units)
+            .collect();
         assert_eq!(base, now);
         assert!(obs.has_valid_action());
     }
@@ -273,7 +310,10 @@ mod tests {
                 break;
             }
         }
-        assert!(done, "round-robin filling must eventually satisfy the demands");
+        assert!(
+            done,
+            "round-robin filling must eventually satisfy the demands"
+        );
         let (cost, snap) = e.best_plan().expect("feasible plan recorded").clone();
         assert!(cost > 0.0);
         assert_eq!(snap.as_slice().len(), e.network().links().len());

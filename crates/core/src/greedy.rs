@@ -58,7 +58,7 @@ pub fn greedy_augment(net: &mut Network, eval_cfg: EvalConfig) -> Result<f64, Gr
                     }
                     let marginal = net.marginal_cost(link, 1).max(1e-9);
                     let score = w * net.unit_gbps / marginal;
-                    if best.map_or(true, |(s, _)| score > s) {
+                    if best.is_none_or(|(s, _)| score > s) {
                         best = Some((score, link));
                     }
                 }
@@ -73,9 +73,8 @@ pub fn greedy_augment(net: &mut Network, eval_cfg: EvalConfig) -> Result<f64, Gr
                     .find(|&&(l, _)| l == link)
                     .map(|&(_, w)| w)
                     .expect("chosen link is in the cut");
-                let deficit = -(cut.slack(|l| {
-                    f64::from(net.link(l).capacity_units) * net.unit_gbps
-                }));
+                let deficit =
+                    -(cut.slack(|l| f64::from(net.link(l).capacity_units) * net.unit_gbps));
                 let wanted = ((deficit / (w * net.unit_gbps)).ceil() as u32).max(1);
                 let room = net.spectrum_room_units(link);
                 let units = wanted.min(room).max(1);

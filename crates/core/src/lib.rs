@@ -35,9 +35,9 @@ pub mod report;
 
 pub use analysis::{analyze_plan, PlanAnalysis};
 pub use config::NeuroPlanConfig;
-pub use decompose::{solve_decomposed, DecomposedOutcome};
+pub use decompose::{solve_decomposed, solve_decomposed_telemetry, DecomposedOutcome};
 pub use env::PlanningEnv;
 pub use greedy::greedy_augment;
-pub use master::{solve_master, MasterConfig, MasterOutcome};
+pub use master::{solve_master, solve_master_telemetry, MasterConfig, MasterOutcome};
 pub use pipeline::{validate_plan, FirstStage, NeuroPlan, NeuroPlanResult};
-pub use report::PruningReport;
+pub use report::{PhaseReport, PruningReport};

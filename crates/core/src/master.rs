@@ -15,7 +15,8 @@
 
 use np_eval::{PlanEvaluator, Separation};
 use np_flow::MetricCut;
-use np_lp::{solve_mip, Cut, MipConfig, MipStatus, Model, Sense, SimplexConfig, VarId};
+use np_lp::{solve_mip_telemetry, Cut, MipConfig, MipStatus, Model, Sense, SimplexConfig, VarId};
+use np_telemetry::{sys, Telemetry};
 use np_topology::{LinkId, Network};
 
 /// Master-problem configuration.
@@ -86,7 +87,10 @@ impl MasterConfig {
             .zip(net.link_ids())
             .map(|(&u, l)| {
                 let relaxed = (f64::from(u) * alpha).ceil() as u32;
-                relaxed.clamp(net.link(l).min_units, spectrum[l.index()].max(net.link(l).min_units))
+                relaxed.clamp(
+                    net.link(l).min_units,
+                    spectrum[l.index()].max(net.link(l).min_units),
+                )
             })
             .collect()
     }
@@ -126,6 +130,20 @@ pub fn solve_master(
     evaluator: &mut PlanEvaluator,
     cfg: &MasterConfig,
 ) -> MasterOutcome {
+    solve_master_telemetry(net, evaluator, cfg, &Telemetry::noop())
+}
+
+/// [`solve_master`] reporting through `tel`: separation rounds, Benders
+/// rows generated, evaluator cut-reuse hits, incumbent improvements, and
+/// a `solve_master` span (the inner MILP reports its own `lp` counters).
+pub fn solve_master_telemetry(
+    net: &Network,
+    evaluator: &mut PlanEvaluator,
+    cfg: &MasterConfig,
+    tel: &Telemetry,
+) -> MasterOutcome {
+    let _solve_span = tel.span(sys::MASTER, "solve_master");
+    let reuse_before = evaluator.stats.cut_reuse_hits;
     let links: Vec<LinkId> = net.link_ids().collect();
     assert_eq!(cfg.upper_bounds.len(), links.len());
     let base: Vec<u32> = links.iter().map(|&l| net.base_units(l)).collect();
@@ -141,8 +159,7 @@ pub fn solve_master(
         .iter()
         .map(|&l| {
             let i = l.index();
-            let span =
-                f64::from((cfg.upper_bounds[i].max(base[i]) - base[i]) / gran);
+            let span = f64::from((cfg.upper_bounds[i].max(base[i]) - base[i]) / gran);
             let obj = g * net.unit_cost(l);
             model.add_var(format!("a_{l}"), 0.0, span, obj, true)
         })
@@ -208,6 +225,9 @@ pub fn solve_master(
     let links_ref = &links;
     let max_cuts = cfg.max_cuts_per_round;
     let mut caps = vec![0.0f64; links.len()];
+    let mut cut_rounds: u64 = 0;
+    let mut benders_rows: u64 = 0;
+    let mut structural_infeasible: u64 = 0;
     let mut separator = |x: &[f64]| -> Vec<Cut> {
         for (i, _) in links_ref.iter().enumerate() {
             caps[i] = (f64::from(base_ref[i]) + g * x[i].max(0.0)) * unit;
@@ -215,6 +235,7 @@ pub fn solve_master(
         match evaluator.separate(&caps, max_cuts) {
             Separation::Feasible => vec![],
             Separation::Cuts(cuts) => {
+                cut_rounds += 1;
                 let mut rows = Vec::new();
                 for (k, cut) in cuts.iter().enumerate() {
                     if let Some((coeffs, rhs)) = cut_to_row(cut, &avars, base_ref, unit, g) {
@@ -234,9 +255,11 @@ pub fn solve_master(
                         });
                     }
                 }
+                benders_rows += rows.len() as u64;
                 rows
             }
             Separation::StructurallyInfeasible(_) => {
+                structural_infeasible += 1;
                 // No capacities fix this: force the master infeasible.
                 vec![Cut {
                     name: "structurally-infeasible".into(),
@@ -247,7 +270,7 @@ pub fn solve_master(
             }
         }
     };
-    let sol = solve_mip(&model, &mip_cfg, Some(&mut separator));
+    let sol = solve_mip_telemetry(&model, &mip_cfg, Some(&mut separator), tel);
 
     let mut units: Vec<u32> = if sol.x.is_empty() {
         Vec::new()
@@ -267,11 +290,29 @@ pub fn solve_master(
         cost = plan_cost_of(net, &units);
     }
     // Fall back to (or prefer) the polished warm plan when it wins.
+    let mut incumbent_updates: u64 = 0;
+    if !units.is_empty() {
+        incumbent_updates += 1;
+    }
     if let Some((wu, wc)) = warm {
         if units.is_empty() || wc < cost {
             units = wu;
             cost = wc;
+            incumbent_updates += 1;
         }
+    }
+    if tel.is_enabled() {
+        tel.incr(sys::MASTER, "cut_rounds", cut_rounds);
+        tel.incr(sys::MASTER, "cuts_added", sol.cuts_added as u64);
+        tel.incr(sys::MASTER, "benders_rows", benders_rows);
+        tel.incr(sys::MASTER, "structural_infeasible", structural_infeasible);
+        tel.incr(
+            sys::MASTER,
+            "cut_reuse_hits",
+            evaluator.stats.cut_reuse_hits.saturating_sub(reuse_before),
+        );
+        tel.incr(sys::MASTER, "incumbent_updates", incumbent_updates);
+        tel.record(sys::MASTER, "best_cost", cost);
     }
     MasterOutcome {
         status: sol.status,
@@ -299,10 +340,14 @@ pub fn plan_cost_of(net: &Network, units: &[u32]) -> f64 {
 pub fn polish_units(net: &Network, evaluator: &mut PlanEvaluator, units: &mut [u32]) {
     let mut order: Vec<LinkId> = net.link_ids().collect();
     order.sort_by(|&a, &b| {
-        net.unit_cost(b).partial_cmp(&net.unit_cost(a)).expect("costs are finite")
+        net.unit_cost(b)
+            .partial_cmp(&net.unit_cost(a))
+            .expect("costs are finite")
     });
-    let mut caps: Vec<f64> =
-        units.iter().map(|&u| f64::from(u) * net.unit_gbps).collect();
+    let mut caps: Vec<f64> = units
+        .iter()
+        .map(|&u| f64::from(u) * net.unit_gbps)
+        .collect();
     loop {
         let mut improved = false;
         for &l in &order {
@@ -369,8 +414,10 @@ fn cg_round(coeffs: &[(VarId, f64)], rhs: f64) -> Option<(Vec<(VarId, f64)>, f64
     if delta <= 0.0 {
         return None;
     }
-    let rounded: Vec<(VarId, f64)> =
-        coeffs.iter().map(|&(v, w)| (v, (w / delta - 1e-12).ceil().max(1.0))).collect();
+    let rounded: Vec<(VarId, f64)> = coeffs
+        .iter()
+        .map(|&(v, w)| (v, (w / delta - 1e-12).ceil().max(1.0)))
+        .collect();
     let r = (rhs / delta - 1e-12).ceil();
     if r <= 0.0 {
         return None;
@@ -384,7 +431,8 @@ pub fn apply_units(net: &mut Network, units: &[u32]) {
     let ids: Vec<LinkId> = net.link_ids().collect();
     for &l in &ids {
         if units[l.index()] < net.link(l).capacity_units {
-            net.set_units(l, units[l.index()]).expect("reductions always fit spectrum");
+            net.set_units(l, units[l.index()])
+                .expect("reductions always fit spectrum");
         }
     }
     for &l in &ids {
@@ -455,7 +503,10 @@ mod tests {
         let mut net2 = net.clone();
         apply_units(&mut net2, &out.units);
         let mut fresh = PlanEvaluator::new(&net2, EvalConfig::default());
-        assert!(fresh.check_network(&net2).feasible, "master plan must be feasible");
+        assert!(
+            fresh.check_network(&net2).feasible,
+            "master plan must be feasible"
+        );
         assert!(
             (net2.plan_cost() - out.cost).abs() <= 1e-6 * out.cost.abs().max(1.0),
             "master objective {} must equal Eq. 1 cost {}",
@@ -470,8 +521,10 @@ mod tests {
         // Feasible reference plan for bounds.
         let mut ref_net = net.clone();
         crate::greedy_augment(&mut ref_net, EvalConfig::default()).unwrap();
-        let plan: Vec<u32> =
-            ref_net.link_ids().map(|l| ref_net.link(l).capacity_units).collect();
+        let plan: Vec<u32> = ref_net
+            .link_ids()
+            .map(|l| ref_net.link(l).capacity_units)
+            .collect();
         let run = |alpha: f64| {
             let mut evaluator = PlanEvaluator::new(&net, EvalConfig::default());
             let cfg = MasterConfig {
@@ -525,7 +578,10 @@ mod tests {
             .collect();
         assert!(!seeds.is_empty());
         let mut ev2 = PlanEvaluator::new(&net, EvalConfig::default());
-        let cfg2 = MasterConfig { seed_cuts: seeds, ..base_cfg };
+        let cfg2 = MasterConfig {
+            seed_cuts: seeds,
+            ..base_cfg
+        };
         let second = solve_master(&net, &mut ev2, &cfg2);
         // Same practical optimum either way (cuts_added counts GMI rows
         // too and is not monotone, so only the cost is asserted — within

@@ -3,11 +3,12 @@
 use crate::config::NeuroPlanConfig;
 use crate::env::PlanningEnv;
 use crate::greedy::greedy_augment;
-use crate::master::{apply_units, solve_master, MasterConfig, MasterOutcome};
+use crate::master::{apply_units, solve_master_telemetry, MasterConfig, MasterOutcome};
 use crate::report::PruningReport;
 use np_eval::EvalStats;
 use np_flow::MetricCut;
-use np_rl::{train, ActorCritic, GraphEnv, TrainReport};
+use np_rl::{train_telemetry, ActorCritic, GraphEnv, TrainReport};
+use np_telemetry::{sys, Telemetry};
 use np_topology::Network;
 
 /// Outputs of the RL stage.
@@ -58,12 +59,23 @@ pub struct NeuroPlanResult {
 pub struct NeuroPlan {
     /// Pipeline configuration.
     pub cfg: NeuroPlanConfig,
+    /// Telemetry sink threaded through both stages (noop by default).
+    pub tel: Telemetry,
 }
 
 impl NeuroPlan {
     /// New planner with the given configuration.
     pub fn new(cfg: NeuroPlanConfig) -> Self {
-        NeuroPlan { cfg }
+        NeuroPlan {
+            cfg,
+            tel: Telemetry::noop(),
+        }
+    }
+
+    /// New planner reporting through `tel`: stage spans under `pipeline`,
+    /// plus the `rl`, `eval`, `master` and `lp` subsystem counters.
+    pub fn with_telemetry(cfg: NeuroPlanConfig, tel: Telemetry) -> Self {
+        NeuroPlan { cfg, tel }
     }
 
     /// Run both stages on a planning instance.
@@ -73,6 +85,7 @@ impl NeuroPlan {
     /// never produces such instances, and a user instance with that
     /// property has no plan at any cost.
     pub fn plan(&self, net: &Network) -> NeuroPlanResult {
+        let _plan_span = self.tel.span(sys::PIPELINE, "plan");
         let first = self.first_stage(net);
         let FirstStage {
             units: first_units,
@@ -86,12 +99,11 @@ impl NeuroPlan {
             self.second_stage(net, &first_units, first_cost, seed_cuts, &mut eval_stats);
         // Final plan: the master incumbent when it beats the first stage,
         // otherwise the first-stage plan itself.
-        let (final_cost, final_units) =
-            if master.has_plan() && master.cost < first_cost {
-                (master.cost, master.units.clone())
-            } else {
-                (first_cost, first_units.clone())
-            };
+        let (final_cost, final_units) = if master.has_plan() && master.cost < first_cost {
+            (master.cost, master.units.clone())
+        } else {
+            (first_cost, first_units.clone())
+        };
         NeuroPlanResult {
             first_stage_cost: first_cost,
             first_stage_units: first_units,
@@ -108,12 +120,15 @@ impl NeuroPlan {
     /// greedy certificate-guided plan provides the reward normalizer and
     /// the fallback if training never completes a trajectory.
     pub fn first_stage(&self, net: &Network) -> FirstStage {
+        let _stage_span = self.tel.span(sys::PIPELINE, "first_stage");
         // Reference plan: reward scale + fallback.
         let mut ref_net = net.clone();
         let ref_cost = greedy_augment(&mut ref_net, self.cfg.eval)
             .expect("planning instance must admit a feasible plan");
-        let ref_units: Vec<u32> =
-            ref_net.link_ids().map(|l| ref_net.link(l).capacity_units).collect();
+        let ref_units: Vec<u32> = ref_net
+            .link_ids()
+            .map(|l| ref_net.link(l).capacity_units)
+            .collect();
         let norm = ref_cost.max(1e-6);
 
         let mut env = PlanningEnv::new(
@@ -122,13 +137,14 @@ impl NeuroPlan {
             self.cfg.max_units_per_step,
             norm,
         );
+        env.evaluator_mut().set_telemetry(self.tel.clone());
         let mut agent = ActorCritic::new(
             env.adjacency().clone(),
             env.feature_dim(),
             self.cfg.max_units_per_step,
             &self.cfg.agent,
         );
-        let report = train(&mut env, &mut agent, &self.cfg.train);
+        let report = train_telemetry(&mut env, &mut agent, &self.cfg.train, &self.tel);
 
         // Final rollouts: stochastic samples plus one greedy decode.
         agent.reseed_sampling(self.cfg.seed ^ 0xdead_beef);
@@ -186,11 +202,13 @@ impl NeuroPlan {
         seed_cuts: Vec<MetricCut>,
         eval_stats: &mut EvalStats,
     ) -> (MasterOutcome, PruningReport) {
+        let _stage_span = self.tel.span(sys::PIPELINE, "second_stage");
         let spectrum = MasterConfig::spectrum_bounds(net);
         let bounds = MasterConfig::pruned_bounds(net, first_units, self.cfg.relax_factor);
         let pruning =
             PruningReport::new(net, first_units, &bounds, &spectrum, self.cfg.relax_factor);
-        let mut evaluator = np_eval::PlanEvaluator::new(net, self.cfg.eval);
+        let mut evaluator =
+            np_eval::PlanEvaluator::with_telemetry(net, self.cfg.eval, self.tel.clone());
         let cfg = MasterConfig {
             upper_bounds: bounds,
             // The first-stage plan is feasible inside the pruned bounds, so
@@ -206,7 +224,7 @@ impl NeuroPlan {
             // as the incumbent, never return anything worse.
             warm_units: Some(first_units.to_vec()),
         };
-        let outcome = solve_master(net, &mut evaluator, &cfg);
+        let outcome = solve_master_telemetry(net, &mut evaluator, &cfg, &self.tel);
         eval_stats.merge(&evaluator.take_stats());
         (outcome, pruning)
     }

@@ -1,0 +1,137 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock harness behind the `Criterion::bench_function` /
+//! `Bencher::iter` surface: warm up briefly, auto-scale the iteration
+//! count to a fixed measurement budget, report the median of several
+//! samples in ns/iter. No statistics beyond that, no HTML reports.
+//!
+//! `cargo test` also runs `harness = false` bench binaries; cargo passes
+//! `--test` in that mode, and we then run each benchmark body exactly
+//! once as a smoke test, so the test suite stays fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark measurement budget.
+const WARMUP: Duration = Duration::from_millis(20);
+const MEASURE: Duration = Duration::from_millis(200);
+const SAMPLES: usize = 7;
+
+/// The benchmark registry/driver.
+pub struct Criterion {
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test`, bench binaries are invoked with `--test`;
+        // `--list` is the libtest protocol for test enumeration.
+        let smoke_test = std::env::args().any(|a| a == "--test" || a == "--list");
+        Criterion { smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Time `f` (which receives a [`Bencher`]) and print the result.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            smoke_test: self.smoke_test,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        if self.smoke_test {
+            println!("{name}: ok (smoke test)");
+        } else if !b.samples.is_empty() {
+            b.samples.sort_unstable();
+            let median = b.samples[b.samples.len() / 2];
+            let lo = b.samples[0];
+            let hi = b.samples[b.samples.len() - 1];
+            println!("{name}: {median} ns/iter (min {lo}, max {hi}, {SAMPLES} samples)");
+        }
+        self
+    }
+}
+
+/// Handed to each benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    smoke_test: bool,
+    samples: Vec<u64>,
+}
+
+impl Bencher {
+    /// Measure `f`, keeping its return value alive via `black_box`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke_test {
+            black_box(f());
+            return;
+        }
+        // Warmup while calibrating how many iterations fit the budget.
+        let warm_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            calib_iters += 1;
+        }
+        let per_iter = WARMUP.as_nanos() as u64 / calib_iters.max(1);
+        let per_sample =
+            (MEASURE.as_nanos() as u64 / u64::try_from(SAMPLES).unwrap() / per_iter.max(1)).max(1);
+        self.samples = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..per_sample {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as u64 / per_sample
+            })
+            .collect();
+    }
+}
+
+/// Group benchmark functions under one entry function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut b = Bencher {
+            smoke_test: false,
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(1u64 + 1));
+        assert_eq!(b.samples.len(), SAMPLES);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once_without_sampling() {
+        let mut count = 0;
+        let mut b = Bencher {
+            smoke_test: true,
+            samples: Vec::new(),
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert!(b.samples.is_empty());
+    }
+}

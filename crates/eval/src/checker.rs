@@ -188,7 +188,10 @@ fn mwu_verdict(
         let cf = max_concurrent_flow(
             &ctx.graph,
             &ctx.commodities,
-            &MwuConfig { epsilon: eps, ..Default::default() },
+            &MwuConfig {
+                epsilon: eps,
+                ..Default::default()
+            },
         );
         if cf.is_feasible() {
             return Verdict::Feasible;
@@ -236,7 +239,7 @@ pub fn exact_lp_verdict(ctx: &ScenarioCtx) -> Verdict {
         traffic[si][c.dst] -= c.demand;
     }
     for (si, _) in sources.iter().enumerate() {
-        for v in 0..n {
+        for (v, &net_demand) in traffic[si].iter().enumerate().take(n) {
             let mut coeffs: Vec<(np_lp::VarId, f64)> = Vec::new();
             for (a, arc) in graph.arcs().iter().enumerate() {
                 if arc.from == v {
@@ -245,7 +248,7 @@ pub fn exact_lp_verdict(ctx: &ScenarioCtx) -> Verdict {
                     coeffs.push((fvar[si * na + a], -1.0));
                 }
             }
-            coeffs.push((lambda, -traffic[si][v]));
+            coeffs.push((lambda, -net_demand));
             if coeffs.is_empty() {
                 continue;
             }
@@ -254,8 +257,9 @@ pub fn exact_lp_verdict(ctx: &ScenarioCtx) -> Verdict {
     }
     let cap_row_start = model.num_constrs();
     for (a, arc) in graph.arcs().iter().enumerate() {
-        let coeffs: Vec<(np_lp::VarId, f64)> =
-            (0..sources.len()).map(|si| (fvar[si * na + a], 1.0)).collect();
+        let coeffs: Vec<(np_lp::VarId, f64)> = (0..sources.len())
+            .map(|si| (fvar[si * na + a], 1.0))
+            .collect();
         model.add_constr(format!("cap{a}"), coeffs, Sense::Le, arc.cap);
     }
     let sol = solve_lp(&model, &SimplexConfig::default());
@@ -266,8 +270,9 @@ pub fn exact_lp_verdict(ctx: &ScenarioCtx) -> Verdict {
                 return Verdict::Feasible;
             }
             // Capacity duals → lengths → exactly-verified cut.
-            let lengths: Vec<f64> =
-                (0..na).map(|a| sol.duals[cap_row_start + a].abs()).collect();
+            let lengths: Vec<f64> = (0..na)
+                .map(|a| sol.duals[cap_row_start + a].abs())
+                .collect();
             let cut = extract_cut(graph, &ctx.commodities, &lengths);
             Verdict::Infeasible(cut)
         }
@@ -302,7 +307,10 @@ mod tests {
         let net = preset_network(TopologyPreset::A);
         let ctx = ctx_with_caps(&net, |_| 1e6);
         for backend in [Backend::Auto, Backend::Mwu, Backend::ExactLp] {
-            let cfg = CheckConfig { backend, ..Default::default() };
+            let cfg = CheckConfig {
+                backend,
+                ..Default::default()
+            };
             let v = check_scenario(&ctx, &cfg, &mut stats());
             assert!(v.is_feasible(), "{backend:?} must accept abundant capacity");
         }
@@ -313,7 +321,10 @@ mod tests {
         let net = preset_network(TopologyPreset::A);
         let ctx = ctx_with_caps(&net, |_| 0.0);
         for backend in [Backend::Auto, Backend::Mwu, Backend::ExactLp] {
-            let cfg = CheckConfig { backend, ..Default::default() };
+            let cfg = CheckConfig {
+                backend,
+                ..Default::default()
+            };
             let v = check_scenario(&ctx, &cfg, &mut stats());
             assert!(!v.is_feasible(), "{backend:?} must reject zero capacity");
         }
@@ -326,7 +337,10 @@ mod tests {
         // (allowed, conservative) disagreement in the approximate band.
         let net = GeneratorConfig::a_variant(1.0).generate();
         let auto = CheckConfig::default();
-        let exact = CheckConfig { backend: Backend::ExactLp, ..Default::default() };
+        let exact = CheckConfig {
+            backend: Backend::ExactLp,
+            ..Default::default()
+        };
         for scale in [0.2, 0.6, 1.5, 3.0] {
             let caps = |l: LinkId| net.capacity_gbps(l) * scale + 1.0;
             let ctx = ctx_with_caps(&net, caps);
@@ -361,7 +375,10 @@ mod tests {
             panic!("expected an infeasible verdict with a cut, got {v:?}");
         };
         assert!(cut.is_violated(|_| 0.0));
-        assert!(st.degree_cut_hits > 0, "the degree shortcut should have fired");
+        assert!(
+            st.degree_cut_hits > 0,
+            "the degree shortcut should have fired"
+        );
     }
 
     #[test]

@@ -5,8 +5,13 @@ use crate::checker::{check_scenario, CheckConfig, Verdict};
 use crate::scenario::{build_all, ScenarioCtx};
 use crate::stats::EvalStats;
 use np_flow::MetricCut;
+use np_telemetry::{sys, Telemetry};
 use np_topology::{LinkId, Network};
 use std::time::Instant;
+
+/// Per-worker result of a parallel scenario scan: the chunk's offset, its
+/// `(index, verdict)` pairs, and the worker's accumulated stats.
+type WorkerScan = (usize, Vec<(usize, Verdict)>, EvalStats);
 
 /// Evaluator configuration: which paper optimizations are active. The
 /// Fig. 7 harness toggles these to reproduce *Vanilla*, *SA* and
@@ -54,7 +59,11 @@ impl EvalConfig {
 
     /// The paper's *SA* evaluator: source aggregation only.
     pub fn sa_only() -> Self {
-        EvalConfig { stateful: false, reuse_certificates: false, ..Default::default() }
+        EvalConfig {
+            stateful: false,
+            reuse_certificates: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -93,14 +102,56 @@ pub struct PlanEvaluator {
     cursor: usize,
     /// Aggregated instrumentation (reset with [`PlanEvaluator::take_stats`]).
     pub stats: EvalStats,
+    tel: Telemetry,
+    /// Snapshot of `stats` at the last telemetry publish, so only deltas
+    /// are emitted (counters are monotone between publishes).
+    published: EvalStats,
 }
 
 impl PlanEvaluator {
     /// Build an evaluator for a planning instance.
     pub fn new(net: &Network, cfg: EvalConfig) -> Self {
+        Self::with_telemetry(net, cfg, Telemetry::noop())
+    }
+
+    /// Build an evaluator that reports its [`EvalStats`] counters through
+    /// `tel` under the `eval` subsystem. Serial and parallel evaluation
+    /// publish through the same merged stats block, so worker count never
+    /// changes the counter names or their meanings.
+    pub fn with_telemetry(net: &Network, cfg: EvalConfig, tel: Telemetry) -> Self {
         let ctxs = build_all(net, cfg.source_aggregation);
         let certs = vec![None; ctxs.len()];
-        PlanEvaluator { cfg, ctxs, certs, cursor: 0, stats: EvalStats::default() }
+        PlanEvaluator {
+            cfg,
+            ctxs,
+            certs,
+            cursor: 0,
+            stats: EvalStats::default(),
+            tel,
+            published: EvalStats::default(),
+        }
+    }
+
+    /// Swap the telemetry sink (e.g. attach one after construction).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+        self.published = self.stats.clone();
+    }
+
+    /// Emit the counter deltas accumulated since the last publish.
+    fn publish_stats(&mut self) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        for ((name, now), (_, before)) in self
+            .stats
+            .counter_fields()
+            .iter()
+            .zip(self.published.counter_fields())
+        {
+            self.tel.incr(sys::EVAL, name, now.saturating_sub(before));
+        }
+        self.published = self.stats.clone();
     }
 
     /// Number of scenarios (no-failure + failures).
@@ -116,17 +167,23 @@ impl PlanEvaluator {
 
     /// Collect and clear the accumulated statistics.
     pub fn take_stats(&mut self) -> EvalStats {
+        self.publish_stats();
+        self.published = EvalStats::default();
         std::mem::take(&mut self.stats)
     }
 
     /// Evaluate per-link capacities (Gbps, indexed by `LinkId`) against
     /// all scenarios.
     pub fn check(&mut self, caps_gbps: &[f64]) -> TrajectoryCheck {
+        let _check_span = self.tel.span(sys::EVAL, "check");
         let t0 = Instant::now();
         let start = if self.cfg.stateful { self.cursor } else { 0 };
         self.stats.stateful_skips += start as u64;
-        let mut outcome =
-            TrajectoryCheck { feasible: true, first_violated: None, structural: false };
+        let mut outcome = TrajectoryCheck {
+            feasible: true,
+            first_violated: None,
+            structural: false,
+        };
         let total = self.ctxs.len();
         let mut idx = start;
         while idx < total {
@@ -169,6 +226,7 @@ impl PlanEvaluator {
             }
         }
         self.stats.elapsed += t0.elapsed();
+        self.publish_stats();
         outcome
     }
 
@@ -205,46 +263,49 @@ impl PlanEvaluator {
         let chunk = (total - start).div_ceil(workers);
         let tail = &mut self.ctxs[start..];
         let certs_tail = &mut self.certs[start..];
-        let results: Vec<(usize, Vec<(usize, Verdict)>, EvalStats)> =
-            crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (w, (ctx_chunk, cert_chunk)) in
-                    tail.chunks_mut(chunk).zip(certs_tail.chunks_mut(chunk)).enumerate()
-                {
-                    let caps_ref = &caps;
-                    handles.push(scope.spawn(move |_| {
-                        let mut st = EvalStats::default();
-                        let mut verdicts = Vec::new();
-                        for (k, (ctx, cert)) in
-                            ctx_chunk.iter_mut().zip(cert_chunk.iter_mut()).enumerate()
+        let results: Vec<WorkerScan> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (w, (ctx_chunk, cert_chunk)) in tail
+                .chunks_mut(chunk)
+                .zip(certs_tail.chunks_mut(chunk))
+                .enumerate()
+            {
+                let caps_ref = &caps;
+                handles.push(scope.spawn(move || {
+                    let mut st = EvalStats::default();
+                    let mut verdicts = Vec::new();
+                    for (k, (ctx, cert)) in
+                        ctx_chunk.iter_mut().zip(cert_chunk.iter_mut()).enumerate()
+                    {
+                        let verdict = if cfg.reuse_certificates
+                            && cert
+                                .as_ref()
+                                .is_some_and(|c| c.is_violated(|l| caps_ref[l.index()]))
                         {
-                            let verdict = if cfg.reuse_certificates
-                                && cert
-                                    .as_ref()
-                                    .is_some_and(|c| c.is_violated(|l| caps_ref[l.index()]))
-                            {
-                                st.cut_reuse_hits += 1;
-                                Verdict::Infeasible(cert.clone())
-                            } else {
-                                ctx.refresh(|l| caps_ref[l.index()]);
-                                let v = check_scenario(ctx, &cfg.check, &mut st);
-                                if let Verdict::Infeasible(Some(cut)) = &v {
-                                    *cert = Some(cut.clone());
-                                }
-                                v
-                            };
-                            let bad = !verdict.is_feasible();
-                            verdicts.push((w * chunk + k, verdict));
-                            if bad {
-                                break; // later scenarios in this chunk can wait
+                            st.cut_reuse_hits += 1;
+                            Verdict::Infeasible(cert.clone())
+                        } else {
+                            ctx.refresh(|l| caps_ref[l.index()]);
+                            let v = check_scenario(ctx, &cfg.check, &mut st);
+                            if let Verdict::Infeasible(Some(cut)) = &v {
+                                *cert = Some(cut.clone());
                             }
+                            v
+                        };
+                        let bad = !verdict.is_feasible();
+                        verdicts.push((w * chunk + k, verdict));
+                        if bad {
+                            break; // later scenarios in this chunk can wait
                         }
-                        (w, verdicts, st)
-                    }));
-                }
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("scope");
+                    }
+                    (w, verdicts, st)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
         let mut first: Option<(usize, bool)> = None;
         for (_, verdicts, st) in results {
             self.stats.merge(&st);
@@ -252,7 +313,7 @@ impl PlanEvaluator {
                 if !v.is_feasible() {
                     let idx = start + off;
                     let structural = matches!(v, Verdict::StructurallyInfeasible);
-                    if first.map_or(true, |(f, _)| idx < f) {
+                    if first.is_none_or(|(f, _)| idx < f) {
                         first = Some((idx, structural));
                     }
                 }
@@ -269,6 +330,7 @@ impl PlanEvaluator {
     /// `max_cuts`). Uses the exact-capable Auto pipeline regardless of the
     /// RL-loop backend, so the master's acceptance is never approximate.
     pub fn separate(&mut self, caps_gbps: &[f64], max_cuts: usize) -> Separation {
+        let _separate_span = self.tel.span(sys::EVAL, "separate");
         let t0 = Instant::now();
         let mut cuts = Vec::new();
         for idx in 0..self.ctxs.len() {
@@ -293,6 +355,7 @@ impl PlanEvaluator {
                 Verdict::Feasible => {}
                 Verdict::StructurallyInfeasible => {
                     self.stats.elapsed += t0.elapsed();
+                    self.publish_stats();
                     return Separation::StructurallyInfeasible(idx);
                 }
                 Verdict::Infeasible(Some(cut)) => {
@@ -315,6 +378,7 @@ impl PlanEvaluator {
             }
         }
         self.stats.elapsed += t0.elapsed();
+        self.publish_stats();
         if cuts.is_empty() {
             Separation::Feasible
         } else {
@@ -413,8 +477,10 @@ mod tests {
         for scale in [0.0, 0.5, 20.0] {
             fast.reset();
             slow.reset();
-            let caps: Vec<f64> =
-                net.link_ids().map(|l| net.capacity_gbps(l) * scale).collect();
+            let caps: Vec<f64> = net
+                .link_ids()
+                .map(|l| net.capacity_gbps(l) * scale)
+                .collect();
             assert_eq!(
                 fast.check(&caps).feasible,
                 slow.check(&caps).feasible,
@@ -429,13 +495,18 @@ mod tests {
         let mut serial = PlanEvaluator::new(&net, EvalConfig::default());
         let mut parallel = PlanEvaluator::new(
             &net,
-            EvalConfig { parallel_workers: 4, ..EvalConfig::default() },
+            EvalConfig {
+                parallel_workers: 4,
+                ..EvalConfig::default()
+            },
         );
         for scale in [0.3, 2.0, 50.0] {
             serial.reset();
             parallel.reset();
-            let caps: Vec<f64> =
-                net.link_ids().map(|l| (net.capacity_gbps(l) + 10.0) * scale).collect();
+            let caps: Vec<f64> = net
+                .link_ids()
+                .map(|l| (net.capacity_gbps(l) + 10.0) * scale)
+                .collect();
             let a = serial.check(&caps);
             let b = parallel.check(&caps);
             assert_eq!(a.feasible, b.feasible, "scale {scale}");

@@ -28,7 +28,7 @@
 //! inequality or the LP; every feasibility answer by a primal flow or the
 //! LP — the approximation never decides anything unverified.
 //!
-//! Parallel failure groups (§5's multi-machine trick, here crossbeam
+//! Parallel failure groups (§5's multi-machine trick, here scoped-thread
 //! threads) are used when many scenarios must be checked at once.
 
 pub mod checker;

@@ -54,14 +54,23 @@ impl ScenarioCtx {
                 continue;
             }
             let flow = net.flow(flow_id);
-            raw.push(Commodity::new(flow.src.index(), flow.dst.index(), flow.demand_gbps));
+            raw.push(Commodity::new(
+                flow.src.index(),
+                flow.dst.index(),
+                flow.demand_gbps,
+            ));
         }
         let commodities = if source_aggregation {
             np_flow::commodity::merge_parallel(&raw)
         } else {
             raw
         };
-        ScenarioCtx { scenario, graph, arc_link, commodities }
+        ScenarioCtx {
+            scenario,
+            graph,
+            arc_link,
+            commodities,
+        }
     }
 
     /// Patch arc capacities from a per-link capacity function (Gbps).

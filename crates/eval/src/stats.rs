@@ -29,6 +29,23 @@ pub struct EvalStats {
 }
 
 impl EvalStats {
+    /// The integer counters as `(name, value)` pairs, in a stable order.
+    /// This is the bridge into the telemetry layer: serial and parallel
+    /// evaluation publish through the same merged block, so they report
+    /// the same counter names with the same meanings.
+    pub fn counter_fields(&self) -> [(&'static str, u64); 8] {
+        [
+            ("scenario_checks", self.scenario_checks),
+            ("stateful_skips", self.stateful_skips),
+            ("cut_reuse_hits", self.cut_reuse_hits),
+            ("degree_cut_hits", self.degree_cut_hits),
+            ("greedy_attempts", self.greedy_attempts),
+            ("greedy_hits", self.greedy_hits),
+            ("mwu_calls", self.mwu_calls),
+            ("lp_calls", self.lp_calls),
+        ]
+    }
+
     /// Merge another stats block into this one (used when joining
     /// parallel failure-group workers).
     pub fn merge(&mut self, other: &EvalStats) {
@@ -50,7 +67,11 @@ mod tests {
 
     #[test]
     fn merge_adds_componentwise() {
-        let mut a = EvalStats { scenario_checks: 2, greedy_hits: 1, ..Default::default() };
+        let mut a = EvalStats {
+            scenario_checks: 2,
+            greedy_hits: 1,
+            ..Default::default()
+        };
         let b = EvalStats {
             scenario_checks: 3,
             mwu_calls: 4,

@@ -1,0 +1,144 @@
+//! Parallel-vs-serial equivalence suite.
+//!
+//! The paper's "parallel failure groups" optimization must be invisible
+//! in every observable output: for any plan, the evaluator must return
+//! the same verdict, the same first violated scenario, and — via the
+//! telemetry layer — comparable work counters, whether it scans with 1,
+//! 2 or 4 workers.
+//!
+//! One asymmetry is inherent and asserted as such: on an *infeasible*
+//! plan, parallel workers may check scenarios past the first violation
+//! (they scan their own chunks concurrently), so parallel may do *more*
+//! scenario checks than serial — never fewer, and never with a different
+//! verdict. On *feasible* plans every scenario is checked exactly once
+//! either way, so the counters must match exactly.
+
+use np_eval::{EvalConfig, PlanEvaluator};
+use np_telemetry::Telemetry;
+use np_topology::generator::{preset_network, GeneratorConfig};
+use np_topology::{Network, TopologyPreset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn evaluator(net: &Network, workers: usize, tel: Telemetry) -> PlanEvaluator {
+    PlanEvaluator::with_telemetry(
+        net,
+        EvalConfig {
+            parallel_workers: workers,
+            ..EvalConfig::default()
+        },
+        tel,
+    )
+}
+
+/// A seeded random capacity plan: each link's current capacity scaled by
+/// a random factor in `[lo, hi)`.
+fn random_caps(net: &Network, rng: &mut StdRng, lo: f64, hi: f64) -> Vec<f64> {
+    net.link_ids()
+        .map(|l| (net.capacity_gbps(l) + 1.0) * rng.gen_range(lo..hi))
+        .collect()
+}
+
+#[test]
+fn worker_count_never_changes_the_verdict_sequence() {
+    let net = preset_network(TopologyPreset::B);
+    // Fresh evaluator per worker count; every variant sees the identical
+    // plan sequence, so stateful cursors and certificates evolve from the
+    // same inputs.
+    let mut evs: Vec<PlanEvaluator> = WORKER_COUNTS
+        .iter()
+        .map(|&w| evaluator(&net, w, Telemetry::noop()))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(42);
+    for round in 0..12 {
+        // Mix clearly-infeasible, borderline and abundant plans.
+        let caps = match round % 3 {
+            0 => random_caps(&net, &mut rng, 0.0, 0.4),
+            1 => random_caps(&net, &mut rng, 0.2, 2.0),
+            _ => random_caps(&net, &mut rng, 5.0, 50.0),
+        };
+        for ev in &mut evs {
+            ev.reset();
+        }
+        let baseline = evs[0].check(&caps);
+        for (k, ev) in evs.iter_mut().enumerate().skip(1) {
+            let got = ev.check(&caps);
+            assert_eq!(
+                got, baseline,
+                "round {round}: workers={} disagrees with serial",
+                WORKER_COUNTS[k]
+            );
+        }
+    }
+}
+
+#[test]
+fn feasible_plans_report_identical_telemetry_counters() {
+    let net = preset_network(TopologyPreset::B);
+    let mut rng = StdRng::seed_from_u64(7);
+    for round in 0..4 {
+        // Clearly abundant but still randomized per link, so each round
+        // exercises a different capacity vector.
+        let caps: Vec<f64> = net
+            .link_ids()
+            .map(|_| 1e5 * rng.gen_range(1.0..10.0))
+            .collect();
+        let mut reports = Vec::new();
+        for &w in &WORKER_COUNTS {
+            let tel = Telemetry::memory();
+            let mut ev = evaluator(&net, w, tel.clone());
+            let out = ev.check(&caps);
+            assert!(
+                out.feasible,
+                "round {round}: abundant capacity must be feasible"
+            );
+            reports.push((w, tel.counters()));
+        }
+        let (_, baseline) = &reports[0];
+        assert!(
+            baseline
+                .iter()
+                .any(|(_, n, v)| n == "scenario_checks" && *v > 0),
+            "serial run must actually check scenarios"
+        );
+        for (w, counters) in &reports[1..] {
+            assert_eq!(
+                counters, baseline,
+                "round {round}: workers={w} reported different counters on a \
+                 feasible plan"
+            );
+        }
+    }
+}
+
+#[test]
+fn infeasible_plans_agree_on_the_first_violation() {
+    let net = GeneratorConfig::a_variant(0.0).generate();
+    let mut rng = StdRng::seed_from_u64(1234);
+    for round in 0..8 {
+        let caps = random_caps(&net, &mut rng, 0.0, 0.5);
+        let mut outcomes = Vec::new();
+        for &w in &WORKER_COUNTS {
+            let tel = Telemetry::memory();
+            let mut ev = evaluator(&net, w, tel.clone());
+            let out = ev.check(&caps);
+            outcomes.push((w, out, tel.counter("eval", "scenario_checks")));
+        }
+        let (_, baseline, serial_checks) = outcomes[0].clone();
+        for (w, out, checks) in &outcomes[1..] {
+            assert_eq!(
+                out, &baseline,
+                "round {round}: workers={w} disagrees on the verdict"
+            );
+            if !baseline.feasible {
+                assert!(
+                    *checks >= serial_checks,
+                    "round {round}: workers={w} checked fewer scenarios ({checks}) \
+                     than serial ({serial_checks}) on an infeasible plan"
+                );
+            }
+        }
+    }
+}

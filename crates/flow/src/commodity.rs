@@ -22,7 +22,10 @@ impl Commodity {
     /// Create a commodity; demand must be positive and src ≠ dst.
     pub fn new(src: NodeId, dst: NodeId, demand: f64) -> Self {
         assert!(src != dst, "commodity endpoints must differ");
-        assert!(demand > 0.0 && demand.is_finite(), "demand must be positive");
+        assert!(
+            demand > 0.0 && demand.is_finite(),
+            "demand must be positive"
+        );
         Commodity { src, dst, demand }
     }
 }
@@ -58,7 +61,10 @@ mod tests {
             Commodity::new(0, 1, 3.0),
             Commodity::new(2, 1, 2.0),
         ]);
-        assert_eq!(merged, vec![Commodity::new(0, 1, 3.0), Commodity::new(2, 1, 7.0)]);
+        assert_eq!(
+            merged,
+            vec![Commodity::new(0, 1, 3.0), Commodity::new(2, 1, 7.0)]
+        );
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub fn shortest_paths_with(
                 continue;
             }
             let len = length(aid);
-            if !(len >= 0.0) || !len.is_finite() {
+            if len < 0.0 || !len.is_finite() {
                 continue;
             }
             let v = graph.arc(aid).to;

@@ -37,8 +37,12 @@ impl Dinic {
     /// appended after the graph's own (for super-sources/sinks).
     pub fn from_graph(graph: &FlowGraph, extra_nodes: usize) -> Self {
         let n = graph.num_nodes() + extra_nodes;
-        let mut d =
-            Dinic { edges: Vec::new(), head: vec![Vec::new(); n], level: vec![], iter: vec![] };
+        let mut d = Dinic {
+            edges: Vec::new(),
+            head: vec![Vec::new(); n],
+            level: vec![],
+            iter: vec![],
+        };
         for arc in graph.arcs() {
             d.add_edge(arc.from, arc.to, arc.cap);
         }
@@ -47,15 +51,28 @@ impl Dinic {
 
     /// A residual network with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        Dinic { edges: Vec::new(), head: vec![Vec::new(); n], level: vec![], iter: vec![] }
+        Dinic {
+            edges: Vec::new(),
+            head: vec![Vec::new(); n],
+            level: vec![],
+            iter: vec![],
+        }
     }
 
     /// Add a directed edge with capacity `cap`.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: f64) {
         assert!(cap >= 0.0 && cap.is_finite());
         let fwd = self.edges.len();
-        self.edges.push(Edge { to, cap, rev: fwd + 1 });
-        self.edges.push(Edge { to: from, cap: 0.0, rev: fwd });
+        self.edges.push(Edge {
+            to,
+            cap,
+            rev: fwd + 1,
+        });
+        self.edges.push(Edge {
+            to: from,
+            cap: 0.0,
+            rev: fwd,
+        });
         self.head[from].push(fwd);
         self.head[to].push(fwd + 1);
     }

@@ -39,7 +39,11 @@ pub struct FlowGraph {
 impl FlowGraph {
     /// An empty graph with `num_nodes` nodes.
     pub fn new(num_nodes: usize) -> Self {
-        FlowGraph { num_nodes, arcs: Vec::new(), out: vec![Vec::new(); num_nodes] }
+        FlowGraph {
+            num_nodes,
+            arcs: Vec::new(),
+            out: vec![Vec::new(); num_nodes],
+        }
     }
 
     /// Number of nodes.
@@ -70,10 +74,21 @@ impl FlowGraph {
     /// Add a directed arc; returns its id. Capacity must be non-negative
     /// and finite.
     pub fn add_arc(&mut self, from: NodeId, to: NodeId, cap: f64, link: Option<LinkId>) -> ArcId {
-        assert!(from < self.num_nodes && to < self.num_nodes, "arc endpoint out of range");
-        assert!(cap >= 0.0 && cap.is_finite(), "capacity must be finite and non-negative");
+        assert!(
+            from < self.num_nodes && to < self.num_nodes,
+            "arc endpoint out of range"
+        );
+        assert!(
+            cap >= 0.0 && cap.is_finite(),
+            "capacity must be finite and non-negative"
+        );
         let id = self.arcs.len();
-        self.arcs.push(Arc { from, to, cap, link });
+        self.arcs.push(Arc {
+            from,
+            to,
+            cap,
+            link,
+        });
         self.out[from].push(id);
         id
     }
@@ -87,7 +102,10 @@ impl FlowGraph {
         cap: f64,
         link: LinkId,
     ) -> (ArcId, ArcId) {
-        (self.add_arc(a, b, cap, Some(link)), self.add_arc(b, a, cap, Some(link)))
+        (
+            self.add_arc(a, b, cap, Some(link)),
+            self.add_arc(b, a, cap, Some(link)),
+        )
     }
 
     /// Update the capacity of an arc in place (used when the evaluator
@@ -106,7 +124,11 @@ impl FlowGraph {
 
     /// Total capacity entering `node`.
     pub fn in_capacity(&self, node: NodeId) -> f64 {
-        self.arcs.iter().filter(|a| a.to == node).map(|a| a.cap).sum()
+        self.arcs
+            .iter()
+            .filter(|a| a.to == node)
+            .map(|a| a.cap)
+            .sum()
     }
 }
 

@@ -42,7 +42,10 @@ pub fn route(graph: &FlowGraph, commodities: &[Commodity]) -> GreedyRouting {
         let mut paths_used = 0usize;
         while remaining > EPS {
             if paths_used >= max_paths {
-                return GreedyRouting { feasible: false, flow };
+                return GreedyRouting {
+                    feasible: false,
+                    flow,
+                };
             }
             paths_used += 1;
             // Length: 1 hop + congestion pressure. `residual/cap` near 0
@@ -58,10 +61,15 @@ pub fn route(graph: &FlowGraph, commodities: &[Commodity]) -> GreedyRouting {
                 &mut ws,
             );
             let Some(path) = sp.path_to(graph, c.dst) else {
-                return GreedyRouting { feasible: false, flow };
+                return GreedyRouting {
+                    feasible: false,
+                    flow,
+                };
             };
-            let bottleneck =
-                path.iter().map(|&a| residual[a]).fold(f64::INFINITY, f64::min);
+            let bottleneck = path
+                .iter()
+                .map(|&a| residual[a])
+                .fold(f64::INFINITY, f64::min);
             let send = remaining.min(bottleneck);
             for &a in &path {
                 residual[a] -= send;
@@ -70,7 +78,10 @@ pub fn route(graph: &FlowGraph, commodities: &[Commodity]) -> GreedyRouting {
             remaining -= send;
         }
     }
-    GreedyRouting { feasible: true, flow }
+    GreedyRouting {
+        feasible: true,
+        flow,
+    }
 }
 
 #[cfg(test)]
@@ -98,10 +109,7 @@ mod tests {
     #[test]
     fn flow_respects_capacities_when_feasible() {
         let g = diamond();
-        let r = route(
-            &g,
-            &[Commodity::new(0, 3, 12.0), Commodity::new(1, 3, 3.0)],
-        );
+        let r = route(&g, &[Commodity::new(0, 3, 12.0), Commodity::new(1, 3, 3.0)]);
         assert!(r.feasible);
         for (a, arc) in g.arcs().iter().enumerate() {
             assert!(r.flow[a] <= arc.cap + 1e-6, "arc {a} overfull");

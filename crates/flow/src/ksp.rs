@@ -48,7 +48,11 @@ pub fn k_shortest_paths(
             graph,
             from,
             |a| lengths[a],
-            |a| !banned_arcs[a] && !banned_nodes[graph.arc(a).to] && !banned_nodes[graph.arc(a).from],
+            |a| {
+                !banned_arcs[a]
+                    && !banned_nodes[graph.arc(a).to]
+                    && !banned_nodes[graph.arc(a).from]
+            },
             &mut ws,
         )
     };
@@ -59,15 +63,21 @@ pub fn k_shortest_paths(
     let Some(first) = sp.path_to(graph, dst) else {
         return Vec::new();
     };
-    let mut accepted: Vec<Path> = vec![Path { length: sp.dist[dst], arcs: first }];
+    let mut accepted: Vec<Path> = vec![Path {
+        length: sp.dist[dst],
+        arcs: first,
+    }];
     let mut candidates: Vec<Path> = Vec::new();
 
     while accepted.len() < k {
         let last = accepted.last().expect("at least the shortest").clone();
         // Spur from every prefix of the last accepted path.
         for spur_idx in 0..last.arcs.len() {
-            let spur_node =
-                if spur_idx == 0 { src } else { graph.arc(last.arcs[spur_idx - 1]).to };
+            let spur_node = if spur_idx == 0 {
+                src
+            } else {
+                graph.arc(last.arcs[spur_idx - 1]).to
+            };
             let root = &last.arcs[..spur_idx];
             let root_len: f64 = root.iter().map(|&a| lengths[a]).sum();
             // Ban arcs that would recreate an accepted path with this root.
@@ -91,7 +101,10 @@ pub fn k_shortest_paths(
                 let mut arcs = root.to_vec();
                 let spur_len = sp.dist[dst];
                 arcs.extend(spur);
-                let cand = Path { length: root_len + spur_len, arcs };
+                let cand = Path {
+                    length: root_len + spur_len,
+                    arcs,
+                };
                 if !accepted.contains(&cand) && !candidates.contains(&cand) {
                     candidates.push(cand);
                 }

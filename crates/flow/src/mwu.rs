@@ -33,7 +33,10 @@ pub struct MwuConfig {
 
 impl Default for MwuConfig {
     fn default() -> Self {
-        MwuConfig { epsilon: 0.15, max_path_routings: 2_000_000 }
+        MwuConfig {
+            epsilon: 0.15,
+            max_path_routings: 2_000_000,
+        }
     }
 }
 
@@ -69,15 +72,20 @@ pub fn max_concurrent_flow(
     commodities: &[Commodity],
     cfg: &MwuConfig,
 ) -> ConcurrentFlow {
-    assert!(cfg.epsilon > 0.0 && cfg.epsilon < 0.5, "epsilon must be in (0, 0.5)");
+    assert!(
+        cfg.epsilon > 0.0 && cfg.epsilon < 0.5,
+        "epsilon must be in (0, 0.5)"
+    );
     let m = graph.num_arcs().max(2) as f64;
     let eps = cfg.epsilon;
     let delta = (m / (1.0 - eps)).powf(-1.0 / eps);
     let scale = (1.0 / delta).ln() / (1.0 + eps).ln(); // log_{1+eps}(1/delta)
 
     let caps: Vec<f64> = graph.arcs().iter().map(|a| a.cap).collect();
-    let mut lengths: Vec<f64> =
-        caps.iter().map(|&c| if c > 0.0 { delta / c } else { f64::INFINITY }).collect();
+    let mut lengths: Vec<f64> = caps
+        .iter()
+        .map(|&c| if c > 0.0 { delta / c } else { f64::INFINITY })
+        .collect();
     let mut flow = vec![0.0; graph.num_arcs()];
     // D(l) = Σ l_a c_a; the algorithm stops when D ≥ 1.
     let mut d_total = delta * caps.iter().filter(|&&c| c > 0.0).count() as f64;
@@ -104,19 +112,13 @@ pub fn max_concurrent_flow(
                     break 'outer;
                 }
                 routings += 1;
-                let sp = shortest_paths_with(
-                    graph,
-                    c.src,
-                    |a| lengths[a],
-                    |a| caps[a] > 0.0,
-                    &mut ws,
-                );
+                let sp =
+                    shortest_paths_with(graph, c.src, |a| lengths[a], |a| caps[a] > 0.0, &mut ws);
                 let Some(path) = sp.path_to(graph, c.dst) else {
                     disconnected = true;
                     break 'outer;
                 };
-                let bottleneck =
-                    path.iter().map(|&a| caps[a]).fold(f64::INFINITY, f64::min);
+                let bottleneck = path.iter().map(|&a| caps[a]).fold(f64::INFINITY, f64::min);
                 let send = remaining.min(bottleneck);
                 for &a in &path {
                     flow[a] += send;
@@ -139,16 +141,21 @@ pub fn max_concurrent_flow(
     for f in &mut flow {
         *f /= scale;
     }
-    let lambda = if disconnected { 0.0 } else { phases as f64 / scale };
+    let lambda = if disconnected {
+        0.0
+    } else {
+        phases as f64 / scale
+    };
     // Normalize lengths so the largest finite entry is 1 (pure
     // conditioning; any positive scaling of a metric is the same metric).
-    let max_len =
-        lengths.iter().copied().filter(|l| l.is_finite()).fold(0.0f64, f64::max);
+    let max_len = lengths
+        .iter()
+        .copied()
+        .filter(|l| l.is_finite())
+        .fold(0.0f64, f64::max);
     if max_len <= 0.0 {
         // Every arc is dark: any uniform metric is as good as another.
-        for l in &mut lengths {
-            *l = 1.0;
-        }
+        lengths.fill(1.0);
     } else {
         for l in &mut lengths {
             if l.is_finite() {
@@ -163,7 +170,12 @@ pub fn max_concurrent_flow(
             }
         }
     }
-    ConcurrentFlow { lambda, lengths, flow, disconnected }
+    ConcurrentFlow {
+        lambda,
+        lengths,
+        flow,
+        disconnected,
+    }
 }
 
 #[cfg(test)]
@@ -180,7 +192,14 @@ mod tests {
     }
 
     fn solve(g: &FlowGraph, cs: &[Commodity], eps: f64) -> ConcurrentFlow {
-        max_concurrent_flow(g, cs, &MwuConfig { epsilon: eps, ..Default::default() })
+        max_concurrent_flow(
+            g,
+            cs,
+            &MwuConfig {
+                epsilon: eps,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]

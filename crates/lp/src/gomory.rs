@@ -227,7 +227,10 @@ fn cut_from_row(
         .filter(|&(_, &v)| v.abs() > 1e-12)
         .map(|(k, &v)| (VarId(k), v))
         .collect();
-    Some(GmiCut { coeffs: sparse, rhs })
+    Some(GmiCut {
+        coeffs: sparse,
+        rhs,
+    })
 }
 
 fn is_integer_bound(view: &TableauView, j: usize) -> bool {
@@ -257,11 +260,17 @@ mod tests {
         let (lp_x, view) = lp_and_view(&m);
         assert!((lp_x[0] - 1.5).abs() < 1e-6);
         let cuts = generate(&m, &view, &[true], 4, 1e-6);
-        assert!(!cuts.is_empty(), "a fractional basic integer must yield a cut");
+        assert!(
+            !cuts.is_empty(),
+            "a fractional basic integer must yield a cut"
+        );
         // Each cut: violated at 1.5 but satisfied at the integer optimum 2.
         for cut in &cuts {
             assert!(cut.violation(&[1.5]) > 1e-9);
-            assert!(cut.violation(&[2.0]) <= 1e-9, "cut must admit x = 2: {cut:?}");
+            assert!(
+                cut.violation(&[2.0]) <= 1e-9,
+                "cut must admit x = 2: {cut:?}"
+            );
             assert!(cut.violation(&[3.0]) <= 1e-9);
         }
     }
@@ -279,7 +288,10 @@ mod tests {
         let cuts = generate(&m, &view, &[true, true], 8, 1e-7);
         // Enumerate every integer point of the box and check validity.
         for cut in &cuts {
-            assert!(cut.violation(&lp_x) > 0.0, "returned cuts are violated at the LP point");
+            assert!(
+                cut.violation(&lp_x) > 0.0,
+                "returned cuts are violated at the LP point"
+            );
             for ai in 0..=5 {
                 for bi in 0..=5 {
                     let p = [f64::from(ai), f64::from(bi)];
@@ -350,7 +362,11 @@ mod tests {
                     (c, rng.gen_range(0.2..2.0)),
                 ];
                 let worth: f64 = coeffs.iter().map(|&(_, w)| w).sum();
-                let sense = if rng.gen_bool(0.5) { Sense::Le } else { Sense::Ge };
+                let sense = if rng.gen_bool(0.5) {
+                    Sense::Le
+                } else {
+                    Sense::Ge
+                };
                 let rhs = worth * rng.gen_range(0.8..2.4);
                 m.add_constr(format!("r{k}"), coeffs, sense, rhs);
             }
@@ -358,8 +374,7 @@ mod tests {
             if sol.status != LpStatus::Optimal {
                 continue;
             }
-            let cuts =
-                generate(&m, &view.unwrap(), &[true, true, true], 8, 1e-9);
+            let cuts = generate(&m, &view.unwrap(), &[true, true, true], 8, 1e-9);
             for cut in &cuts {
                 for ai in 0..=4 {
                     for bi in 0..=4 {

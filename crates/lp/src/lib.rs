@@ -31,12 +31,14 @@
 
 pub mod gomory;
 pub mod milp;
-pub mod presolve;
 pub mod model;
+pub mod presolve;
 pub mod simplex;
 
-pub use milp::{solve_mip, Cut, MipConfig, MipSolution, MipStatus};
-pub use model::{ConstrId, Model, Sense, VarId};
 pub use gomory::GmiCut;
+pub use milp::{
+    solve_mip, solve_mip_telemetry, Cut, MipConfig, MipSolution, MipStatus, SeparatorFn,
+};
+pub use model::{ConstrId, Model, Sense, VarId};
 pub use presolve::{presolve, PresolveReport};
 pub use simplex::{solve_lp, solve_lp_tableau, LpSolution, LpStatus, SimplexConfig, TableauView};

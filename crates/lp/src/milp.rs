@@ -20,9 +20,35 @@
 use crate::gomory;
 use crate::model::{Model, Sense, VarId};
 use crate::simplex::{solve_lp, solve_lp_tableau, LpStatus, SimplexConfig};
+use np_telemetry::{sys, Telemetry};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
+
+/// Solver-side counters, accumulated locally and emitted as one batch of
+/// telemetry events per solve (so event volume stays bounded no matter
+/// how many nodes the tree visits).
+#[derive(Default)]
+struct MipTally {
+    simplex_iterations: u64,
+    lazy_callbacks: u64,
+    gomory_cuts: u64,
+    incumbent_updates: u64,
+}
+
+impl MipTally {
+    fn emit(&self, tel: &Telemetry, nodes: usize, cuts_added: usize) {
+        if !tel.is_enabled() {
+            return;
+        }
+        tel.incr(sys::LP, "simplex_iterations", self.simplex_iterations);
+        tel.incr(sys::LP, "bb_nodes", nodes as u64);
+        tel.incr(sys::LP, "lazy_callbacks", self.lazy_callbacks);
+        tel.incr(sys::LP, "gomory_cuts", self.gomory_cuts);
+        tel.incr(sys::LP, "cuts_added", cuts_added as u64);
+        tel.incr(sys::LP, "incumbent_updates", self.incumbent_updates);
+    }
+}
 
 /// A globally-valid linear cut returned by a separator callback.
 #[derive(Clone, Debug)]
@@ -36,6 +62,10 @@ pub struct Cut {
     /// Right-hand side.
     pub rhs: f64,
 }
+
+/// A lazy-constraint callback: given an integer-feasible LP optimum,
+/// return violated globally-valid cuts (empty = accept the candidate).
+pub type SeparatorFn<'a> = &'a mut dyn FnMut(&[f64]) -> Vec<Cut>;
 
 /// MILP solver configuration.
 #[derive(Clone, Copy, Debug)]
@@ -150,8 +180,22 @@ impl Ord for HeapKey {
 pub fn solve_mip(
     model: &Model,
     config: &MipConfig,
-    mut separator: Option<&mut dyn FnMut(&[f64]) -> Vec<Cut>>,
+    separator: Option<SeparatorFn<'_>>,
 ) -> MipSolution {
+    solve_mip_telemetry(model, config, separator, &Telemetry::noop())
+}
+
+/// [`solve_mip`] with solver counters reported through `tel`: simplex
+/// iterations, branch-and-bound nodes, lazy-callback invocations, Gomory
+/// cuts, total cuts, incumbent updates, plus a `solve_mip` span.
+pub fn solve_mip_telemetry(
+    model: &Model,
+    config: &MipConfig,
+    mut separator: Option<SeparatorFn<'_>>,
+    tel: &Telemetry,
+) -> MipSolution {
+    let _solve_span = tel.span(sys::LP, "solve_mip");
+    let mut tally = MipTally::default();
     let start = Instant::now();
     let mut work = model.clone();
     // Root bound tightening (rows untouched, so cut/dual indexing is
@@ -159,6 +203,7 @@ pub fn solve_mip(
     // they become the base the branching restores to.
     let (_, presolve_infeasible) = crate::presolve::tighten_bounds(&mut work);
     if presolve_infeasible {
+        tally.emit(tel, 0, 0);
         return MipSolution {
             status: MipStatus::Infeasible,
             objective: f64::INFINITY,
@@ -168,8 +213,7 @@ pub fn solve_mip(
             cuts_added: 0,
         };
     }
-    let base_bounds: Vec<(f64, f64)> =
-        work.vars().iter().map(|v| (v.lb, v.ub)).collect();
+    let base_bounds: Vec<(f64, f64)> = work.vars().iter().map(|v| (v.lb, v.ub)).collect();
     let int_vars: Vec<VarId> = (0..model.num_vars())
         .map(VarId)
         .filter(|&v| model.var(v).integer)
@@ -193,16 +237,18 @@ pub fn solve_mip(
     const CUT_POOL: usize = 120;
     const CUT_KEEP_RECENT: usize = 40;
     fn row_exists(work: &Model, base_rows: usize, coeffs: &[(VarId, f64)], rhs: f64) -> bool {
-        work.constrs()[base_rows.min(work.num_constrs())..].iter().any(|c| {
-            (c.rhs - rhs).abs() <= 1e-9 && c.coeffs.len() == coeffs.len() && {
-                let mut sorted = coeffs.to_vec();
-                sorted.sort_by_key(|&(v, _)| v);
-                c.coeffs
-                    .iter()
-                    .zip(&sorted)
-                    .all(|(&(v1, a1), &(v2, a2))| v1 == v2 && (a1 - a2).abs() <= 1e-9)
-            }
-        })
+        work.constrs()[base_rows.min(work.num_constrs())..]
+            .iter()
+            .any(|c| {
+                (c.rhs - rhs).abs() <= 1e-9 && c.coeffs.len() == coeffs.len() && {
+                    let mut sorted = coeffs.to_vec();
+                    sorted.sort_by_key(|&(v, _)| v);
+                    c.coeffs
+                        .iter()
+                        .zip(&sorted)
+                        .all(|(&(v1, a1), &(v2, a2))| v1 == v2 && (a1 - a2).abs() <= 1e-9)
+                }
+            })
     }
     fn purge_cuts(work: &mut Model, base_rows: usize, x: &[f64]) {
         let total = work.num_constrs();
@@ -210,10 +256,7 @@ pub fn solve_mip(
             return;
         }
         let decisions: Vec<bool> = (base_rows..total)
-            .map(|k| {
-                k + CUT_KEEP_RECENT >= total
-                    || work.row_slack(&work.constrs()[k], x) <= 1e-6
-            })
+            .map(|k| k + CUT_KEEP_RECENT >= total || work.row_slack(&work.constrs()[k], x) <= 1e-6)
             .collect();
         let mut it = decisions.into_iter();
         work.purge_constrs(base_rows, |_| it.next().unwrap_or(true));
@@ -240,7 +283,11 @@ pub fn solve_mip(
     let mut heap2: BinaryHeap<ByKey> = BinaryHeap::new();
     heap2.push(ByKey(
         HeapKey(f64::NEG_INFINITY, Reverse(0)),
-        Node { overrides: vec![], bound: f64::NEG_INFINITY, depth: 0 },
+        Node {
+            overrides: vec![],
+            bound: f64::NEG_INFINITY,
+            depth: 0,
+        },
     ));
 
     let mut best_bound = f64::NEG_INFINITY;
@@ -265,15 +312,11 @@ pub fn solve_mip(
             if node.bound >= incumbent_obj - prune_margin {
                 continue 'outer;
             }
-            if nodes >= config.node_limit
-                || start.elapsed().as_secs_f64() > config.time_limit_secs
+            if nodes >= config.node_limit || start.elapsed().as_secs_f64() > config.time_limit_secs
             {
                 limit_hit = true;
                 // Preserve the bound information of the unexplored node.
-                heap2.push(ByKey(
-                    HeapKey(node.bound, Reverse(node.depth)),
-                    node,
-                ));
+                heap2.push(ByKey(HeapKey(node.bound, Reverse(node.depth)), node));
                 break 'outer;
             }
             nodes += 1;
@@ -297,11 +340,13 @@ pub fn solve_mip(
                 } else {
                     (solve_lp(&work, &config.simplex), None)
                 };
+                tally.simplex_iterations += lp.iterations as u64;
                 match lp.status {
                     LpStatus::Infeasible => break,
                     LpStatus::Unbounded => {
                         if node.depth == 0 && node.overrides.is_empty() {
                             restore_bounds(&mut work, &base_bounds);
+                            tally.emit(tel, nodes, cuts_added);
                             return MipSolution {
                                 status: MipStatus::Unbounded,
                                 objective: f64::NEG_INFINITY,
@@ -317,7 +362,9 @@ pub fn solve_mip(
                         if std::env::var_os("NP_LP_DEBUG").is_some() {
                             eprintln!(
                                 "[np-lp] node depth {} LP IterationLimit after {} iters, {} rows",
-                                node.depth, lp.iterations, work.num_constrs()
+                                node.depth,
+                                lp.iterations,
+                                work.num_constrs()
                             );
                         }
                         // Unknown, not infeasible: abandoning this node as
@@ -332,8 +379,7 @@ pub fn solve_mip(
                     root_bound = root_bound.max(lp.objective);
                 }
                 if lp.objective
-                    >= incumbent_obj
-                        - 0.25 * config.gap_tol * incumbent_obj.abs().max(1.0)
+                    >= incumbent_obj - 0.25 * config.gap_tol * incumbent_obj.abs().max(1.0)
                 {
                     break; // bound-dominated
                 }
@@ -356,6 +402,7 @@ pub fn solve_mip(
                         // branching happens.
                         if node.depth == 0 && root_cut_rounds < 200 {
                             if let Some(sep) = separator.as_deref_mut() {
+                                tally.lazy_callbacks += 1;
                                 let cuts = sep(&lp.x);
                                 let mut added_any = false;
                                 if !cuts.is_empty() {
@@ -366,9 +413,7 @@ pub fn solve_mip(
                                             continue; // duplicate row: adding it again
                                                       // only degenerates the basis
                                         }
-                                        work.add_constr(
-                                            cut.name, cut.coeffs, cut.sense, cut.rhs,
-                                        );
+                                        work.add_constr(cut.name, cut.coeffs, cut.sense, cut.rhs);
                                         cuts_added += 1;
                                         added_any = true;
                                     }
@@ -393,8 +438,7 @@ pub fn solve_mip(
                             // a non-integral value: the point is then not a
                             // candidate at all.
                             let integral = int_vars.iter().all(|&vi| {
-                                (rounded[vi.0] - rounded[vi.0].round()).abs()
-                                    <= config.int_tol
+                                (rounded[vi.0] - rounded[vi.0].round()).abs() <= config.int_tol
                             });
                             let obj = work.objective_value(&rounded);
                             if integral
@@ -404,6 +448,7 @@ pub fn solve_mip(
                                 let rejected = separator
                                     .as_deref_mut()
                                     .map(|sep| {
+                                        tally.lazy_callbacks += 1;
                                         let cuts = sep(&rounded);
                                         let any = !cuts.is_empty();
                                         for cut in cuts {
@@ -418,6 +463,7 @@ pub fn solve_mip(
                                 if !rejected {
                                     incumbent_obj = obj;
                                     incumbent_x = rounded;
+                                    tally.incumbent_updates += 1;
                                 } else {
                                     continue; // new rows: re-solve the root
                                 }
@@ -429,9 +475,7 @@ pub fn solve_mip(
                         // integrality gap the Benders rows leave open.
                         if node.depth == 0 && gmi_rounds < 40 {
                             if let Some(view) = &view {
-                                let cuts = gomory::generate(
-                                    &work, view, &is_int, 10, 1e-6,
-                                );
+                                let cuts = gomory::generate(&work, view, &is_int, 10, 1e-6);
                                 if !cuts.is_empty() {
                                     gmi_rounds += 1;
                                     purge_cuts(&mut work, base_rows, &lp.x);
@@ -443,6 +487,7 @@ pub fn solve_mip(
                                             cut.rhs,
                                         );
                                         cuts_added += 1;
+                                        tally.gomory_cuts += 1;
                                     }
                                     continue;
                                 }
@@ -480,6 +525,7 @@ pub fn solve_mip(
                     None => {
                         // Integer feasible: offer to the separator.
                         if let Some(sep) = separator.as_deref_mut() {
+                            tally.lazy_callbacks += 1;
                             let cuts = sep(&lp.x);
                             if !cuts.is_empty() {
                                 purge_cuts(&mut work, base_rows, &lp.x);
@@ -499,7 +545,10 @@ pub fn solve_mip(
                                 // point satisfies: numerical stalemate. Treat
                                 // the candidate as unproven rather than loop.
                                 if std::env::var_os("NP_LP_DEBUG").is_some() {
-                                    eprintln!("[np-lp] duplicate-cut stalemate at depth {}", node.depth);
+                                    eprintln!(
+                                        "[np-lp] duplicate-cut stalemate at depth {}",
+                                        node.depth
+                                    );
                                 }
                                 limit_hit = true;
                                 break;
@@ -514,6 +563,7 @@ pub fn solve_mip(
                 if obj < incumbent_obj {
                     incumbent_obj = obj;
                     incumbent_x = x;
+                    tally.incumbent_updates += 1;
                 }
             }
             // Restore bounds before the next plunge step / heap node.
@@ -524,7 +574,10 @@ pub fn solve_mip(
 
     // The remaining best bound is the smallest bound still in the heap (or
     // the incumbent if the tree is exhausted).
-    let remaining = heap2.iter().map(|n| n.1.bound).fold(f64::INFINITY, f64::min);
+    let remaining = heap2
+        .iter()
+        .map(|n| n.1.bound)
+        .fold(f64::INFINITY, f64::min);
     let mut proven = !limit_hit && remaining.is_infinite();
     if proven {
         best_bound = incumbent_obj;
@@ -534,6 +587,7 @@ pub fn solve_mip(
         // cuts accumulate globally. One fresh root LP over the *current*
         // row set is a valid global lower bound and usually much tighter.
         let root = solve_lp(&work, &config.simplex);
+        tally.simplex_iterations += root.iterations as u64;
         if root.status == LpStatus::Optimal {
             best_bound = best_bound.max(root.objective);
         } else if root.status == LpStatus::Infeasible {
@@ -542,8 +596,7 @@ pub fn solve_mip(
         best_bound = best_bound.max(root_bound);
         // Gap-based optimality: same criterion commercial solvers use.
         if incumbent_obj.is_finite()
-            && incumbent_obj - best_bound
-                <= config.gap_tol * incumbent_obj.abs().max(1.0)
+            && incumbent_obj - best_bound <= config.gap_tol * incumbent_obj.abs().max(1.0)
         {
             proven = true;
             best_bound = best_bound.min(incumbent_obj);
@@ -560,6 +613,7 @@ pub fn solve_mip(
     } else {
         MipStatus::Feasible
     };
+    tally.emit(tel, nodes, cuts_added);
     MipSolution {
         status,
         objective: incumbent_obj,
@@ -673,7 +727,10 @@ mod tests {
         assert_eq!(s.status, MipStatus::Optimal);
         assert!((s.objective - 3.0).abs() < 1e-6);
         assert_eq!(s.cuts_added, 1);
-        assert!(calls >= 2, "separator must see the rejected and final candidates");
+        assert!(
+            calls >= 2,
+            "separator must see the rejected and final candidates"
+        );
     }
 
     #[test]
@@ -681,7 +738,10 @@ mod tests {
         let mut m = Model::new("cutoff");
         let x = m.add_var("x", 0.0, 100.0, 1.0, true);
         m.add_constr("c", vec![(x, 1.0)], Sense::Ge, 7.0);
-        let cfg = MipConfig { cutoff: Some(7.0 + 1e-9), ..Default::default() };
+        let cfg = MipConfig {
+            cutoff: Some(7.0 + 1e-9),
+            ..Default::default()
+        };
         let s = solve_mip(&m, &cfg, None);
         // The cutoff equals the optimum: search may prune everything and
         // report the cutoff as objective with no x; accept either proven
@@ -693,15 +753,26 @@ mod tests {
     fn node_limit_degrades_gracefully() {
         // A small hard-ish covering problem, then strangle the node budget.
         let mut m = Model::new("cover");
-        let vars: Vec<_> = (0..8).map(|i| m.add_var(format!("x{i}"), 0.0, 1.0, 1.0 + 0.1 * i as f64, true)).collect();
+        let vars: Vec<_> = (0..8)
+            .map(|i| m.add_var(format!("x{i}"), 0.0, 1.0, 1.0 + 0.1 * i as f64, true))
+            .collect();
         for i in 0..8 {
-            let coeffs =
-                vec![(vars[i], 1.0), (vars[(i + 1) % 8], 1.0), (vars[(i + 3) % 8], 1.0)];
+            let coeffs = vec![
+                (vars[i], 1.0),
+                (vars[(i + 1) % 8], 1.0),
+                (vars[(i + 3) % 8], 1.0),
+            ];
             m.add_constr(format!("c{i}"), coeffs, Sense::Ge, 1.0);
         }
-        let cfg = MipConfig { node_limit: 1, ..Default::default() };
+        let cfg = MipConfig {
+            node_limit: 1,
+            ..Default::default()
+        };
         let s = solve_mip(&m, &cfg, None);
-        assert!(matches!(s.status, MipStatus::Feasible | MipStatus::Limit | MipStatus::Optimal));
+        assert!(matches!(
+            s.status,
+            MipStatus::Feasible | MipStatus::Limit | MipStatus::Optimal
+        ));
         let full = solve(&m);
         assert_eq!(full.status, MipStatus::Optimal);
         assert!(full.objective <= s.objective + 1e-9);
@@ -730,7 +801,10 @@ mod tests {
         let s = solve(&m);
         assert_eq!(s.status, MipStatus::Optimal);
         assert!((s.objective - 2.0).abs() < 1e-6);
-        assert!((s.best_bound - 2.0).abs() < 1e-6, "bound must reach the optimum");
+        assert!(
+            (s.best_bound - 2.0).abs() < 1e-6,
+            "bound must reach the optimum"
+        );
     }
 
     #[test]
@@ -745,8 +819,16 @@ mod tests {
         assert_eq!(s.status, MipStatus::Optimal);
         // Best: maximize use of x (cost 1.5/unit of coverage vs 1.667):
         // x = 501 covers 1002 (cost 1503) vs x=499,y=1 -> 1001 (1502).
-        assert!((s.objective - 1502.0).abs() < 1e-6, "objective {}", s.objective);
-        assert!(s.nodes < 3000, "diving should keep the tree small: {}", s.nodes);
+        assert!(
+            (s.objective - 1502.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
+        assert!(
+            s.nodes < 3000,
+            "diving should keep the tree small: {}",
+            s.nodes
+        );
     }
 
     #[test]
@@ -772,7 +854,42 @@ mod tests {
         let s = solve_mip(&m, &MipConfig::default(), Some(&mut sep));
         assert_eq!(s.status, MipStatus::Optimal);
         assert!((s.objective - 200.0).abs() < 1e-6);
-        assert!(s.cuts_added > 150, "the run must have exercised the cut pool");
+        assert!(
+            s.cuts_added > 150,
+            "the run must have exercised the cut pool"
+        );
+    }
+
+    #[test]
+    fn telemetry_counters_track_the_search() {
+        let mut m = Model::new("lazy-tel");
+        let x = m.add_var("x", 0.0, 10.0, 1.0, true);
+        let mut sep = |point: &[f64]| -> Vec<Cut> {
+            if point[0] < 3.0 - 1e-9 {
+                vec![Cut {
+                    name: "x>=3".into(),
+                    coeffs: vec![(x, 1.0)],
+                    sense: Sense::Ge,
+                    rhs: 3.0,
+                }]
+            } else {
+                vec![]
+            }
+        };
+        let tel = np_telemetry::Telemetry::memory();
+        let s = solve_mip_telemetry(&m, &MipConfig::default(), Some(&mut sep), &tel);
+        assert_eq!(s.status, MipStatus::Optimal);
+        use np_telemetry::sys::LP;
+        assert_eq!(s.nodes as u64, tel.counter(LP, "bb_nodes"));
+        assert_eq!(s.cuts_added as u64, tel.counter(LP, "cuts_added"));
+        assert!(tel.counter(LP, "lazy_callbacks") >= 2);
+        assert!(tel.counter(LP, "simplex_iterations") >= 1);
+        assert!(tel.counter(LP, "incumbent_updates") >= 1);
+        let spans = tel.spans();
+        assert!(
+            spans.iter().any(|(s, n, ..)| s == LP && n == "solve_mip"),
+            "solve span missing: {spans:?}"
+        );
     }
 
     #[test]

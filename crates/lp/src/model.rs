@@ -76,7 +76,11 @@ pub struct Model {
 impl Model {
     /// A fresh empty model.
     pub fn new(name: impl Into<String>) -> Self {
-        Model { name: name.into(), vars: Vec::new(), constrs: Vec::new() }
+        Model {
+            name: name.into(),
+            vars: Vec::new(),
+            constrs: Vec::new(),
+        }
     }
 
     /// Add a variable; returns its id. `lb ≤ ub` is required.
@@ -91,7 +95,13 @@ impl Model {
         assert!(lb <= ub, "variable bounds must satisfy lb <= ub");
         assert!(!lb.is_nan() && !ub.is_nan() && obj.is_finite());
         let id = VarId(self.vars.len());
-        self.vars.push(Variable { name: name.into(), lb, ub, obj, integer });
+        self.vars.push(Variable {
+            name: name.into(),
+            lb,
+            ub,
+            obj,
+            integer,
+        });
         id
     }
 
@@ -111,7 +121,10 @@ impl Model {
         assert!(rhs.is_finite(), "constraint rhs must be finite");
         let mut merged = coeffs;
         merged.retain(|&(v, c)| {
-            assert!(v.0 < self.vars.len(), "constraint references unknown variable");
+            assert!(
+                v.0 < self.vars.len(),
+                "constraint references unknown variable"
+            );
             assert!(c.is_finite());
             c != 0.0
         });
@@ -124,7 +137,12 @@ impl Model {
             }
         }
         let id = ConstrId(self.constrs.len());
-        self.constrs.push(Constraint { name: name.into(), coeffs: out, sense, rhs });
+        self.constrs.push(Constraint {
+            name: name.into(),
+            coeffs: out,
+            sense,
+            rhs,
+        });
         id
     }
 

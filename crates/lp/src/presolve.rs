@@ -4,11 +4,11 @@
 //! problems (and for LP hygiene generally):
 //!
 //! 1. **bound tightening from single rows** — a `≥` row with all-positive
-//!   coefficients implies a lower bound on each variable once the others
-//!   sit at their upper bounds (and dually for `≤` rows);
+//!    coefficients implies a lower bound on each variable once the others
+//!    sit at their upper bounds (and dually for `≤` rows);
 //! 2. **empty and redundant row removal** — rows that cannot be violated
-//!   within the current bounds are dropped; rows that cannot be
-//!   *satisfied* prove infeasibility immediately;
+//!    within the current bounds are dropped; rows that cannot be
+//!    *satisfied* prove infeasibility immediately;
 //! 3. **singleton rows** — a row with one variable is just a bound.
 //!
 //! The pass is iterated to a fixed point (bounded rounds), and returns a
@@ -93,6 +93,9 @@ pub fn presolve(model: &mut Model) -> PresolveReport {
 
         // Pass 1: singleton rows → bounds; redundancy / infeasibility.
         let mut keep = vec![true; model.num_constrs()];
+        // Indexed loop: `model` is mutated (`set_bounds`) mid-iteration,
+        // which holding an iterator over `model.constrs()` would forbid.
+        #[allow(clippy::needless_range_loop)]
         for row in 0..model.num_constrs() {
             let c = &model.constrs()[row];
             if c.coeffs.is_empty() {
@@ -171,7 +174,11 @@ pub fn presolve(model: &mut Model) -> PresolveReport {
                 let var = model.var(v);
                 let (l, u) = (var.lb, var.ub);
                 // Residual activity without this variable's contribution.
-                let (term_lo, term_hi) = if a >= 0.0 { (a * l, a * u) } else { (a * u, a * l) };
+                let (term_lo, term_hi) = if a >= 0.0 {
+                    (a * l, a * u)
+                } else {
+                    (a * u, a * l)
+                };
                 let rest_lo = lo - term_lo;
                 let rest_hi = hi - term_hi;
                 let mut new_l = l;
@@ -346,8 +353,7 @@ mod tests {
                 if coeffs.is_empty() {
                     continue;
                 }
-                let worth: f64 =
-                    coeffs.iter().map(|&(v, a)| a * m.var(v).ub).sum();
+                let worth: f64 = coeffs.iter().map(|&(v, a)| a * m.var(v).ub).sum();
                 m.add_constr(format!("r{k}"), coeffs, Sense::Ge, worth * 0.4);
             }
             let before = solve_lp(&m, &SimplexConfig::default());

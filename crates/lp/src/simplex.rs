@@ -18,6 +18,11 @@
 //! row operations each pivot and refactorized from scratch periodically
 //! to keep numerical drift bounded.
 
+// Index loops here run over rows/columns of the dense basis inverse with
+// strided `r * m + i` addressing; enumerate-based rewrites obscure the
+// linear algebra without changing the generated code.
+#![allow(clippy::needless_range_loop)]
+
 use crate::model::{Model, Sense};
 
 /// Outcome of an LP solve.
@@ -47,7 +52,11 @@ pub struct SimplexConfig {
 
 impl Default for SimplexConfig {
     fn default() -> Self {
-        SimplexConfig { max_iterations: 0, tol: 1e-7, refactor_every: 64 }
+        SimplexConfig {
+            max_iterations: 0,
+            tol: 1e-7,
+            refactor_every: 64,
+        }
     }
 }
 
@@ -359,7 +368,7 @@ impl Tableau {
                     entering = Some((j, d.abs(), dir));
                     break;
                 }
-                if entering.map_or(true, |(_, best, _)| d.abs() > best) {
+                if entering.is_none_or(|(_, best, _)| d.abs() > best) {
                     entering = Some((j, d.abs(), dir));
                 }
             }
@@ -398,11 +407,10 @@ impl Tableau {
                 let better = room < limit - 1e-12
                     || (bland
                         && (room - limit).abs() <= 1e-12
-                        && leaving.map_or(false, |(lr, _)| bj < self.basis[lr]));
+                        && leaving.is_some_and(|(lr, _)| bj < self.basis[lr]));
                 if better {
                     limit = room;
-                    leaving =
-                        Some((r, if rate > 0.0 { Loc::AtUb } else { Loc::AtLb }));
+                    leaving = Some((r, if rate > 0.0 { Loc::AtUb } else { Loc::AtLb }));
                 }
             }
             if limit.is_infinite() {
@@ -464,7 +472,7 @@ impl Tableau {
                     }
                 }
             }
-            if *iterations % refactor == 0 && self.refactorize().is_err() {
+            if (*iterations).is_multiple_of(refactor) && self.refactorize().is_err() {
                 return LpStatus::IterationLimit;
             }
         }
@@ -515,7 +523,11 @@ pub fn solve_lp_tableau(
     }
     // Phase 2: real costs; artificials pinned at zero.
     for j in 0..t.ncols {
-        t.cost[j] = if j < t.n_struct { model.var(crate::model::VarId(j)).obj } else { 0.0 };
+        t.cost[j] = if j < t.n_struct {
+            model.var(crate::model::VarId(j)).obj
+        } else {
+            0.0
+        };
     }
     for j in t.art_start..t.ncols {
         t.ub[j] = 0.0;

@@ -19,6 +19,10 @@
 //! All gradients are hand-derived and checked against finite differences
 //! in the tests.
 
+// Per-node loops index several parallel arrays (scores, attention rows,
+// gradients) at once; enumerate over any single one hides the coupling.
+#![allow(clippy::needless_range_loop)]
+
 use crate::matrix::Matrix;
 use crate::param::Param;
 use rand::Rng;
@@ -117,7 +121,13 @@ impl Gat {
             raw.push(raw_i);
         }
         let out = pre.map(|v| v.max(0.0));
-        self.cache = Some(Cache { input: h.clone(), z, alpha, raw, pre });
+        self.cache = Some(Cache {
+            input: h.clone(),
+            z,
+            alpha,
+            raw,
+            pre,
+        });
         out
     }
 
@@ -162,7 +172,11 @@ impl Gat {
                     dz.set(j, c, v);
                 }
                 let de = alpha_i[k] * (dalpha[k] - inner);
-                let slope = if cache.raw[i][k] > 0.0 { 1.0 } else { LEAKY_SLOPE };
+                let slope = if cache.raw[i][k] > 0.0 {
+                    1.0
+                } else {
+                    LEAKY_SLOPE
+                };
                 let dr = de * slope;
                 ds_src[i] += dr;
                 ds_dst[j] += dr;
@@ -250,8 +264,7 @@ mod tests {
             &mut |l: &mut Gat| l.forward(&x).as_slice().iter().sum::<f64>(),
             &mut |l: &mut Gat| {
                 let y = l.forward(&x);
-                let ones =
-                    Matrix::from_vec(y.rows(), y.cols(), vec![1.0; 16]);
+                let ones = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; 16]);
                 l.backward(&ones);
             },
             &mut layer,

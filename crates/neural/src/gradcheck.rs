@@ -30,12 +30,12 @@ pub fn check_param_gradients<L>(
         p.zero_grad();
     }
     backprop(layer);
-    let analytic: Vec<Vec<f64>> =
-        params_of(layer).iter().map(|p| p.grad.as_slice().to_vec()).collect();
-    let num_params = analytic.len();
-    for pi in 0..num_params {
-        let len = analytic[pi].len();
-        for k in 0..len {
+    let analytic: Vec<Vec<f64>> = params_of(layer)
+        .iter()
+        .map(|p| p.grad.as_slice().to_vec())
+        .collect();
+    for (pi, grads) in analytic.iter().enumerate() {
+        for (k, &got) in grads.iter().enumerate() {
             let fd = {
                 {
                     let mut ps = params_of(layer);
@@ -53,7 +53,6 @@ pub fn check_param_gradients<L>(
                 }
                 (fp - fm) / (2.0 * eps)
             };
-            let got = analytic[pi][k];
             assert!(
                 (got - fd).abs() <= tol * (1.0 + fd.abs()),
                 "param {pi} component {k}: analytic {got} vs finite-difference {fd}"
@@ -74,7 +73,9 @@ mod tests {
 
     #[test]
     fn accepts_correct_gradients() {
-        let mut layer = Quad { w: Param::new(Matrix::from_vec(1, 1, vec![3.0])) };
+        let mut layer = Quad {
+            w: Param::new(Matrix::from_vec(1, 1, vec![3.0])),
+        };
         check_param_gradients(
             &mut |l: &mut Quad| l.w.value.get(0, 0).powi(2),
             &mut |l: &mut Quad| {
@@ -91,7 +92,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "finite-difference")]
     fn rejects_wrong_gradients() {
-        let mut layer = Quad { w: Param::new(Matrix::from_vec(1, 1, vec![3.0])) };
+        let mut layer = Quad {
+            w: Param::new(Matrix::from_vec(1, 1, vec![3.0])),
+        };
         check_param_gradients(
             &mut |l: &mut Quad| l.w.value.get(0, 0).powi(2),
             &mut |l: &mut Quad| {

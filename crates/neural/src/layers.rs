@@ -210,8 +210,8 @@ mod tests {
         // 3-node path graph normalized adjacency with self-loops.
         let d = [2.0f64, 3.0, 2.0];
         let mut t = vec![];
-        for i in 0..3 {
-            t.push((i, i, 1.0 / d[i]));
+        for (i, &di) in d.iter().enumerate() {
+            t.push((i, i, 1.0 / di));
         }
         for &(a, b) in &[(0usize, 1usize), (1, 2)] {
             let w = 1.0 / (d[a] * d[b]).sqrt();

@@ -13,7 +13,11 @@ pub struct Matrix {
 impl Matrix {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a flat row-major buffer.
@@ -231,7 +235,7 @@ mod tests {
         let a = m23(); // 2×3
         let b = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         let direct = a.t_matmul(&b); // (3×2)
-        // aᵀ explicitly:
+                                     // aᵀ explicitly:
         let at = Matrix::from_vec(3, 2, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
         assert_eq!(direct, at.matmul(&b));
     }
@@ -244,7 +248,9 @@ mod tests {
         let bt = Matrix::from_vec(
             3,
             4,
-            vec![1.0, 4.0, 7.0, 10.0, 2.0, 5.0, 8.0, 11.0, 3.0, 6.0, 9.0, 12.0],
+            vec![
+                1.0, 4.0, 7.0, 10.0, 2.0, 5.0, 8.0, 11.0, 3.0, 6.0, 9.0, 12.0,
+            ],
         );
         assert_eq!(direct, a.matmul(&bt));
     }
@@ -272,9 +278,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let w = Matrix::kaiming(256, 64, &mut rng);
         let mean: f64 = w.as_slice().iter().sum::<f64>() / w.as_slice().len() as f64;
-        let var: f64 =
-            w.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / w.as_slice().len() as f64;
+        let var: f64 = w
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / w.as_slice().len() as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         let expect = 2.0 / 256.0;
         assert!((var - expect).abs() < expect * 0.3, "var {var} vs {expect}");

@@ -17,7 +17,10 @@ pub struct Mlp {
 impl Mlp {
     /// Build with the given layer widths, e.g. `[in, 64, 64, out]`.
     pub fn new(widths: &[usize], rng: &mut impl Rng) -> Self {
-        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let mut layers = Vec::new();
         let mut activations = Vec::new();
         for w in widths.windows(2) {
@@ -26,7 +29,10 @@ impl Mlp {
         for _ in 0..layers.len().saturating_sub(1) {
             activations.push(Relu::new());
         }
-        Mlp { layers, activations }
+        Mlp {
+            layers,
+            activations,
+        }
     }
 
     /// Forward pass.
@@ -53,7 +59,10 @@ impl Mlp {
 
     /// All trainable parameters.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Total scalar parameter count.

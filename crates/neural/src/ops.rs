@@ -20,7 +20,10 @@ pub fn masked_softmax(logits: &[f64], mask: &[bool]) -> Vec<f64> {
         .filter(|&(_, &m)| m)
         .map(|(&l, _)| l)
         .fold(f64::NEG_INFINITY, f64::max);
-    assert!(max.is_finite(), "masked_softmax requires at least one valid action");
+    assert!(
+        max.is_finite(),
+        "masked_softmax requires at least one valid action"
+    );
     let mut probs: Vec<f64> = logits
         .iter()
         .zip(mask)
@@ -82,7 +85,11 @@ pub fn policy_logit_grad(probs: &[f64], mask: &[bool], action: usize, coeff: f64
 
 /// Shannon entropy of a probability vector (masked zeros contribute 0).
 pub fn entropy(probs: &[f64]) -> f64 {
-    -probs.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>()
+    -probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f64>()
 }
 
 #[cfg(test)]
@@ -119,8 +126,8 @@ mod tests {
         let logits = [0.3, -1.2, 2.0];
         let mask = [true, true, true];
         let probs = masked_softmax(&logits, &mask);
-        for a in 0..3 {
-            assert!((masked_log_prob(&logits, &mask, a) - probs[a].ln()).abs() < 1e-12);
+        for (a, &p) in probs.iter().enumerate() {
+            assert!((masked_log_prob(&logits, &mask, a) - p.ln()).abs() < 1e-12);
         }
     }
 

@@ -24,7 +24,13 @@ pub struct Adam {
 impl Adam {
     /// New optimizer with the given learning rate.
     pub fn new(lr: f64) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
     }
 
     /// Apply one update to every parameter from its accumulated gradient,

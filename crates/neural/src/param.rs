@@ -21,7 +21,12 @@ impl Param {
     /// Wrap an initial value with zeroed gradient and moments.
     pub fn new(value: Matrix) -> Self {
         let grad = Matrix::zeros(value.rows(), value.cols());
-        Param { grad: grad.clone(), m: grad.clone(), v: grad, value }
+        Param {
+            grad: grad.clone(),
+            m: grad.clone(),
+            v: grad,
+            value,
+        }
     }
 
     /// Reset the accumulated gradient to zero.

@@ -39,7 +39,12 @@ impl Csr {
         for r in 0..n {
             row_ptr[r + 1] += row_ptr[r];
         }
-        Csr { n, row_ptr, col_idx, values }
+        Csr {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// The identity matrix (a GCN with "0 layers" degenerates to this).

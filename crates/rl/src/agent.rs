@@ -102,12 +102,8 @@ impl EncoderStack {
 
     fn params_mut(&mut self) -> Vec<&mut np_neural::Param> {
         match self {
-            EncoderStack::Gcn(layers) => {
-                layers.iter_mut().flat_map(|l| l.params_mut()).collect()
-            }
-            EncoderStack::Gat(layers) => {
-                layers.iter_mut().flat_map(|l| l.params_mut()).collect()
-            }
+            EncoderStack::Gcn(layers) => layers.iter_mut().flat_map(|l| l.params_mut()).collect(),
+            EncoderStack::Gat(layers) => layers.iter_mut().flat_map(|l| l.params_mut()).collect(),
         }
     }
 }
@@ -214,8 +210,7 @@ impl ActorCritic {
             let probs = masked_softmax(logits.as_slice(), &step.mask);
             let grad_flat =
                 policy_logit_grad(&probs, &step.mask, step.action, step.advantage * scale);
-            let grad =
-                Matrix::from_vec(logits.rows(), logits.cols(), grad_flat);
+            let grad = Matrix::from_vec(logits.rows(), logits.cols(), grad_flat);
             let grad_h = self.actor.backward(&grad);
             self.backprop_gcn(&grad_h);
         }
@@ -233,8 +228,7 @@ impl ActorCritic {
             let pooled = h.mean_rows();
             let v = self.critic.forward(&pooled).get(0, 0);
             let dv = 2.0 * (v - step.reward_to_go) * scale;
-            let grad_pooled =
-                self.critic.backward(&Matrix::from_vec(1, 1, vec![dv]));
+            let grad_pooled = self.critic.backward(&Matrix::from_vec(1, 1, vec![dv]));
             // Mean-pool backward: distribute evenly over nodes.
             let n = h.rows();
             let mut grad_h = Matrix::zeros(n, h.cols());
@@ -382,7 +376,10 @@ mod tests {
         }
         let (logits2, _) = a.policy_value(&features);
         let p2 = masked_softmax(&logits2, &mask)[2];
-        assert!(p2 < p1, "sustained negative advantage must decrease the probability");
+        assert!(
+            p2 < p1,
+            "sustained negative advantage must decrease the probability"
+        );
     }
 
     #[test]
@@ -422,8 +419,12 @@ mod tests {
         let mask = vec![true; 6];
         let (logits, _) = a.policy_value(&obs(3));
         let probs = masked_softmax(&logits, &mask);
-        let argmax =
-            probs.iter().enumerate().max_by(|x, y| x.1.partial_cmp(y.1).unwrap()).unwrap().0;
+        let argmax = probs
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(a.act_greedy(&obs(3), &mask), argmax);
     }
 
@@ -431,7 +432,15 @@ mod tests {
     fn gat_encoder_is_a_drop_in_replacement() {
         let adj = Csr::from_triples(
             3,
-            &[(0, 0, 0.5), (1, 1, 0.4), (2, 2, 0.5), (0, 1, 0.3), (1, 0, 0.3), (1, 2, 0.3), (2, 1, 0.3)],
+            &[
+                (0, 0, 0.5),
+                (1, 1, 0.4),
+                (2, 2, 0.5),
+                (0, 1, 0.3),
+                (1, 0, 0.3),
+                (1, 2, 0.3),
+                (2, 1, 0.3),
+            ],
         );
         let mut a = ActorCritic::new(
             adj,

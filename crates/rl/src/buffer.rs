@@ -52,7 +52,14 @@ impl EpochBuffer {
     }
 
     /// Record one step (advantage/rtg are filled in later).
-    pub fn push(&mut self, features: Matrix, mask: Vec<bool>, action: usize, reward: f64, value: f64) {
+    pub fn push(
+        &mut self,
+        features: Matrix,
+        mask: Vec<bool>,
+        action: usize,
+        reward: f64,
+        value: f64,
+    ) {
         self.steps.push(StepRecord {
             features,
             mask,

@@ -88,9 +88,8 @@ pub(crate) mod testenv {
             // Path-graph normalized adjacency with self-loops.
             let mut triples = vec![];
             for i in 0..n {
-                let deg: f64 = 1.0
-                    + if i > 0 { 1.0 } else { 0.0 }
-                    + if i + 1 < n { 1.0 } else { 0.0 };
+                let deg: f64 =
+                    1.0 + if i > 0 { 1.0 } else { 0.0 } + if i + 1 < n { 1.0 } else { 0.0 };
                 triples.push((i, i, 1.0 / deg));
                 if i + 1 < n {
                     let degn = 1.0 + 1.0 + if i + 2 < n { 1.0 } else { 0.0 };

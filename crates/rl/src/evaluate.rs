@@ -34,7 +34,10 @@ impl EvalRollouts {
 
     /// Best (highest) return observed.
     pub fn best_return(&self) -> f64 {
-        self.rollouts.iter().map(|r| r.0).fold(f64::NEG_INFINITY, f64::max)
+        self.rollouts
+            .iter()
+            .map(|r| r.0)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 
@@ -106,7 +109,10 @@ mod tests {
         let (mut env, mut agent) = setup();
         let r = evaluate(&mut env, &mut agent, 5, 64, false);
         assert_eq!(r.rollouts.len(), 5);
-        assert!((r.completion_rate() - 1.0).abs() < 1e-12, "target 4 is always reachable");
+        assert!(
+            (r.completion_rate() - 1.0).abs() < 1e-12,
+            "target 4 is always reachable"
+        );
         assert!(r.mean_return() < 0.0, "every step costs");
         assert!(r.best_return() >= r.mean_return());
     }
@@ -117,7 +123,10 @@ mod tests {
         let a = evaluate(&mut env, &mut agent, 2, 64, true);
         let b = evaluate(&mut env, &mut agent, 2, 64, true);
         assert_eq!(a.rollouts, b.rollouts);
-        assert_eq!(a.rollouts[0], a.rollouts[1], "greedy repeats itself exactly");
+        assert_eq!(
+            a.rollouts[0], a.rollouts[1],
+            "greedy repeats itself exactly"
+        );
     }
 
     #[test]

@@ -27,4 +27,4 @@ pub use agent::{ActorCritic, AgentConfig, Encoder};
 pub use buffer::{EpochBuffer, StepRecord};
 pub use env::{GraphEnv, Observation};
 pub use evaluate::{evaluate, EvalRollouts};
-pub use trainer::{train, EpochStats, TrainConfig, TrainReport};
+pub use trainer::{train, train_telemetry, EpochStats, TrainConfig, TrainReport};

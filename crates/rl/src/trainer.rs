@@ -3,6 +3,7 @@
 use crate::agent::ActorCritic;
 use crate::buffer::EpochBuffer;
 use crate::env::GraphEnv;
+use np_telemetry::{sys, Telemetry};
 
 /// Training hyperparameters (Table 2 defaults, scaled for CPU).
 #[derive(Clone, Debug)]
@@ -72,7 +73,10 @@ pub struct TrainReport {
 impl TrainReport {
     /// Mean return of the final epoch (the paper's "epoch reward").
     pub fn final_return(&self) -> f64 {
-        self.epochs.last().map(|e| e.mean_return).unwrap_or(f64::NEG_INFINITY)
+        self.epochs
+            .last()
+            .map(|e| e.mean_return)
+            .unwrap_or(f64::NEG_INFINITY)
     }
 
     /// Epochs actually run (early stopping may cut `cfg.epochs` short).
@@ -84,11 +88,25 @@ impl TrainReport {
 /// Train `agent` on `env` per Algorithm 1. Returns per-epoch statistics;
 /// the environment itself is the owner of any best-plan bookkeeping.
 pub fn train(env: &mut dyn GraphEnv, agent: &mut ActorCritic, cfg: &TrainConfig) -> TrainReport {
+    train_telemetry(env, agent, cfg, &Telemetry::noop())
+}
+
+/// [`train`] reporting through `tel`: per-epoch return/completion/length
+/// metrics under the `rl` subsystem, plus `epoch` and `policy_update`
+/// span timings.
+pub fn train_telemetry(
+    env: &mut dyn GraphEnv,
+    agent: &mut ActorCritic,
+    cfg: &TrainConfig,
+    tel: &Telemetry,
+) -> TrainReport {
+    let _train_span = tel.span(sys::RL, "train");
     let mut report = TrainReport::default();
     let mut buffer = EpochBuffer::new();
     let mut converged_run = 0usize;
     let mut prev_return = f64::NAN;
     for epoch in 0..cfg.epochs {
+        let _epoch_span = tel.span(sys::RL, "epoch");
         buffer.clear();
         let mut obs = env.reset();
         let mut traj_len = 0usize;
@@ -122,7 +140,11 @@ pub fn train(env: &mut dyn GraphEnv, agent: &mut ActorCritic, cfg: &TrainConfig)
             buffer.push(obs.features, obs.action_mask, action, reward, value);
             obs = next_obs;
             if done || cut {
-                let bootstrap = if done { 0.0 } else { agent.value(&obs.features) };
+                let bootstrap = if done {
+                    0.0
+                } else {
+                    agent.value(&obs.features)
+                };
                 buffer.finish_path(bootstrap, cfg.gamma, cfg.lam);
                 if done {
                     completed += 1;
@@ -147,12 +169,22 @@ pub fn train(env: &mut dyn GraphEnv, agent: &mut ActorCritic, cfg: &TrainConfig)
         if cfg.normalize_advantages {
             buffer.normalize_advantages();
         }
-        agent.update_policy(buffer.steps());
-        agent.update_value(buffer.steps());
+        {
+            let _update_span = tel.span(sys::RL, "policy_update");
+            agent.update_policy(buffer.steps());
+            agent.update_value(buffer.steps());
+        }
 
         let mean_return = returns.iter().sum::<f64>() / returns.len().max(1) as f64;
-        let mean_length =
-            lengths.iter().sum::<usize>() as f64 / lengths.len().max(1) as f64;
+        let mean_length = lengths.iter().sum::<usize>() as f64 / lengths.len().max(1) as f64;
+        if tel.is_enabled() {
+            tel.incr(sys::RL, "epochs", 1);
+            tel.incr(sys::RL, "env_steps", buffer.len() as u64);
+            tel.incr(sys::RL, "trajectories_completed", completed as u64);
+            tel.incr(sys::RL, "trajectories_truncated", truncated as u64);
+            tel.record(sys::RL, "mean_return", mean_return);
+            tel.record(sys::RL, "mean_length", mean_length);
+        }
         report.epochs.push(EpochStats {
             epoch,
             mean_return,
@@ -277,7 +309,11 @@ mod tests {
         let e = &report.epochs[0];
         assert_eq!(e.completed, 0);
         assert!(e.truncated > 0);
-        assert!(e.mean_return < -0.9, "penalty must dominate: {}", e.mean_return);
+        assert!(
+            e.mean_return < -0.9,
+            "penalty must dominate: {}",
+            e.mean_return
+        );
     }
 
     #[test]
@@ -293,6 +329,10 @@ mod tests {
             ..Default::default()
         };
         let report = train(&mut env, &mut agent, &cfg);
-        assert!(report.epochs_run() <= 5, "ran {} epochs", report.epochs_run());
+        assert!(
+            report.epochs_run() <= 5,
+            "ran {} epochs",
+            report.epochs_run()
+        );
     }
 }

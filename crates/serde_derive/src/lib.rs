@@ -1,0 +1,498 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the Value-tree `Serialize`/`Deserialize` traits from
+//! the vendored `serde` shim. No `syn`/`quote` (unavailable offline): the
+//! item is parsed directly from the `proc_macro` token stream and the
+//! impls are emitted as formatted source strings.
+//!
+//! Supported shapes — exactly what this workspace derives:
+//! - named structs, with `#[serde(skip)]` fields (omitted on write,
+//!   `Default::default()` on read);
+//! - tuple structs, including `#[serde(transparent)]` newtypes;
+//! - enums with unit variants (serialized as `"Name"`), newtype variants
+//!   (`{"Name": payload}`) and tuple variants (`{"Name": [a, b]}`).
+//!
+//! Generics, struct variants, and renames are unsupported and panic at
+//! compile time with a clear message rather than mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_serialize(&item);
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_deserialize(&item);
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------
+
+struct NamedField {
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Named(Vec<NamedField>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        transparent: bool,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Outer attributes starting at `*i`: advance past them, reporting
+/// whether `#[serde(skip)]` / `#[serde(transparent)]` were present.
+fn eat_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
+    let (mut skip, mut transparent) = (false, false);
+    while *i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(flag) = t {
+                            match flag.to_string().as_str() {
+                                "skip" => skip = true,
+                                "transparent" => transparent = true,
+                                other => panic!(
+                                    "serde shim: unsupported attribute `{other}` \
+                                     (only skip/transparent)"
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    (skip, transparent)
+}
+
+/// Advance past `pub` / `pub(...)` if present.
+fn eat_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Split a delimited group's tokens on top-level commas, tracking `<...>`
+/// depth so commas inside generic arguments don't split.
+fn split_top_level(group: &proc_macro::Group) -> Vec<Vec<TokenTree>> {
+    let mut chunks: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for t in group.stream() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().unwrap().push(t);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let (_, transparent) = eat_attrs(&tokens, &mut i);
+    eat_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim: expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim: generic type `{name}` is not supported");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(split_top_level(g).len())
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde shim: malformed struct `{name}`: {other:?}"),
+            };
+            Item::Struct {
+                name,
+                transparent,
+                fields,
+            }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("serde shim: malformed enum `{name}`");
+            };
+            let variants = split_top_level(g)
+                .iter()
+                .map(|chunk| parse_variant(chunk, &name))
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde shim: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<NamedField> {
+    split_top_level(group)
+        .iter()
+        .map(|chunk| {
+            let mut j = 0;
+            let (skip, transparent) = eat_attrs(chunk, &mut j);
+            assert!(
+                !transparent,
+                "serde shim: transparent is a container attribute"
+            );
+            eat_visibility(chunk, &mut j);
+            match chunk.get(j) {
+                Some(TokenTree::Ident(id)) => NamedField {
+                    name: id.to_string(),
+                    skip,
+                },
+                other => panic!("serde shim: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variant(chunk: &[TokenTree], enum_name: &str) -> Variant {
+    let mut j = 0;
+    let _ = eat_attrs(chunk, &mut j);
+    let name = match chunk.get(j) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim: expected variant name in `{enum_name}`, found {other:?}"),
+    };
+    j += 1;
+    let arity = match chunk.get(j) {
+        None => 0,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            split_top_level(g).len()
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            panic!("serde shim: struct variant `{enum_name}::{name}` is not supported")
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+            panic!("serde shim: discriminant on `{enum_name}::{name}` is not supported")
+        }
+        other => panic!("serde shim: malformed variant `{enum_name}::{name}`: {other:?}"),
+    };
+    Variant { name, arity }
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+fn header(trait_name: &str, type_name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic)]\n\
+         impl ::serde::{trait_name} for {type_name} {{\n"
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out;
+    match item {
+        Item::Struct {
+            name,
+            transparent,
+            fields,
+        } => {
+            out = header("Serialize", name);
+            out.push_str("    fn to_value(&self) -> ::serde::Value {\n");
+            match fields {
+                Fields::Named(fs) => {
+                    out.push_str(
+                        "        let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                    );
+                    for f in fs.iter().filter(|f| !f.skip) {
+                        let fname = &f.name;
+                        writeln!(
+                            out,
+                            "        obj.push((String::from(\"{fname}\"), \
+                             ::serde::Serialize::to_value(&self.{fname})));"
+                        )
+                        .unwrap();
+                    }
+                    out.push_str("        ::serde::Value::Object(obj)\n");
+                }
+                Fields::Tuple(1) if *transparent => {
+                    out.push_str("        ::serde::Serialize::to_value(&self.0)\n");
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    writeln!(
+                        out,
+                        "        ::serde::Value::Array(vec![{}])",
+                        items.join(", ")
+                    )
+                    .unwrap();
+                }
+                Fields::Unit => {
+                    out.push_str("        ::serde::Value::Null\n");
+                }
+            }
+            out.push_str("    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out = header("Serialize", name);
+            out.push_str("    fn to_value(&self) -> ::serde::Value {\n");
+            out.push_str("        match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match v.arity {
+                    0 => writeln!(
+                        out,
+                        "            {name}::{vname} => \
+                         ::serde::Value::Str(String::from(\"{vname}\")),"
+                    )
+                    .unwrap(),
+                    1 => writeln!(
+                        out,
+                        "            {name}::{vname}(f0) => ::serde::Value::Object(vec![\
+                         (String::from(\"{vname}\"), ::serde::Serialize::to_value(f0))]),"
+                    )
+                    .unwrap(),
+                    n => {
+                        let binds: Vec<String> = (0..n).map(|k| format!("f{k}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        writeln!(
+                            out,
+                            "            {name}::{vname}({}) => ::serde::Value::Object(vec![\
+                             (String::from(\"{vname}\"), ::serde::Value::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            vals.join(", ")
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            out.push_str("        }\n    }\n}\n");
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out;
+    match item {
+        Item::Struct {
+            name,
+            transparent,
+            fields,
+        } => {
+            out = header("Deserialize", name);
+            out.push_str(
+                "    fn from_value(value: &::serde::Value) \
+                 -> Result<Self, ::serde::Error> {\n",
+            );
+            match fields {
+                Fields::Named(fs) => {
+                    writeln!(
+                        out,
+                        "        let obj = value.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected object for {name}\"))?;"
+                    )
+                    .unwrap();
+                    writeln!(out, "        Ok({name} {{").unwrap();
+                    for f in fs {
+                        let fname = &f.name;
+                        if f.skip {
+                            writeln!(
+                                out,
+                                "            {fname}: ::std::default::Default::default(),"
+                            )
+                            .unwrap();
+                        } else {
+                            writeln!(
+                                out,
+                                "            {fname}: ::serde::Deserialize::from_value(\
+                                 ::serde::field(obj, \"{fname}\")?)?,"
+                            )
+                            .unwrap();
+                        }
+                    }
+                    out.push_str("        })\n");
+                }
+                Fields::Tuple(1) if *transparent => {
+                    writeln!(
+                        out,
+                        "        Ok({name}(::serde::Deserialize::from_value(value)?))"
+                    )
+                    .unwrap();
+                }
+                Fields::Tuple(n) => {
+                    writeln!(
+                        out,
+                        "        let items = value.as_array().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected array for {name}\"))?;"
+                    )
+                    .unwrap();
+                    writeln!(
+                        out,
+                        "        if items.len() != {n} {{ return Err(\
+                         ::serde::Error::custom(\"wrong arity for {name}\")); }}"
+                    )
+                    .unwrap();
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                        .collect();
+                    writeln!(out, "        Ok({name}({}))", items.join(", ")).unwrap();
+                }
+                Fields::Unit => {
+                    writeln!(out, "        let _ = value;\n        Ok({name})").unwrap();
+                }
+            }
+            out.push_str("    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out = header("Deserialize", name);
+            out.push_str(
+                "    fn from_value(value: &::serde::Value) \
+                 -> Result<Self, ::serde::Error> {\n",
+            );
+            let units: Vec<&Variant> = variants.iter().filter(|v| v.arity == 0).collect();
+            let payloads: Vec<&Variant> = variants.iter().filter(|v| v.arity > 0).collect();
+            if !units.is_empty() {
+                out.push_str("        if let ::serde::Value::Str(s) = value {\n");
+                out.push_str("            match s.as_str() {\n");
+                for v in &units {
+                    let vname = &v.name;
+                    writeln!(
+                        out,
+                        "                \"{vname}\" => return Ok({name}::{vname}),"
+                    )
+                    .unwrap();
+                }
+                out.push_str("                _ => {}\n            }\n        }\n");
+            }
+            if !payloads.is_empty() {
+                out.push_str("        if let Some(obj) = value.as_object() {\n");
+                out.push_str("            if obj.len() == 1 {\n");
+                out.push_str("                let (key, payload) = &obj[0];\n");
+                out.push_str("                match key.as_str() {\n");
+                for v in &payloads {
+                    let vname = &v.name;
+                    if v.arity == 1 {
+                        writeln!(
+                            out,
+                            "                    \"{vname}\" => return Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(payload)?)),"
+                        )
+                        .unwrap();
+                    } else {
+                        let n = v.arity;
+                        writeln!(out, "                    \"{vname}\" => {{").unwrap();
+                        writeln!(
+                            out,
+                            "                        let arr = payload.as_array()\
+                             .ok_or_else(|| ::serde::Error::custom(\
+                             \"expected array payload for {name}::{vname}\"))?;"
+                        )
+                        .unwrap();
+                        writeln!(
+                            out,
+                            "                        if arr.len() != {n} {{ return Err(\
+                             ::serde::Error::custom(\
+                             \"wrong payload arity for {name}::{vname}\")); }}"
+                        )
+                        .unwrap();
+                        let items: Vec<String> = (0..n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&arr[{k}])?"))
+                            .collect();
+                        writeln!(
+                            out,
+                            "                        return Ok({name}::{vname}({}));",
+                            items.join(", ")
+                        )
+                        .unwrap();
+                        out.push_str("                    }\n");
+                    }
+                }
+                out.push_str(
+                    "                    _ => {}\n                }\n            }\n        }\n",
+                );
+            }
+            writeln!(
+                out,
+                "        Err(::serde::Error::custom(\"unrecognized value for {name}\"))"
+            )
+            .unwrap();
+            out.push_str("    }\n}\n");
+        }
+    }
+    out
+}

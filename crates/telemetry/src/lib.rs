@@ -1,0 +1,515 @@
+//! Unified telemetry for the NeuroPlan pipeline.
+//!
+//! Every subsystem (LP solver, Benders master, evaluator, RL trainer)
+//! reports through the same [`Telemetry`] handle: monotonically
+//! increasing **counters**, point-in-time **metrics**, and wall-clock
+//! **spans**. The handle is cheap to clone (an `Arc` internally) and a
+//! disabled handle is a single `Option` check per call, so instrumented
+//! hot paths cost nothing when telemetry is off — the micro-benchmarks
+//! run with the no-op handle.
+//!
+//! Sinks:
+//! - [`Telemetry::noop`] — discard everything (the default everywhere);
+//! - [`Telemetry::memory`] — aggregate counters and keep every event in
+//!   memory, for tests that assert on counts rather than timing;
+//! - [`Telemetry::jsonl`] — append one JSON object per event to a file
+//!   (the `--telemetry <path>` CLI flag), *and* keep the in-memory
+//!   aggregation so a run can render a summary afterwards.
+//!
+//! The JSONL schema is flat and stable (guarded by a golden test in
+//! `tests/serialization.rs`):
+//!
+//! ```json
+//! {"t_us":12,"sys":"lp","event":"counter","name":"bb_nodes","value":3}
+//! {"t_us":34,"sys":"rl","event":"metric","name":"mean_return","value":-1.5}
+//! {"t_us":56,"sys":"eval","event":"span","name":"check","dur_us":420}
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Subsystem labels used across the workspace, so call sites and tests
+/// can't drift apart on spelling.
+pub mod sys {
+    pub const LP: &str = "lp";
+    pub const MASTER: &str = "master";
+    pub const EVAL: &str = "eval";
+    pub const RL: &str = "rl";
+    pub const PIPELINE: &str = "pipeline";
+}
+
+/// One telemetry event, as written to the JSONL sink.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Microseconds since the handle was created.
+    pub t_us: u64,
+    /// Emitting subsystem (see [`sys`]).
+    pub sys: String,
+    /// Counter / metric / span payload.
+    pub kind: EventKind,
+    /// Event name within the subsystem.
+    pub name: String,
+}
+
+/// The payload of an [`Event`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A monotone count increment (the delta, not the running total).
+    Counter(u64),
+    /// A point-in-time measurement.
+    Metric(f64),
+    /// A completed wall-clock span of this duration.
+    Span { dur_us: u64 },
+}
+
+impl Event {
+    fn kind_str(&self) -> &'static str {
+        match self.kind {
+            EventKind::Counter(_) => "counter",
+            EventKind::Metric(_) => "metric",
+            EventKind::Span { .. } => "span",
+        }
+    }
+}
+
+// The serde impls are written out by hand (not derived) so the on-disk
+// schema is explicit here and cannot drift with derive behavior.
+impl serde::Serialize for Event {
+    fn to_value(&self) -> serde::Value {
+        let mut obj: Vec<(String, serde::Value)> = vec![
+            ("t_us".into(), serde::Value::Num(self.t_us as f64)),
+            ("sys".into(), serde::Value::Str(self.sys.clone())),
+            ("event".into(), serde::Value::Str(self.kind_str().into())),
+            ("name".into(), serde::Value::Str(self.name.clone())),
+        ];
+        match &self.kind {
+            EventKind::Counter(v) => obj.push(("value".into(), serde::Value::Num(*v as f64))),
+            EventKind::Metric(v) => obj.push(("value".into(), serde::Value::Num(*v))),
+            EventKind::Span { dur_us } => {
+                obj.push(("dur_us".into(), serde::Value::Num(*dur_us as f64)));
+            }
+        }
+        serde::Value::Object(obj)
+    }
+}
+
+impl serde::Deserialize for Event {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let need = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| serde::Error::custom(format!("event missing `{key}`")))
+        };
+        let t_us = need("t_us")?
+            .as_u64()
+            .ok_or_else(|| serde::Error::custom("t_us must be a non-negative integer"))?;
+        let sys = need("sys")?
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("sys must be a string"))?
+            .to_string();
+        let name = need("name")?
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("name must be a string"))?
+            .to_string();
+        let kind = match need("event")?.as_str() {
+            Some("counter") => EventKind::Counter(
+                need("value")?
+                    .as_u64()
+                    .ok_or_else(|| serde::Error::custom("counter value must be an integer"))?,
+            ),
+            Some("metric") => EventKind::Metric(
+                need("value")?
+                    .as_f64()
+                    .ok_or_else(|| serde::Error::custom("metric value must be a number"))?,
+            ),
+            Some("span") => EventKind::Span {
+                dur_us: need("dur_us")?
+                    .as_u64()
+                    .ok_or_else(|| serde::Error::custom("dur_us must be an integer"))?,
+            },
+            _ => return Err(serde::Error::custom("event must be counter|metric|span")),
+        };
+        Ok(Event {
+            t_us,
+            sys,
+            kind,
+            name,
+        })
+    }
+}
+
+/// In-memory aggregation, kept whenever telemetry is enabled.
+#[derive(Default)]
+struct Store {
+    /// Running totals per (sys, name).
+    counters: BTreeMap<(String, String), u64>,
+    /// Span count and total duration per (sys, name).
+    spans: BTreeMap<(String, String), (u64, u64)>,
+    /// Every event in emission order.
+    events: Vec<Event>,
+}
+
+struct Inner {
+    start: Instant,
+    store: Mutex<Store>,
+    writer: Option<Mutex<BufWriter<File>>>,
+}
+
+/// The telemetry handle threaded through the pipeline. Cloning shares
+/// the sink; the no-op handle carries no allocation at all.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Telemetry(noop)"),
+            Some(i) => write!(
+                f,
+                "Telemetry(enabled, jsonl: {})",
+                if i.writer.is_some() { "yes" } else { "no" }
+            ),
+        }
+    }
+}
+
+impl Telemetry {
+    /// A handle that discards everything. `Default` is the same thing.
+    pub fn noop() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// A handle that aggregates counters/spans and keeps all events in
+    /// memory — the test sink.
+    pub fn memory() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                start: Instant::now(),
+                store: Mutex::new(Store::default()),
+                writer: None,
+            })),
+        }
+    }
+
+    /// A handle that appends JSONL to `path` (truncating any existing
+    /// file) and also keeps the in-memory aggregation.
+    pub fn jsonl(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Telemetry {
+            inner: Some(Arc::new(Inner {
+                start: Instant::now(),
+                store: Mutex::new(Store::default()),
+                writer: Some(Mutex::new(BufWriter::new(file))),
+            })),
+        })
+    }
+
+    /// Whether events are recorded at all. Call sites with non-trivial
+    /// payload construction should check this first.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `delta` to counter `sys/name` (emits one counter event).
+    #[inline]
+    pub fn incr(&self, sys: &str, name: &str, delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        if delta == 0 {
+            return;
+        }
+        inner.emit(Event {
+            t_us: inner.now_us(),
+            sys: sys.to_string(),
+            kind: EventKind::Counter(delta),
+            name: name.to_string(),
+        });
+    }
+
+    /// Record a point-in-time measurement.
+    #[inline]
+    pub fn record(&self, sys: &str, name: &str, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        inner.emit(Event {
+            t_us: inner.now_us(),
+            sys: sys.to_string(),
+            kind: EventKind::Metric(value),
+            name: name.to_string(),
+        });
+    }
+
+    /// Start a wall-clock span; the event is emitted when the guard
+    /// drops. On a no-op handle this doesn't even read the clock.
+    #[inline]
+    pub fn span(&self, sys: &str, name: &str) -> SpanGuard {
+        match &self.inner {
+            None => SpanGuard {
+                tel: Telemetry::noop(),
+                sys: String::new(),
+                name: String::new(),
+                start: None,
+            },
+            Some(_) => SpanGuard {
+                tel: self.clone(),
+                sys: sys.to_string(),
+                name: name.to_string(),
+                start: Some(Instant::now()),
+            },
+        }
+    }
+
+    /// Flush the JSONL writer (no-op for other sinks).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            if let Some(w) = &inner.writer {
+                let _ = lock(w).flush();
+            }
+        }
+    }
+
+    /// Running total of counter `sys/name`; 0 when disabled or unseen.
+    pub fn counter(&self, sys: &str, name: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .and_then(|i| {
+                lock(&i.store)
+                    .counters
+                    .get(&(sys.to_string(), name.to_string()))
+                    .copied()
+            })
+            .unwrap_or(0)
+    }
+
+    /// All counter totals, ordered by (sys, name).
+    pub fn counters(&self) -> Vec<(String, String, u64)> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(i) => lock(&i.store)
+                .counters
+                .iter()
+                .map(|((s, n), v)| (s.clone(), n.clone(), *v))
+                .collect(),
+        }
+    }
+
+    /// Span aggregates as (sys, name, count, total_us), ordered.
+    pub fn spans(&self) -> Vec<(String, String, u64, u64)> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(i) => lock(&i.store)
+                .spans
+                .iter()
+                .map(|((s, n), (c, t))| (s.clone(), n.clone(), *c, *t))
+                .collect(),
+        }
+    }
+
+    /// Every event recorded so far, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(i) => lock(&i.store).events.clone(),
+        }
+    }
+
+    /// A human-readable per-subsystem breakdown of counters and span
+    /// times; empty string when disabled.
+    pub fn render_summary(&self) -> String {
+        if self.inner.is_none() {
+            return String::new();
+        }
+        let mut out = String::new();
+        let spans = self.spans();
+        if !spans.is_empty() {
+            out.push_str("phase times:\n");
+            for (sys, name, count, total_us) in &spans {
+                writeln!(
+                    out,
+                    "  {sys:<8} {name:<28} {:>10.3} ms  ({count} span{})",
+                    *total_us as f64 / 1e3,
+                    if *count == 1 { "" } else { "s" }
+                )
+                .unwrap();
+            }
+        }
+        let counters = self.counters();
+        if !counters.is_empty() {
+            out.push_str("counters:\n");
+            for (sys, name, value) in &counters {
+                writeln!(out, "  {sys:<8} {name:<28} {value:>10}").unwrap();
+            }
+        }
+        out
+    }
+}
+
+impl Inner {
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn emit(&self, event: Event) {
+        {
+            let mut store = lock(&self.store);
+            let key = (event.sys.clone(), event.name.clone());
+            match event.kind {
+                EventKind::Counter(delta) => {
+                    *store.counters.entry(key).or_insert(0) += delta;
+                }
+                EventKind::Span { dur_us } => {
+                    let slot = store.spans.entry(key).or_insert((0, 0));
+                    slot.0 += 1;
+                    slot.1 += dur_us;
+                }
+                EventKind::Metric(_) => {}
+            }
+            store.events.push(event.clone());
+        }
+        if let Some(w) = &self.writer {
+            let line = serde_json::to_string(&event).expect("event serializes");
+            let mut w = lock(w);
+            let _ = w.write_all(line.as_bytes());
+            let _ = w.write_all(b"\n");
+        }
+    }
+}
+
+/// Lock ignoring poisoning: telemetry must never compound a panic.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Emits a span event when dropped. Obtained from [`Telemetry::span`].
+#[must_use = "a span measures until it is dropped"]
+pub struct SpanGuard {
+    tel: Telemetry,
+    sys: String,
+    name: String,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let Some(inner) = &self.tel.inner else { return };
+        let dur_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        inner.emit(Event {
+            t_us: inner.now_us(),
+            sys: std::mem::take(&mut self.sys),
+            kind: EventKind::Span { dur_us },
+            name: std::mem::take(&mut self.name),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_records_nothing() {
+        let tel = Telemetry::noop();
+        tel.incr(sys::LP, "bb_nodes", 3);
+        tel.record(sys::RL, "mean_return", 1.0);
+        drop(tel.span(sys::EVAL, "check"));
+        assert!(!tel.is_enabled());
+        assert!(tel.events().is_empty());
+        assert_eq!(tel.counter(sys::LP, "bb_nodes"), 0);
+    }
+
+    #[test]
+    fn memory_sink_aggregates_counters() {
+        let tel = Telemetry::memory();
+        tel.incr(sys::LP, "bb_nodes", 3);
+        tel.incr(sys::LP, "bb_nodes", 4);
+        tel.incr(sys::EVAL, "scenario_checks", 1);
+        tel.incr(sys::EVAL, "zero_delta", 0); // dropped
+        assert_eq!(tel.counter(sys::LP, "bb_nodes"), 7);
+        assert_eq!(tel.counter(sys::EVAL, "scenario_checks"), 1);
+        assert_eq!(tel.events().len(), 3);
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let tel = Telemetry::memory();
+        let clone = tel.clone();
+        clone.incr(sys::MASTER, "cut_rounds", 2);
+        assert_eq!(tel.counter(sys::MASTER, "cut_rounds"), 2);
+    }
+
+    #[test]
+    fn spans_accumulate_count_and_duration() {
+        let tel = Telemetry::memory();
+        for _ in 0..3 {
+            let _s = tel.span(sys::PIPELINE, "first_stage");
+        }
+        let spans = tel.spans();
+        assert_eq!(spans.len(), 1);
+        let (s, n, count, _total) = &spans[0];
+        assert_eq!(
+            (s.as_str(), n.as_str(), *count),
+            (sys::PIPELINE, "first_stage", 3)
+        );
+        let summary = tel.render_summary();
+        assert!(summary.contains("first_stage"), "{summary}");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_event_per_line() {
+        let path =
+            std::env::temp_dir().join(format!("np-telemetry-test-{}.jsonl", std::process::id()));
+        let tel = Telemetry::jsonl(&path).unwrap();
+        tel.incr(sys::LP, "bb_nodes", 5);
+        tel.record(sys::RL, "mean_return", -2.5);
+        drop(tel.span(sys::EVAL, "check"));
+        tel.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let events: Vec<Event> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::Counter(5));
+        assert_eq!(events[1].kind, EventKind::Metric(-2.5));
+        assert!(matches!(events[2].kind, EventKind::Span { .. }));
+        // And the live aggregation is available alongside the file.
+        assert_eq!(tel.counter(sys::LP, "bb_nodes"), 5);
+    }
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let cases = [
+            Event {
+                t_us: 12,
+                sys: sys::LP.into(),
+                kind: EventKind::Counter(3),
+                name: "bb_nodes".into(),
+            },
+            Event {
+                t_us: 34,
+                sys: sys::RL.into(),
+                kind: EventKind::Metric(-1.5),
+                name: "mean_return".into(),
+            },
+            Event {
+                t_us: 56,
+                sys: sys::EVAL.into(),
+                kind: EventKind::Span { dur_us: 420 },
+                name: "check".into(),
+            },
+        ];
+        for event in cases {
+            let json = serde_json::to_string(&event).unwrap();
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+}

@@ -27,7 +27,10 @@ impl Default for CostModel {
     fn default() -> Self {
         // Calibrated so that on the generated topologies the optical and IP
         // terms are the same order of magnitude, as in production planning.
-        Self { cost_ip_per_gbps_km: 0.001, fiber_cost_scale: 1.0 }
+        Self {
+            cost_ip_per_gbps_km: 0.001,
+            fiber_cost_scale: 1.0,
+        }
     }
 }
 
@@ -64,7 +67,10 @@ mod tests {
 
     #[test]
     fn ip_cost_is_linear_in_units() {
-        let m = CostModel { cost_ip_per_gbps_km: 0.01, fiber_cost_scale: 1.0 };
+        let m = CostModel {
+            cost_ip_per_gbps_km: 0.01,
+            fiber_cost_scale: 1.0,
+        };
         let one = m.ip_cost(1, 100.0, 500.0);
         assert!((m.ip_cost(3, 100.0, 500.0) - 3.0 * one).abs() < 1e-9);
         assert!((m.unit_ip_cost(100.0, 500.0) - one).abs() < 1e-12);
@@ -77,7 +83,10 @@ mod tests {
 
     #[test]
     fn fiber_cost_scales() {
-        let m = CostModel { cost_ip_per_gbps_km: 0.0, fiber_cost_scale: 2.5 };
+        let m = CostModel {
+            cost_ip_per_gbps_km: 0.0,
+            fiber_cost_scale: 2.5,
+        };
         assert!((m.fiber_cost(4.0) - 10.0).abs() < 1e-12);
     }
 }

@@ -52,8 +52,17 @@ mod tests {
 
     #[test]
     fn display_messages_name_the_entity() {
-        let e = TopologyError::SpectrumExceeded { link: LinkId::new(3), fiber: FiberId::new(9) };
-        assert_eq!(e.to_string(), "adding capacity on l3 exceeds spectrum of f9");
-        assert_eq!(TopologyError::UnknownSite(SiteId::new(1)).to_string(), "unknown site s1");
+        let e = TopologyError::SpectrumExceeded {
+            link: LinkId::new(3),
+            fiber: FiberId::new(9),
+        };
+        assert_eq!(
+            e.to_string(),
+            "adding capacity on l3 exceeds spectrum of f9"
+        );
+        assert_eq!(
+            TopologyError::UnknownSite(SiteId::new(1)).to_string(),
+            "unknown site s1"
+        );
     }
 }

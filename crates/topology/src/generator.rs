@@ -198,7 +198,12 @@ impl Generator {
         let n = self.cfg.num_sites;
         let num_metros = (n / 4).clamp(2, 8);
         let metros: Vec<(f64, f64)> = (0..num_metros)
-            .map(|_| (self.rng.gen_range(0.0..5000.0), self.rng.gen_range(0.0..5000.0)))
+            .map(|_| {
+                (
+                    self.rng.gen_range(0.0..5000.0),
+                    self.rng.gen_range(0.0..5000.0),
+                )
+            })
             .collect();
         let num_dcs = ((n as f64 * self.cfg.datacenter_fraction).round() as usize).max(1);
         for i in 0..n {
@@ -208,9 +213,16 @@ impl Generator {
                 metro.1 + self.rng.gen_range(-400.0..400.0),
             );
             let is_dc = i < num_dcs;
-            let name =
-                if is_dc { format!("dc{:02}", i) } else { format!("pop{:02}", i - num_dcs) };
-            self.sites.push(Site { name, pos, is_datacenter: is_dc });
+            let name = if is_dc {
+                format!("dc{:02}", i)
+            } else {
+                format!("pop{:02}", i - num_dcs)
+            };
+            self.sites.push(Site {
+                name,
+                pos,
+                is_datacenter: is_dc,
+            });
         }
     }
 
@@ -220,7 +232,9 @@ impl Generator {
 
     fn has_fiber(&self, a: usize, b: usize) -> bool {
         let (a, b) = (a.min(b), a.max(b));
-        self.fibers.iter().any(|f| f.endpoints == (SiteId::new(a), SiteId::new(b)))
+        self.fibers
+            .iter()
+            .any(|f| f.endpoints == (SiteId::new(a), SiteId::new(b)))
     }
 
     fn add_fiber(&mut self, a: usize, b: usize) -> FiberId {
@@ -267,7 +281,7 @@ impl Generator {
                     continue;
                 }
                 let d = self.site_distance(a, b);
-                if best.map_or(true, |(bd, _)| d < bd) {
+                if best.is_none_or(|(bd, _)| d < bd) {
                     best = Some((d, b));
                 }
             }
@@ -278,8 +292,7 @@ impl Generator {
             }
         }
         // Long-haul chords between datacenters for express capacity.
-        let dcs: Vec<usize> =
-            (0..n).filter(|&i| self.sites[i].is_datacenter).collect();
+        let dcs: Vec<usize> = (0..n).filter(|&i| self.sites[i].is_datacenter).collect();
         for i in 0..dcs.len() {
             for j in i + 1..dcs.len() {
                 if !self.has_fiber(dcs[i], dcs[j]) && self.rng.gen_bool(0.5) {
@@ -387,9 +400,10 @@ impl Generator {
             }
             if let Some(path) = self.fiber_shortest_path(a, b, &[]) {
                 if path.len() >= 2
-                    && !self.links.iter().any(|l| {
-                        l.touches(SiteId::new(a)) && l.touches(SiteId::new(b))
-                    })
+                    && !self
+                        .links
+                        .iter()
+                        .any(|l| l.touches(SiteId::new(a)) && l.touches(SiteId::new(b)))
                 {
                     self.add_ip_link(a, b, path);
                     added += 1;
@@ -419,8 +433,7 @@ impl Generator {
     /// later collapses. `num_flows` counts components.
     fn build_traffic(&mut self) {
         let n = self.cfg.num_sites;
-        let weight =
-            |s: &Site| if s.is_datacenter { 4.0 } else { 1.0 };
+        let weight = |s: &Site| if s.is_datacenter { 4.0 } else { 1.0 };
         let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
         for a in 0..n {
             for b in 0..n {
@@ -551,8 +564,9 @@ impl Generator {
                 kind: FailureKind::FiberCut(FiberId::new(f)),
             });
         }
-        let pops: Vec<usize> =
-            (0..self.sites.len()).filter(|&i| !self.sites[i].is_datacenter).collect();
+        let pops: Vec<usize> = (0..self.sites.len())
+            .filter(|&i| !self.sites[i].is_datacenter)
+            .collect();
         for k in 0..self.cfg.num_site_failures.min(pops.len()) {
             let s = pops[k * pops.len() / self.cfg.num_site_failures.max(1) % pops.len()];
             self.failures.push(Failure {
@@ -687,7 +701,11 @@ mod tests {
     fn preset_a_matches_paper_scale() {
         let net = preset_network(TopologyPreset::A);
         // "A has tens of IP links, tens of failures and tens of flows."
-        assert!((10..60).contains(&net.links().len()), "links: {}", net.links().len());
+        assert!(
+            (10..60).contains(&net.links().len()),
+            "links: {}",
+            net.links().len()
+        );
         assert!((5..40).contains(&net.failures().len()));
         assert!((10..50).contains(&net.flows().len()));
     }
@@ -705,9 +723,8 @@ mod tests {
     fn generated_networks_contain_parallel_links() {
         let net = preset_network(TopologyPreset::B);
         let links = net.links();
-        let has_parallel = (0..links.len()).any(|i| {
-            (i + 1..links.len()).any(|j| links[i].is_parallel_to(&links[j]))
-        });
+        let has_parallel = (0..links.len())
+            .any(|i| (i + 1..links.len()).any(|j| links[i].is_parallel_to(&links[j])));
         assert!(has_parallel, "generator must produce parallel IP links");
         // And parallel pairs must ride different fiber paths.
         for i in 0..links.len() {
@@ -729,8 +746,10 @@ mod tests {
         let net = preset_network(TopologyPreset::C);
         for f in net.failure_ids() {
             let impact = net.impact(f);
-            let alive_links: Vec<_> =
-                net.link_ids().filter(|l| !impact.dead_links.contains(l)).collect();
+            let alive_links: Vec<_> = net
+                .link_ids()
+                .filter(|l| !impact.dead_links.contains(l))
+                .collect();
             // BFS over surviving IP links among surviving sites.
             let n = net.sites().len();
             let dead_site = |s: crate::SiteId| impact.dead_sites.contains(&s);

@@ -184,7 +184,11 @@ mod tests {
     use super::*;
 
     fn site(x: f64, y: f64) -> Site {
-        Site { name: "s".into(), pos: (x, y), is_datacenter: false }
+        Site {
+            name: "s".into(),
+            pos: (x, y),
+            is_datacenter: false,
+        }
     }
 
     #[test]
@@ -233,10 +237,16 @@ mod tests {
 
     #[test]
     fn compound_failures() {
-        assert!(!Failure { name: "c".into(), kind: FailureKind::FiberCut(FiberId::new(0)) }
-            .is_compound());
-        assert!(Failure { name: "s".into(), kind: FailureKind::SiteDown(SiteId::new(0)) }
-            .is_compound());
+        assert!(!Failure {
+            name: "c".into(),
+            kind: FailureKind::FiberCut(FiberId::new(0))
+        }
+        .is_compound());
+        assert!(Failure {
+            name: "s".into(),
+            kind: FailureKind::SiteDown(SiteId::new(0))
+        }
+        .is_compound());
         assert!(!Failure {
             name: "g1".into(),
             kind: FailureKind::Srlg(vec![FiberId::new(0)])

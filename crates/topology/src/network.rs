@@ -119,7 +119,11 @@ impl Network {
         for (i, fiber) in self.fibers.iter().enumerate() {
             let (a, b) = fiber.endpoints;
             if a.index() >= ns || b.index() >= ns {
-                return Err(TopologyError::UnknownSite(if a.index() >= ns { a } else { b }));
+                return Err(TopologyError::UnknownSite(if a.index() >= ns {
+                    a
+                } else {
+                    b
+                }));
             }
             if a == b {
                 return Err(TopologyError::Invalid(format!("fiber f{i} is a self-loop")));
@@ -136,7 +140,9 @@ impl Network {
                 return Err(TopologyError::UnknownSite(link.src));
             }
             if link.src == link.dst {
-                return Err(TopologyError::Invalid(format!("IP link {id} is a self-loop")));
+                return Err(TopologyError::Invalid(format!(
+                    "IP link {id} is a self-loop"
+                )));
             }
             if link.fiber_path.is_empty() {
                 return Err(TopologyError::BrokenFiberPath(id));
@@ -155,12 +161,13 @@ impl Network {
                 }
                 let fiber = &self.fibers[fid.index()];
                 at = match fiber.touches(at) {
-                    true => fiber
-                        .endpoints
-                        .0
-                        .eq(&at)
-                        .then_some(fiber.endpoints.1)
-                        .unwrap_or(fiber.endpoints.0),
+                    true => {
+                        if fiber.endpoints.0.eq(&at) {
+                            fiber.endpoints.1
+                        } else {
+                            fiber.endpoints.0
+                        }
+                    }
                     false => return Err(TopologyError::BrokenFiberPath(id)),
                 };
             }
@@ -204,7 +211,11 @@ impl Network {
                 self.links_over_fiber[fid.index()].push(LinkId::new(i));
             }
         }
-        self.impacts = self.failures.iter().map(|f| self.compute_impact(f)).collect();
+        self.impacts = self
+            .failures
+            .iter()
+            .map(|f| self.compute_impact(f))
+            .collect();
         self.unit_costs = self
             .links
             .iter()
@@ -217,7 +228,8 @@ impl Network {
                         fiber.build_cost * eff / fiber.spectrum_ghz
                     })
                     .sum();
-                self.cost_model.link_unit_cost(self.unit_gbps, link.length_km, optical_share)
+                self.cost_model
+                    .link_unit_cost(self.unit_gbps, link.length_km, optical_share)
             })
             .collect();
     }
@@ -255,7 +267,8 @@ impl Network {
             dead_links: dead
                 .iter()
                 .enumerate()
-                .filter_map(|(i, &d)| d.then(|| LinkId::new(i)))
+                .filter(|&(_i, &d)| d)
+                .map(|(i, &_d)| LinkId::new(i))
                 .collect(),
             dead_sites,
         }
@@ -415,7 +428,11 @@ impl Network {
         let mut room = u32::MAX;
         for &(fid, eff) in &l.fiber_path {
             let head = self.spectrum_headroom(fid);
-            let units = if head <= 0.0 { 0 } else { (head / eff + 1e-9).floor() as u32 };
+            let units = if head <= 0.0 {
+                0
+            } else {
+                (head / eff + 1e-9).floor() as u32
+            };
             room = room.min(units);
         }
         room
@@ -436,7 +453,9 @@ impl Network {
                 .iter()
                 .map(|&(f, _)| f)
                 .min_by(|a, b| {
-                    self.spectrum_headroom(*a).partial_cmp(&self.spectrum_headroom(*b)).unwrap()
+                    self.spectrum_headroom(*a)
+                        .partial_cmp(&self.spectrum_headroom(*b))
+                        .unwrap()
                 })
                 .expect("validated links have non-empty fiber paths");
             return Err(TopologyError::SpectrumExceeded { link, fiber });
@@ -465,12 +484,18 @@ impl Network {
 
     /// Snapshot the current per-link capacities.
     pub fn snapshot(&self) -> PlanSnapshot {
-        PlanSnapshot { units: self.links.iter().map(|l| l.capacity_units).collect() }
+        PlanSnapshot {
+            units: self.links.iter().map(|l| l.capacity_units).collect(),
+        }
     }
 
     /// Restore a previously-taken snapshot.
     pub fn restore(&mut self, snap: &PlanSnapshot) {
-        assert_eq!(snap.units.len(), self.links.len(), "snapshot from a different network");
+        assert_eq!(
+            snap.units.len(),
+            self.links.len(),
+            "snapshot from a different network"
+        );
         for (l, &u) in self.links.iter_mut().zip(&snap.units) {
             l.capacity_units = u;
         }
@@ -596,8 +621,14 @@ pub(crate) mod tests {
             },
         ];
         let failures = vec![
-            Failure { name: "cut:f0".into(), kind: FailureKind::FiberCut(FiberId::new(0)) },
-            Failure { name: "down:s1".into(), kind: FailureKind::SiteDown(SiteId::new(1)) },
+            Failure {
+                name: "cut:f0".into(),
+                kind: FailureKind::FiberCut(FiberId::new(0)),
+            },
+            Failure {
+                name: "down:s1".into(),
+                kind: FailureKind::SiteDown(SiteId::new(1)),
+            },
         ];
         Network::new(
             sites,
@@ -606,7 +637,10 @@ pub(crate) mod tests {
             flows,
             failures,
             ReliabilityPolicy::default(),
-            CostModel { cost_ip_per_gbps_km: 0.001, fiber_cost_scale: 1.0 },
+            CostModel {
+                cost_ip_per_gbps_km: 0.001,
+                fiber_cost_scale: 1.0,
+            },
             100.0,
         )
         .expect("square network is valid")
@@ -623,7 +657,10 @@ pub(crate) mod tests {
     fn fiber_cut_kills_every_link_on_the_fiber() {
         let net = square();
         let impact = net.impact(FailureId::new(0));
-        assert_eq!(impact.dead_links, vec![LinkId::new(0), LinkId::new(4), LinkId::new(5)]);
+        assert_eq!(
+            impact.dead_links,
+            vec![LinkId::new(0), LinkId::new(4), LinkId::new(5)]
+        );
         assert!(impact.dead_sites.is_empty());
         assert!(!net.link_alive(LinkId::new(0), Some(FailureId::new(0))));
         assert!(net.link_alive(LinkId::new(1), Some(FailureId::new(0))));
@@ -636,7 +673,12 @@ pub(crate) mod tests {
         // Site 1 down: links 0 (0-1), 1 (1-2), 4 (0-2 via 1), 5 (0-1 parallel).
         assert_eq!(
             impact.dead_links,
-            vec![LinkId::new(0), LinkId::new(1), LinkId::new(4), LinkId::new(5)]
+            vec![
+                LinkId::new(0),
+                LinkId::new(1),
+                LinkId::new(4),
+                LinkId::new(5)
+            ]
         );
         assert_eq!(impact.dead_sites, vec![SiteId::new(1)]);
     }
@@ -690,7 +732,11 @@ pub(crate) mod tests {
             net.set_units(LinkId::new(0), 100_000),
             Err(TopologyError::SpectrumExceeded { .. })
         ));
-        assert_eq!(net.link(LinkId::new(0)).capacity_units, before, "failed set rolls back");
+        assert_eq!(
+            net.link(LinkId::new(0)).capacity_units,
+            before,
+            "failed set rolls back"
+        );
     }
 
     #[test]
@@ -759,7 +805,10 @@ pub(crate) mod tests {
             net.cost_model.clone(),
             net.unit_gbps,
         );
-        assert_eq!(result.unwrap_err(), TopologyError::BrokenFiberPath(LinkId::new(0)));
+        assert_eq!(
+            result.unwrap_err(),
+            TopologyError::BrokenFiberPath(LinkId::new(0))
+        );
         // Multi-hop fiber walks in either orientation are accepted.
         net.links[0].capacity_units = 0;
         assert!(net.validate().is_ok());
@@ -771,6 +820,9 @@ pub(crate) mod tests {
         let back = Network::from_json(&net.to_json()).unwrap();
         assert_eq!(back.links(), net.links());
         assert_eq!(back.flows(), net.flows());
-        assert_eq!(back.impact(FailureId::new(1)), net.impact(FailureId::new(1)));
+        assert_eq!(
+            back.impact(FailureId::new(1)),
+            net.impact(FailureId::new(1))
+        );
     }
 }

@@ -24,14 +24,20 @@ impl Default for ReliabilityPolicy {
     fn default() -> Self {
         // Production default: everything but scavenger-class survives a
         // fiber cut; only gold survives a site loss or SRLG event.
-        Self { protect_simple: CosClass::Silver, protect_compound: CosClass::Gold }
+        Self {
+            protect_simple: CosClass::Silver,
+            protect_compound: CosClass::Gold,
+        }
     }
 }
 
 impl ReliabilityPolicy {
     /// A policy in which every class must survive every failure.
     pub fn protect_all() -> Self {
-        Self { protect_simple: CosClass::Bronze, protect_compound: CosClass::Bronze }
+        Self {
+            protect_simple: CosClass::Bronze,
+            protect_compound: CosClass::Bronze,
+        }
     }
 
     /// Whether a flow of class `cos` must be satisfied under `failure`.
@@ -52,11 +58,17 @@ mod tests {
     use crate::model::FailureKind;
 
     fn cut() -> Failure {
-        Failure { name: "cut".into(), kind: FailureKind::FiberCut(FiberId::new(0)) }
+        Failure {
+            name: "cut".into(),
+            kind: FailureKind::FiberCut(FiberId::new(0)),
+        }
     }
 
     fn site_down() -> Failure {
-        Failure { name: "down".into(), kind: FailureKind::SiteDown(SiteId::new(0)) }
+        Failure {
+            name: "down".into(),
+            kind: FailureKind::SiteDown(SiteId::new(0)),
+        }
     }
 
     #[test]

@@ -34,8 +34,17 @@ pub fn abilene(capacity_fill: f64) -> Network {
     build(
         &RefSpec {
             names: &[
-                "seattle", "sunnyvale", "losangeles", "denver", "kansascity", "houston",
-                "atlanta", "washington", "newyork", "chicago", "indianapolis",
+                "seattle",
+                "sunnyvale",
+                "losangeles",
+                "denver",
+                "kansascity",
+                "houston",
+                "atlanta",
+                "washington",
+                "newyork",
+                "chicago",
+                "indianapolis",
             ],
             coords: &[
                 (0.0, 2900.0),
@@ -78,9 +87,22 @@ pub fn geant(capacity_fill: f64) -> Network {
     build(
         &RefSpec {
             names: &[
-                "london", "paris", "amsterdam", "frankfurt", "geneva", "madrid", "milan",
-                "vienna", "prague", "copenhagen", "stockholm", "warsaw", "budapest",
-                "athens", "dublin", "lisbon",
+                "london",
+                "paris",
+                "amsterdam",
+                "frankfurt",
+                "geneva",
+                "madrid",
+                "milan",
+                "vienna",
+                "prague",
+                "copenhagen",
+                "stockholm",
+                "warsaw",
+                "budapest",
+                "athens",
+                "dublin",
+                "lisbon",
             ],
             coords: &[
                 (0.0, 1200.0),
@@ -215,7 +237,10 @@ fn build(spec: &RefSpec, capacity_fill: f64) -> Network {
     }
     let failures: Vec<Failure> = (0..fibers.len())
         .map(|f| Failure {
-            name: format!("cut:{}-{}", spec.names[spec.edges[f].0], spec.names[spec.edges[f].1]),
+            name: format!(
+                "cut:{}-{}",
+                spec.names[spec.edges[f].0], spec.names[spec.edges[f].1]
+            ),
             kind: FailureKind::FiberCut(FiberId::new(f)),
         })
         .collect();
@@ -236,7 +261,8 @@ fn build(spec: &RefSpec, capacity_fill: f64) -> Network {
             / (net.links().len() as f64 * net.unit_gbps))
             .ceil() as u32;
         for l in net.link_ids() {
-            net.set_units(l, per_link).expect("uniform fill fits spectrum");
+            net.set_units(l, per_link)
+                .expect("uniform fill fits spectrum");
         }
     }
     net

@@ -55,8 +55,9 @@ impl TransformedGraph {
     /// row. This is what the GCN layers consume.
     pub fn normalized_adjacency(&self) -> Vec<(usize, usize, f64)> {
         let n = self.num_nodes();
-        let inv_sqrt: Vec<f64> =
-            (0..n).map(|i| 1.0 / ((self.degree(i) + 1) as f64).sqrt()).collect();
+        let inv_sqrt: Vec<f64> = (0..n)
+            .map(|i| 1.0 / ((self.degree(i) + 1) as f64).sqrt())
+            .collect();
         let mut entries = Vec::with_capacity(self.neighbors.len() + n);
         for i in 0..n {
             entries.push((i, i, inv_sqrt[i] * inv_sqrt[i]));
@@ -200,7 +201,10 @@ mod tests {
         assert_eq!(g.num_edges(), 7);
         for i in 0..g.num_nodes() {
             for &j in g.neighbors(i) {
-                assert!(g.neighbors(j).contains(&i), "edge {i}-{j} must be symmetric");
+                assert!(
+                    g.neighbors(j).contains(&i),
+                    "edge {i}-{j} must be symmetric"
+                );
             }
         }
     }
@@ -210,13 +214,25 @@ mod tests {
         let g = transform(&fig5());
         let entries = g.normalized_adjacency();
         // Self-loop weight of node 1 (degree 2): 1/(2+1) = 1/3.
-        let self1 = entries.iter().find(|&&(r, c, _)| r == 1 && c == 1).unwrap().2;
+        let self1 = entries
+            .iter()
+            .find(|&&(r, c, _)| r == 1 && c == 1)
+            .unwrap()
+            .2;
         assert!((self1 - 1.0 / 3.0).abs() < 1e-12);
         // Edge AB(deg 3)-AD(deg 2): 1/sqrt(4*3).
-        let e01 = entries.iter().find(|&&(r, c, _)| r == 0 && c == 1).unwrap().2;
+        let e01 = entries
+            .iter()
+            .find(|&&(r, c, _)| r == 0 && c == 1)
+            .unwrap()
+            .2;
         assert!((e01 - 1.0 / (4.0f64 * 3.0).sqrt()).abs() < 1e-12);
         // Â is symmetric.
-        let e10 = entries.iter().find(|&&(r, c, _)| r == 1 && c == 0).unwrap().2;
+        let e10 = entries
+            .iter()
+            .find(|&&(r, c, _)| r == 1 && c == 0)
+            .unwrap()
+            .2;
         assert!((e01 - e10).abs() < 1e-15);
     }
 

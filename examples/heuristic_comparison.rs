@@ -12,7 +12,10 @@ use np_topology::generator::GeneratorConfig;
 
 fn main() {
     let net = GeneratorConfig::a_variant(0.25).generate();
-    let budget = BaselineBudget { node_limit: 20_000, time_limit_secs: 90.0 };
+    let budget = BaselineBudget {
+        node_limit: 20_000,
+        time_limit_secs: 90.0,
+    };
 
     println!("solving with the raw ILP (exact formulation, full search space)...");
     let ilp = solve_ilp(&net, EvalConfig::default(), budget);
@@ -39,9 +42,11 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
 
-    for (name, units) in
-        [("ILP", &ilp.master.units), ("ILP-heur", &heur.master.units), ("NeuroPlan", &np.final_units)]
-    {
+    for (name, units) in [
+        ("ILP", &ilp.master.units),
+        ("ILP-heur", &heur.master.units),
+        ("NeuroPlan", &np.final_units),
+    ] {
         assert!(validate_plan(&net, units), "{name} plan must validate");
     }
 

@@ -39,7 +39,10 @@ fn main() {
         if let Some(cut) = evaluator.certificate(idx) {
             let scenario = match idx {
                 0 => "no-failure state".to_string(),
-                k => format!("failure '{}'", net.failure(np_topology::FailureId::new(k - 1)).name),
+                k => format!(
+                    "failure '{}'",
+                    net.failure(np_topology::FailureId::new(k - 1)).name
+                ),
             };
             println!("certificate for the {scenario} under the empty plan:");
             println!(

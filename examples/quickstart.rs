@@ -48,7 +48,10 @@ fn main() {
     );
 
     // Independent end-to-end validation with a fresh exact evaluator.
-    assert!(validate_plan(&net, &result.final_units), "plan must survive all scenarios");
+    assert!(
+        validate_plan(&net, &result.final_units),
+        "plan must survive all scenarios"
+    );
     println!("\nplan validated: every flow survives every failure scenario ✓");
 
     println!("\nper-link plan (only links whose capacity changed):");

@@ -35,8 +35,10 @@ fn main() {
 
     // And the same machinery on the GÉANT-like map, evaluation only.
     let geant = reference::geant(0.8);
-    let units: Vec<u32> =
-        geant.link_ids().map(|l| geant.link(l).capacity_units).collect();
+    let units: Vec<u32> = geant
+        .link_ids()
+        .map(|l| geant.link(l).capacity_units)
+        .collect();
     let ga = analyze_plan(&geant, &units);
     let tight = ga.tightest().expect("geant has scenarios");
     println!(

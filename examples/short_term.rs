@@ -28,7 +28,9 @@ fn main() {
     assert!(!check.feasible, "the demo expects a capacity shortfall");
 
     // Eq. 5 in action: every link keeps at least its current capacity.
-    assert!(net.link_ids().all(|l| net.link(l).min_units == net.link(l).capacity_units));
+    assert!(net
+        .link_ids()
+        .all(|l| net.link(l).min_units == net.link(l).capacity_units));
 
     let planner = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(11));
     let result = planner.plan(&net);
@@ -55,6 +57,7 @@ fn main() {
     }
     println!(
         "\nno link shrank below its production capacity (Eq. 5): {}",
-        net.link_ids().all(|l| result.final_units[l.index()] >= net.link(l).min_units)
+        net.link_ids()
+            .all(|l| result.final_units[l.index()] >= net.link(l).min_units)
     );
 }

@@ -58,8 +58,14 @@ fn tiny_instance() -> Network {
         },
     ];
     let failures = vec![
-        Failure { name: "cut:f4".into(), kind: FailureKind::FiberCut(FiberId::new(4)) },
-        Failure { name: "cut:f0".into(), kind: FailureKind::FiberCut(FiberId::new(0)) },
+        Failure {
+            name: "cut:f4".into(),
+            kind: FailureKind::FiberCut(FiberId::new(4)),
+        },
+        Failure {
+            name: "cut:f0".into(),
+            kind: FailureKind::FiberCut(FiberId::new(0)),
+        },
     ];
     Network::new(
         sites,
@@ -81,15 +87,7 @@ fn joint_formulation(net: &Network) -> (Model, Vec<VarId>) {
     let mut model = Model::new("joint");
     let avars: Vec<VarId> = net
         .link_ids()
-        .map(|l| {
-            model.add_var(
-                format!("a_{l}"),
-                0.0,
-                60.0,
-                net.unit_cost(l),
-                true,
-            )
-        })
+        .map(|l| model.add_var(format!("a_{l}"), 0.0, 60.0, net.unit_cost(l), true))
         .collect();
     // Scenarios: None + each failure.
     let scenarios: Vec<Option<np_topology::FailureId>> = std::iter::once(None)
@@ -151,12 +149,7 @@ fn joint_formulation(net: &Network) -> (Model, Vec<VarId>) {
                 if coeffs.is_empty() && traffic.abs() < 1e-12 {
                     continue;
                 }
-                model.add_constr(
-                    format!("cons{si}_{src}_{v}"),
-                    coeffs,
-                    Sense::Eq,
-                    traffic,
-                );
+                model.add_constr(format!("cons{si}_{src}_{v}"), coeffs, Sense::Eq, traffic);
             }
         }
         // Eq. 3: per-direction capacity C_l = base + a_l (base is 0 here).
@@ -183,7 +176,12 @@ fn joint_formulation(net: &Network) -> (Model, Vec<VarId>) {
                 (avars[l.index()], eff)
             })
             .collect();
-        model.add_constr(format!("spec_{f}"), coeffs, Sense::Le, net.fiber(f).spectrum_ghz);
+        model.add_constr(
+            format!("spec_{f}"),
+            coeffs,
+            Sense::Le,
+            net.fiber(f).spectrum_ghz,
+        );
     }
     (model, avars)
 }
@@ -195,7 +193,11 @@ fn benders_master_matches_the_joint_formulation() {
     // Joint ILP, solved exactly.
     let (joint, avars) = joint_formulation(&net);
     let joint_sol = solve_mip(&joint, &MipConfig::default(), None);
-    assert_eq!(joint_sol.status, MipStatus::Optimal, "joint model must solve");
+    assert_eq!(
+        joint_sol.status,
+        MipStatus::Optimal,
+        "joint model must solve"
+    );
     let joint_cost = joint_sol.objective;
 
     // Benders master with tight gap on the same instance.
@@ -221,11 +223,19 @@ fn benders_master_matches_the_joint_formulation() {
     );
 
     // And the joint solution's capacities are feasible per the evaluator.
-    let units: Vec<u32> =
-        avars.iter().map(|&v| joint_sol.x[v.0].round() as u32).collect();
-    let caps: Vec<f64> = units.iter().map(|&u| f64::from(u) * net.unit_gbps).collect();
+    let units: Vec<u32> = avars
+        .iter()
+        .map(|&v| joint_sol.x[v.0].round() as u32)
+        .collect();
+    let caps: Vec<f64> = units
+        .iter()
+        .map(|&u| f64::from(u) * net.unit_gbps)
+        .collect();
     let mut fresh = PlanEvaluator::new(&net, EvalConfig::default());
-    assert!(fresh.check(&caps).feasible, "joint solution validates in the evaluator");
+    assert!(
+        fresh.check(&caps).feasible,
+        "joint solution validates in the evaluator"
+    );
 }
 
 #[test]

@@ -61,9 +61,13 @@ fn line(left: u32, right: u32, failures: Vec<Failure>) -> Network {
 #[test]
 fn line_feasibility_threshold_is_exact() {
     // 300 Gbps needs 3 units on both hops.
-    for (l, r, expect) in
-        [(3, 3, true), (2, 3, false), (3, 2, false), (4, 3, true), (2, 2, false)]
-    {
+    for (l, r, expect) in [
+        (3, 3, true),
+        (2, 3, false),
+        (3, 2, false),
+        (4, 3, true),
+        (2, 2, false),
+    ] {
         let net = line(l, r, vec![]);
         let mut ev = PlanEvaluator::new(&net, EvalConfig::default());
         assert_eq!(
@@ -79,7 +83,10 @@ fn a_fiber_cut_on_a_line_is_structurally_fatal() {
     let net = line(
         5,
         5,
-        vec![Failure { name: "cut".into(), kind: FailureKind::FiberCut(FiberId::new(0)) }],
+        vec![Failure {
+            name: "cut".into(),
+            kind: FailureKind::FiberCut(FiberId::new(0)),
+        }],
     );
     let mut ev = PlanEvaluator::new(&net, EvalConfig::default());
     let out = ev.check_network(&net);
@@ -93,7 +100,10 @@ fn backends_agree_up_to_documented_mwu_conservatism() {
     let verdict = |net: &Network, backend: Backend| {
         let mut ctx = ScenarioCtx::build(net, None, true);
         ctx.refresh(|link| net.capacity_gbps(link));
-        let cfg = CheckConfig { backend, ..CheckConfig::default() };
+        let cfg = CheckConfig {
+            backend,
+            ..CheckConfig::default()
+        };
         let mut stats = np_eval::EvalStats::default();
         np_eval::check_scenario(&ctx, &cfg, &mut stats).is_feasible()
     };
@@ -109,7 +119,10 @@ fn backends_agree_up_to_documented_mwu_conservatism() {
             assert!(!mwu, "Mwu must never accept an infeasible plan ({l},{r})");
         }
         if mwu {
-            assert!(exact, "Mwu feasibility is a primal witness and cannot lie ({l},{r})");
+            assert!(
+                exact,
+                "Mwu feasibility is a primal witness and cannot lie ({l},{r})"
+            );
         }
     }
 }
@@ -159,7 +172,10 @@ fn parallel_links_pool_capacity() {
             demand_gbps: 300.0,
             cos: CosClass::Gold,
         }],
-        vec![Failure { name: "cut:f1".into(), kind: FailureKind::FiberCut(FiberId::new(1)) }],
+        vec![Failure {
+            name: "cut:f1".into(),
+            kind: FailureKind::FiberCut(FiberId::new(1)),
+        }],
         ReliabilityPolicy::protect_all(),
         CostModel::default(),
         100.0,
@@ -171,7 +187,10 @@ fn parallel_links_pool_capacity() {
     let out = ev.check_network(&net);
     assert!(!out.feasible);
     assert_eq!(out.first_violated, Some(1));
-    assert!(!out.structural, "adding capacity on the surviving parallel fixes it");
+    assert!(
+        !out.structural,
+        "adding capacity on the surviving parallel fixes it"
+    );
     // Give the surviving link 3 units: feasible everywhere.
     let caps = vec![300.0, 200.0];
     let mut ev2 = PlanEvaluator::new(&net, EvalConfig::default());
@@ -183,7 +202,10 @@ fn verdict_pipeline_reports_cuts_on_mwu_backend() {
     let net = line(1, 1, vec![]);
     let mut ctx = ScenarioCtx::build(&net, None, true);
     ctx.refresh(|l| net.capacity_gbps(l));
-    let cfg = CheckConfig { backend: Backend::Mwu, ..CheckConfig::default() };
+    let cfg = CheckConfig {
+        backend: Backend::Mwu,
+        ..CheckConfig::default()
+    };
     let mut stats = np_eval::EvalStats::default();
     match np_eval::check_scenario(&ctx, &cfg, &mut stats) {
         Verdict::Infeasible(Some(cut)) => {

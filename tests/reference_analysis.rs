@@ -24,7 +24,10 @@ fn geant_partial_fill_fails_exactly_where_analysis_says() {
     let units: Vec<u32> = net.link_ids().map(|l| net.link(l).capacity_units).collect();
     let analysis = analyze_plan(&net, &units);
     let mut evaluator = PlanEvaluator::new(&net, EvalConfig::default());
-    let caps: Vec<f64> = units.iter().map(|&u| f64::from(u) * net.unit_gbps).collect();
+    let caps: Vec<f64> = units
+        .iter()
+        .map(|&u| f64::from(u) * net.unit_gbps)
+        .collect();
     let outcome = evaluator.check(&caps);
     let tightest = analysis.tightest().unwrap();
     if outcome.feasible {

@@ -1,7 +1,9 @@
 //! Persistence: planning instances round-trip through JSON and stay
-//! solvable — the workflow for sharing reproducible planning problems.
+//! solvable — the workflow for sharing reproducible planning problems —
+//! and the telemetry JSONL schema stays stable across releases.
 
 use np_eval::{EvalConfig, PlanEvaluator};
+use np_telemetry::{Event, EventKind, Telemetry};
 use np_topology::{generator::GeneratorConfig, Network, TopologyPreset};
 
 #[test]
@@ -28,7 +30,10 @@ fn deserialized_instances_evaluate_identically() {
     }
     let mut ev1 = PlanEvaluator::new(&net, EvalConfig::default());
     let mut ev2 = PlanEvaluator::new(&back, EvalConfig::default());
-    let caps: Vec<f64> = net.link_ids().map(|l| net.capacity_gbps(l) + 100.0).collect();
+    let caps: Vec<f64> = net
+        .link_ids()
+        .map(|l| net.capacity_gbps(l) + 100.0)
+        .collect();
     let a = ev1.check(&caps);
     let b = ev2.check(&caps);
     assert_eq!(a.feasible, b.feasible);
@@ -43,6 +48,119 @@ fn greedy_plan_on_deserialized_instance_matches() {
     let mut n2 = back.clone();
     let c1 = neuroplan::greedy_augment(&mut n1, EvalConfig::default()).unwrap();
     let c2 = neuroplan::greedy_augment(&mut n2, EvalConfig::default()).unwrap();
-    assert!((c1 - c2).abs() < 1e-9, "identical instances plan identically");
+    assert!(
+        (c1 - c2).abs() < 1e-9,
+        "identical instances plan identically"
+    );
     assert_eq!(n1.snapshot(), n2.snapshot());
+}
+
+#[test]
+fn telemetry_events_roundtrip_through_json() {
+    let events = [
+        Event {
+            t_us: 0,
+            sys: "lp".into(),
+            kind: EventKind::Counter(0),
+            name: "z".into(),
+        },
+        Event {
+            t_us: 12,
+            sys: "lp".into(),
+            kind: EventKind::Counter(42),
+            name: "bb_nodes".into(),
+        },
+        Event {
+            t_us: 34,
+            sys: "rl".into(),
+            kind: EventKind::Metric(-1.5),
+            name: "mean_return".into(),
+        },
+        Event {
+            t_us: u64::MAX >> 12,
+            sys: "eval".into(),
+            kind: EventKind::Span { dur_us: 420 },
+            name: "check".into(),
+        },
+    ];
+    for event in &events {
+        let json = serde_json::to_string(event).expect("event serializes");
+        let back: Event = serde_json::from_str(&json).expect("event parses back");
+        assert_eq!(&back, event);
+        // Canonical: re-serializing the parsed event is byte-identical.
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+}
+
+/// The on-disk contract of `--telemetry <path>`. If this test fails, the
+/// JSONL schema changed and every downstream consumer of telemetry files
+/// breaks: bump deliberately, never accidentally.
+#[test]
+fn telemetry_jsonl_schema_is_golden() {
+    let golden = [
+        (
+            Event {
+                t_us: 12,
+                sys: "lp".into(),
+                kind: EventKind::Counter(3),
+                name: "bb_nodes".into(),
+            },
+            r#"{"t_us":12,"sys":"lp","event":"counter","name":"bb_nodes","value":3}"#,
+        ),
+        (
+            Event {
+                t_us: 34,
+                sys: "rl".into(),
+                kind: EventKind::Metric(-1.5),
+                name: "mean_return".into(),
+            },
+            r#"{"t_us":34,"sys":"rl","event":"metric","name":"mean_return","value":-1.5}"#,
+        ),
+        (
+            Event {
+                t_us: 56,
+                sys: "eval".into(),
+                kind: EventKind::Span { dur_us: 420 },
+                name: "check".into(),
+            },
+            r#"{"t_us":56,"sys":"eval","event":"span","name":"check","dur_us":420}"#,
+        ),
+    ];
+    for (event, expected) in &golden {
+        assert_eq!(
+            &serde_json::to_string(event).unwrap(),
+            expected,
+            "telemetry JSONL schema drifted"
+        );
+    }
+}
+
+#[test]
+fn jsonl_sink_writes_parseable_schema_conformant_lines() {
+    let dir = std::env::temp_dir().join(format!("np-tel-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("events.jsonl");
+    let tel = Telemetry::jsonl(&path).expect("open sink");
+    tel.incr("lp", "bb_nodes", 7);
+    tel.record("rl", "mean_return", 0.25);
+    drop(tel.span("eval", "check"));
+    tel.flush();
+
+    let body = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), 3, "one JSONL line per event");
+    for line in &lines {
+        let event: Event = serde_json::from_str(line).expect("line parses as an Event");
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        let obj = v.as_object().expect("flat object");
+        // Golden field set: exactly the documented keys, in order.
+        let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+        match event.kind {
+            EventKind::Span { .. } => {
+                assert_eq!(keys, ["t_us", "sys", "event", "name", "dur_us"]);
+            }
+            _ => assert_eq!(keys, ["t_us", "sys", "event", "name", "value"]),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -13,7 +13,10 @@ fn quick_planner(seed: u64) -> NeuroPlan {
 fn plans_a_half_provisioned_instance() {
     let net = GeneratorConfig::a_variant(0.5).generate();
     let result = quick_planner(1).plan(&net);
-    assert!(result.final_cost > 0.0, "demand outgrew the baseline, so the plan costs");
+    assert!(
+        result.final_cost > 0.0,
+        "demand outgrew the baseline, so the plan costs"
+    );
     assert!(result.final_cost <= result.first_stage_cost + 1e-9);
     assert!(validate_plan(&net, &result.final_units));
     // Every capacity respects Eq. 5 and the pruned bounds.
@@ -33,8 +36,7 @@ fn long_term_instance_lights_candidates_only_when_worthwhile() {
     // The plan never exceeds the greedy reference in cost: stage 2's
     // cutoff guarantees it.
     let mut greedy_net = net.clone();
-    let greedy_cost =
-        neuroplan::greedy_augment(&mut greedy_net, EvalConfig::default()).unwrap();
+    let greedy_cost = neuroplan::greedy_augment(&mut greedy_net, EvalConfig::default()).unwrap();
     assert!(
         result.final_cost <= greedy_cost + 1e-6,
         "pipeline ({}) must not cost more than the greedy reference ({greedy_cost})",
