@@ -102,6 +102,30 @@ fn bench_evaluator(c: &mut Criterion) {
     });
 }
 
+fn bench_separation(c: &mut Criterion) {
+    // An underprovisioned plan: every scenario yields a cut, so the
+    // round scans the full scenario set — the worst case the worker
+    // pool is meant to split.
+    let net = preset_network(TopologyPreset::B);
+    let caps: Vec<f64> = net
+        .link_ids()
+        .map(|l| (net.capacity_gbps(l) + 1.0) * 0.2)
+        .collect();
+    for workers in [1usize, 4] {
+        let cfg = EvalConfig {
+            parallel_workers: workers,
+            ..EvalConfig::default()
+        };
+        c.bench_function(&format!("evaluator_separate_B_{workers}w"), |b| {
+            b.iter(|| {
+                let mut ev = PlanEvaluator::new(&net, cfg);
+                let max_cuts = ev.num_scenarios();
+                ev.separate(&caps, max_cuts)
+            })
+        });
+    }
+}
+
 criterion_group!(
     benches,
     bench_transform,
@@ -109,6 +133,7 @@ criterion_group!(
     bench_mwu,
     bench_simplex,
     bench_gcn,
-    bench_evaluator
+    bench_evaluator,
+    bench_separation
 );
 criterion_main!(benches);

@@ -25,9 +25,10 @@ fn usage() -> ! {
         "usage:\n  neuroplan generate --preset <a..e> [--fill <0..1>] [--long-term] \
          [--seed <u64>] [--out <file>]\n  neuroplan plan [--preset <a..e> | --topology \
          <file>] [--fill <0..1>] [--alpha <f64>] [--quick|--default] [--seed <u64>] \
-         [--telemetry <file>] [--out <file>]\n  neuroplan evaluate --topology <file> \
-         [--plan <file>] [--telemetry <file>]\n  neuroplan baseline [--preset <a..e> | \
-         --topology <file>] --method <ilp|ilp-heur|decompose> [--time <secs>] \
+         [--workers <n|auto>] [--telemetry <file>] [--out <file>]\n  neuroplan evaluate \
+         --topology <file> [--plan <file>] [--workers <n|auto>] [--telemetry <file>]\n  \
+         neuroplan baseline [--preset <a..e> | --topology <file>] --method \
+         <ilp|ilp-heur|decompose> [--time <secs>] [--workers <n|auto>] \
          [--telemetry <file>]"
     );
     exit(2)
@@ -104,6 +105,19 @@ fn load_network(flags: &HashMap<String, String>) -> Network {
     cfg.generate()
 }
 
+/// `--workers <n|auto>`: thread budget for the parallel execution paths
+/// (`auto` = all available cores). Defaults to 1 (serial) when absent.
+fn workers_of(flags: &HashMap<String, String>) -> usize {
+    match flags.get("workers").map(String::as_str) {
+        None => 1,
+        Some("auto") => np_pool::auto_workers(),
+        Some(n) => n.parse::<usize>().map(|n| n.max(1)).unwrap_or_else(|_| {
+            eprintln!("--workers takes a positive integer or 'auto'");
+            exit(2)
+        }),
+    }
+}
+
 /// `--telemetry <path>`: a JSONL sink at `path`, else the free no-op.
 fn telemetry_of(flags: &HashMap<String, String>) -> Telemetry {
     match flags.get("telemetry") {
@@ -172,6 +186,11 @@ fn main() {
             if let Some(seed) = flags.get("seed") {
                 cfg = cfg.with_seed(seed.parse().expect("--seed takes a u64"));
             }
+            // Only an explicit --workers opts into the multi-actor
+            // determinism contract; results then match at every count.
+            if flags.contains_key("workers") {
+                cfg = cfg.with_workers(workers_of(&flags));
+            }
             let tel = telemetry_of(&flags);
             let result = NeuroPlan::with_telemetry(cfg, tel.clone()).plan(&net);
             assert!(validate_plan(&net, &result.final_units));
@@ -210,8 +229,11 @@ fn main() {
                 .map(|&u| f64::from(u) * net.unit_gbps)
                 .collect();
             let tel = telemetry_of(&flags);
-            let mut evaluator =
-                PlanEvaluator::with_telemetry(&net, EvalConfig::default(), tel.clone());
+            let eval_cfg = EvalConfig {
+                parallel_workers: workers_of(&flags),
+                ..EvalConfig::default()
+            };
+            let mut evaluator = PlanEvaluator::with_telemetry(&net, eval_cfg, tel.clone());
             let outcome = evaluator.check(&caps);
             finish_telemetry(&tel, &flags);
             if outcome.feasible {
@@ -243,9 +265,14 @@ fn main() {
                 node_limit: 50_000,
                 time_limit_secs: time,
             };
+            let workers = workers_of(&flags);
+            let eval_cfg = EvalConfig {
+                parallel_workers: workers,
+                ..EvalConfig::default()
+            };
             match flags.get("method").map(String::as_str) {
                 Some("ilp") => {
-                    let out = solve_ilp(&net, EvalConfig::default(), budget);
+                    let out = solve_ilp(&net, eval_cfg, budget);
                     println!(
                         "ILP: cost {:.1}, proven {}, {:.1}s, {} nodes, {} cuts",
                         out.cost(),
@@ -256,7 +283,7 @@ fn main() {
                     );
                 }
                 Some("ilp-heur") => {
-                    let out = solve_ilp_heur(&net, EvalConfig::default(), budget, 4);
+                    let out = solve_ilp_heur(&net, eval_cfg, budget, 4);
                     println!("ILP-heur: cost {:.1}, {:.1}s", out.cost(), out.elapsed_secs);
                 }
                 Some("decompose") => {
@@ -264,9 +291,10 @@ fn main() {
                     let tel = telemetry_of(&flags);
                     let solved = neuroplan::solve_decomposed_telemetry(
                         &net,
-                        EvalConfig::default(),
+                        eval_cfg,
                         time / 4.0,
                         3,
+                        workers,
                         &tel,
                     );
                     finish_telemetry(&tel, &flags);

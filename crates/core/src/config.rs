@@ -58,6 +58,9 @@ impl Default for NeuroPlanConfig {
                 truncation_penalty: -1.0,
                 convergence_tol: 0.0,
                 patience: 10,
+                num_actors: 1,
+                rollout_workers: 1,
+                rollout_seed: 0,
             },
             eval: {
                 let mut eval = EvalConfig::default();
@@ -110,6 +113,26 @@ impl NeuroPlanConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self.agent.seed = seed;
+        self.train.rollout_seed = seed;
+        self
+    }
+
+    /// Run the parallel execution paths on `workers` threads (the CLI's
+    /// `--workers`): scenario evaluation, rollout collection and the
+    /// decomposition's region loop all share this budget.
+    ///
+    /// Requesting workers — at *any* count, including 1 — also switches
+    /// training to a fixed pool of 4 logical actors with per-actor RNG
+    /// streams, so the learned policy and final plan depend only on the
+    /// seed, never on the worker count. Without this call the legacy
+    /// single-stream rollout is used (bit-identical to pre-parallel
+    /// releases).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        let workers = workers.max(1);
+        self.eval.parallel_workers = workers;
+        self.train.rollout_workers = workers;
+        self.train.num_actors = 4;
+        self.train.rollout_seed = self.seed;
         self
     }
 }
@@ -190,5 +213,19 @@ mod tests {
         let cfg = NeuroPlanConfig::default().with_seed(99);
         assert_eq!(cfg.seed, 99);
         assert_eq!(cfg.agent.seed, 99);
+        assert_eq!(cfg.train.rollout_seed, 99);
+    }
+
+    #[test]
+    fn workers_set_every_parallel_path_but_pin_the_actor_count() {
+        let one = NeuroPlanConfig::default().with_seed(7).with_workers(1);
+        let four = NeuroPlanConfig::default().with_seed(7).with_workers(4);
+        assert_eq!(one.eval.parallel_workers, 1);
+        assert_eq!(four.eval.parallel_workers, 4);
+        assert_eq!(four.train.rollout_workers, 4);
+        // The logical actor count is a constant, so the training
+        // trajectory is a function of the seed alone.
+        assert_eq!(one.train.num_actors, four.train.num_actors);
+        assert_eq!(one.train.rollout_seed, 7);
     }
 }

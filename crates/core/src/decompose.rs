@@ -36,6 +36,11 @@ pub struct DecomposedOutcome {
 /// Assign each site to one of `k` contiguous angular sectors.
 pub fn angular_regions(net: &Network, k: usize) -> Vec<usize> {
     let n = net.sites().len();
+    if n == 0 {
+        // No sites means no centroid: dividing by `n as f64` below would
+        // produce NaN coordinates (and `clamp(1, 0)` panics).
+        return vec![];
+    }
     let k = k.clamp(1, n);
     let cx = net.sites().iter().map(|s| s.pos.0).sum::<f64>() / n as f64;
     let cy = net.sites().iter().map(|s| s.pos.1).sum::<f64>() / n as f64;
@@ -54,60 +59,95 @@ pub fn angular_regions(net: &Network, k: usize) -> Vec<usize> {
 
 /// Solve by regional decomposition. Returns `Err` only if even the
 /// stitch phase cannot reach feasibility (structurally impossible).
+/// `workers` bounds the number of regions solved concurrently (1 =
+/// serial); the plan is identical at every worker count as long as the
+/// per-region wall-clock budget does not bind.
 pub fn solve_decomposed(
     net: &Network,
     eval_cfg: EvalConfig,
     per_region_time_secs: f64,
     num_regions: usize,
+    workers: usize,
 ) -> Result<DecomposedOutcome, crate::greedy::GreedyError> {
     solve_decomposed_telemetry(
         net,
         eval_cfg,
         per_region_time_secs,
         num_regions,
+        workers,
         &Telemetry::noop(),
     )
 }
 
 /// [`solve_decomposed`] reporting through `tel`: a `decompose` span plus
 /// region counts under `pipeline`, with each regional master reporting
-/// its own `master`/`lp`/`eval` counters.
+/// its own `master`/`lp`/`eval` counters. When regions solve in
+/// parallel, each region records into a private buffer that is replayed
+/// into `tel` in region order after the join — the event stream is the
+/// same at every worker count.
 pub fn solve_decomposed_telemetry(
     net: &Network,
     eval_cfg: EvalConfig,
     per_region_time_secs: f64,
     num_regions: usize,
+    workers: usize,
     tel: &Telemetry,
 ) -> Result<DecomposedOutcome, crate::greedy::GreedyError> {
     let _decompose_span = tel.span(sys::PIPELINE, "decompose");
+    let workers = workers.max(1);
     let region = angular_regions(net, num_regions);
     let regions = *region.iter().max().unwrap_or(&0) + 1;
     let mut units: Vec<u32> = net.link_ids().map(|l| net.base_units(l)).collect();
     let mut inter_region_links = 0usize;
 
-    for r in 0..regions {
-        if let Some(sub) = extract_region(net, &region, r) {
-            if sub.net.flows().is_empty() {
-                continue;
-            }
-            let mut evaluator = PlanEvaluator::with_telemetry(&sub.net, eval_cfg, tel.clone());
-            let cfg = MasterConfig {
-                upper_bounds: MasterConfig::spectrum_bounds(&sub.net),
-                cutoff: None,
-                node_limit: 5000,
-                time_limit_secs: per_region_time_secs,
-                max_cuts_per_round: 8,
-                seed_cuts: vec![],
-                granularity: 1,
-                gap_tol: MasterConfig::DEFAULT_GAP,
-                warm_units: None,
+    // Regions are independent subproblems: fix the task list (and thus
+    // the merge order) up front, solve on the pool, merge in region
+    // order. Each regional evaluator runs serially — the region level
+    // owns the thread budget here.
+    let subproblems: Vec<SubInstance> = (0..regions)
+        .filter_map(|r| extract_region(net, &region, r))
+        .filter(|sub| !sub.net.flows().is_empty())
+        .collect();
+    let buffered = workers > 1 && tel.is_enabled();
+    let region_eval_cfg = EvalConfig {
+        parallel_workers: 1,
+        ..eval_cfg
+    };
+    let tasks: Vec<_> = subproblems
+        .into_iter()
+        .map(|sub| {
+            let region_tel = if buffered {
+                Telemetry::memory()
+            } else {
+                tel.clone()
             };
-            let out = solve_master_telemetry(&sub.net, &mut evaluator, &cfg, tel);
-            tel.incr(sys::PIPELINE, "regions_solved", 1);
-            if out.has_plan() {
-                for (sub_idx, &global) in sub.link_map.iter().enumerate() {
-                    units[global.index()] = units[global.index()].max(out.units[sub_idx]);
-                }
+            move || {
+                let mut evaluator =
+                    PlanEvaluator::with_telemetry(&sub.net, region_eval_cfg, region_tel.clone());
+                let cfg = MasterConfig {
+                    upper_bounds: MasterConfig::spectrum_bounds(&sub.net),
+                    cutoff: None,
+                    node_limit: 5000,
+                    time_limit_secs: per_region_time_secs,
+                    max_cuts_per_round: 8,
+                    seed_cuts: vec![],
+                    granularity: 1,
+                    gap_tol: MasterConfig::DEFAULT_GAP,
+                    warm_units: None,
+                };
+                let out = solve_master_telemetry(&sub.net, &mut evaluator, &cfg, &region_tel);
+                region_tel.incr(sys::PIPELINE, "regions_solved", 1);
+                (sub.link_map, out, region_tel)
+            }
+        })
+        .collect();
+    for (link_map, out, region_tel) in np_pool::run_tasks(workers, tasks) {
+        if buffered {
+            region_tel.replay_into(tel);
+        }
+        if out.has_plan() {
+            for (sub_idx, &global) in link_map.iter().enumerate() {
+                units[global.index()] = units[global.index()].max(out.units[sub_idx]);
             }
         }
     }
@@ -286,9 +326,55 @@ mod tests {
     }
 
     #[test]
+    fn angular_regions_of_an_empty_network_are_empty() {
+        let net = Network::new(
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            Default::default(),
+            Default::default(),
+            100.0,
+        )
+        .expect("an instance with no sites is degenerate but valid");
+        assert!(angular_regions(&net, 3).is_empty());
+        assert!(angular_regions(&net, 0).is_empty());
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_decomposed_plan() {
+        // The per-region budget (10 s for millisecond-scale regions) never
+        // binds here, so the plan and the merged telemetry stream must be
+        // identical at every worker count.
+        let net = GeneratorConfig::a_variant(0.0).generate();
+        let solve = |workers: usize| {
+            let tel = Telemetry::memory();
+            let out =
+                solve_decomposed_telemetry(&net, EvalConfig::default(), 10.0, 2, workers, &tel)
+                    .expect("decomposition must stitch to feasibility");
+            let span_counts: Vec<_> = tel
+                .spans()
+                .into_iter()
+                .map(|(s, n, count, _total_us)| (s, n, count))
+                .collect();
+            (out, tel.counters(), span_counts)
+        };
+        let (base, base_counters, base_spans) = solve(1);
+        for workers in [2, 4] {
+            let (out, counters, spans) = solve(workers);
+            assert_eq!(out.units, base.units, "workers={workers}");
+            assert_eq!(out.cost, base.cost, "workers={workers}");
+            assert_eq!(out.regions, base.regions, "workers={workers}");
+            assert_eq!(counters, base_counters, "workers={workers}");
+            assert_eq!(spans, base_spans, "workers={workers}");
+        }
+    }
+
+    #[test]
     fn decomposed_solve_produces_a_valid_plan() {
         let net = GeneratorConfig::a_variant(0.0).generate();
-        let out = solve_decomposed(&net, EvalConfig::default(), 10.0, 2)
+        let out = solve_decomposed(&net, EvalConfig::default(), 10.0, 2, 1)
             .expect("decomposition must stitch to feasibility");
         assert!(validate_plan(&net, &out.units));
         assert!(out.cost > 0.0);
@@ -300,7 +386,7 @@ mod tests {
         // The heuristic's whole point: regional myopia costs something
         // (or at best ties the global solve).
         let net = GeneratorConfig::a_variant(0.0).generate();
-        let decomposed = solve_decomposed(&net, EvalConfig::default(), 10.0, 2).unwrap();
+        let decomposed = solve_decomposed(&net, EvalConfig::default(), 10.0, 2, 1).unwrap();
         let mut evaluator = PlanEvaluator::new(&net, EvalConfig::default());
         let global = solve_master(
             &net,

@@ -186,6 +186,44 @@ impl GraphEnv for PlanningEnv {
         &self.adjacency
     }
 
+    fn fork(&self) -> Option<Box<dyn GraphEnv + Send>> {
+        // The child evaluates serially (the actor level owns the thread
+        // budget) but keeps the parent's certificates, so parallel actors
+        // start with the same short-circuit knowledge the serial run has.
+        Some(Box::new(PlanningEnv {
+            net: self.net.clone(),
+            adjacency: self.adjacency.clone(),
+            evaluator: self.evaluator.fork(&self.net),
+            num_unit_choices: self.num_unit_choices,
+            reward_norm: self.reward_norm,
+            best: None,
+            caps_scratch: vec![0.0; self.net.links().len()],
+            steps_taken: 0,
+        }))
+    }
+
+    fn absorb(&mut self, mut child: Box<dyn GraphEnv + Send>) {
+        let Some(any) = child.as_any_mut() else {
+            return;
+        };
+        let Some(child) = any.downcast_mut::<PlanningEnv>() else {
+            return;
+        };
+        self.steps_taken += child.steps_taken;
+        self.evaluator.absorb(&mut child.evaluator);
+        // Strict `<` keeps the earlier-absorbed actor's plan on cost
+        // ties, so the merged best is independent of worker count.
+        if let Some((cost, snap)) = child.best.take() {
+            if self.best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                self.best = Some((cost, snap));
+            }
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+
     fn reset(&mut self) -> Observation {
         self.net.reset_to_base();
         self.evaluator.reset();

@@ -13,6 +13,16 @@ use std::time::Instant;
 /// `(index, verdict)` pairs, and the worker's accumulated stats.
 type WorkerScan = (usize, Vec<(usize, Verdict)>, EvalStats);
 
+/// One item a separation worker found in its chunk, tagged with the
+/// chunk-local scenario offset. Merging these in (chunk, offset) order
+/// reproduces the serial scan's output exactly.
+enum SepItem {
+    /// A violated metric cut for the scenario at this local offset.
+    Cut(MetricCut),
+    /// The scenario at this local offset is structurally unfixable.
+    Structural(usize),
+}
+
 /// Evaluator configuration: which paper optimizations are active. The
 /// Fig. 7 harness toggles these to reproduce *Vanilla*, *SA* and
 /// *NeuroPlan*.
@@ -79,7 +89,7 @@ pub struct TrajectoryCheck {
 }
 
 /// Outcome of a separation round for the ILP master.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Separation {
     /// The candidate capacities satisfy every scenario.
     Feasible,
@@ -260,18 +270,16 @@ impl PlanEvaluator {
         let workers = self.cfg.parallel_workers;
         let cfg = self.cfg;
         let total = self.ctxs.len();
-        let chunk = (total - start).div_ceil(workers);
+        let chunk = np_pool::chunk_len(total - start, workers);
         let tail = &mut self.ctxs[start..];
         let certs_tail = &mut self.certs[start..];
-        let results: Vec<WorkerScan> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (w, (ctx_chunk, cert_chunk)) in tail
-                .chunks_mut(chunk)
-                .zip(certs_tail.chunks_mut(chunk))
-                .enumerate()
-            {
+        let tasks: Vec<_> = tail
+            .chunks_mut(chunk)
+            .zip(certs_tail.chunks_mut(chunk))
+            .enumerate()
+            .map(|(w, (ctx_chunk, cert_chunk))| {
                 let caps_ref = &caps;
-                handles.push(scope.spawn(move || {
+                move || {
                     let mut st = EvalStats::default();
                     let mut verdicts = Vec::new();
                     for (k, (ctx, cert)) in
@@ -299,13 +307,10 @@ impl PlanEvaluator {
                         }
                     }
                     (w, verdicts, st)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
+                }
+            })
+            .collect();
+        let results: Vec<WorkerScan> = np_pool::run_tasks(workers, tasks);
         let mut first: Option<(usize, bool)> = None;
         for (_, verdicts, st) in results {
             self.stats.merge(&st);
@@ -329,9 +334,29 @@ impl PlanEvaluator {
     /// the candidate capacities and return violated cuts (up to
     /// `max_cuts`). Uses the exact-capable Auto pipeline regardless of the
     /// RL-loop backend, so the master's acceptance is never approximate.
+    ///
+    /// With `parallel_workers > 1` the scan fans out over fixed contiguous
+    /// chunks and the per-chunk findings are merged in scenario order, so
+    /// the returned [`Separation`] — cuts, their order, or the structural
+    /// index — is identical at every worker count. Workers past the point
+    /// where the serial scan would stop may do extra (never wasted:
+    /// certificates are valid forever) work, the same asymmetry as
+    /// [`PlanEvaluator::check`].
     pub fn separate(&mut self, caps_gbps: &[f64], max_cuts: usize) -> Separation {
         let _separate_span = self.tel.span(sys::EVAL, "separate");
         let t0 = Instant::now();
+        let workers = self.cfg.parallel_workers;
+        let out = if workers > 1 && self.ctxs.len() >= 2 * workers {
+            self.separate_parallel(caps_gbps, max_cuts, workers)
+        } else {
+            self.separate_serial(caps_gbps, max_cuts)
+        };
+        self.stats.elapsed += t0.elapsed();
+        self.publish_stats();
+        out
+    }
+
+    fn separate_serial(&mut self, caps_gbps: &[f64], max_cuts: usize) -> Separation {
         let mut cuts = Vec::new();
         for idx in 0..self.ctxs.len() {
             // Certificate fast path.
@@ -346,16 +371,10 @@ impl PlanEvaluator {
                 }
             }
             self.ctxs[idx].refresh(|l| caps_gbps[l.index()]);
-            let check = CheckConfig {
-                backend: crate::Backend::Auto,
-                allow_exact_lp: true,
-                ..self.cfg.check
-            };
+            let check = Self::exact_check(&self.cfg);
             match check_scenario(&self.ctxs[idx], &check, &mut self.stats) {
                 Verdict::Feasible => {}
                 Verdict::StructurallyInfeasible => {
-                    self.stats.elapsed += t0.elapsed();
-                    self.publish_stats();
                     return Separation::StructurallyInfeasible(idx);
                 }
                 Verdict::Infeasible(Some(cut)) => {
@@ -365,25 +384,160 @@ impl PlanEvaluator {
                         break;
                     }
                 }
-                Verdict::Infeasible(None) => {
-                    // The pipeline ends in the exact LP, whose dual always
-                    // yields a cut on truly infeasible scenarios; reaching
-                    // here means a numerical corner. Escalate by failing
-                    // loudly rather than looping forever in the master.
-                    panic!(
-                        "separator could not certify infeasibility of scenario {idx}; \
-                         numerical breakdown in the LP duals"
-                    );
-                }
+                Verdict::Infeasible(None) => Self::uncertified(idx),
             }
         }
-        self.stats.elapsed += t0.elapsed();
-        self.publish_stats();
         if cuts.is_empty() {
             Separation::Feasible
         } else {
             Separation::Cuts(cuts)
         }
+    }
+
+    /// Parallel separation over fixed contiguous chunks. Each worker runs
+    /// the serial per-scenario logic on its chunk, stopping after
+    /// `max_cuts` own cuts or its first structural scenario; the merge
+    /// walks chunks in index order and truncates exactly where the serial
+    /// scan would have stopped.
+    fn separate_parallel(&mut self, caps: &[f64], max_cuts: usize, workers: usize) -> Separation {
+        let chunk = np_pool::chunk_len(self.ctxs.len(), workers);
+        let check = Self::exact_check(&self.cfg);
+        let tasks: Vec<_> = self
+            .ctxs
+            .chunks_mut(chunk)
+            .zip(self.certs.chunks_mut(chunk))
+            .enumerate()
+            .map(|(w, (ctx_chunk, cert_chunk))| {
+                let caps_ref = &caps;
+                move || {
+                    let mut st = EvalStats::default();
+                    let mut items = Vec::new();
+                    let mut own_cuts = 0usize;
+                    for (k, (ctx, cert)) in
+                        ctx_chunk.iter_mut().zip(cert_chunk.iter_mut()).enumerate()
+                    {
+                        if let Some(c) = cert
+                            .as_ref()
+                            .filter(|c| c.is_violated(|l| caps_ref[l.index()]))
+                        {
+                            st.cut_reuse_hits += 1;
+                            items.push(SepItem::Cut(c.clone()));
+                            own_cuts += 1;
+                            if own_cuts >= max_cuts {
+                                break;
+                            }
+                            continue;
+                        }
+                        ctx.refresh(|l| caps_ref[l.index()]);
+                        match check_scenario(ctx, &check, &mut st) {
+                            Verdict::Feasible => {}
+                            Verdict::StructurallyInfeasible => {
+                                items.push(SepItem::Structural(k));
+                                break;
+                            }
+                            Verdict::Infeasible(Some(cut)) => {
+                                *cert = Some(cut.clone());
+                                items.push(SepItem::Cut(cut));
+                                own_cuts += 1;
+                                if own_cuts >= max_cuts {
+                                    break;
+                                }
+                            }
+                            Verdict::Infeasible(None) => Self::uncertified(w * chunk + k),
+                        }
+                    }
+                    (items, st)
+                }
+            })
+            .collect();
+        let results = np_pool::run_tasks(workers, tasks);
+        // Merge every worker's stats first (telemetry stays associative and
+        // worker-order independent), then walk findings in scenario order.
+        let mut item_lists = Vec::with_capacity(results.len());
+        for (w, (items, st)) in results.into_iter().enumerate() {
+            self.stats.merge(&st);
+            item_lists.push((w, items));
+        }
+        let mut cuts = Vec::new();
+        for (w, items) in item_lists {
+            for item in items {
+                match item {
+                    SepItem::Cut(cut) => {
+                        cuts.push(cut);
+                        if cuts.len() >= max_cuts {
+                            return Separation::Cuts(cuts);
+                        }
+                    }
+                    SepItem::Structural(k) => {
+                        return Separation::StructurallyInfeasible(w * chunk + k);
+                    }
+                }
+            }
+        }
+        if cuts.is_empty() {
+            Separation::Feasible
+        } else {
+            Separation::Cuts(cuts)
+        }
+    }
+
+    /// The separation-time check config: exact-capable Auto pipeline
+    /// regardless of the RL-loop backend.
+    fn exact_check(cfg: &EvalConfig) -> CheckConfig {
+        CheckConfig {
+            backend: crate::Backend::Auto,
+            allow_exact_lp: true,
+            ..cfg.check
+        }
+    }
+
+    /// The pipeline ends in the exact LP, whose dual always yields a cut
+    /// on truly infeasible scenarios; reaching here means a numerical
+    /// corner. Escalate by failing loudly rather than looping forever in
+    /// the master.
+    fn uncertified(idx: usize) -> ! {
+        panic!(
+            "separator could not certify infeasibility of scenario {idx}; \
+             numerical breakdown in the LP duals"
+        );
+    }
+
+    /// The stateful scan cursor: the next scenario index a stateful
+    /// [`PlanEvaluator::check`] will start from. Exposed so equivalence
+    /// tests can assert serial and parallel scans leave identical state.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// A child evaluator over the same instance for one parallel actor:
+    /// fresh scenario contexts, a copy of the current certificates, and a
+    /// silent sink. The child always evaluates serially — when actors run
+    /// in parallel the actor level owns the thread budget, and nesting
+    /// worker pools would oversubscribe cores.
+    pub fn fork(&self, net: &Network) -> PlanEvaluator {
+        let mut child = PlanEvaluator::new(
+            net,
+            EvalConfig {
+                parallel_workers: 1,
+                ..self.cfg
+            },
+        );
+        child.certs.clone_from(&self.certs);
+        child
+    }
+
+    /// Merge a child evaluator's work back after a parallel phase:
+    /// certificates it discovered and its accumulated stats. Absorbing
+    /// children in a fixed order keeps both the certificate store and the
+    /// published counters independent of worker count.
+    pub fn absorb(&mut self, child: &mut PlanEvaluator) {
+        for (mine, theirs) in self.certs.iter_mut().zip(child.certs.iter_mut()) {
+            if mine.is_none() {
+                *mine = theirs.take();
+            }
+        }
+        let st = std::mem::take(&mut child.stats);
+        self.stats.merge(&st);
     }
 
     /// The stored certificate for a scenario, if any (interpretability:

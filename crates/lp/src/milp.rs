@@ -34,6 +34,10 @@ struct MipTally {
     lazy_callbacks: u64,
     gomory_cuts: u64,
     incumbent_updates: u64,
+    /// Microseconds the solve ran past `time_limit_secs` inside
+    /// separation rounds (a single separator call is not interruptible,
+    /// so the budget can only be honored at round boundaries).
+    deadline_overshoot_us: u64,
 }
 
 impl MipTally {
@@ -47,6 +51,18 @@ impl MipTally {
         tel.incr(sys::LP, "gomory_cuts", self.gomory_cuts);
         tel.incr(sys::LP, "cuts_added", cuts_added as u64);
         tel.incr(sys::LP, "incumbent_updates", self.incumbent_updates);
+        tel.incr(sys::LP, "deadline_overshoot_us", self.deadline_overshoot_us);
+    }
+}
+
+/// Microseconds by which the wall-clock budget is currently exceeded
+/// (0 while inside the budget, and always 0 for an infinite budget).
+fn overshoot_us(start: &Instant, limit_secs: f64) -> u64 {
+    let over = start.elapsed().as_secs_f64() - limit_secs;
+    if over > 0.0 {
+        (over * 1e6) as u64
+    } else {
+        0
     }
 }
 
@@ -402,8 +418,16 @@ pub fn solve_mip_telemetry(
                         // branching happens.
                         if node.depth == 0 && root_cut_rounds < 200 {
                             if let Some(sep) = separator.as_deref_mut() {
+                                // The node LP may have eaten the remaining
+                                // budget; don't start a separation round the
+                                // deadline no longer covers.
+                                if start.elapsed().as_secs_f64() > config.time_limit_secs {
+                                    limit_hit = true;
+                                    break;
+                                }
                                 tally.lazy_callbacks += 1;
                                 let cuts = sep(&lp.x);
+                                let over = overshoot_us(&start, config.time_limit_secs);
                                 let mut added_any = false;
                                 if !cuts.is_empty() {
                                     root_cut_rounds += 1;
@@ -417,6 +441,13 @@ pub fn solve_mip_telemetry(
                                         cuts_added += 1;
                                         added_any = true;
                                     }
+                                }
+                                // The round blew the deadline: keep the cuts
+                                // it paid for, but stop instead of re-solving.
+                                if over > 0 {
+                                    tally.deadline_overshoot_us += over;
+                                    limit_hit = true;
+                                    break;
                                 }
                                 if added_any {
                                     continue;
@@ -445,6 +476,14 @@ pub fn solve_mip_telemetry(
                                 && obj < incumbent_obj - config.gap_tol
                                 && work.is_feasible(&rounded, 1e-6)
                             {
+                                if separator.is_some()
+                                    && start.elapsed().as_secs_f64() > config.time_limit_secs
+                                {
+                                    // Can't afford the validation round, and
+                                    // an unvalidated incumbent is worthless.
+                                    limit_hit = true;
+                                    break;
+                                }
                                 let rejected = separator
                                     .as_deref_mut()
                                     .map(|sep| {
@@ -460,11 +499,20 @@ pub fn solve_mip_telemetry(
                                         any
                                     })
                                     .unwrap_or(false);
+                                let over = overshoot_us(&start, config.time_limit_secs);
                                 if !rejected {
                                     incumbent_obj = obj;
                                     incumbent_x = rounded;
                                     tally.incumbent_updates += 1;
-                                } else {
+                                }
+                                if over > 0 {
+                                    // Keep the validated incumbent / new rows
+                                    // the round produced, then stop.
+                                    tally.deadline_overshoot_us += over;
+                                    limit_hit = true;
+                                    break;
+                                }
+                                if rejected {
                                     continue; // new rows: re-solve the root
                                 }
                             }
@@ -525,8 +573,19 @@ pub fn solve_mip_telemetry(
                     None => {
                         // Integer feasible: offer to the separator.
                         if let Some(sep) = separator.as_deref_mut() {
+                            // Out of budget before validation: the candidate
+                            // stays unproven — leave without accepting it.
+                            if start.elapsed().as_secs_f64() > config.time_limit_secs {
+                                limit_hit = true;
+                                break;
+                            }
                             tally.lazy_callbacks += 1;
                             let cuts = sep(&lp.x);
+                            let over = overshoot_us(&start, config.time_limit_secs);
+                            if over > 0 {
+                                tally.deadline_overshoot_us += over;
+                                limit_hit = true;
+                            }
                             if !cuts.is_empty() {
                                 purge_cuts(&mut work, base_rows, &lp.x);
                                 let mut added_any = false;
@@ -539,6 +598,9 @@ pub fn solve_mip_telemetry(
                                     added_any = true;
                                 }
                                 if added_any {
+                                    if limit_hit {
+                                        break; // rows kept; no budget to re-solve
+                                    }
                                     continue; // re-solve this node with the new rows
                                 }
                                 // Every returned cut was already a row the LP
@@ -889,6 +951,73 @@ mod tests {
         assert!(
             spans.iter().any(|(s, n, ..)| s == LP && n == "solve_mip"),
             "solve span missing: {spans:?}"
+        );
+    }
+
+    #[test]
+    fn separation_overshoot_is_detected_and_reported() {
+        // A separator that sleeps well past the whole wall-clock budget:
+        // the round itself cannot be interrupted, but the solver must
+        // notice immediately afterwards (not at the next node boundary),
+        // stop, keep the cut it paid for, and report the overshoot.
+        let mut m = Model::new("slow-sep");
+        let x = m.add_var("x", 0.0, 10.0, 1.0, true);
+        m.add_constr("c", vec![(x, 2.0)], Sense::Ge, 3.0); // fractional root
+        let mut calls = 0usize;
+        let mut sep = |point: &[f64]| -> Vec<Cut> {
+            calls += 1;
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            if point[0] < 5.0 - 1e-9 {
+                vec![Cut {
+                    name: "x>=5".into(),
+                    coeffs: vec![(x, 1.0)],
+                    sense: Sense::Ge,
+                    rhs: 5.0,
+                }]
+            } else {
+                vec![]
+            }
+        };
+        let cfg = MipConfig {
+            time_limit_secs: 0.005,
+            ..Default::default()
+        };
+        let tel = np_telemetry::Telemetry::memory();
+        let s = solve_mip_telemetry(&m, &cfg, Some(&mut sep), &tel);
+        use np_telemetry::sys::LP;
+        let over = tel.counter(LP, "deadline_overshoot_us");
+        assert!(over > 0, "the blown round must be reported: {over}");
+        assert_eq!(calls, 1, "no further separation after the deadline");
+        assert_eq!(s.cuts_added, 1, "the paid-for cut is kept");
+        assert_ne!(
+            s.status,
+            MipStatus::Optimal,
+            "a budget-limited run cannot claim a proof"
+        );
+    }
+
+    #[test]
+    fn infinite_budget_never_reports_overshoot() {
+        let mut m = Model::new("lazy-unbudgeted");
+        let x = m.add_var("x", 0.0, 10.0, 1.0, true);
+        let mut sep = |point: &[f64]| -> Vec<Cut> {
+            if point[0] < 3.0 - 1e-9 {
+                vec![Cut {
+                    name: "x>=3".into(),
+                    coeffs: vec![(x, 1.0)],
+                    sense: Sense::Ge,
+                    rhs: 3.0,
+                }]
+            } else {
+                vec![]
+            }
+        };
+        let tel = np_telemetry::Telemetry::memory();
+        let s = solve_mip_telemetry(&m, &MipConfig::default(), Some(&mut sep), &tel);
+        assert_eq!(s.status, MipStatus::Optimal);
+        assert_eq!(
+            tel.counter(np_telemetry::sys::LP, "deadline_overshoot_us"),
+            0
         );
     }
 

@@ -1,0 +1,146 @@
+//! Deterministic scoped-thread work pool.
+//!
+//! One pattern for every parallel hot loop in the workspace: the caller
+//! fixes the task list (and therefore the chunking) *before* any thread
+//! runs, workers pull tasks through an atomic cursor for load balance,
+//! and results land in a slot vector indexed by task position. The
+//! output of [`run_tasks`] is thus a pure function of the input task
+//! list — worker count and thread scheduling can change wall-clock time
+//! but never the result order or content. Callers that need
+//! bit-reproducible behavior (Benders separation, regional solves, actor
+//! rollouts) merge the returned `Vec` in index order and are done.
+//!
+//! `workers <= 1` (or a single task) runs everything inline on the
+//! calling thread — the serial path is the parallel path with the
+//! thread count turned down, not a separate code path to keep in sync.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `tasks` on up to `workers` scoped threads and return their
+/// results in task order.
+///
+/// Panics in a task propagate to the caller (via `std::thread::scope`),
+/// so a poisoned computation can never be silently dropped.
+pub fn run_tasks<R, F>(workers: usize, tasks: Vec<F>) -> Vec<R>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    let n = tasks.len();
+    if workers <= 1 || n <= 1 {
+        return tasks.into_iter().map(|t| t()).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let queue: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = lock(&queue[i]).take().expect("task claimed once");
+                let result = task();
+                *lock(&slots[i]) = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every task ran")
+        })
+        .collect()
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The worker count `--workers auto` resolves to: every hardware thread
+/// the OS grants us, floored at 1.
+pub fn auto_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Chunk length that splits `total` items into at most `workers`
+/// near-equal contiguous chunks (the fixed chunking of the determinism
+/// contract). Always at least 1.
+pub fn chunk_len(total: usize, workers: usize) -> usize {
+    total.div_ceil(workers.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for workers in [1, 2, 4, 9] {
+            let tasks: Vec<_> = (0..23).map(|i| move || i * i).collect();
+            let got = run_tasks(workers, tasks);
+            let want: Vec<usize> = (0..23).map(|i| i * i).collect();
+            assert_eq!(got, want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_task_lists_work() {
+        let empty: Vec<fn() -> u32> = vec![];
+        assert!(run_tasks::<u32, _>(4, empty).is_empty());
+        assert_eq!(run_tasks(4, vec![|| 7u32]), vec![7]);
+    }
+
+    #[test]
+    fn oversubscription_is_harmless() {
+        // Far more workers than tasks: every task still runs exactly once.
+        let tasks: Vec<_> = (0..3).map(|i| move || i).collect();
+        assert_eq!(run_tasks(64, tasks), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tasks_actually_run_on_multiple_threads_when_asked() {
+        use std::collections::HashSet;
+        let tasks: Vec<_> = (0..16)
+            .map(|_| || format!("{:?}", std::thread::current().id()))
+            .collect();
+        let ids: HashSet<String> = run_tasks(4, tasks).into_iter().collect();
+        // With one hardware thread the OS may still schedule all tasks on
+        // one worker; assert only that the scoped-thread path was taken
+        // (no task ran on the caller thread).
+        let caller = format!("{:?}", std::thread::current().id());
+        assert!(!ids.contains(&caller), "workers>1 must not run inline");
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn panics_propagate() {
+        // `std::thread::scope` re-raises worker panics with its own
+        // payload; what matters is that the caller cannot miss them.
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("boom"))];
+        run_tasks(2, tasks);
+    }
+
+    #[test]
+    fn chunk_len_covers_all_items() {
+        for total in [1usize, 2, 7, 16, 100] {
+            for workers in [1usize, 2, 3, 4, 8] {
+                let c = chunk_len(total, workers);
+                assert!(c >= 1);
+                assert!(c * workers >= total, "total={total} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_workers_is_positive() {
+        assert!(auto_workers() >= 1);
+    }
+}

@@ -61,6 +61,7 @@ impl Default for AgentConfig {
 }
 
 /// The stack of graph layers shared by both heads.
+#[derive(Clone)]
 enum EncoderStack {
     Gcn(Vec<Gcn>),
     Gat(Vec<Gat>),
@@ -109,6 +110,11 @@ impl EncoderStack {
 }
 
 /// The shared-encoder actor-critic.
+///
+/// `Clone` duplicates the full parameter state (weights, optimizer
+/// moments, sampling RNG) — parallel rollout actors clone the master
+/// agent at the top of each epoch and act with private RNG streams.
+#[derive(Clone)]
 pub struct ActorCritic {
     encoder: EncoderStack,
     actor: Mlp,
@@ -192,9 +198,25 @@ impl ActorCritic {
     /// Sample an action from the masked policy; returns
     /// `(action, log_prob, value)`.
     pub fn act(&mut self, features: &Matrix, mask: &[bool]) -> (usize, f64, f64) {
+        let mut rng = std::mem::replace(&mut self.sample_rng, StdRng::seed_from_u64(0));
+        let out = self.act_with(features, mask, &mut rng);
+        self.sample_rng = rng;
+        out
+    }
+
+    /// Like [`ActorCritic::act`] but drawing from a caller-provided RNG.
+    /// Parallel actors sample from private per-actor streams, so the
+    /// action sequence depends only on the stream seeds — never on worker
+    /// count or scheduling.
+    pub fn act_with(
+        &mut self,
+        features: &Matrix,
+        mask: &[bool],
+        rng: &mut StdRng,
+    ) -> (usize, f64, f64) {
         let (logits, value) = self.policy_value(features);
         let probs = masked_softmax(&logits, mask);
-        let action = sample_categorical(&probs, &mut self.sample_rng);
+        let action = sample_categorical(&probs, rng);
         let logp = masked_log_prob(&logits, mask, action);
         (action, logp, value)
     }

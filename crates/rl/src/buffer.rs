@@ -93,6 +93,21 @@ impl EpochBuffer {
         self.path_start = self.steps.len();
     }
 
+    /// Append another buffer's finished trajectories (parallel actors
+    /// merge their local buffers into the epoch buffer in actor order).
+    /// Advantages and rewards-to-go were already computed per-path by the
+    /// owning actor, so concatenation order cannot change them.
+    pub fn absorb(&mut self, other: &mut EpochBuffer) {
+        debug_assert_eq!(
+            other.path_start,
+            other.steps.len(),
+            "absorb requires every path in the source buffer to be finished"
+        );
+        self.steps.append(&mut other.steps);
+        other.path_start = 0;
+        self.path_start = self.steps.len();
+    }
+
     /// Normalize advantages across the epoch to zero mean / unit std —
     /// the reward-scaling trick the paper cites (its ref. 21) for stable training.
     pub fn normalize_advantages(&mut self) {
@@ -189,6 +204,25 @@ mod tests {
         let mean = (advs[0] + advs[1]) / 2.0;
         assert!(mean.abs() < 1e-12);
         assert!((advs[0].powi(2) + advs[1].powi(2)) / 2.0 - 1.0 < 1e-9);
+    }
+
+    #[test]
+    fn absorb_concatenates_finished_paths() {
+        let mut a = EpochBuffer::new();
+        push_n(&mut a, &[5.0], &[0.0]);
+        a.finish_path(0.0, 1.0, 1.0);
+        let mut b = EpochBuffer::new();
+        push_n(&mut b, &[7.0], &[0.0]);
+        b.finish_path(0.0, 1.0, 1.0);
+        a.absorb(&mut b);
+        assert!(b.is_empty());
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.steps()[0].reward_to_go, 5.0);
+        assert_eq!(a.steps()[1].reward_to_go, 7.0);
+        // The merged buffer can keep collecting paths afterwards.
+        push_n(&mut a, &[2.0], &[0.0]);
+        a.finish_path(0.0, 1.0, 1.0);
+        assert_eq!(a.steps()[2].reward_to_go, 2.0);
     }
 
     #[test]

@@ -45,6 +45,25 @@ pub trait GraphEnv {
     /// Apply an action. Returns `(observation, reward, done)`.
     fn step(&mut self, action: usize) -> (Observation, f64, bool);
 
+    /// Clone this environment for one parallel rollout actor. `None` (the
+    /// default) means the environment cannot be forked, and the trainer
+    /// falls back to serial collection.
+    fn fork(&self) -> Option<Box<dyn GraphEnv + Send>> {
+        None
+    }
+
+    /// Merge state a forked child accumulated (best-plan bookkeeping,
+    /// evaluator certificates, step counts) back into this environment.
+    /// The trainer calls this once per actor, in actor order, so the
+    /// merged state is independent of worker count.
+    fn absorb(&mut self, _child: Box<dyn GraphEnv + Send>) {}
+
+    /// Downcasting hook for [`GraphEnv::absorb`] implementations that
+    /// need their concrete type back from the boxed child.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+
     /// Size of the (flat) action space.
     fn action_space(&self) -> usize {
         self.num_nodes() * self.num_unit_choices()
@@ -75,6 +94,7 @@ pub(crate) mod testenv {
     /// the trap the paper's feature-normalization discussion alludes to.
     /// The planning environment does the analogous thing with link
     /// length/cost features.
+    #[derive(Clone)]
     pub struct CounterEnv {
         pub n: usize,
         pub m: usize,
@@ -140,6 +160,9 @@ pub(crate) mod testenv {
         }
         fn adjacency(&self) -> &Csr {
             &self.adj
+        }
+        fn fork(&self) -> Option<Box<dyn GraphEnv + Send>> {
+            Some(Box::new(self.clone()))
         }
         fn reset(&mut self) -> Observation {
             self.counts = vec![0; self.n];

@@ -3,7 +3,10 @@
 use crate::agent::ActorCritic;
 use crate::buffer::EpochBuffer;
 use crate::env::GraphEnv;
+use np_neural::Matrix;
 use np_telemetry::{sys, Telemetry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Training hyperparameters (Table 2 defaults, scaled for CPU).
 #[derive(Clone, Debug)]
@@ -30,6 +33,21 @@ pub struct TrainConfig {
     pub convergence_tol: f64,
     /// Consecutive converged epochs required to stop early.
     pub patience: usize,
+    /// Logical rollout actors per epoch. This is part of the determinism
+    /// contract, not a thread count: each actor collects a fixed share of
+    /// `steps_per_epoch` with its own `(rollout_seed, epoch, actor)` RNG
+    /// stream, and buffers merge in actor order — so results depend on
+    /// `num_actors` but never on `rollout_workers`. 1 (the default) keeps
+    /// the original single-stream behavior driven by the agent's own
+    /// sampling RNG.
+    pub num_actors: usize,
+    /// Worker threads for rollout collection (1 = all actors run inline).
+    /// Requires the environment to support [`GraphEnv::fork`]; otherwise
+    /// collection silently stays serial.
+    pub rollout_workers: usize,
+    /// Base seed of the per-actor RNG streams (only used when
+    /// `num_actors > 1`).
+    pub rollout_seed: u64,
 }
 
 impl Default for TrainConfig {
@@ -44,6 +62,9 @@ impl Default for TrainConfig {
             truncation_penalty: -1.0,
             convergence_tol: 0.0,
             patience: 10,
+            num_actors: 1,
+            rollout_workers: 1,
+            rollout_seed: 0,
         }
     }
 }
@@ -91,6 +112,144 @@ pub fn train(env: &mut dyn GraphEnv, agent: &mut ActorCritic, cfg: &TrainConfig)
     train_telemetry(env, agent, cfg, &Telemetry::noop())
 }
 
+/// What one actor (or the single serial collector) gathered for an epoch.
+#[derive(Default)]
+struct Collected {
+    buffer: EpochBuffer,
+    returns: Vec<f64>,
+    lengths: Vec<usize>,
+    completed: usize,
+    truncated: usize,
+}
+
+/// Collect `quota` steps from `env` — the rollout loop of Algorithm 1.
+/// Both the serial path and every parallel actor run this exact function;
+/// only the action-sampling closure differs (agent-owned RNG vs a private
+/// per-actor stream).
+fn collect_quota(
+    env: &mut dyn GraphEnv,
+    agent: &mut ActorCritic,
+    cfg: &TrainConfig,
+    quota: usize,
+    mut act: impl FnMut(&mut ActorCritic, &Matrix, &[bool]) -> (usize, f64, f64),
+) -> Collected {
+    let mut out = Collected::default();
+    let mut obs = env.reset();
+    let mut traj_len = 0usize;
+    let mut traj_return = 0.0f64;
+    while out.buffer.len() < quota {
+        if !obs.has_valid_action() {
+            // Fully masked state: nothing can be added; the trajectory
+            // cannot proceed (spectrum exhausted everywhere). Treat as
+            // truncation with the penalty.
+            out.buffer.finish_path(0.0, cfg.gamma, cfg.lam);
+            out.truncated += 1;
+            out.returns.push(traj_return + cfg.truncation_penalty);
+            out.lengths.push(traj_len);
+            obs = env.reset();
+            traj_len = 0;
+            traj_return = 0.0;
+            continue;
+        }
+        let (action, _logp, value) = act(agent, &obs.features, &obs.action_mask);
+        let (next_obs, mut reward, done) = env.step(action);
+        traj_len += 1;
+        let cut = traj_len >= cfg.max_traj_len && !done;
+        if cut {
+            reward += cfg.truncation_penalty;
+        }
+        traj_return += reward;
+        out.buffer
+            .push(obs.features, obs.action_mask, action, reward, value);
+        obs = next_obs;
+        if done || cut {
+            let bootstrap = if done {
+                0.0
+            } else {
+                agent.value(&obs.features)
+            };
+            out.buffer.finish_path(bootstrap, cfg.gamma, cfg.lam);
+            if done {
+                out.completed += 1;
+            } else {
+                out.truncated += 1;
+            }
+            out.returns.push(traj_return);
+            out.lengths.push(traj_len);
+            obs = env.reset();
+            traj_len = 0;
+            traj_return = 0.0;
+        }
+    }
+    // Epoch cut of the in-flight trajectory.
+    if traj_len > 0 {
+        let bootstrap = agent.value(&obs.features);
+        out.buffer.finish_path(bootstrap, cfg.gamma, cfg.lam);
+        out.truncated += 1;
+        out.returns.push(traj_return);
+        out.lengths.push(traj_len);
+    }
+    out
+}
+
+/// The RNG stream seed of one `(rollout_seed, epoch, actor)` cell — a
+/// splitmix-style hash so neighboring cells decorrelate.
+fn actor_stream_seed(base: u64, epoch: usize, actor: usize) -> u64 {
+    let mut z = base ^ 0x9e37_79b9_7f4a_7c15;
+    for x in [epoch as u64, actor as u64] {
+        z = z.wrapping_add(x).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^= z >> 31;
+    }
+    z
+}
+
+/// Fan rollout collection out over `num_actors` forks of `env`, each with
+/// a cloned agent and a private RNG stream, run on at most
+/// `rollout_workers` threads. Returns the per-actor results in actor
+/// order, or `None` when the environment refuses to fork.
+fn collect_parallel(
+    env: &mut dyn GraphEnv,
+    agent: &ActorCritic,
+    cfg: &TrainConfig,
+    epoch: usize,
+) -> Option<Vec<Collected>> {
+    let actors = cfg.num_actors;
+    let forks: Vec<Box<dyn GraphEnv + Send>> = (0..actors)
+        .map(|_| env.fork())
+        .collect::<Option<Vec<_>>>()?;
+    // Contiguous quota split: actor a collects its fixed share no matter
+    // which thread runs it.
+    let base = cfg.steps_per_epoch / actors;
+    let rem = cfg.steps_per_epoch % actors;
+    let tasks: Vec<_> = forks
+        .into_iter()
+        .enumerate()
+        .map(|(a, mut child_env)| {
+            let mut child_agent = agent.clone();
+            let quota = base + usize::from(a < rem);
+            let seed = actor_stream_seed(cfg.rollout_seed, epoch, a);
+            move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let collected = collect_quota(
+                    child_env.as_mut(),
+                    &mut child_agent,
+                    cfg,
+                    quota,
+                    |ag, f, m| ag.act_with(f, m, &mut rng),
+                );
+                (collected, child_env)
+            }
+        })
+        .collect();
+    let results = np_pool::run_tasks(cfg.rollout_workers.max(1), tasks);
+    let mut out = Vec::with_capacity(actors);
+    for (collected, child_env) in results {
+        env.absorb(child_env);
+        out.push(collected);
+    }
+    Some(out)
+}
+
 /// [`train`] reporting through `tel`: per-epoch return/completion/length
 /// metrics under the `rl` subsystem, plus `epoch` and `policy_update`
 /// span timings.
@@ -108,63 +267,31 @@ pub fn train_telemetry(
     for epoch in 0..cfg.epochs {
         let _epoch_span = tel.span(sys::RL, "epoch");
         buffer.clear();
-        let mut obs = env.reset();
-        let mut traj_len = 0usize;
-        let mut traj_return = 0.0f64;
+        let parts = if cfg.num_actors > 1 {
+            collect_parallel(env, agent, cfg, epoch)
+        } else {
+            None
+        };
+        let parts = parts.unwrap_or_else(|| {
+            vec![collect_quota(
+                env,
+                agent,
+                cfg,
+                cfg.steps_per_epoch,
+                |ag, f, m| ag.act(f, m),
+            )]
+        });
+        // Merge in actor order — fixed regardless of worker scheduling.
         let mut returns: Vec<f64> = Vec::new();
         let mut lengths: Vec<usize> = Vec::new();
         let mut completed = 0usize;
         let mut truncated = 0usize;
-        while buffer.len() < cfg.steps_per_epoch {
-            if !obs.has_valid_action() {
-                // Fully masked state: nothing can be added; the trajectory
-                // cannot proceed (spectrum exhausted everywhere). Treat as
-                // truncation with the penalty.
-                buffer.finish_path(0.0, cfg.gamma, cfg.lam);
-                truncated += 1;
-                returns.push(traj_return + cfg.truncation_penalty);
-                lengths.push(traj_len);
-                obs = env.reset();
-                traj_len = 0;
-                traj_return = 0.0;
-                continue;
-            }
-            let (action, _logp, value) = agent.act(&obs.features, &obs.action_mask);
-            let (next_obs, mut reward, done) = env.step(action);
-            traj_len += 1;
-            let cut = traj_len >= cfg.max_traj_len && !done;
-            if cut {
-                reward += cfg.truncation_penalty;
-            }
-            traj_return += reward;
-            buffer.push(obs.features, obs.action_mask, action, reward, value);
-            obs = next_obs;
-            if done || cut {
-                let bootstrap = if done {
-                    0.0
-                } else {
-                    agent.value(&obs.features)
-                };
-                buffer.finish_path(bootstrap, cfg.gamma, cfg.lam);
-                if done {
-                    completed += 1;
-                } else {
-                    truncated += 1;
-                }
-                returns.push(traj_return);
-                lengths.push(traj_len);
-                obs = env.reset();
-                traj_len = 0;
-                traj_return = 0.0;
-            }
-        }
-        // Epoch cut of the in-flight trajectory.
-        if traj_len > 0 {
-            let bootstrap = agent.value(&obs.features);
-            buffer.finish_path(bootstrap, cfg.gamma, cfg.lam);
-            truncated += 1;
-            returns.push(traj_return);
-            lengths.push(traj_len);
+        for mut part in parts {
+            buffer.absorb(&mut part.buffer);
+            returns.append(&mut part.returns);
+            lengths.append(&mut part.lengths);
+            completed += part.completed;
+            truncated += part.truncated;
         }
         if cfg.normalize_advantages {
             buffer.normalize_advantages();
@@ -291,6 +418,97 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rollout_worker_count_never_changes_training() {
+        // num_actors fixes the determinism contract (per-actor RNG
+        // streams, actor-order merge); rollout_workers only changes which
+        // thread runs each actor. Training must be bit-identical.
+        let run = |workers: usize| {
+            let mut env = CounterEnv::new(3, 1, 5);
+            let mut agent = small_agent(&env, 7);
+            let cfg = TrainConfig {
+                epochs: 3,
+                steps_per_epoch: 64,
+                max_traj_len: 16,
+                num_actors: 4,
+                rollout_workers: workers,
+                rollout_seed: 11,
+                ..Default::default()
+            };
+            train(&mut env, &mut agent, &cfg)
+                .epochs
+                .iter()
+                .map(|e| (e.mean_return, e.completed, e.truncated, e.mean_length))
+                .collect::<Vec<_>>()
+        };
+        let base = run(1);
+        assert_eq!(run(2), base);
+        assert_eq!(run(4), base);
+    }
+
+    #[test]
+    fn multi_actor_training_still_improves_the_policy() {
+        let mut env = CounterEnv::new(4, 1, 6);
+        let mut agent = small_agent(&env, 3);
+        let cfg = TrainConfig {
+            epochs: 80,
+            steps_per_epoch: 256,
+            max_traj_len: 64,
+            num_actors: 4,
+            rollout_workers: 2,
+            ..Default::default()
+        };
+        let report = train(&mut env, &mut agent, &cfg);
+        let first = report.epochs[0].mean_return;
+        let last = report.final_return();
+        assert!(
+            last > first + 0.05,
+            "multi-actor training must improve returns (first {first}, last {last})"
+        );
+    }
+
+    #[test]
+    fn unforkable_environments_fall_back_to_serial_collection() {
+        // An env without `fork` must still train when actors are
+        // requested — collection silently stays serial.
+        struct NoFork(CounterEnv);
+        impl GraphEnv for NoFork {
+            fn num_nodes(&self) -> usize {
+                self.0.num_nodes()
+            }
+            fn feature_dim(&self) -> usize {
+                self.0.feature_dim()
+            }
+            fn num_unit_choices(&self) -> usize {
+                self.0.num_unit_choices()
+            }
+            fn adjacency(&self) -> &np_neural::Csr {
+                self.0.adjacency()
+            }
+            fn reset(&mut self) -> crate::env::Observation {
+                self.0.reset()
+            }
+            fn step(&mut self, action: usize) -> (crate::env::Observation, f64, bool) {
+                self.0.step(action)
+            }
+        }
+        let mut env = NoFork(CounterEnv::new(3, 1, 4));
+        let mut agent = small_agent(&env.0, 9);
+        let cfg = TrainConfig {
+            epochs: 2,
+            steps_per_epoch: 32,
+            max_traj_len: 8,
+            num_actors: 4,
+            rollout_workers: 4,
+            ..Default::default()
+        };
+        let report = train(&mut env, &mut agent, &cfg);
+        assert_eq!(report.epochs_run(), 2);
+        for e in &report.epochs {
+            assert!(e.completed + e.truncated > 0);
+        }
     }
 
     #[test]

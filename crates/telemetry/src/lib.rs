@@ -245,6 +245,21 @@ impl Telemetry {
         });
     }
 
+    /// Record a completed span with an explicit duration. This is how
+    /// parallel phases replay per-worker buffers into a shared sink in a
+    /// deterministic order: the duration was measured on the worker, only
+    /// the emission is deferred.
+    #[inline]
+    pub fn record_span(&self, sys: &str, name: &str, dur_us: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner.emit(Event {
+            t_us: inner.now_us(),
+            sys: sys.to_string(),
+            kind: EventKind::Span { dur_us },
+            name: name.to_string(),
+        });
+    }
+
     /// Start a wall-clock span; the event is emitted when the guard
     /// drops. On a no-op handle this doesn't even read the clock.
     #[inline]
@@ -262,6 +277,22 @@ impl Telemetry {
                 name: name.to_string(),
                 start: Some(Instant::now()),
             },
+        }
+    }
+
+    /// Re-emit every event recorded in this handle into `target`,
+    /// preserving emission order. This is the deterministic-merge
+    /// primitive for parallel phases: each worker records into a private
+    /// [`Telemetry::memory`] buffer, and the coordinator replays the
+    /// buffers in a fixed order after the join, so the target sink sees
+    /// the same event sequence at every worker count.
+    pub fn replay_into(&self, target: &Telemetry) {
+        for e in self.events() {
+            match e.kind {
+                EventKind::Counter(delta) => target.incr(&e.sys, &e.name, delta),
+                EventKind::Metric(value) => target.record(&e.sys, &e.name, value),
+                EventKind::Span { dur_us } => target.record_span(&e.sys, &e.name, dur_us),
+            }
         }
     }
 
@@ -459,6 +490,35 @@ mod tests {
         );
         let summary = tel.render_summary();
         assert!(summary.contains("first_stage"), "{summary}");
+    }
+
+    #[test]
+    fn replayed_spans_merge_with_live_spans() {
+        let tel = Telemetry::memory();
+        drop(tel.span(sys::EVAL, "check"));
+        tel.record_span(sys::EVAL, "check", 250);
+        let spans = tel.spans();
+        assert_eq!(spans.len(), 1);
+        let (_, _, count, total_us) = &spans[0];
+        assert_eq!(*count, 2);
+        assert!(*total_us >= 250);
+    }
+
+    #[test]
+    fn replay_into_preserves_event_order_and_totals() {
+        let buf = Telemetry::memory();
+        buf.incr(sys::MASTER, "cut_rounds", 2);
+        buf.record(sys::RL, "mean_return", 0.5);
+        buf.record_span(sys::EVAL, "check", 100);
+        let target = Telemetry::memory();
+        buf.replay_into(&target);
+        buf.replay_into(&target); // replays accumulate like live emission
+        assert_eq!(target.counter(sys::MASTER, "cut_rounds"), 4);
+        let kinds: Vec<_> = target.events().iter().map(|e| e.kind_str()).collect();
+        assert_eq!(
+            kinds,
+            ["counter", "metric", "span", "counter", "metric", "span"]
+        );
     }
 
     #[test]
