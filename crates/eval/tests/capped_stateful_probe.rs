@@ -1,0 +1,42 @@
+//! Review probe: capped separation rounds on a SHARED (stateful)
+//! evaluator, serial vs 4 workers.
+
+use np_eval::{EvalConfig, PlanEvaluator};
+use np_telemetry::Telemetry;
+use np_topology::generator::preset_network;
+use np_topology::{Network, TopologyPreset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn evaluator(net: &Network, workers: usize) -> PlanEvaluator {
+    PlanEvaluator::with_telemetry(
+        net,
+        EvalConfig {
+            parallel_workers: workers,
+            ..EvalConfig::default()
+        },
+        Telemetry::noop(),
+    )
+}
+
+fn random_caps(net: &Network, rng: &mut StdRng, lo: f64, hi: f64) -> Vec<f64> {
+    net.link_ids()
+        .map(|l| (net.capacity_gbps(l) + 1.0) * rng.gen_range(lo..hi))
+        .collect()
+}
+
+#[test]
+fn capped_stateful_rounds_agree_across_worker_counts() {
+    let net = preset_network(TopologyPreset::B);
+    let mut ev1 = evaluator(&net, 1);
+    let mut ev4 = evaluator(&net, 4);
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for round in 0..12 {
+            let caps = random_caps(&net, &mut rng, 0.02, 0.6);
+            let a = ev1.separate(&caps, 2);
+            let b = ev4.separate(&caps, 2);
+            assert_eq!(a, b, "seed {seed} round {round}: capped stateful rounds diverged");
+        }
+    }
+}
