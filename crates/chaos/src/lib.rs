@@ -1,0 +1,433 @@
+//! Deterministic fault injection for the NeuroPlan stack.
+//!
+//! A [`FaultPlan`] names, per fault class, *which occurrences* of that
+//! class's trigger point should fire: the `k`-th simplex factorization,
+//! the `k`-th pool task, the `k`-th trainer epoch, and so on. Trigger
+//! points are counted deterministically by the instrumented code, so a
+//! given plan injects the same faults at the same places on every run —
+//! chaos tests are ordinary reproducible tests.
+//!
+//! The plan comes from the `NP_CHAOS` environment variable (or the
+//! `neuroplan --chaos <spec>` flag, which [`install`]s it
+//! programmatically). The spec is a comma-separated list:
+//!
+//! ```text
+//! seed=7,lp-singular@0,pool-panic@2-5,nan-grad%3,kill@4
+//! ```
+//!
+//! * `seed=<u64>` — seeds the probabilistic triggers (default 0).
+//! * `<class>@<n>` — fire on the `n`-th occurrence (0-indexed).
+//! * `<class>@<a>-<b>` — fire on occurrences `a..=b`.
+//! * `<class>%<p>` — fire on each occurrence with probability `p`% (a
+//!   deterministic hash of `(seed, class, occurrence)`, not a clock).
+//!
+//! Fault classes: `lp-singular` (singular simplex basis), `nan-grad`
+//! (NaN in the policy/value gradients), `pool-panic` (worker-thread
+//! panic), `deadline` (solver wall-clock exhaustion), `truncate-checkpoint`
+//! (torn checkpoint write), `kill` (hard process death at a checkpoint
+//! boundary, for kill-and-resume tests).
+//!
+//! Instrumented code asks [`Chaos::should_fire`] (serial trigger points:
+//! each call is one occurrence) or [`Chaos::fires_at`] (parallel trigger
+//! points: the occurrence index is supplied by the caller, so the answer
+//! is independent of thread scheduling). A disabled handle — the default
+//! everywhere — answers `false` without any atomic traffic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+pub mod checkpoint;
+
+/// The injectable fault classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// A singular basis inside the simplex factorization.
+    LpSingular,
+    /// A NaN poisoning the agent's parameters after a gradient step.
+    NanGrad,
+    /// A panic on a pool worker thread before it runs its claimed task.
+    PoolPanic,
+    /// Premature wall-clock exhaustion inside the branch-and-bound loop.
+    Deadline,
+    /// A torn (half-written) checkpoint record.
+    TruncateCheckpoint,
+    /// Hard process death (panic) at a checkpoint boundary.
+    Kill,
+}
+
+const NUM_CLASSES: usize = 6;
+
+impl FaultClass {
+    /// Every class, in spec order.
+    pub const ALL: [FaultClass; NUM_CLASSES] = [
+        FaultClass::LpSingular,
+        FaultClass::NanGrad,
+        FaultClass::PoolPanic,
+        FaultClass::Deadline,
+        FaultClass::TruncateCheckpoint,
+        FaultClass::Kill,
+    ];
+
+    /// The spec-grammar name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::LpSingular => "lp-singular",
+            FaultClass::NanGrad => "nan-grad",
+            FaultClass::PoolPanic => "pool-panic",
+            FaultClass::Deadline => "deadline",
+            FaultClass::TruncateCheckpoint => "truncate-checkpoint",
+            FaultClass::Kill => "kill",
+        }
+    }
+
+    /// Inverse of [`FaultClass::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultClass::LpSingular => 0,
+            FaultClass::NanGrad => 1,
+            FaultClass::PoolPanic => 2,
+            FaultClass::Deadline => 3,
+            FaultClass::TruncateCheckpoint => 4,
+            FaultClass::Kill => 5,
+        }
+    }
+}
+
+/// A malformed chaos spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosError(pub String);
+
+impl std::fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid chaos spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Trigger {
+    /// Fire on exactly this occurrence.
+    At(u64),
+    /// Fire on every occurrence in the inclusive range.
+    Range(u64, u64),
+    /// Fire on each occurrence with this probability (0..=1), decided by
+    /// a hash of `(seed, class, occurrence)`.
+    Prob(f64),
+}
+
+/// A parsed fault plan: the seed plus per-class triggers.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the probabilistic triggers.
+    pub seed: u64,
+    triggers: Vec<(FaultClass, Trigger)>,
+}
+
+impl FaultPlan {
+    /// Parse a spec string (see the crate docs for the grammar). An empty
+    /// or all-whitespace spec parses to an empty plan.
+    pub fn parse(spec: &str) -> Result<Self, ChaosError> {
+        let mut plan = FaultPlan::default();
+        for raw in spec.split(',') {
+            let token = raw.trim();
+            if token.is_empty() {
+                continue;
+            }
+            if let Some(value) = token.strip_prefix("seed=") {
+                plan.seed = value
+                    .parse()
+                    .map_err(|_| ChaosError(format!("bad seed in `{token}`")))?;
+            } else if let Some((name, occ)) = token.split_once('@') {
+                let class = FaultClass::from_name(name)
+                    .ok_or_else(|| ChaosError(format!("unknown fault class `{name}`")))?;
+                let trig = if let Some((a, b)) = occ.split_once('-') {
+                    let a = a
+                        .parse()
+                        .map_err(|_| ChaosError(format!("bad range start in `{token}`")))?;
+                    let b = b
+                        .parse()
+                        .map_err(|_| ChaosError(format!("bad range end in `{token}`")))?;
+                    if a > b {
+                        return Err(ChaosError(format!("empty range in `{token}`")));
+                    }
+                    Trigger::Range(a, b)
+                } else {
+                    Trigger::At(
+                        occ.parse()
+                            .map_err(|_| ChaosError(format!("bad occurrence in `{token}`")))?,
+                    )
+                };
+                plan.triggers.push((class, trig));
+            } else if let Some((name, pct)) = token.split_once('%') {
+                let class = FaultClass::from_name(name)
+                    .ok_or_else(|| ChaosError(format!("unknown fault class `{name}`")))?;
+                let p: f64 = pct
+                    .parse()
+                    .map_err(|_| ChaosError(format!("bad probability in `{token}`")))?;
+                if !(0.0..=100.0).contains(&p) {
+                    return Err(ChaosError(format!(
+                        "probability out of [0,100] in `{token}`"
+                    )));
+                }
+                plan.triggers.push((class, Trigger::Prob(p / 100.0)));
+            } else {
+                return Err(ChaosError(format!("unrecognized token `{token}`")));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.triggers.is_empty()
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+struct Inner {
+    plan: FaultPlan,
+    counters: [AtomicU64; NUM_CLASSES],
+    fired: [AtomicU64; NUM_CLASSES],
+}
+
+/// A handle to a fault plan (or to nothing — the default). Cheap to
+/// clone and share; all counters are process-wide per handle.
+#[derive(Clone, Default)]
+pub struct Chaos {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Chaos {
+    /// The inert handle: never fires, costs nothing.
+    pub fn disabled() -> Self {
+        Chaos { inner: None }
+    }
+
+    /// An active handle for `plan`. An empty plan still counts trigger
+    /// points (useful for tests) but never fires.
+    pub fn new(plan: FaultPlan) -> Self {
+        Chaos {
+            inner: Some(Arc::new(Inner {
+                plan,
+                counters: Default::default(),
+                fired: Default::default(),
+            })),
+        }
+    }
+
+    /// Whether any plan is attached.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn decide(&self, inner: &Inner, class: FaultClass, occurrence: u64) -> bool {
+        let mut fire = false;
+        for &(c, trig) in &inner.plan.triggers {
+            if c != class {
+                continue;
+            }
+            fire |= match trig {
+                Trigger::At(n) => occurrence == n,
+                Trigger::Range(a, b) => (a..=b).contains(&occurrence),
+                Trigger::Prob(p) => {
+                    let h = splitmix64(
+                        inner.plan.seed
+                            ^ (class.index() as u64 + 1).wrapping_mul(0xa076_1d64_78bd_642f)
+                            ^ occurrence.wrapping_mul(0xe703_7ed1_a0b4_28db),
+                    );
+                    ((h >> 11) as f64) / ((1u64 << 53) as f64) < p
+                }
+            };
+            if fire {
+                break;
+            }
+        }
+        if fire {
+            inner.fired[class.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// Serial trigger point: each call is the next occurrence of `class`.
+    /// Only meaningful where calls happen in a deterministic order.
+    pub fn should_fire(&self, class: FaultClass) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        let occurrence = inner.counters[class.index()].fetch_add(1, Ordering::Relaxed);
+        self.decide(inner, class, occurrence)
+    }
+
+    /// Parallel trigger point: the caller supplies the occurrence index
+    /// (e.g. the pool task index), so the answer is a pure function of
+    /// the plan and the index — independent of thread scheduling.
+    pub fn fires_at(&self, class: FaultClass, occurrence: u64) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        self.decide(inner, class, occurrence)
+    }
+
+    /// How many times `class` has fired through this handle.
+    pub fn fired(&self, class: FaultClass) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.fired[class.index()].load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// `(class name, fired count)` for every class that fired at least
+    /// once — the CLI prints this at exit.
+    pub fn summary(&self) -> Vec<(&'static str, u64)> {
+        FaultClass::ALL
+            .into_iter()
+            .filter_map(|c| {
+                let n = self.fired(c);
+                (n > 0).then_some((c.name(), n))
+            })
+            .collect()
+    }
+}
+
+static GLOBAL: OnceLock<Chaos> = OnceLock::new();
+
+/// The process-wide chaos handle. First use initializes it from the
+/// `NP_CHAOS` environment variable; unset/empty means disabled. A
+/// malformed variable is reported on stderr and treated as disabled
+/// (library code must not abort the host process — the CLI validates its
+/// `--chaos` flag separately and exits with a proper error).
+pub fn global() -> &'static Chaos {
+    GLOBAL.get_or_init(|| match std::env::var("NP_CHAOS") {
+        Ok(spec) if !spec.trim().is_empty() => match FaultPlan::parse(&spec) {
+            Ok(plan) => Chaos::new(plan),
+            Err(e) => {
+                eprintln!("warning: ignoring NP_CHAOS: {e}");
+                Chaos::disabled()
+            }
+        },
+        _ => Chaos::disabled(),
+    })
+}
+
+/// Install a plan as the process-wide handle (the CLI's `--chaos`).
+/// Returns `false` if the global handle was already initialized — the
+/// caller should install before any instrumented code runs.
+pub fn install(plan: FaultPlan) -> bool {
+    GLOBAL.set(Chaos::new(plan)).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_parses_to_empty_plan() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.seed, 0);
+        assert!(FaultPlan::parse("  , ,").unwrap().is_empty());
+    }
+
+    #[test]
+    fn spec_grammar_round_trips_every_form() {
+        let plan =
+            FaultPlan::parse("seed=42,lp-singular@0,pool-panic@2-5,nan-grad%3.5,kill@4").unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.triggers.len(), 4);
+        assert_eq!(plan.triggers[0], (FaultClass::LpSingular, Trigger::At(0)));
+        assert_eq!(
+            plan.triggers[1],
+            (FaultClass::PoolPanic, Trigger::Range(2, 5))
+        );
+        assert_eq!(
+            plan.triggers[2],
+            (FaultClass::NanGrad, Trigger::Prob(0.035))
+        );
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "frobnicate@3",
+            "lp-singular@x",
+            "lp-singular@5-2",
+            "nan-grad%200",
+            "seed=abc",
+            "lp-singular",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn at_trigger_fires_exactly_once() {
+        let chaos = Chaos::new(FaultPlan::parse("deadline@2").unwrap());
+        let fires: Vec<bool> = (0..5)
+            .map(|_| chaos.should_fire(FaultClass::Deadline))
+            .collect();
+        assert_eq!(fires, [false, false, true, false, false]);
+        assert_eq!(chaos.fired(FaultClass::Deadline), 1);
+        assert_eq!(chaos.fired(FaultClass::Kill), 0);
+    }
+
+    #[test]
+    fn range_trigger_fires_on_every_occurrence_in_range() {
+        let chaos = Chaos::new(FaultPlan::parse("pool-panic@1-3").unwrap());
+        let fires: Vec<bool> = (0..5)
+            .map(|i| chaos.fires_at(FaultClass::PoolPanic, i))
+            .collect();
+        assert_eq!(fires, [false, true, true, true, false]);
+        assert_eq!(chaos.fired(FaultClass::PoolPanic), 3);
+    }
+
+    #[test]
+    fn probability_trigger_is_deterministic_and_roughly_calibrated() {
+        let sample = |seed: u64| -> Vec<bool> {
+            let chaos = Chaos::new(FaultPlan::parse(&format!("seed={seed},nan-grad%20")).unwrap());
+            (0..1000)
+                .map(|i| chaos.fires_at(FaultClass::NanGrad, i))
+                .collect()
+        };
+        let a = sample(7);
+        assert_eq!(a, sample(7), "same seed, same firing pattern");
+        assert_ne!(a, sample(8), "different seed, different pattern");
+        let hits = a.iter().filter(|&&f| f).count();
+        assert!((120..280).contains(&hits), "20% of 1000 ≈ {hits}");
+    }
+
+    #[test]
+    fn disabled_handle_never_fires() {
+        let chaos = Chaos::disabled();
+        assert!(!chaos.is_active());
+        assert!(!chaos.should_fire(FaultClass::Kill));
+        assert!(!chaos.fires_at(FaultClass::Kill, 0));
+        assert!(chaos.summary().is_empty());
+    }
+
+    #[test]
+    fn summary_lists_only_fired_classes() {
+        let chaos = Chaos::new(FaultPlan::parse("kill@0,deadline@9").unwrap());
+        chaos.should_fire(FaultClass::Kill);
+        chaos.should_fire(FaultClass::Deadline);
+        assert_eq!(chaos.summary(), vec![("kill", 1)]);
+    }
+
+    #[test]
+    fn class_names_round_trip() {
+        for c in FaultClass::ALL {
+            assert_eq!(FaultClass::from_name(c.name()), Some(c));
+        }
+        assert_eq!(FaultClass::from_name("nope"), None);
+    }
+}

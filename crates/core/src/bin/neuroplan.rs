@@ -25,7 +25,8 @@ fn usage() -> ! {
         "usage:\n  neuroplan generate --preset <a..e> [--fill <0..1>] [--long-term] \
          [--seed <u64>] [--out <file>]\n  neuroplan plan [--preset <a..e> | --topology \
          <file>] [--fill <0..1>] [--alpha <f64>] [--quick|--default] [--seed <u64>] \
-         [--workers <n|auto>] [--telemetry <file>] [--out <file>]\n  neuroplan evaluate \
+         [--workers <n|auto>] [--telemetry <file>] [--checkpoint-dir <dir>] [--resume] \
+         [--chaos <spec>] [--out <file>]\n  neuroplan evaluate \
          --topology <file> [--plan <file>] [--workers <n|auto>] [--telemetry <file>]\n  \
          neuroplan baseline [--preset <a..e> | --topology <file>] --method \
          <ilp|ilp-heur|decompose> [--time <secs>] [--workers <n|auto>] \
@@ -43,7 +44,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             usage();
         };
         match key {
-            "long-term" | "quick" | "default" => {
+            "long-term" | "quick" | "default" | "resume" => {
                 map.insert(key.to_string(), "true".to_string());
             }
             _ => {
@@ -100,9 +101,39 @@ fn load_network(flags: &HashMap<String, String>) -> Network {
         cfg.long_term = true;
     }
     if let Some(seed) = flags.get("seed") {
-        cfg.seed = seed.parse().expect("--seed takes a u64");
+        cfg.seed = seed.parse().unwrap_or_else(|_| {
+            eprintln!("--seed takes a u64");
+            exit(2)
+        });
     }
-    cfg.generate()
+    cfg.try_generate().unwrap_or_else(|e| {
+        eprintln!("invalid generator config: {e}");
+        exit(1)
+    })
+}
+
+/// `--chaos <spec>`: validate and install the process-wide fault plan
+/// (see `np_chaos` for the grammar). Must run before any instrumented
+/// code; a malformed spec is a usage error.
+fn install_chaos(flags: &HashMap<String, String>) {
+    let Some(spec) = flags.get("chaos") else {
+        return;
+    };
+    let plan = np_chaos::FaultPlan::parse(spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2)
+    });
+    if !np_chaos::install(plan) {
+        eprintln!("warning: a chaos plan is already installed (NP_CHAOS); --chaos ignored");
+    }
+}
+
+/// Print which fault classes fired, so chaos runs are auditable.
+fn finish_chaos() {
+    let chaos = np_chaos::global();
+    for (name, count) in chaos.summary() {
+        eprintln!("chaos: {name} fired {count}x");
+    }
 }
 
 /// `--workers <n|auto>`: thread budget for the parallel execution paths
@@ -160,6 +191,7 @@ fn main() {
         usage()
     };
     let flags = parse_flags(rest);
+    install_chaos(&flags);
     match cmd.as_str() {
         "generate" => {
             let net = load_network(&flags);
@@ -181,10 +213,16 @@ fn main() {
                 NeuroPlanConfig::quick()
             };
             if let Some(alpha) = flags.get("alpha") {
-                cfg.relax_factor = alpha.parse().expect("--alpha takes a number >= 1");
+                cfg.relax_factor = alpha.parse().unwrap_or_else(|_| {
+                    eprintln!("--alpha takes a number >= 1");
+                    exit(2)
+                });
             }
             if let Some(seed) = flags.get("seed") {
-                cfg = cfg.with_seed(seed.parse().expect("--seed takes a u64"));
+                cfg = cfg.with_seed(seed.parse().unwrap_or_else(|_| {
+                    eprintln!("--seed takes a u64");
+                    exit(2)
+                }));
             }
             // Only an explicit --workers opts into the multi-actor
             // determinism contract; results then match at every count.
@@ -192,9 +230,17 @@ fn main() {
                 cfg = cfg.with_workers(workers_of(&flags));
             }
             let tel = telemetry_of(&flags);
-            let result = NeuroPlan::with_telemetry(cfg, tel.clone()).plan(&net);
+            let mut planner = NeuroPlan::with_telemetry(cfg, tel.clone());
+            if let Some(dir) = flags.get("checkpoint-dir") {
+                planner = planner.with_checkpoint(dir, flags.contains_key("resume"));
+            } else if flags.contains_key("resume") {
+                eprintln!("--resume needs --checkpoint-dir");
+                exit(2)
+            }
+            let result = planner.plan(&net);
             assert!(validate_plan(&net, &result.final_units));
             finish_telemetry(&tel, &flags);
+            finish_chaos();
             eprintln!(
                 "first-stage {:.1} -> final {:.1} ({} epochs, {} B&B nodes, {} cuts)",
                 result.first_stage_cost,
@@ -236,6 +282,7 @@ fn main() {
             let mut evaluator = PlanEvaluator::with_telemetry(&net, eval_cfg, tel.clone());
             let outcome = evaluator.check(&caps);
             finish_telemetry(&tel, &flags);
+            finish_chaos();
             if outcome.feasible {
                 println!("feasible: every flow survives every failure scenario");
             } else {
@@ -259,7 +306,12 @@ fn main() {
             let net = load_network(&flags);
             let time = flags
                 .get("time")
-                .map(|t| t.parse().expect("--time takes seconds"))
+                .map(|t| {
+                    t.parse().unwrap_or_else(|_| {
+                        eprintln!("--time takes seconds");
+                        exit(2)
+                    })
+                })
                 .unwrap_or(120.0);
             let budget = BaselineBudget {
                 node_limit: 50_000,
@@ -317,6 +369,7 @@ fn main() {
                     usage()
                 }
             }
+            finish_chaos();
         }
         _ => usage(),
     }

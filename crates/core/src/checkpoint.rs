@@ -1,0 +1,353 @@
+//! Pipeline checkpoint records: encoding/decoding of the `meta`,
+//! `epoch`, `first_stage` and `master` record bodies that
+//! [`crate::NeuroPlan`] appends to `<checkpoint-dir>/checkpoint.jsonl`
+//! (format: DESIGN.md §10; substrate: [`np_chaos::checkpoint`]).
+//!
+//! Every `f64` that must survive bit-exactly (costs, returns, cut
+//! coefficients) travels as little-endian hex; small counters travel as
+//! plain JSON numbers. Decoders return `None` on any shape mismatch —
+//! the pipeline then ignores the checkpoint and starts fresh rather than
+//! resuming from a record it cannot fully trust.
+
+use crate::config::NeuroPlanConfig;
+use crate::master::MasterOutcome;
+use crate::pipeline::FirstStage;
+use np_chaos::checkpoint::{f64_to_hex, fnv1a64, hex_to_f64};
+use np_flow::MetricCut;
+use np_lp::MipStatus;
+use np_rl::{EpochStats, TrainProgress, TrainReport};
+use np_topology::{LinkId, Network};
+use serde_json::Value;
+
+/// Stable fingerprint of (instance, run-shaping config). A resume under
+/// a different topology, seed or budget must not splice runs together,
+/// so the `meta` record carries this and mismatches discard the file.
+pub fn fingerprint(net: &Network, cfg: &NeuroPlanConfig) -> String {
+    let tag = format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}",
+        cfg.seed,
+        cfg.train.epochs,
+        cfg.train.steps_per_epoch,
+        cfg.train.num_actors,
+        cfg.relax_factor,
+        cfg.max_units_per_step,
+        cfg.final_rollouts,
+        cfg.mip_node_limit,
+    );
+    format!(
+        "{:016x}",
+        fnv1a64(format!("{}\n{tag}", net.to_json()).as_bytes())
+    )
+}
+
+/// Body of the `meta` record.
+pub fn meta_body(fp: &str) -> Value {
+    Value::Object(vec![("fp".to_string(), Value::Str(fp.to_string()))])
+}
+
+/// Whether `body` is a `meta` record matching `fp`.
+pub fn meta_matches(body: &Value, fp: &str) -> bool {
+    body.get("fp").and_then(Value::as_str) == Some(fp)
+}
+
+fn num(n: u64) -> Value {
+    Value::Num(n as f64)
+}
+
+fn str_field(body: &Value, key: &str) -> Option<String> {
+    Some(body.get(key)?.as_str()?.to_string())
+}
+
+fn u64_field(body: &Value, key: &str) -> Option<u64> {
+    body.get(key)?.as_u64()
+}
+
+fn hex_field(body: &Value, key: &str) -> Option<f64> {
+    hex_to_f64(body.get(key)?.as_str()?)
+}
+
+fn units_value(units: &[u32]) -> Value {
+    Value::Array(units.iter().map(|&u| num(u64::from(u))).collect())
+}
+
+fn units_field(body: &Value, key: &str) -> Option<Vec<u32>> {
+    body.get(key)?
+        .as_array()?
+        .iter()
+        .map(|v| v.as_u64().and_then(|u| u32::try_from(u).ok()))
+        .collect()
+}
+
+/// One decoded `epoch` record: the loop counters a resume needs plus the
+/// serialized agent and environment.
+#[derive(Clone, Debug)]
+pub struct EpochRecord {
+    /// This epoch's statistics.
+    pub stats: EpochStats,
+    /// Epoch index the resumed run continues from.
+    pub next_epoch: usize,
+    /// Convergence streak after this epoch.
+    pub converged_run: usize,
+    /// Mean return the next convergence check compares against.
+    pub prev_return: f64,
+    /// NaN rollbacks so far (feeds the recovery stream seed).
+    pub recovery_nonce: u64,
+    /// [`np_rl::ActorCritic::export_state`] blob.
+    pub agent: String,
+    /// [`np_rl::GraphEnv::state_json`] blob.
+    pub env: String,
+}
+
+/// Body of an `epoch` record.
+pub fn epoch_body(p: &TrainProgress<'_>, agent_blob: &str, env_blob: &str) -> Value {
+    Value::Object(vec![
+        ("epoch".to_string(), num(p.stats.epoch as u64)),
+        (
+            "mean_return".to_string(),
+            Value::Str(f64_to_hex(p.stats.mean_return)),
+        ),
+        ("completed".to_string(), num(p.stats.completed as u64)),
+        ("truncated".to_string(), num(p.stats.truncated as u64)),
+        (
+            "mean_length".to_string(),
+            Value::Str(f64_to_hex(p.stats.mean_length)),
+        ),
+        ("next_epoch".to_string(), num(p.next_epoch as u64)),
+        ("converged_run".to_string(), num(p.converged_run as u64)),
+        (
+            "prev_return".to_string(),
+            Value::Str(f64_to_hex(p.prev_return)),
+        ),
+        ("recovery_nonce".to_string(), num(p.recovery_nonce)),
+        ("agent".to_string(), Value::Str(agent_blob.to_string())),
+        ("env".to_string(), Value::Str(env_blob.to_string())),
+    ])
+}
+
+/// Decode an `epoch` record body.
+pub fn decode_epoch(body: &Value) -> Option<EpochRecord> {
+    Some(EpochRecord {
+        stats: EpochStats {
+            epoch: u64_field(body, "epoch")? as usize,
+            mean_return: hex_field(body, "mean_return")?,
+            completed: u64_field(body, "completed")? as usize,
+            truncated: u64_field(body, "truncated")? as usize,
+            mean_length: hex_field(body, "mean_length")?,
+        },
+        next_epoch: u64_field(body, "next_epoch")? as usize,
+        converged_run: u64_field(body, "converged_run")? as usize,
+        prev_return: hex_field(body, "prev_return")?,
+        recovery_nonce: u64_field(body, "recovery_nonce")?,
+        agent: str_field(body, "agent")?,
+        env: str_field(body, "env")?,
+    })
+}
+
+fn encode_cert(c: &MetricCut) -> Value {
+    let mut s = f64_to_hex(c.rhs);
+    for (l, w) in &c.coeff {
+        s.push_str(&format!(";{},{}", l.index(), f64_to_hex(*w)));
+    }
+    Value::Str(s)
+}
+
+fn decode_cert(s: &str) -> Option<MetricCut> {
+    let mut fields = s.split(';');
+    let rhs = fields.next().and_then(hex_to_f64)?;
+    let mut coeff = Vec::new();
+    for f in fields {
+        let (i, w) = f.split_once(',')?;
+        coeff.push((LinkId::new(i.parse().ok()?), hex_to_f64(w)?));
+    }
+    Some(MetricCut { coeff, rhs })
+}
+
+/// Body of the `first_stage` record.
+pub fn first_stage_body(first: &FirstStage) -> Value {
+    Value::Object(vec![
+        ("cost".to_string(), Value::Str(f64_to_hex(first.cost))),
+        ("units".to_string(), units_value(&first.units)),
+        (
+            "rl_cost".to_string(),
+            match first.rl_cost {
+                Some(c) => Value::Str(f64_to_hex(c)),
+                None => Value::Null,
+            },
+        ),
+        (
+            "reference_cost".to_string(),
+            Value::Str(f64_to_hex(first.reference_cost)),
+        ),
+        (
+            "certs".to_string(),
+            Value::Array(first.certificates.iter().map(encode_cert).collect()),
+        ),
+    ])
+}
+
+/// Decode a `first_stage` record body. `report` supplies the per-epoch
+/// stats (reassembled from the `epoch` records); the evaluator stats of
+/// the original run are not reconstructed.
+pub fn decode_first_stage(body: &Value, report: TrainReport) -> Option<FirstStage> {
+    let rl_cost = match body.get("rl_cost")? {
+        Value::Null => None,
+        v => Some(hex_to_f64(v.as_str()?)?),
+    };
+    let certificates: Option<Vec<MetricCut>> = body
+        .get("certs")?
+        .as_array()?
+        .iter()
+        .map(|v| decode_cert(v.as_str()?))
+        .collect();
+    Some(FirstStage {
+        units: units_field(body, "units")?,
+        cost: hex_field(body, "cost")?,
+        rl_cost,
+        reference_cost: hex_field(body, "reference_cost")?,
+        report,
+        certificates: certificates?,
+        stats: np_eval::EvalStats::default(),
+    })
+}
+
+fn status_name(s: MipStatus) -> &'static str {
+    match s {
+        MipStatus::Optimal => "optimal",
+        MipStatus::Feasible => "feasible",
+        MipStatus::Infeasible => "infeasible",
+        MipStatus::Limit => "limit",
+        MipStatus::Unbounded => "unbounded",
+    }
+}
+
+fn status_from(name: &str) -> Option<MipStatus> {
+    Some(match name {
+        "optimal" => MipStatus::Optimal,
+        "feasible" => MipStatus::Feasible,
+        "infeasible" => MipStatus::Infeasible,
+        "limit" => MipStatus::Limit,
+        "unbounded" => MipStatus::Unbounded,
+        _ => return None,
+    })
+}
+
+/// Body of the `master` record.
+pub fn master_body(m: &MasterOutcome) -> Value {
+    Value::Object(vec![
+        (
+            "status".to_string(),
+            Value::Str(status_name(m.status).to_string()),
+        ),
+        ("cost".to_string(), Value::Str(f64_to_hex(m.cost))),
+        ("units".to_string(), units_value(&m.units)),
+        ("nodes".to_string(), num(m.nodes as u64)),
+        ("cuts_added".to_string(), num(m.cuts_added as u64)),
+        (
+            "best_bound".to_string(),
+            Value::Str(f64_to_hex(m.best_bound)),
+        ),
+    ])
+}
+
+/// Decode a `master` record body.
+pub fn decode_master(body: &Value) -> Option<MasterOutcome> {
+    Some(MasterOutcome {
+        status: status_from(body.get("status")?.as_str()?)?,
+        cost: hex_field(body, "cost")?,
+        units: units_field(body, "units")?,
+        nodes: u64_field(body, "nodes")? as usize,
+        cuts_added: u64_field(body, "cuts_added")? as usize,
+        best_bound: hex_field(body, "best_bound")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_topology::{generator::GeneratorConfig, TopologyPreset};
+
+    #[test]
+    fn fingerprint_separates_instances_and_configs() {
+        let a = GeneratorConfig::preset(TopologyPreset::A).generate();
+        let b = GeneratorConfig::preset(TopologyPreset::B).generate();
+        let cfg = NeuroPlanConfig::quick();
+        let fa = fingerprint(&a, &cfg);
+        assert_eq!(fa, fingerprint(&a, &cfg), "fingerprint is stable");
+        assert_ne!(fa, fingerprint(&b, &cfg), "topology changes it");
+        assert_ne!(
+            fa,
+            fingerprint(&a, &cfg.clone().with_seed(9)),
+            "seed changes it"
+        );
+        assert!(meta_matches(&meta_body(&fa), &fa));
+        assert!(!meta_matches(&meta_body(&fa), "0000000000000000"));
+    }
+
+    #[test]
+    fn epoch_record_round_trips() {
+        let stats = EpochStats {
+            epoch: 3,
+            mean_return: -0.125,
+            completed: 7,
+            truncated: 1,
+            mean_length: 42.5,
+        };
+        let p = TrainProgress {
+            stats: &stats,
+            next_epoch: 4,
+            converged_run: 2,
+            prev_return: -0.25,
+            recovery_nonce: 1,
+        };
+        let body = epoch_body(&p, "AGENT", "ENV|with|pipes");
+        let rec = decode_epoch(&body).expect("round trip");
+        assert_eq!(rec.stats.epoch, 3);
+        assert_eq!(rec.stats.mean_return.to_bits(), (-0.125f64).to_bits());
+        assert_eq!(rec.next_epoch, 4);
+        assert_eq!(rec.converged_run, 2);
+        assert_eq!(rec.recovery_nonce, 1);
+        assert_eq!(rec.agent, "AGENT");
+        assert_eq!(rec.env, "ENV|with|pipes");
+        assert!(decode_epoch(&Value::Null).is_none());
+    }
+
+    #[test]
+    fn first_stage_record_round_trips_with_certificates() {
+        let first = FirstStage {
+            units: vec![1, 0, 3],
+            cost: 123.456,
+            rl_cost: None,
+            reference_cost: 200.0,
+            report: TrainReport::default(),
+            certificates: vec![MetricCut {
+                coeff: vec![(LinkId::new(0), 1.5), (LinkId::new(2), -0.5)],
+                rhs: 10.0,
+            }],
+            stats: np_eval::EvalStats::default(),
+        };
+        let body = first_stage_body(&first);
+        let back = decode_first_stage(&body, TrainReport::default()).expect("round trip");
+        assert_eq!(back.units, first.units);
+        assert_eq!(back.cost.to_bits(), first.cost.to_bits());
+        assert_eq!(back.rl_cost, None);
+        assert_eq!(back.certificates, first.certificates);
+    }
+
+    #[test]
+    fn master_record_round_trips() {
+        let m = MasterOutcome {
+            status: MipStatus::Feasible,
+            cost: 99.5,
+            units: vec![2, 2, 0],
+            nodes: 17,
+            cuts_added: 4,
+            best_bound: 80.25,
+        };
+        let back = decode_master(&master_body(&m)).expect("round trip");
+        assert_eq!(back.status, m.status);
+        assert_eq!(back.cost.to_bits(), m.cost.to_bits());
+        assert_eq!(back.units, m.units);
+        assert_eq!(back.nodes, 17);
+        assert_eq!(back.best_bound.to_bits(), m.best_bound.to_bits());
+    }
+}

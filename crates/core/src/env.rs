@@ -224,6 +224,72 @@ impl GraphEnv for PlanningEnv {
         Some(self)
     }
 
+    /// Serialize what a checkpoint must preserve across a kill: the best
+    /// plan (cost bit-exact as hex), the step counter and the evaluator's
+    /// stateful cursor + certificate pool. Everything else (capacities,
+    /// scratch) is rebuilt by the next `reset()`.
+    fn state_json(&self) -> Option<String> {
+        use np_chaos::checkpoint::f64_to_hex;
+        let best = match &self.best {
+            None => "-".to_string(),
+            Some((cost, snap)) => {
+                let units: Vec<String> = snap.as_slice().iter().map(u32::to_string).collect();
+                format!("{}:{}", f64_to_hex(*cost), units.join(","))
+            }
+        };
+        Some(format!(
+            "1|{}|{}|{}",
+            self.steps_taken,
+            best,
+            self.evaluator.snapshot_state()
+        ))
+    }
+
+    /// Restore a [`GraphEnv::state_json`] blob. Returns `false` (leaving
+    /// the environment untouched) on any version, shape or encoding
+    /// mismatch — a foreign or corrupt blob degrades to a fresh start.
+    fn restore_state_json(&mut self, blob: &str) -> bool {
+        use np_chaos::checkpoint::hex_to_f64;
+        let mut parts = blob.splitn(4, '|');
+        let (Some(version), Some(steps), Some(best), Some(eval)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return false;
+        };
+        if version != "1" {
+            return false;
+        }
+        let Ok(steps) = steps.parse::<u64>() else {
+            return false;
+        };
+        let best = if best == "-" {
+            None
+        } else {
+            let Some((cost_hex, units_csv)) = best.split_once(':') else {
+                return false;
+            };
+            let Some(cost) = hex_to_f64(cost_hex) else {
+                return false;
+            };
+            let units: Option<Vec<u32>> = units_csv.split(',').map(|u| u.parse().ok()).collect();
+            let Some(units) = units else {
+                return false;
+            };
+            if !cost.is_finite() || units.len() != self.net.links().len() {
+                return false;
+            }
+            Some((cost, PlanSnapshot::from_units(units)))
+        };
+        // The evaluator validates fully before mutating, so a rejected
+        // blob leaves `self` untouched.
+        if !self.evaluator.restore_state(eval) {
+            return false;
+        }
+        self.steps_taken = steps;
+        self.best = best;
+        true
+    }
+
     fn reset(&mut self) -> Observation {
         self.net.reset_to_base();
         self.evaluator.reset();
@@ -355,6 +421,49 @@ mod tests {
         let (cost, snap) = e.best_plan().expect("feasible plan recorded").clone();
         assert!(cost > 0.0);
         assert_eq!(snap.as_slice().len(), e.network().links().len());
+    }
+
+    #[test]
+    fn state_blob_round_trips_best_plan_and_steps() {
+        let mut e = env();
+        let mut obs = e.reset();
+        for _ in 0..20_000 {
+            let action = obs
+                .action_mask
+                .iter()
+                .position(|&ok| ok)
+                .expect("an action must be valid");
+            let (o, _, done) = e.step(action);
+            obs = o;
+            if done {
+                break;
+            }
+        }
+        let (cost, snap) = e.best_plan().expect("feasible plan found").clone();
+        let blob = e.state_json().expect("planning env checkpoints");
+
+        let mut fresh = env();
+        assert!(fresh.restore_state_json(&blob), "blob must restore");
+        assert_eq!(fresh.steps_taken(), e.steps_taken());
+        let (rcost, rsnap) = fresh.best_plan().expect("best plan restored").clone();
+        assert_eq!(cost.to_bits(), rcost.to_bits(), "cost is bit-exact");
+        assert_eq!(snap.as_slice(), rsnap.as_slice());
+        assert_eq!(fresh.state_json().unwrap(), blob, "re-export is identical");
+    }
+
+    #[test]
+    fn restore_rejects_foreign_blobs() {
+        let mut e = env();
+        e.reset();
+        assert!(!e.restore_state_json("2|0|-|1|0|0"), "wrong version");
+        assert!(!e.restore_state_json("1|x|-|1|0|0"), "bad step count");
+        assert!(!e.restore_state_json("1|0|zz:1,2|1|0|0"), "bad best plan");
+        // A blob from a different topology (wrong cert count) is refused.
+        let blob = e.state_json().unwrap();
+        let net2 = GeneratorConfig::preset(TopologyPreset::B).generate();
+        let mut other = PlanningEnv::new(net2, EvalConfig::default(), 4, 100.0);
+        assert!(!other.restore_state_json(&blob));
+        assert_eq!(other.steps_taken(), 0, "rejected restore leaves state");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 pub mod analysis;
 pub mod baselines;
+pub mod checkpoint;
 pub mod config;
 pub mod decompose;
 pub mod env;

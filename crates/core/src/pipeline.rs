@@ -1,15 +1,19 @@
 //! The two-stage NeuroPlan pipeline (Fig. 2 / Fig. 3).
 
+use crate::checkpoint;
 use crate::config::NeuroPlanConfig;
 use crate::env::PlanningEnv;
 use crate::greedy::greedy_augment;
 use crate::master::{apply_units, solve_master_telemetry, MasterConfig, MasterOutcome};
 use crate::report::PruningReport;
+use np_chaos::checkpoint::{append_record, read_records, Record};
 use np_eval::EvalStats;
 use np_flow::MetricCut;
-use np_rl::{train_telemetry, ActorCritic, GraphEnv, TrainReport};
+use np_rl::{train_resumable, ActorCritic, GraphEnv, TrainProgress, TrainReport, TrainResume};
 use np_telemetry::{sys, Telemetry};
 use np_topology::Network;
+use serde_json::Value;
+use std::path::{Path, PathBuf};
 
 /// Outputs of the RL stage.
 #[derive(Clone, Debug)]
@@ -61,6 +65,16 @@ pub struct NeuroPlan {
     pub cfg: NeuroPlanConfig,
     /// Telemetry sink threaded through both stages (noop by default).
     pub tel: Telemetry,
+    /// Directory for checkpoint records (`None` = no checkpointing). The
+    /// pipeline appends to `<dir>/checkpoint.jsonl` — a `meta` record,
+    /// one `epoch` record per completed training epoch, a `first_stage`
+    /// record and a `master` record (DESIGN.md §10).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from valid records already in `checkpoint_dir`. Resuming a
+    /// run killed at any epoch reproduces the uninterrupted run's plan
+    /// bit for bit; a checkpoint from a different instance or config is
+    /// detected by fingerprint and ignored.
+    pub resume: bool,
 }
 
 impl NeuroPlan {
@@ -69,13 +83,42 @@ impl NeuroPlan {
         NeuroPlan {
             cfg,
             tel: Telemetry::noop(),
+            checkpoint_dir: None,
+            resume: false,
         }
     }
 
     /// New planner reporting through `tel`: stage spans under `pipeline`,
     /// plus the `rl`, `eval`, `master` and `lp` subsystem counters.
     pub fn with_telemetry(cfg: NeuroPlanConfig, tel: Telemetry) -> Self {
-        NeuroPlan { cfg, tel }
+        NeuroPlan {
+            cfg,
+            tel,
+            checkpoint_dir: None,
+            resume: false,
+        }
+    }
+
+    /// Write checkpoint records under `dir`; when `resume` is set,
+    /// continue from whatever valid records are already there.
+    pub fn with_checkpoint(mut self, dir: impl Into<PathBuf>, resume: bool) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self.resume = resume;
+        self
+    }
+
+    fn checkpoint_path(&self) -> Option<PathBuf> {
+        self.checkpoint_dir
+            .as_ref()
+            .map(|d| d.join("checkpoint.jsonl"))
+    }
+
+    /// Best-effort record append: a full disk must degrade the run to
+    /// "unresumable", never kill it.
+    fn append(&self, path: &Path, kind: &str, body: Value, chaos: &np_chaos::Chaos) {
+        if let Err(e) = append_record(path, kind, body, chaos) {
+            eprintln!("warning: failed to write checkpoint record `{kind}`: {e}");
+        }
     }
 
     /// Run both stages on a planning instance.
@@ -86,7 +129,80 @@ impl NeuroPlan {
     /// property has no plan at any cost.
     pub fn plan(&self, net: &Network) -> NeuroPlanResult {
         let _plan_span = self.tel.span(sys::PIPELINE, "plan");
-        let first = self.first_stage(net);
+        let chaos = np_chaos::global();
+        let ckpt = self.checkpoint_path();
+        let mut records: Vec<Record> = Vec::new();
+        if let Some(path) = &ckpt {
+            let fp = checkpoint::fingerprint(net, &self.cfg);
+            if self.resume {
+                records = read_records(path);
+                let matches = records
+                    .first()
+                    .is_some_and(|r| r.kind == "meta" && checkpoint::meta_matches(&r.body, &fp));
+                if !matches && !records.is_empty() {
+                    eprintln!(
+                        "warning: checkpoint in {} does not match this instance/config; \
+                         starting fresh",
+                        path.display()
+                    );
+                    records.clear();
+                }
+            }
+            if records.is_empty() {
+                if let Some(dir) = path.parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                let _ = std::fs::remove_file(path);
+                self.append(path, "meta", checkpoint::meta_body(&fp), chaos);
+            }
+        }
+        let epoch_recs: Vec<checkpoint::EpochRecord> = records
+            .iter()
+            .filter(|r| r.kind == "epoch")
+            .filter_map(|r| checkpoint::decode_epoch(&r.body))
+            .collect();
+        let epoch_stats = TrainReport {
+            epochs: epoch_recs.iter().map(|e| e.stats.clone()).collect(),
+        };
+        let first_rec = records
+            .iter()
+            .find(|r| r.kind == "first_stage")
+            .and_then(|r| checkpoint::decode_first_stage(&r.body, epoch_stats));
+        let master_rec = records
+            .iter()
+            .find(|r| r.kind == "master")
+            .and_then(|r| checkpoint::decode_master(&r.body));
+
+        // A run that already finished resumes straight to its recorded
+        // result. The pruning report is a pure function of the
+        // first-stage plan, so it is recomputed rather than stored.
+        if let (Some(first), Some(master)) = (&first_rec, master_rec) {
+            let pruning = self.pruning_report(net, &first.units);
+            return Self::finish(
+                first.cost,
+                first.units.clone(),
+                first.report.clone(),
+                master,
+                EvalStats::default(),
+                pruning,
+            );
+        }
+
+        let first = match first_rec {
+            Some(first) => first,
+            None => {
+                let first = self.first_stage_resumable(net, ckpt.as_deref(), epoch_recs, chaos);
+                if let Some(path) = &ckpt {
+                    self.append(
+                        path,
+                        "first_stage",
+                        checkpoint::first_stage_body(&first),
+                        chaos,
+                    );
+                }
+                first
+            }
+        };
         let FirstStage {
             units: first_units,
             cost: first_cost,
@@ -97,8 +213,29 @@ impl NeuroPlan {
         } = first;
         let (master, pruning) =
             self.second_stage(net, &first_units, first_cost, seed_cuts, &mut eval_stats);
-        // Final plan: the master incumbent when it beats the first stage,
-        // otherwise the first-stage plan itself.
+        if let Some(path) = &ckpt {
+            self.append(path, "master", checkpoint::master_body(&master), chaos);
+        }
+        Self::finish(
+            first_cost,
+            first_units,
+            train_report,
+            master,
+            eval_stats,
+            pruning,
+        )
+    }
+
+    /// Final plan selection: the master incumbent when it beats the
+    /// first stage, otherwise the first-stage plan itself.
+    fn finish(
+        first_cost: f64,
+        first_units: Vec<u32>,
+        train_report: TrainReport,
+        master: MasterOutcome,
+        eval_stats: EvalStats,
+        pruning: PruningReport,
+    ) -> NeuroPlanResult {
         let (final_cost, final_units) = if master.has_plan() && master.cost < first_cost {
             (master.cost, master.units.clone())
         } else {
@@ -116,10 +253,30 @@ impl NeuroPlan {
         }
     }
 
+    fn pruning_report(&self, net: &Network, first_units: &[u32]) -> PruningReport {
+        let spectrum = MasterConfig::spectrum_bounds(net);
+        let bounds = MasterConfig::pruned_bounds(net, first_units, self.cfg.relax_factor);
+        PruningReport::new(net, first_units, &bounds, &spectrum, self.cfg.relax_factor)
+    }
+
     /// Stage 1: train the agent and extract the best feasible plan. A
     /// greedy certificate-guided plan provides the reward normalizer and
     /// the fallback if training never completes a trajectory.
     pub fn first_stage(&self, net: &Network) -> FirstStage {
+        self.first_stage_resumable(net, None, Vec::new(), np_chaos::global())
+    }
+
+    /// [`NeuroPlan::first_stage`], with checkpointing: epoch records are
+    /// appended to `ckpt` as training progresses, and `epoch_recs` (the
+    /// decoded records of an interrupted run) restore the trainer to the
+    /// exact post-epoch state the last record captured.
+    fn first_stage_resumable(
+        &self,
+        net: &Network,
+        ckpt: Option<&Path>,
+        epoch_recs: Vec<checkpoint::EpochRecord>,
+        chaos: &np_chaos::Chaos,
+    ) -> FirstStage {
         let _stage_span = self.tel.span(sys::PIPELINE, "first_stage");
         // Reference plan: reward scale + fallback.
         let mut ref_net = net.clone();
@@ -144,7 +301,68 @@ impl NeuroPlan {
             self.cfg.max_units_per_step,
             &self.cfg.agent,
         );
-        let report = train_telemetry(&mut env, &mut agent, &self.cfg.train, &self.tel);
+        // Restore from the last epoch record, if any. A blob that fails
+        // to restore (foreign, corrupt) discards the resume entirely
+        // rather than training from a half-restored state.
+        let mut resume: Option<TrainResume> = None;
+        if let Some(last) = epoch_recs.last() {
+            if agent.import_state(&last.agent) && env.restore_state_json(&last.env) {
+                // Reconstruct the early-stop decision: if the streak had
+                // already reached the patience threshold, the original
+                // run stopped after this epoch — the resumed run must
+                // not train further.
+                let stopped = self.cfg.train.convergence_tol > 0.0
+                    && last.converged_run >= self.cfg.train.patience;
+                resume = Some(TrainResume {
+                    next_epoch: if stopped {
+                        self.cfg.train.epochs
+                    } else {
+                        last.next_epoch
+                    },
+                    converged_run: last.converged_run,
+                    prev_return: last.prev_return,
+                    recovery_nonce: last.recovery_nonce,
+                    stats: epoch_recs.iter().map(|e| e.stats.clone()).collect(),
+                });
+            } else {
+                eprintln!(
+                    "warning: checkpointed trainer state failed to restore; restarting training"
+                );
+            }
+        }
+        let report = match ckpt {
+            Some(path) => {
+                let mut hook =
+                    |agent: &mut ActorCritic, env: &mut dyn GraphEnv, p: &TrainProgress<'_>| {
+                        let agent_blob = agent.export_state();
+                        let env_blob = env.state_json().unwrap_or_default();
+                        self.append(
+                            path,
+                            "epoch",
+                            checkpoint::epoch_body(p, &agent_blob, &env_blob),
+                            chaos,
+                        );
+                    };
+                train_resumable(
+                    &mut env,
+                    &mut agent,
+                    &self.cfg.train,
+                    &self.tel,
+                    chaos,
+                    resume,
+                    Some(&mut hook),
+                )
+            }
+            None => train_resumable(
+                &mut env,
+                &mut agent,
+                &self.cfg.train,
+                &self.tel,
+                chaos,
+                resume,
+                None,
+            ),
+        };
 
         // Final rollouts: stochastic samples plus one greedy decode.
         agent.reseed_sampling(self.cfg.seed ^ 0xdead_beef);

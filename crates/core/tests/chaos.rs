@@ -1,0 +1,261 @@
+//! End-to-end fault-injection suite (DESIGN.md §10).
+//!
+//! Each fault class is injected into a real `neuroplan plan` subprocess
+//! (via `NP_CHAOS` or `--chaos`) and the run must still deliver a
+//! validated feasible plan. The `kill` class additionally exercises the
+//! checkpoint/resume path: a run killed mid-training and resumed must
+//! reproduce the uninterrupted run's plan **bit for bit**, at 1 and at 4
+//! workers.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_neuroplan")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("np-chaos-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Run `neuroplan <args>`, optionally under an `NP_CHAOS` spec.
+fn run(args: &[&str], chaos: Option<&str>) -> Output {
+    let mut cmd = Command::new(bin());
+    cmd.args(args);
+    match chaos {
+        Some(spec) => cmd.env("NP_CHAOS", spec),
+        None => cmd.env_remove("NP_CHAOS"),
+    };
+    cmd.output().expect("spawn neuroplan")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// The run must exit cleanly and have written a plan with positive,
+/// finite cost (the CLI itself re-validates feasibility before writing).
+fn assert_plan_written(out: &Output, plan_path: &Path, ctx: &str) {
+    assert!(
+        out.status.success(),
+        "{ctx}: planner failed\nstderr:\n{}",
+        stderr_of(out)
+    );
+    let body =
+        std::fs::read_to_string(plan_path).unwrap_or_else(|e| panic!("{ctx}: no plan file: {e}"));
+    let v: serde_json::Value = serde_json::from_str(&body).expect("plan JSON");
+    let cost = v.get("cost").and_then(|c| c.as_f64()).expect("cost field");
+    assert!(cost > 0.0 && cost.is_finite(), "{ctx}: bad cost {cost}");
+}
+
+fn plan_args<'a>(out: &'a str, extra: &[&'a str]) -> Vec<&'a str> {
+    let mut args = vec![
+        "plan", "--preset", "a", "--quick", "--seed", "5", "--out", out,
+    ];
+    args.extend_from_slice(extra);
+    args
+}
+
+#[test]
+fn lp_singular_injection_still_plans() {
+    let dir = tmp_dir("lp-singular");
+    let out_path = dir.join("plan.json");
+    let out = run(
+        &plan_args(out_path.to_str().unwrap(), &[]),
+        Some("lp-singular@0-9"),
+    );
+    assert_plan_written(&out, &out_path, "lp-singular");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pool_panic_injection_still_plans() {
+    let dir = tmp_dir("pool-panic");
+    let out_path = dir.join("plan.json");
+    let out = run(
+        &plan_args(out_path.to_str().unwrap(), &["--workers", "2"]),
+        Some("pool-panic@0-2"),
+    );
+    assert_plan_written(&out, &out_path, "pool-panic");
+    assert!(
+        stderr_of(&out).contains("chaos: pool-panic fired"),
+        "injection must be visible in the exit summary"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn nan_grad_injection_rolls_back_and_plans() {
+    let dir = tmp_dir("nan-grad");
+    let out_path = dir.join("plan.json");
+    let out = run(
+        &plan_args(out_path.to_str().unwrap(), &[]),
+        Some("nan-grad@1"),
+    );
+    assert_plan_written(&out, &out_path, "nan-grad");
+    assert!(
+        stderr_of(&out).contains("chaos: nan-grad fired 1x"),
+        "stderr: {}",
+        stderr_of(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_injection_still_plans() {
+    let dir = tmp_dir("deadline");
+    let out_path = dir.join("plan.json");
+    let out = run(
+        &plan_args(out_path.to_str().unwrap(), &[]),
+        Some("deadline@0"),
+    );
+    assert_plan_written(&out, &out_path, "deadline");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_checkpoint_write_is_survived() {
+    let dir = tmp_dir("truncate");
+    let ckpt = dir.join("ckpt");
+    let first_path = dir.join("first.json");
+    let resumed_path = dir.join("resumed.json");
+    // The torn record (injected via the --chaos flag rather than the env
+    // var, to exercise that path too) must not affect the run itself...
+    let out = run(
+        &plan_args(
+            first_path.to_str().unwrap(),
+            &[
+                "--checkpoint-dir",
+                ckpt.to_str().unwrap(),
+                "--chaos",
+                "truncate-checkpoint@2",
+            ],
+        ),
+        None,
+    );
+    assert_plan_written(&out, &first_path, "truncate-checkpoint");
+    // ...and a resume over the torn file must drop the tail, replay from
+    // the last intact record and still land on the identical plan.
+    let out = run(
+        &plan_args(
+            resumed_path.to_str().unwrap(),
+            &["--checkpoint-dir", ckpt.to_str().unwrap(), "--resume"],
+        ),
+        None,
+    );
+    assert_plan_written(&out, &resumed_path, "resume over torn checkpoint");
+    assert_eq!(
+        std::fs::read_to_string(&first_path).unwrap(),
+        std::fs::read_to_string(&resumed_path).unwrap(),
+        "resume over a torn checkpoint must reproduce the plan exactly"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill the planner after epoch 2 via the chaos plan, resume from the
+/// checkpoint, and require the resumed output to be byte-identical to an
+/// uninterrupted run without any checkpointing at all.
+fn kill_and_resume_round_trip(workers: Option<&str>, tag: &str) {
+    let dir = tmp_dir(tag);
+    let ckpt = dir.join("ckpt");
+    let full_path = dir.join("full.json");
+    let resumed_path = dir.join("resumed.json");
+    let worker_flags: Vec<&str> = match workers {
+        Some(n) => vec!["--workers", n],
+        None => vec![],
+    };
+
+    // Uninterrupted reference run (no checkpointing).
+    let out = run(&plan_args(full_path.to_str().unwrap(), &worker_flags), None);
+    assert_plan_written(&out, &full_path, "uninterrupted reference");
+
+    // Killed run: the injected kill panics after epoch 2's checkpoint.
+    let mut kill_flags = worker_flags.clone();
+    kill_flags.extend_from_slice(&["--checkpoint-dir", ckpt.to_str().unwrap()]);
+    let out = run(
+        &plan_args(dir.join("never.json").to_str().unwrap(), &kill_flags),
+        Some("kill@2"),
+    );
+    assert!(
+        !out.status.success(),
+        "the injected kill must abort the run"
+    );
+    assert!(
+        stderr_of(&out).contains("chaos: injected kill"),
+        "stderr: {}",
+        stderr_of(&out)
+    );
+    assert!(
+        !dir.join("never.json").exists(),
+        "the killed run must not have produced a plan"
+    );
+
+    // Resumed run: continue from the checkpoint, no chaos.
+    let mut resume_flags = worker_flags.clone();
+    resume_flags.extend_from_slice(&["--checkpoint-dir", ckpt.to_str().unwrap(), "--resume"]);
+    let out = run(
+        &plan_args(resumed_path.to_str().unwrap(), &resume_flags),
+        None,
+    );
+    assert_plan_written(&out, &resumed_path, "resumed run");
+    assert_eq!(
+        std::fs::read_to_string(&full_path).unwrap(),
+        std::fs::read_to_string(&resumed_path).unwrap(),
+        "kill-and-resume must be bit-identical to the uninterrupted run ({tag})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_serial() {
+    kill_and_resume_round_trip(Some("1"), "kill-1w");
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_at_four_workers() {
+    kill_and_resume_round_trip(Some("4"), "kill-4w");
+}
+
+#[test]
+fn resume_under_a_different_config_starts_fresh() {
+    use neuroplan::{NeuroPlan, NeuroPlanConfig};
+    use np_topology::{generator::GeneratorConfig, TopologyPreset};
+
+    let dir = tmp_dir("foreign-resume");
+    let net = GeneratorConfig::preset(TopologyPreset::A).generate();
+    let seed1 = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(1))
+        .with_checkpoint(&dir, false)
+        .plan(&net);
+    // Same directory, different seed: the fingerprint mismatch must
+    // discard the checkpoint instead of splicing two runs together.
+    let spliced = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(2))
+        .with_checkpoint(&dir, true)
+        .plan(&net);
+    let clean = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(2)).plan(&net);
+    assert_eq!(spliced.final_units, clean.final_units);
+    assert_eq!(
+        spliced.final_cost.to_bits(),
+        clean.final_cost.to_bits(),
+        "a foreign checkpoint must not leak into the run"
+    );
+    // And a same-config resume of the now-finished run short-circuits to
+    // the recorded result without retraining.
+    let resumed = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(2))
+        .with_checkpoint(&dir, true)
+        .plan(&net);
+    assert_eq!(resumed.final_units, spliced.final_units);
+    assert_eq!(
+        resumed.train_report.epochs_run(),
+        spliced.train_report.epochs_run(),
+        "the recorded epoch stats are reassembled on resume"
+    );
+    assert_eq!(
+        resumed.eval_stats.scenario_checks, 0,
+        "a finished run resumes without re-evaluating anything"
+    );
+    drop(seed1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

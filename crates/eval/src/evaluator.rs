@@ -271,6 +271,7 @@ impl PlanEvaluator {
         let cfg = self.cfg;
         let total = self.ctxs.len();
         let chunk = np_pool::chunk_len(total - start, workers);
+        let tel = self.tel.clone();
         let tail = &mut self.ctxs[start..];
         let certs_tail = &mut self.certs[start..];
         let tasks: Vec<_> = tail
@@ -310,7 +311,7 @@ impl PlanEvaluator {
                 }
             })
             .collect();
-        let results: Vec<WorkerScan> = np_pool::run_tasks(workers, tasks);
+        let results: Vec<WorkerScan> = np_pool::run_tasks_telemetry(workers, tasks, &tel);
         let mut first: Option<(usize, bool)> = None;
         for (_, verdicts, st) in results {
             self.stats.merge(&st);
@@ -402,6 +403,7 @@ impl PlanEvaluator {
     fn separate_parallel(&mut self, caps: &[f64], max_cuts: usize, workers: usize) -> Separation {
         let chunk = np_pool::chunk_len(self.ctxs.len(), workers);
         let check = Self::exact_check(&self.cfg);
+        let tel = self.tel.clone();
         let tasks: Vec<_> = self
             .ctxs
             .chunks_mut(chunk)
@@ -450,7 +452,7 @@ impl PlanEvaluator {
                 }
             })
             .collect();
-        let results = np_pool::run_tasks(workers, tasks);
+        let results = np_pool::run_tasks_telemetry(workers, tasks, &tel);
         // Merge every worker's stats first (telemetry stays associative and
         // worker-order independent), then walk findings in scenario order.
         let mut item_lists = Vec::with_capacity(results.len());
@@ -544,6 +546,71 @@ impl PlanEvaluator {
     /// operators can inspect *why* a scenario failed).
     pub fn certificate(&self, scenario_idx: usize) -> Option<&MetricCut> {
         self.certs[scenario_idx].as_ref()
+    }
+
+    /// Serialize the evaluator state a checkpoint must carry: the
+    /// stateful cursor and the certificate store (certificates feed the
+    /// master's seed cuts, so resuming without them would change the
+    /// second stage). Floats travel as little-endian hex for bit-exact
+    /// restoration.
+    pub fn snapshot_state(&self) -> String {
+        use np_chaos::checkpoint::f64_to_hex;
+        let mut s = format!("1|{}|{}", self.cursor, self.certs.len());
+        for cert in &self.certs {
+            s.push('|');
+            match cert {
+                None => s.push('-'),
+                Some(c) => {
+                    s.push_str(&f64_to_hex(c.rhs));
+                    for (l, w) in &c.coeff {
+                        s.push_str(&format!(";{},{}", l.index(), f64_to_hex(*w)));
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Restore state captured by [`PlanEvaluator::snapshot_state`].
+    /// Returns `false` (leaving the evaluator untouched) if the blob's
+    /// version or scenario count does not match this instance.
+    pub fn restore_state(&mut self, blob: &str) -> bool {
+        use np_chaos::checkpoint::hex_to_f64;
+        let parts: Vec<&str> = blob.split('|').collect();
+        if parts.len() < 3 || parts[0] != "1" {
+            return false;
+        }
+        let (Ok(cursor), Ok(n)) = (parts[1].parse::<usize>(), parts[2].parse::<usize>()) else {
+            return false;
+        };
+        if n != self.certs.len() || parts.len() != 3 + n || cursor > self.ctxs.len() {
+            return false;
+        }
+        let mut certs = Vec::with_capacity(n);
+        for p in &parts[3..] {
+            if *p == "-" {
+                certs.push(None);
+                continue;
+            }
+            let mut fields = p.split(';');
+            let Some(rhs) = fields.next().and_then(hex_to_f64) else {
+                return false;
+            };
+            let mut coeff = Vec::new();
+            for f in fields {
+                let Some((i, w)) = f.split_once(',') else {
+                    return false;
+                };
+                let (Ok(i), Some(w)) = (i.parse::<usize>(), hex_to_f64(w)) else {
+                    return false;
+                };
+                coeff.push((LinkId::new(i), w));
+            }
+            certs.push(Some(MetricCut { coeff, rhs }));
+        }
+        self.certs = certs;
+        self.cursor = cursor;
+        true
     }
 }
 
@@ -686,6 +753,40 @@ mod tests {
             }
             other => panic!("dark capacities must yield cuts, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn state_snapshot_roundtrips_cursor_and_certificates() {
+        let net = GeneratorConfig::a_variant(0.0).generate();
+        let mut ev = PlanEvaluator::new(&net, EvalConfig::default());
+        let caps = vec![0.0; net.links().len()];
+        assert!(!ev.check(&caps).feasible, "dark network must fail");
+        assert!(ev.certificate(0).is_some());
+        let blob = ev.snapshot_state();
+
+        let mut fresh = PlanEvaluator::new(&net, EvalConfig::default());
+        assert!(fresh.restore_state(&blob), "snapshot must restore");
+        assert_eq!(fresh.cursor(), ev.cursor());
+        assert_eq!(fresh.snapshot_state(), blob, "round-trip is exact");
+        assert_eq!(fresh.certificate(0), ev.certificate(0));
+        // The restored certificate short-circuits exactly like the
+        // original: the repeat failure does zero new scenario checks.
+        assert!(!fresh.check(&caps).feasible);
+        assert!(fresh.stats.cut_reuse_hits >= 1);
+        assert_eq!(fresh.stats.scenario_checks, 0);
+    }
+
+    #[test]
+    fn restore_rejects_foreign_snapshots() {
+        let net_a = preset_network(TopologyPreset::A);
+        let net_b = preset_network(TopologyPreset::B);
+        let ev_b = PlanEvaluator::new(&net_b, EvalConfig::default());
+        let mut ev_a = PlanEvaluator::new(&net_a, EvalConfig::default());
+        if ev_a.num_scenarios() != ev_b.num_scenarios() {
+            assert!(!ev_a.restore_state(&ev_b.snapshot_state()));
+        }
+        assert!(!ev_a.restore_state("garbage"));
+        assert!(!ev_a.restore_state("2|0|0"));
     }
 
     #[test]

@@ -36,7 +36,10 @@ fn capped_stateful_rounds_agree_across_worker_counts() {
             let caps = random_caps(&net, &mut rng, 0.02, 0.6);
             let a = ev1.separate(&caps, 2);
             let b = ev4.separate(&caps, 2);
-            assert_eq!(a, b, "seed {seed} round {round}: capped stateful rounds diverged");
+            assert_eq!(
+                a, b,
+                "seed {seed} round {round}: capped stateful rounds diverged"
+            );
         }
     }
 }

@@ -1,5 +1,6 @@
 //! Commodities: the demands a feasibility check must route.
 
+use crate::error::FlowError;
 use crate::graph::NodeId;
 
 /// A point-to-point demand of `demand` Gbps from `src` to `dst`.
@@ -19,14 +20,23 @@ pub struct Commodity {
 }
 
 impl Commodity {
-    /// Create a commodity; demand must be positive and src ≠ dst.
+    /// Create a commodity, rejecting self-loops and non-positive or
+    /// non-finite demands. User-supplied demand data goes through here so
+    /// a malformed file degrades to an error instead of a panic.
+    pub fn try_new(src: NodeId, dst: NodeId, demand: f64) -> Result<Self, FlowError> {
+        if src == dst {
+            return Err(FlowError::SelfLoopCommodity(src));
+        }
+        if !(demand > 0.0 && demand.is_finite()) {
+            return Err(FlowError::BadDemand(demand));
+        }
+        Ok(Commodity { src, dst, demand })
+    }
+
+    /// Create a commodity; demand must be positive and src ≠ dst —
+    /// panics otherwise (validated-input fast path).
     pub fn new(src: NodeId, dst: NodeId, demand: f64) -> Self {
-        assert!(src != dst, "commodity endpoints must differ");
-        assert!(
-            demand > 0.0 && demand.is_finite(),
-            "demand must be positive"
-        );
-        Commodity { src, dst, demand }
+        Self::try_new(src, dst, demand).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -89,5 +99,20 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_demand() {
         Commodity::new(0, 1, 0.0);
+    }
+
+    #[test]
+    fn try_new_degrades_to_errors() {
+        assert_eq!(
+            Commodity::try_new(3, 3, 1.0),
+            Err(FlowError::SelfLoopCommodity(3))
+        );
+        assert_eq!(
+            Commodity::try_new(0, 1, 0.0),
+            Err(FlowError::BadDemand(0.0))
+        );
+        assert!(Commodity::try_new(0, 1, f64::NAN).is_err());
+        assert!(Commodity::try_new(0, 1, f64::INFINITY).is_err());
+        assert!(Commodity::try_new(0, 1, 2.5).is_ok());
     }
 }

@@ -1,0 +1,54 @@
+//! Validation errors for flow-graph and commodity construction.
+//!
+//! Internal callers (the evaluator, the exact-LP backend) build graphs
+//! from already-validated topologies and use the panicking constructors;
+//! anything fed from user-supplied input (topology files, CLI demand
+//! overrides) goes through the `try_` constructors so a malformed input
+//! degrades to an error the CLI can print instead of a panic.
+
+use crate::graph::NodeId;
+use std::fmt;
+
+/// Why a flow-graph or commodity construction was rejected.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FlowError {
+    /// An arc endpoint does not name a node of the graph.
+    EndpointOutOfRange {
+        /// Tail node.
+        from: NodeId,
+        /// Head node.
+        to: NodeId,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A capacity was negative, NaN or infinite.
+    BadCapacity(f64),
+    /// A commodity's source and destination coincide.
+    SelfLoopCommodity(NodeId),
+    /// A demand was non-positive, NaN or infinite.
+    BadDemand(f64),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::EndpointOutOfRange {
+                from,
+                to,
+                num_nodes,
+            } => write!(
+                f,
+                "arc endpoint out of range: ({from}, {to}) in a graph of {num_nodes} nodes"
+            ),
+            FlowError::BadCapacity(c) => {
+                write!(f, "capacity must be finite and non-negative, got {c}")
+            }
+            FlowError::SelfLoopCommodity(n) => {
+                write!(f, "commodity endpoints must differ, both are node {n}")
+            }
+            FlowError::BadDemand(d) => write!(f, "demand must be positive and finite, got {d}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}

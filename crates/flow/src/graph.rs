@@ -1,5 +1,6 @@
 //! Directed flow graph with arc capacities.
 
+use crate::error::FlowError;
 use np_topology::LinkId;
 
 /// A graph node (a site index in evaluator-built graphs).
@@ -71,17 +72,27 @@ impl FlowGraph {
         &self.out[node]
     }
 
-    /// Add a directed arc; returns its id. Capacity must be non-negative
-    /// and finite.
-    pub fn add_arc(&mut self, from: NodeId, to: NodeId, cap: f64, link: Option<LinkId>) -> ArcId {
-        assert!(
-            from < self.num_nodes && to < self.num_nodes,
-            "arc endpoint out of range"
-        );
-        assert!(
-            cap >= 0.0 && cap.is_finite(),
-            "capacity must be finite and non-negative"
-        );
+    /// Add a directed arc; returns its id, or a [`FlowError`] when an
+    /// endpoint is out of range or the capacity is negative/non-finite.
+    /// This is the entry point for user-supplied input (topology files);
+    /// internal callers on validated data use [`FlowGraph::add_arc`].
+    pub fn try_add_arc(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        cap: f64,
+        link: Option<LinkId>,
+    ) -> Result<ArcId, FlowError> {
+        if from >= self.num_nodes || to >= self.num_nodes {
+            return Err(FlowError::EndpointOutOfRange {
+                from,
+                to,
+                num_nodes: self.num_nodes,
+            });
+        }
+        if !(cap >= 0.0 && cap.is_finite()) {
+            return Err(FlowError::BadCapacity(cap));
+        }
         let id = self.arcs.len();
         self.arcs.push(Arc {
             from,
@@ -90,7 +101,14 @@ impl FlowGraph {
             link,
         });
         self.out[from].push(id);
-        id
+        Ok(id)
+    }
+
+    /// Add a directed arc; returns its id. Capacity must be non-negative
+    /// and finite — panics otherwise (validated-input fast path).
+    pub fn add_arc(&mut self, from: NodeId, to: NodeId, cap: f64, link: Option<LinkId>) -> ArcId {
+        self.try_add_arc(from, to, cap, link)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Add both directions of an IP link with capacity `cap` each;
@@ -108,12 +126,21 @@ impl FlowGraph {
         )
     }
 
+    /// Update the capacity of an arc in place, rejecting negative or
+    /// non-finite values.
+    pub fn try_set_cap(&mut self, id: ArcId, cap: f64) -> Result<(), FlowError> {
+        if !(cap >= 0.0 && cap.is_finite()) {
+            return Err(FlowError::BadCapacity(cap));
+        }
+        self.arcs[id].cap = cap;
+        Ok(())
+    }
+
     /// Update the capacity of an arc in place (used when the evaluator
     /// patches a cached scenario graph instead of rebuilding it — the
     /// paper's "only update the constraints that are influenced" trick).
     pub fn set_cap(&mut self, id: ArcId, cap: f64) {
-        assert!(cap >= 0.0 && cap.is_finite());
-        self.arcs[id].cap = cap;
+        self.try_set_cap(id, cap).unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Total capacity leaving `node` (a cheap cut bound: the net demand
@@ -187,5 +214,28 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn rejects_negative_capacity() {
         FlowGraph::new(2).add_arc(0, 1, -1.0, None);
+    }
+
+    #[test]
+    fn try_variants_degrade_to_errors() {
+        let mut g = FlowGraph::new(2);
+        assert_eq!(
+            g.try_add_arc(0, 2, 1.0, None),
+            Err(FlowError::EndpointOutOfRange {
+                from: 0,
+                to: 2,
+                num_nodes: 2
+            })
+        );
+        assert_eq!(
+            g.try_add_arc(0, 1, -1.0, None),
+            Err(FlowError::BadCapacity(-1.0))
+        );
+        assert!(g.try_add_arc(0, 1, f64::NAN, None).is_err());
+        let a = g.try_add_arc(0, 1, 2.0, None).unwrap();
+        assert!(g.try_set_cap(a, f64::INFINITY).is_err());
+        assert_eq!(g.arc(a).cap, 2.0, "rejected set_cap leaves state alone");
+        assert!(g.try_set_cap(a, 5.0).is_ok());
+        assert_eq!(g.arc(a).cap, 5.0);
     }
 }

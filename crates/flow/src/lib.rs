@@ -32,6 +32,7 @@
 pub mod commodity;
 pub mod dijkstra;
 pub mod dinic;
+pub mod error;
 pub mod graph;
 pub mod greedy;
 pub mod ksp;
@@ -40,6 +41,7 @@ pub mod mwu;
 
 pub use commodity::Commodity;
 pub use dijkstra::ShortestPaths;
+pub use error::FlowError;
 pub use graph::{Arc, ArcId, FlowGraph, NodeId};
 pub use ksp::{k_shortest_paths, Path};
 pub use metric::MetricCut;

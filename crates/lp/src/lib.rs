@@ -41,4 +41,7 @@ pub use milp::{
 };
 pub use model::{ConstrId, Model, Sense, VarId};
 pub use presolve::{presolve, PresolveReport};
-pub use simplex::{solve_lp, solve_lp_tableau, LpSolution, LpStatus, SimplexConfig, TableauView};
+pub use simplex::{
+    solve_lp, solve_lp_tableau, solve_lp_tableau_chaos, LpSolution, LpStatus, SimplexConfig,
+    TableauView,
+};

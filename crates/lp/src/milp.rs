@@ -213,6 +213,14 @@ pub fn solve_mip_telemetry(
     let _solve_span = tel.span(sys::LP, "solve_mip");
     let mut tally = MipTally::default();
     let start = Instant::now();
+    // Every wall-clock check is also a chaos trigger point: an injected
+    // `deadline` fault exhausts the budget early, exercising the same
+    // graceful limit-hit path a real timeout takes.
+    let chaos = np_chaos::global();
+    let deadline_hit = |start: &Instant| {
+        start.elapsed().as_secs_f64() > config.time_limit_secs
+            || chaos.should_fire(np_chaos::FaultClass::Deadline)
+    };
     let mut work = model.clone();
     // Root bound tightening (rows untouched, so cut/dual indexing is
     // stable). Tightened bounds are valid for every feasible point, so
@@ -328,8 +336,7 @@ pub fn solve_mip_telemetry(
             if node.bound >= incumbent_obj - prune_margin {
                 continue 'outer;
             }
-            if nodes >= config.node_limit || start.elapsed().as_secs_f64() > config.time_limit_secs
-            {
+            if nodes >= config.node_limit || deadline_hit(&start) {
                 limit_hit = true;
                 // Preserve the bound information of the unexplored node.
                 heap2.push(ByKey(HeapKey(node.bound, Reverse(node.depth)), node));
@@ -346,7 +353,7 @@ pub fn solve_mip_telemetry(
             loop {
                 // The cut loop can dwarf a node's LP time; honor the
                 // wall-clock budget inside it too.
-                if start.elapsed().as_secs_f64() > config.time_limit_secs {
+                if deadline_hit(&start) {
                     limit_hit = true;
                     break;
                 }
@@ -374,18 +381,21 @@ pub fn solve_mip_telemetry(
                         }
                         break;
                     }
-                    LpStatus::IterationLimit => {
+                    LpStatus::IterationLimit | LpStatus::NumericalFailure => {
                         if std::env::var_os("NP_LP_DEBUG").is_some() {
                             eprintln!(
-                                "[np-lp] node depth {} LP IterationLimit after {} iters, {} rows",
+                                "[np-lp] node depth {} LP {:?} after {} iters, {} rows",
                                 node.depth,
+                                lp.status,
                                 lp.iterations,
                                 work.num_constrs()
                             );
                         }
                         // Unknown, not infeasible: abandoning this node as
                         // "pruned" could falsely prove infeasibility, so
-                        // surface it as a limit instead.
+                        // surface it as a limit instead. NumericalFailure
+                        // lands here only after the simplex exhausted its
+                        // whole recovery ladder.
                         limit_hit = true;
                         break;
                     }
@@ -421,7 +431,7 @@ pub fn solve_mip_telemetry(
                                 // The node LP may have eaten the remaining
                                 // budget; don't start a separation round the
                                 // deadline no longer covers.
-                                if start.elapsed().as_secs_f64() > config.time_limit_secs {
+                                if deadline_hit(&start) {
                                     limit_hit = true;
                                     break;
                                 }

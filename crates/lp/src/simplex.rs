@@ -36,6 +36,11 @@ pub enum LpStatus {
     Unbounded,
     /// Iteration limit hit before convergence.
     IterationLimit,
+    /// The basis factorization failed (singular basis) even after the
+    /// recovery ladder — bound perturbation, then Bland's rule from the
+    /// first pivot. Callers must treat the solution as unknown (like
+    /// `IterationLimit`), never as a feasibility verdict.
+    NumericalFailure,
 }
 
 /// Solver tuning knobs.
@@ -139,8 +144,27 @@ struct Tableau {
     tol: f64,
 }
 
+/// A tiny deterministic magnitude for the singular-recovery perturbation:
+/// index-hashed so neighboring bounds move by different amounts (the
+/// point is to break exact degeneracy), relative so large bounds are not
+/// perturbed below their own rounding noise, and ~1e-9 so every
+/// downstream tolerance (simplex `tol`, MIP integrality, metric-cut
+/// violation) dwarfs it.
+fn perturb_eps(seed: u64, index: usize, value: f64) -> f64 {
+    let mut z = seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    let frac = ((z >> 11) as f64) / ((1u64 << 53) as f64);
+    1e-9 * (1.0 + value.abs()) * (0.5 + frac)
+}
+
 impl Tableau {
-    fn build(model: &Model, tol: f64) -> Tableau {
+    /// Build the phase-1 tableau. With `perturb = Some(seed)`, every
+    /// finite structural bound is widened and every inequality RHS
+    /// loosened by a deterministic [`perturb_eps`] — the feasible set
+    /// only grows, so a feasible model stays feasible and the optimum
+    /// moves by at most O(1e-9) relative.
+    fn build(model: &Model, tol: f64, perturb: Option<u64>) -> Tableau {
         let m = model.num_constrs();
         let n = model.num_vars();
         let ncols = n + m + m;
@@ -151,10 +175,26 @@ impl Tableau {
         for (j, v) in model.vars().iter().enumerate() {
             lb[j] = v.lb;
             ub[j] = v.ub;
+            if let Some(seed) = perturb {
+                if lb[j].is_finite() {
+                    lb[j] -= perturb_eps(seed, 2 * j, lb[j]);
+                }
+                if ub[j].is_finite() {
+                    ub[j] += perturb_eps(seed, 2 * j + 1, ub[j]);
+                }
+            }
         }
         let mut b = vec![0.0f64; m];
         for (i, c) in model.constrs().iter().enumerate() {
             b[i] = c.rhs;
+            if let Some(seed) = perturb {
+                let eps = perturb_eps(seed, 2 * (n + i), c.rhs);
+                match c.sense {
+                    Sense::Le => b[i] += eps,
+                    Sense::Ge => b[i] -= eps,
+                    Sense::Eq => {}
+                }
+            }
             for &(v, a) in &c.coeffs {
                 cols[v.0].push((i, a));
             }
@@ -337,10 +377,19 @@ impl Tableau {
         }
     }
 
-    /// One phase of the simplex. Returns the status reached.
-    fn optimize(&mut self, max_iters: usize, iterations: &mut usize, refactor: usize) -> LpStatus {
+    /// One phase of the simplex. Returns the status reached. With
+    /// `start_bland`, Bland's rule is used from the first pivot (the last
+    /// rung of the singular-recovery ladder) instead of only after a
+    /// degenerate run.
+    fn optimize(
+        &mut self,
+        max_iters: usize,
+        iterations: &mut usize,
+        refactor: usize,
+        start_bland: bool,
+    ) -> LpStatus {
         let mut degenerate_run = 0usize;
-        let mut bland = false;
+        let mut bland = start_bland;
         loop {
             if *iterations >= max_iters {
                 return LpStatus::IterationLimit;
@@ -455,7 +504,7 @@ impl Tableau {
                     if tr.abs() < 1e-11 {
                         // Numerically unsafe pivot: rebuild everything.
                         if self.refactorize().is_err() {
-                            return LpStatus::IterationLimit;
+                            return LpStatus::NumericalFailure;
                         }
                         continue;
                     }
@@ -473,7 +522,7 @@ impl Tableau {
                 }
             }
             if (*iterations).is_multiple_of(refactor) && self.refactorize().is_err() {
-                return LpStatus::IterationLimit;
+                return LpStatus::NumericalFailure;
             }
         }
     }
@@ -491,11 +540,49 @@ pub fn solve_lp(model: &Model, config: &SimplexConfig) -> LpSolution {
 
 /// Like [`solve_lp`] but also returns the optimal tableau snapshot (only
 /// when the status is `Optimal`), for cut generation.
+///
+/// Singular-basis recovery: when a factorization fails mid-solve (or an
+/// injected `lp-singular` fault pretends it did), the solve is retried
+/// with deterministically perturbed bounds to break the degeneracy, then
+/// with Bland's rule from the first pivot on the exact problem. Only if
+/// every rung fails is [`LpStatus::NumericalFailure`] reported.
 pub fn solve_lp_tableau(
     model: &Model,
     config: &SimplexConfig,
 ) -> (LpSolution, Option<TableauView>) {
-    let mut t = Tableau::build(model, config.tol);
+    solve_lp_tableau_chaos(model, config, np_chaos::global())
+}
+
+/// [`solve_lp_tableau`] with an explicit fault-injection handle, so
+/// tests can force singular bases without touching the process-wide
+/// chaos plan.
+pub fn solve_lp_tableau_chaos(
+    model: &Model,
+    config: &SimplexConfig,
+    chaos: &np_chaos::Chaos,
+) -> (LpSolution, Option<TableauView>) {
+    if !chaos.should_fire(np_chaos::FaultClass::LpSingular) {
+        let r = solve_attempt(model, config, None, false);
+        if r.0.status != LpStatus::NumericalFailure {
+            return r;
+        }
+    }
+    let r = solve_attempt(model, config, Some(0x5eed_cafe), false);
+    if r.0.status != LpStatus::NumericalFailure {
+        return r;
+    }
+    solve_attempt(model, config, None, true)
+}
+
+/// One rung of the recovery ladder: a full two-phase solve, optionally
+/// on perturbed bounds and/or with Bland's rule throughout.
+fn solve_attempt(
+    model: &Model,
+    config: &SimplexConfig,
+    perturb: Option<u64>,
+    bland: bool,
+) -> (LpSolution, Option<TableauView>) {
+    let mut t = Tableau::build(model, config.tol, perturb);
     let max_iters = if config.max_iterations > 0 {
         config.max_iterations
     } else {
@@ -507,7 +594,7 @@ pub fn solve_lp_tableau(
     for j in t.art_start..t.ncols {
         t.cost[j] = 1.0;
     }
-    let s1 = t.optimize(max_iters, &mut iterations, config.refactor_every);
+    let s1 = t.optimize(max_iters, &mut iterations, config.refactor_every, bland);
     let extract = |t: &Tableau, status: LpStatus, iterations: usize| LpSolution {
         status,
         objective: model.objective_value(&t.x[..t.n_struct]),
@@ -515,8 +602,8 @@ pub fn solve_lp_tableau(
         duals: t.duals(),
         iterations,
     };
-    if s1 == LpStatus::IterationLimit {
-        return (extract(&t, LpStatus::IterationLimit, iterations), None);
+    if s1 == LpStatus::IterationLimit || s1 == LpStatus::NumericalFailure {
+        return (extract(&t, s1, iterations), None);
     }
     if t.phase1_objective() > config.tol * 10.0 {
         return (extract(&t, LpStatus::Infeasible, iterations), None);
@@ -536,7 +623,7 @@ pub fn solve_lp_tableau(
             t.loc[j] = Loc::AtLb;
         }
     }
-    let s2 = t.optimize(max_iters, &mut iterations, config.refactor_every);
+    let s2 = t.optimize(max_iters, &mut iterations, config.refactor_every, bland);
     // Final cleanup for tight agreement between x and the row system.
     if s2 == LpStatus::Optimal {
         let _ = t.refactorize();
@@ -662,6 +749,88 @@ mod tests {
         // Optimum x=1,y=0 (binding c1) gives −1... check feasibility+value.
         assert!(m.is_feasible(&s.x, 1e-6));
         assert!(s.objective <= -1.0 + 1e-6);
+    }
+
+    /// The degenerate instance shared by the recovery tests: many
+    /// redundant rows through the optimum (x=1, y=0, objective −1).
+    fn degenerate_model() -> Model {
+        let mut m = Model::new("degen");
+        let x = m.add_var("x", 0.0, f64::INFINITY, -1.0, false);
+        let y = m.add_var("y", 0.0, f64::INFINITY, -1.0, false);
+        for k in 1..=6 {
+            m.add_constr(
+                format!("c{k}"),
+                vec![(x, 1.0), (y, f64::from(k))],
+                Sense::Le,
+                f64::from(k),
+            );
+        }
+        m
+    }
+
+    #[test]
+    fn injected_singular_basis_recovers_via_perturbation() {
+        use np_chaos::{Chaos, FaultClass, FaultPlan};
+        let m = degenerate_model();
+        let clean = solve_lp(&m, &cfg());
+        assert_eq!(clean.status, LpStatus::Optimal);
+        // The chaos plan declares the first solve attempt singular; the
+        // perturbed retry must land on the same optimum.
+        let chaos = Chaos::new(FaultPlan::parse("lp-singular@0").unwrap());
+        let (sol, view) = solve_lp_tableau_chaos(&m, &cfg(), &chaos);
+        assert_eq!(chaos.fired(FaultClass::LpSingular), 1);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(
+            (sol.objective - clean.objective).abs() < 1e-6,
+            "perturbed recovery drifted: {} vs {}",
+            sol.objective,
+            clean.objective
+        );
+        assert!(view.is_some(), "recovered solves still produce a tableau");
+    }
+
+    #[test]
+    fn bland_fallback_solves_the_degenerate_lp_exactly() {
+        // The last rung of the ladder — Bland's rule from the first
+        // pivot on the unperturbed problem — must terminate on the
+        // degenerate instance and agree with the Dantzig solve.
+        let m = degenerate_model();
+        let clean = solve_lp(&m, &cfg());
+        let (bland, _) = solve_attempt(&m, &cfg(), None, true);
+        assert_eq!(bland.status, LpStatus::Optimal);
+        assert!(
+            (bland.objective - clean.objective).abs() < 1e-9,
+            "Bland fallback drifted: {} vs {}",
+            bland.objective,
+            clean.objective
+        );
+    }
+
+    #[test]
+    fn perturbed_attempt_stays_within_tolerance_everywhere() {
+        // Perturbation only widens the feasible set, so the perturbed
+        // optimum can only improve, and by a hair.
+        let mut wyndor = Model::new("wyndor");
+        let x = wyndor.add_var("x", 0.0, f64::INFINITY, -3.0, false);
+        let y = wyndor.add_var("y", 0.0, f64::INFINITY, -5.0, false);
+        wyndor.add_constr("c1", vec![(x, 1.0)], Sense::Le, 4.0);
+        wyndor.add_constr("c2", vec![(y, 2.0)], Sense::Le, 12.0);
+        wyndor.add_constr("c3", vec![(x, 3.0), (y, 2.0)], Sense::Le, 18.0);
+        for (name, m) in [("degen", degenerate_model()), ("wyndor", wyndor)] {
+            let clean = solve_lp(&m, &cfg());
+            let (pert, _) = solve_attempt(&m, &cfg(), Some(0x5eed_cafe), false);
+            assert_eq!(pert.status, LpStatus::Optimal, "{name}");
+            assert!(
+                pert.objective <= clean.objective + 1e-9,
+                "{name}: widening must not worsen the optimum"
+            );
+            assert!(
+                (pert.objective - clean.objective).abs() < 1e-6,
+                "{name}: perturbation moved the objective too far: {} vs {}",
+                pert.objective,
+                clean.objective
+            );
+        }
     }
 
     #[test]

@@ -59,6 +59,14 @@ impl Adam {
     pub fn steps(&self) -> u64 {
         self.t
     }
+
+    /// Restore the bias-correction step count from a checkpoint. The
+    /// per-parameter moments live on the [`Param`]s and are restored
+    /// separately; both must come from the same snapshot or the next
+    /// step diverges.
+    pub fn restore_steps(&mut self, t: u64) {
+        self.t = t;
+    }
 }
 
 #[cfg(test)]

@@ -14,26 +14,64 @@
 //! calling thread — the serial path is the parallel path with the
 //! thread count turned down, not a separate code path to keep in sync.
 
+use np_telemetry::{sys, Telemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Run `tasks` on up to `workers` scoped threads and return their
 /// results in task order.
 ///
-/// Panics in a task propagate to the caller (via `std::thread::scope`),
-/// so a poisoned computation can never be silently dropped.
+/// Worker panics are contained: a panic that strikes a worker *before*
+/// it runs its claimed task (the `pool-panic` chaos fault) leaves the
+/// closure in the queue, and the pool replays it serially on the caller
+/// thread after the join — same closure, same result slot, so the
+/// ordered-merge contract survives the fault. A panic raised by the task
+/// closure itself is re-raised to the caller with its original payload
+/// (a poisoned computation can never be silently dropped).
 pub fn run_tasks<R, F>(workers: usize, tasks: Vec<F>) -> Vec<R>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    run_tasks_telemetry(workers, tasks, &Telemetry::noop())
+}
+
+/// [`run_tasks`] reporting caught worker panics through `tel` as the
+/// `pool/worker_panics` counter.
+pub fn run_tasks_telemetry<R, F>(workers: usize, tasks: Vec<F>, tel: &Telemetry) -> Vec<R>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    run_tasks_chaos(workers, tasks, tel, np_chaos::global())
+}
+
+/// [`run_tasks_telemetry`] with an explicit fault-injection handle, so
+/// tests can kill workers without touching the process-wide chaos plan.
+///
+/// The injection point is keyed on the *task index* (not a shared
+/// counter), so which tasks get hit is a pure function of the fault plan
+/// — independent of worker count and thread scheduling.
+pub fn run_tasks_chaos<R, F>(
+    workers: usize,
+    tasks: Vec<F>,
+    tel: &Telemetry,
+    chaos: &np_chaos::Chaos,
+) -> Vec<R>
 where
     R: Send,
     F: FnOnce() -> R + Send,
 {
     let n = tasks.len();
     if workers <= 1 || n <= 1 {
+        // Inline execution has no worker threads to lose; injection
+        // targets the threaded path only.
         return tasks.into_iter().map(|t| t()).collect();
     }
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let queue: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let cursor = AtomicUsize::new(0);
+    let caught: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for _ in 0..workers.min(n) {
             scope.spawn(|| loop {
@@ -41,18 +79,47 @@ where
                 if i >= n {
                     break;
                 }
-                let task = lock(&queue[i]).take().expect("task claimed once");
-                let result = task();
-                *lock(&slots[i]) = Some(result);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // The injected panic strikes after the claim but
+                    // before the take — the closure survives in the
+                    // queue for the serial replay, exactly like a worker
+                    // dying between claim and execution.
+                    if chaos.fires_at(np_chaos::FaultClass::PoolPanic, i as u64) {
+                        panic!("chaos: injected pool-worker panic at task {i}");
+                    }
+                    let task = lock(&queue[i]).take().expect("task claimed once");
+                    task()
+                }));
+                match result {
+                    Ok(r) => *lock(&slots[i]) = Some(r),
+                    Err(payload) => lock(&caught).push((i, payload)),
+                }
             });
         }
     });
+    let mut caught = caught.into_inner().unwrap_or_else(|e| e.into_inner());
+    tel.incr(sys::POOL, "worker_panics", caught.len() as u64);
     slots
         .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .unwrap_or_else(|e| e.into_inner())
-                .expect("every task ran")
+        .zip(queue)
+        .enumerate()
+        .map(|(i, (slot, q))| {
+            if let Some(r) = slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                return r;
+            }
+            // Task i never produced a result. If its closure is still in
+            // the queue the worker died before running it: replay it
+            // serially, right here, in index order.
+            if let Some(task) = q.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                return task();
+            }
+            // The task closure itself panicked: re-raise its payload.
+            let payload = caught
+                .iter()
+                .position(|(j, _)| *j == i)
+                .map(|k| caught.swap_remove(k).1)
+                .unwrap_or_else(|| Box::new("pool task panicked"));
+            std::panic::resume_unwind(payload)
         })
         .collect()
 }
@@ -119,13 +186,58 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "scoped thread panicked")]
+    #[should_panic(expected = "boom")]
     fn panics_propagate() {
-        // `std::thread::scope` re-raises worker panics with its own
-        // payload; what matters is that the caller cannot miss them.
+        // A panic raised by the task closure itself is re-raised to the
+        // caller with its original payload; it cannot be missed.
         let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
             vec![Box::new(|| 1), Box::new(|| panic!("boom"))];
         run_tasks(2, tasks);
+    }
+
+    #[test]
+    fn injected_worker_panics_are_replayed_serially() {
+        let plan = np_chaos::FaultPlan::parse("seed=7,pool-panic@1,pool-panic@5").unwrap();
+        let chaos = np_chaos::Chaos::new(plan);
+        let tel = Telemetry::memory();
+        let tasks: Vec<_> = (0..12usize).map(|i| move || i * i).collect();
+        let got = run_tasks_chaos(4, tasks, &tel, &chaos);
+        let want: Vec<usize> = (0..12).map(|i| i * i).collect();
+        assert_eq!(got, want, "replayed tasks must land in their own slots");
+        assert_eq!(chaos.fired(np_chaos::FaultClass::PoolPanic), 2);
+        let panics: u64 = tel
+            .events()
+            .iter()
+            .filter(|e| e.sys == sys::POOL && e.name == "worker_panics")
+            .map(|e| match e.kind {
+                np_telemetry::EventKind::Counter(d) => d,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(panics, 2, "each injected panic is counted in telemetry");
+    }
+
+    #[test]
+    fn injection_preserves_results_at_every_worker_count() {
+        let want: Vec<usize> = (0..20).map(|i| i * 3 + 1).collect();
+        for workers in [2, 4, 8] {
+            let plan = np_chaos::FaultPlan::parse("seed=3,pool-panic@0-19").unwrap();
+            let chaos = np_chaos::Chaos::new(plan);
+            let tasks: Vec<_> = (0..20usize).map(|i| move || i * 3 + 1).collect();
+            let got = run_tasks_chaos(workers, tasks, &Telemetry::noop(), &chaos);
+            assert_eq!(got, want, "workers={workers}");
+            assert_eq!(chaos.fired(np_chaos::FaultClass::PoolPanic), 20);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn real_panics_still_propagate_alongside_injected_ones() {
+        let plan = np_chaos::FaultPlan::parse("seed=1,pool-panic@0").unwrap();
+        let chaos = np_chaos::Chaos::new(plan);
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("boom")), Box::new(|| 3)];
+        run_tasks_chaos(2, tasks, &Telemetry::noop(), &chaos);
     }
 
     #[test]

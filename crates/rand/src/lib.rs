@@ -208,6 +208,19 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw generator state, for checkpointing. Restoring it with
+        /// [`StdRng::from_state`] resumes the stream bit-for-bit.
+        pub fn state(&self) -> [u64; 4] {
+            self.state
+        }
+
+        /// Rebuild a generator from a state captured by [`StdRng::state`].
+        pub fn from_state(state: [u64; 4]) -> Self {
+            StdRng { state }
+        }
+    }
+
     impl Rng for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {

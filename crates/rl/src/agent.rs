@@ -125,6 +125,11 @@ pub struct ActorCritic {
     /// RNG for action sampling (separate from init so runs with the same
     /// seed sample identically regardless of architecture size).
     sample_rng: StdRng,
+    /// Exploration temperature dividing the logits at sampling time.
+    /// 1.0 (the default) leaves the policy untouched — and is skipped
+    /// entirely, so pre-existing runs stay bit-identical. The trainer
+    /// raises it after a NaN rollback to reanneal exploration.
+    explore_temp: f64,
 }
 
 impl ActorCritic {
@@ -172,6 +177,7 @@ impl ActorCritic {
             adam_critic: Adam::new(cfg.critic_lr),
             num_unit_choices,
             sample_rng: StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15),
+            explore_temp: 1.0,
         }
     }
 
@@ -214,7 +220,13 @@ impl ActorCritic {
         mask: &[bool],
         rng: &mut StdRng,
     ) -> (usize, f64, f64) {
-        let (logits, value) = self.policy_value(features);
+        let (mut logits, value) = self.policy_value(features);
+        if self.explore_temp != 1.0 {
+            let inv = 1.0 / self.explore_temp;
+            for l in &mut logits {
+                *l *= inv;
+            }
+        }
         let probs = masked_softmax(&logits, mask);
         let action = sample_categorical(&probs, rng);
         let logp = masked_log_prob(&logits, mask, action);
@@ -284,6 +296,121 @@ impl ActorCritic {
     /// Reseed the sampling RNG (used to decorrelate evaluation rollouts).
     pub fn reseed_sampling(&mut self, seed: u64) {
         self.sample_rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Current exploration temperature.
+    pub fn explore_temp(&self) -> f64 {
+        self.explore_temp
+    }
+
+    /// Set the exploration temperature (must be positive and finite).
+    pub fn set_explore_temp(&mut self, temp: f64) {
+        assert!(temp.is_finite() && temp > 0.0, "bad temperature {temp}");
+        self.explore_temp = temp;
+    }
+
+    fn all_params(&mut self) -> Vec<&mut np_neural::Param> {
+        let mut ps = self.encoder.params_mut();
+        ps.extend(self.actor.params_mut());
+        ps.extend(self.critic.params_mut());
+        ps
+    }
+
+    /// `true` iff every trainable weight is finite. The trainer checks
+    /// this after each update and rolls back to the last good snapshot
+    /// when it fails.
+    pub fn params_finite(&mut self) -> bool {
+        self.all_params()
+            .iter()
+            .all(|p| p.value.as_slice().iter().all(|v| v.is_finite()))
+    }
+
+    /// Corrupt the first trainable weight with NaN — the deterministic
+    /// stand-in for a NaN gradient blowing through an update (the
+    /// `nan-grad` chaos fault). Only the fault-injection path calls this.
+    pub fn inject_nan(&mut self) {
+        if let Some(p) = self.all_params().into_iter().next() {
+            p.value.as_mut_slice()[0] = f64::NAN;
+        }
+    }
+
+    /// Serialize the full learning state — optimizer step counts,
+    /// sampling-RNG state, exploration temperature, and every parameter's
+    /// value and Adam moments — as a version-tagged ASCII blob. All
+    /// floats travel as little-endian hex, so
+    /// [`ActorCritic::import_state`] restores them bit-for-bit.
+    pub fn export_state(&mut self) -> String {
+        let mut vals = Vec::new();
+        for p in self.all_params() {
+            vals.extend_from_slice(p.value.as_slice());
+            vals.extend_from_slice(p.m.as_slice());
+            vals.extend_from_slice(p.v.as_slice());
+        }
+        let rng_hex: String = self
+            .sample_rng
+            .state()
+            .iter()
+            .map(|w| format!("{w:016x}"))
+            .collect();
+        format!(
+            "1|{}|{}|{}|{}|{}",
+            self.adam_actor.steps(),
+            self.adam_critic.steps(),
+            rng_hex,
+            np_chaos::checkpoint::f64_to_hex(self.explore_temp),
+            np_chaos::checkpoint::f64s_to_hex(&vals),
+        )
+    }
+
+    /// Restore state exported by [`ActorCritic::export_state`]. Returns
+    /// `false` (leaving the agent untouched) if the blob's version,
+    /// shape or encoding does not match this agent.
+    pub fn import_state(&mut self, blob: &str) -> bool {
+        let parts: Vec<&str> = blob.split('|').collect();
+        if parts.len() != 6 || parts[0] != "1" {
+            return false;
+        }
+        let (Ok(ta), Ok(tc)) = (parts[1].parse::<u64>(), parts[2].parse::<u64>()) else {
+            return false;
+        };
+        if parts[3].len() != 64 {
+            return false;
+        }
+        let mut rng_state = [0u64; 4];
+        for (k, word) in rng_state.iter_mut().enumerate() {
+            match u64::from_str_radix(&parts[3][16 * k..16 * (k + 1)], 16) {
+                Ok(w) => *word = w,
+                Err(_) => return false,
+            }
+        }
+        let Some(temp) = np_chaos::checkpoint::hex_to_f64(parts[4]) else {
+            return false;
+        };
+        if !(temp.is_finite() && temp > 0.0) {
+            return false;
+        }
+        let Some(vals) = np_chaos::checkpoint::hex_to_f64s(parts[5]) else {
+            return false;
+        };
+        let total: usize = self.all_params().iter().map(|p| p.len()).sum();
+        if vals.len() != 3 * total {
+            return false;
+        }
+        let mut at = 0;
+        for p in self.all_params() {
+            let n = p.len();
+            p.value.as_mut_slice().copy_from_slice(&vals[at..at + n]);
+            p.m.as_mut_slice()
+                .copy_from_slice(&vals[at + n..at + 2 * n]);
+            p.v.as_mut_slice()
+                .copy_from_slice(&vals[at + 2 * n..at + 3 * n]);
+            at += 3 * n;
+        }
+        self.adam_actor.restore_steps(ta);
+        self.adam_critic.restore_steps(tc);
+        self.sample_rng = StdRng::from_state(rng_state);
+        self.explore_temp = temp;
+        true
     }
 
     /// Sample greedily (argmax) instead of stochastically — used when
@@ -500,6 +627,80 @@ mod tests {
         let (logits1, _) = a.policy_value(&obs(3));
         let probs1 = masked_softmax(&logits1, &mask);
         assert!(probs1[1] > probs0[1]);
+    }
+
+    #[test]
+    fn state_blob_roundtrips_bit_exactly() {
+        let mut a = agent(4, 2);
+        let mask = vec![true; 8];
+        // Advance everything that lives in the blob: weights, Adam
+        // moments and step counts, the sampling RNG.
+        let steps: Vec<StepRecord> = (0..4)
+            .map(|_| StepRecord {
+                features: obs(4),
+                mask: mask.clone(),
+                action: 1,
+                reward: 0.0,
+                value: 0.0,
+                advantage: 0.7,
+                reward_to_go: -1.3,
+            })
+            .collect();
+        a.update_policy(&steps);
+        a.update_value(&steps);
+        a.act(&obs(4), &mask);
+        let blob = a.export_state();
+
+        let mut b = agent(4, 2);
+        assert!(b.import_state(&blob), "blob must restore into a twin");
+        assert_eq!(b.export_state(), blob, "round-trip is bit-exact");
+        let drive =
+            |ag: &mut ActorCritic| (0..6).map(|_| ag.act(&obs(4), &mask).0).collect::<Vec<_>>();
+        assert_eq!(drive(&mut a), drive(&mut b), "restored RNG stream");
+    }
+
+    #[test]
+    fn import_rejects_mismatched_or_corrupt_blobs() {
+        let mut big = agent(5, 2);
+        let blob = big.export_state();
+        let mut small = agent(3, 1);
+        assert!(!small.import_state(&blob), "wrong shape");
+        let mut twin = agent(5, 2);
+        assert!(!twin.import_state("2|0|0|00|x|y"), "wrong version");
+        assert!(!twin.import_state("garbage"), "not a blob at all");
+        // Rejection must leave the agent usable.
+        assert!(twin.params_finite());
+    }
+
+    #[test]
+    fn nan_injection_is_detected_by_the_finite_check() {
+        let mut a = agent(3, 1);
+        assert!(a.params_finite());
+        a.inject_nan();
+        assert!(!a.params_finite());
+    }
+
+    #[test]
+    fn explore_temperature_flattens_sampling_but_not_updates() {
+        let mut a = agent(3, 1);
+        let mask = vec![true; 6];
+        let (logits, _) = a.policy_value(&obs(3));
+        let p_ref = masked_softmax(&logits, &mask);
+        a.set_explore_temp(4.0);
+        // policy_value (used by updates) is untouched by temperature.
+        let (logits_t, _) = a.policy_value(&obs(3));
+        assert_eq!(logits, logits_t);
+        // Sampling frequencies flatten toward uniform.
+        let mut counts = [0usize; 6];
+        for _ in 0..2000 {
+            counts[a.act(&obs(3), &mask).0] += 1;
+        }
+        let max_ref = p_ref.iter().cloned().fold(f64::MIN, f64::max);
+        let max_obs = counts.iter().cloned().max().unwrap() as f64 / 2000.0;
+        assert!(
+            max_obs < max_ref + 0.05,
+            "temperature must not sharpen the policy (ref {max_ref}, obs {max_obs})"
+        );
     }
 
     #[test]

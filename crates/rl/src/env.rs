@@ -64,6 +64,22 @@ pub trait GraphEnv {
         None
     }
 
+    /// Serialize whatever environment state must survive a
+    /// checkpoint/resume cycle (best-plan bookkeeping, evaluator
+    /// certificates, step counters) as an opaque string. `None` (the
+    /// default) means the environment carries no state worth
+    /// checkpointing beyond what `reset` rebuilds.
+    fn state_json(&self) -> Option<String> {
+        None
+    }
+
+    /// Restore state captured by [`GraphEnv::state_json`]. Returns
+    /// `false` if the blob does not match this environment, in which
+    /// case the caller must treat the checkpoint as unusable.
+    fn restore_state_json(&mut self, _blob: &str) -> bool {
+        false
+    }
+
     /// Size of the (flat) action space.
     fn action_space(&self) -> usize {
         self.num_nodes() * self.num_unit_choices()

@@ -27,4 +27,7 @@ pub use agent::{ActorCritic, AgentConfig, Encoder};
 pub use buffer::{EpochBuffer, StepRecord};
 pub use env::{GraphEnv, Observation};
 pub use evaluate::{evaluate, EvalRollouts};
-pub use trainer::{train, train_telemetry, EpochStats, TrainConfig, TrainReport};
+pub use trainer::{
+    train, train_resumable, train_telemetry, EpochHook, EpochStats, TrainConfig, TrainProgress,
+    TrainReport, TrainResume,
+};

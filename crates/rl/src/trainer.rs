@@ -206,12 +206,15 @@ fn actor_stream_seed(base: u64, epoch: usize, actor: usize) -> u64 {
 /// Fan rollout collection out over `num_actors` forks of `env`, each with
 /// a cloned agent and a private RNG stream, run on at most
 /// `rollout_workers` threads. Returns the per-actor results in actor
-/// order, or `None` when the environment refuses to fork.
+/// order, or `None` when the environment refuses to fork. `stream_base`
+/// is the (possibly rollback-remixed) base seed of the actor streams.
 fn collect_parallel(
     env: &mut dyn GraphEnv,
     agent: &ActorCritic,
     cfg: &TrainConfig,
     epoch: usize,
+    stream_base: u64,
+    tel: &Telemetry,
 ) -> Option<Vec<Collected>> {
     let actors = cfg.num_actors;
     let forks: Vec<Box<dyn GraphEnv + Send>> = (0..actors)
@@ -227,7 +230,7 @@ fn collect_parallel(
         .map(|(a, mut child_env)| {
             let mut child_agent = agent.clone();
             let quota = base + usize::from(a < rem);
-            let seed = actor_stream_seed(cfg.rollout_seed, epoch, a);
+            let seed = actor_stream_seed(stream_base, epoch, a);
             move || {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let collected = collect_quota(
@@ -241,7 +244,7 @@ fn collect_parallel(
             }
         })
         .collect();
-    let results = np_pool::run_tasks(cfg.rollout_workers.max(1), tasks);
+    let results = np_pool::run_tasks_telemetry(cfg.rollout_workers.max(1), tasks, tel);
     let mut out = Vec::with_capacity(actors);
     for (collected, child_env) in results {
         env.absorb(child_env);
@@ -249,6 +252,57 @@ fn collect_parallel(
     }
     Some(out)
 }
+
+/// The actor-stream base seed after `nonce` NaN rollbacks. Nonce 0 (no
+/// rollback yet) leaves the configured seed untouched, so healthy runs
+/// stay bit-identical to the pre-recovery trainer.
+fn effective_rollout_seed(base: u64, nonce: u64) -> u64 {
+    base ^ nonce.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Consecutive NaN rollbacks tolerated before the trainer stops early
+/// with the last good parameters instead of looping forever.
+const MAX_CONSECUTIVE_ROLLBACKS: u32 = 5;
+
+/// Exploration temperature set right after a NaN rollback; it decays
+/// geometrically back to 1.0 over the following healthy epochs.
+const REANNEAL_TEMP: f64 = 1.5;
+
+/// Where a resumed run picks up: the loop counters that, together with
+/// the restored agent and environment, make the continuation
+/// bit-identical to the uninterrupted run.
+#[derive(Clone, Debug)]
+pub struct TrainResume {
+    /// First epoch index the resumed run executes.
+    pub next_epoch: usize,
+    /// Convergence streak carried across the cut.
+    pub converged_run: usize,
+    /// Previous epoch's mean return (NaN if none yet).
+    pub prev_return: f64,
+    /// NaN-rollback count carried across the cut (feeds the stream seed).
+    pub recovery_nonce: u64,
+    /// Stats of the epochs already completed before the cut.
+    pub stats: Vec<EpochStats>,
+}
+
+/// Everything a checkpoint hook needs to persist after a completed epoch.
+pub struct TrainProgress<'a> {
+    /// This epoch's statistics.
+    pub stats: &'a EpochStats,
+    /// Epoch index a resume should continue from.
+    pub next_epoch: usize,
+    /// Convergence streak after this epoch.
+    pub converged_run: usize,
+    /// Mean return the next convergence check compares against.
+    pub prev_return: f64,
+    /// NaN rollbacks so far.
+    pub recovery_nonce: u64,
+}
+
+/// Per-epoch checkpoint callback: runs after the epoch's updates and
+/// stats, before the trainer moves on. Receives the agent and environment
+/// mutably so it can serialize their state.
+pub type EpochHook<'a> = dyn FnMut(&mut ActorCritic, &mut dyn GraphEnv, &TrainProgress<'_>) + 'a;
 
 /// [`train`] reporting through `tel`: per-epoch return/completion/length
 /// metrics under the `rl` subsystem, plus `epoch` and `policy_update`
@@ -259,16 +313,56 @@ pub fn train_telemetry(
     cfg: &TrainConfig,
     tel: &Telemetry,
 ) -> TrainReport {
+    train_resumable(env, agent, cfg, tel, np_chaos::global(), None, None)
+}
+
+/// The full-featured epoch loop: [`train_telemetry`] plus NaN/divergence
+/// rollback, fault injection, and checkpoint/resume.
+///
+/// After every epoch's updates the trainer verifies that all parameters
+/// and the epoch's mean return are finite. If not, it rolls the agent
+/// back to the snapshot taken at the top of the epoch, remixes the
+/// rollout streams with a recovery nonce, raises the exploration
+/// temperature to [`REANNEAL_TEMP`] (decaying back to 1.0 over later
+/// epochs) and retries the same epoch — up to
+/// [`MAX_CONSECUTIVE_ROLLBACKS`] times before giving up with the last
+/// good parameters.
+///
+/// `resume` restores the loop counters of a checkpointed run (the caller
+/// restores agent and environment); `on_epoch` runs after each completed
+/// epoch so the caller can write the checkpoint.
+pub fn train_resumable(
+    env: &mut dyn GraphEnv,
+    agent: &mut ActorCritic,
+    cfg: &TrainConfig,
+    tel: &Telemetry,
+    chaos: &np_chaos::Chaos,
+    resume: Option<TrainResume>,
+    mut on_epoch: Option<&mut EpochHook<'_>>,
+) -> TrainReport {
     let _train_span = tel.span(sys::RL, "train");
     let mut report = TrainReport::default();
     let mut buffer = EpochBuffer::new();
-    let mut converged_run = 0usize;
-    let mut prev_return = f64::NAN;
-    for epoch in 0..cfg.epochs {
+    let (mut epoch, mut converged_run, mut prev_return, mut recovery_nonce) = match resume {
+        Some(r) => {
+            report.epochs = r.stats;
+            (
+                r.next_epoch,
+                r.converged_run,
+                r.prev_return,
+                r.recovery_nonce,
+            )
+        }
+        None => (0, 0, f64::NAN, 0),
+    };
+    let mut consecutive_rollbacks = 0u32;
+    while epoch < cfg.epochs {
         let _epoch_span = tel.span(sys::RL, "epoch");
+        let snapshot = agent.clone();
         buffer.clear();
+        let stream_base = effective_rollout_seed(cfg.rollout_seed, recovery_nonce);
         let parts = if cfg.num_actors > 1 {
-            collect_parallel(env, agent, cfg, epoch)
+            collect_parallel(env, agent, cfg, epoch, stream_base, tel)
         } else {
             None
         };
@@ -301,9 +395,39 @@ pub fn train_telemetry(
             agent.update_policy(buffer.steps());
             agent.update_value(buffer.steps());
         }
+        if chaos.should_fire(np_chaos::FaultClass::NanGrad) {
+            agent.inject_nan();
+        }
 
         let mean_return = returns.iter().sum::<f64>() / returns.len().max(1) as f64;
         let mean_length = lengths.iter().sum::<usize>() as f64 / lengths.len().max(1) as f64;
+        if !(agent.params_finite() && mean_return.is_finite()) {
+            // Numerical blow-up: discard this epoch's updates entirely and
+            // retry it from the last good parameters, with fresh rollout
+            // streams and reannealed exploration so the retry does not
+            // deterministically reproduce the blow-up.
+            *agent = snapshot;
+            recovery_nonce += 1;
+            consecutive_rollbacks += 1;
+            tel.incr(sys::RL, "nan_rollbacks", 1);
+            if consecutive_rollbacks > MAX_CONSECUTIVE_ROLLBACKS {
+                tel.incr(sys::RL, "nan_giveup", 1);
+                break;
+            }
+            agent.set_explore_temp(REANNEAL_TEMP);
+            agent.reseed_sampling(actor_stream_seed(
+                effective_rollout_seed(cfg.rollout_seed, recovery_nonce),
+                epoch,
+                cfg.num_actors,
+            ));
+            continue;
+        }
+        consecutive_rollbacks = 0;
+        let temp = agent.explore_temp();
+        if temp != 1.0 {
+            let next = 1.0 + (temp - 1.0) * 0.7;
+            agent.set_explore_temp(if next - 1.0 < 1e-3 { 1.0 } else { next });
+        }
         if tel.is_enabled() {
             tel.incr(sys::RL, "epochs", 1);
             tel.incr(sys::RL, "env_steps", buffer.len() as u64);
@@ -320,17 +444,41 @@ pub fn train_telemetry(
             mean_length,
         });
         // Optional convergence-based early stop.
+        let mut stop = false;
         if cfg.convergence_tol > 0.0 {
             if (mean_return - prev_return).abs() <= cfg.convergence_tol {
                 converged_run += 1;
                 if converged_run >= cfg.patience {
-                    break;
+                    stop = true;
                 }
             } else {
                 converged_run = 0;
             }
             prev_return = mean_return;
         }
+        if let Some(hook) = on_epoch.as_mut() {
+            let stats = report.epochs.last().expect("epoch just pushed");
+            hook(
+                agent,
+                env,
+                &TrainProgress {
+                    stats,
+                    next_epoch: epoch + 1,
+                    converged_run,
+                    prev_return,
+                    recovery_nonce,
+                },
+            );
+        }
+        // The injected kill lands after the checkpoint hook, so a killed
+        // run always leaves a resumable epoch record behind.
+        if chaos.should_fire(np_chaos::FaultClass::Kill) {
+            panic!("chaos: injected kill after epoch {epoch}");
+        }
+        if stop {
+            break;
+        }
+        epoch += 1;
     }
     report
 }
@@ -532,6 +680,182 @@ mod tests {
             "penalty must dominate: {}",
             e.mean_return
         );
+    }
+
+    #[test]
+    fn nan_injection_rolls_back_and_training_recovers() {
+        let plan = np_chaos::FaultPlan::parse("seed=1,nan-grad@1").unwrap();
+        let chaos = np_chaos::Chaos::new(plan);
+        let tel = Telemetry::memory();
+        let mut env = CounterEnv::new(3, 1, 5);
+        let mut agent = small_agent(&env, 7);
+        let cfg = TrainConfig {
+            epochs: 4,
+            steps_per_epoch: 64,
+            max_traj_len: 32,
+            ..Default::default()
+        };
+        let report = train_resumable(&mut env, &mut agent, &cfg, &tel, &chaos, None, None);
+        assert_eq!(report.epochs_run(), 4, "rolled-back epoch is retried");
+        assert!(report.epochs.iter().all(|e| e.mean_return.is_finite()));
+        assert!(agent.params_finite(), "recovery leaves finite parameters");
+        assert_eq!(chaos.fired(np_chaos::FaultClass::NanGrad), 1);
+        assert!(tel.render_summary().contains("nan_rollbacks"));
+    }
+
+    #[test]
+    fn persistent_nan_injection_gives_up_with_good_parameters() {
+        // Every attempt is poisoned: the trainer must stop instead of
+        // looping, and the agent must still hold the last good snapshot.
+        let plan = np_chaos::FaultPlan::parse("seed=1,nan-grad@0-999").unwrap();
+        let chaos = np_chaos::Chaos::new(plan);
+        let mut env = CounterEnv::new(3, 1, 5);
+        let mut agent = small_agent(&env, 7);
+        let cfg = TrainConfig {
+            epochs: 4,
+            steps_per_epoch: 32,
+            max_traj_len: 16,
+            ..Default::default()
+        };
+        let report = train_resumable(
+            &mut env,
+            &mut agent,
+            &cfg,
+            &Telemetry::noop(),
+            &chaos,
+            None,
+            None,
+        );
+        assert!(report.epochs.is_empty(), "no epoch survives the injection");
+        assert!(agent.params_finite());
+    }
+
+    #[test]
+    fn resume_from_a_mid_run_checkpoint_is_bit_identical() {
+        let cfg = TrainConfig {
+            epochs: 5,
+            steps_per_epoch: 64,
+            max_traj_len: 16,
+            ..Default::default()
+        };
+        let run_full = || {
+            let mut env = CounterEnv::new(3, 1, 5);
+            let mut agent = small_agent(&env, 7);
+            let report = train(&mut env, &mut agent, &cfg);
+            (agent.export_state(), report)
+        };
+        let (full_state, full_report) = run_full();
+
+        // First half: capture the checkpoint the hook hands us at epoch 1.
+        let mut cut: Option<(String, TrainResume)> = None;
+        {
+            let mut env = CounterEnv::new(3, 1, 5);
+            let mut agent = small_agent(&env, 7);
+            let mut stats: Vec<EpochStats> = Vec::new();
+            let mut hook =
+                |ag: &mut ActorCritic, _env: &mut dyn GraphEnv, p: &TrainProgress<'_>| {
+                    stats.push(p.stats.clone());
+                    if p.next_epoch == 2 {
+                        cut = Some((
+                            ag.export_state(),
+                            TrainResume {
+                                next_epoch: p.next_epoch,
+                                converged_run: p.converged_run,
+                                prev_return: p.prev_return,
+                                recovery_nonce: p.recovery_nonce,
+                                stats: stats.clone(),
+                            },
+                        ));
+                    }
+                };
+            // Simulate the kill by only running the first two epochs.
+            let short = TrainConfig {
+                epochs: 2,
+                ..cfg.clone()
+            };
+            train_resumable(
+                &mut env,
+                &mut agent,
+                &short,
+                &Telemetry::noop(),
+                &np_chaos::Chaos::disabled(),
+                None,
+                Some(&mut hook),
+            );
+        }
+        let (blob, resume) = cut.expect("checkpoint captured at epoch 1");
+
+        // Second half: fresh env + agent, restore, continue.
+        let mut env = CounterEnv::new(3, 1, 5);
+        let mut agent = small_agent(&env, 7);
+        assert!(agent.import_state(&blob), "blob must restore");
+        let report = train_resumable(
+            &mut env,
+            &mut agent,
+            &cfg,
+            &Telemetry::noop(),
+            &np_chaos::Chaos::disabled(),
+            Some(resume),
+            None,
+        );
+        assert_eq!(agent.export_state(), full_state, "parameters diverged");
+        let key = |r: &TrainReport| {
+            r.epochs
+                .iter()
+                .map(|e| (e.epoch, e.mean_return.to_bits(), e.completed, e.truncated))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&report), key(&full_report), "stats diverged");
+    }
+
+    #[test]
+    fn resume_is_bit_identical_with_parallel_actors_too() {
+        let cfg = TrainConfig {
+            epochs: 4,
+            steps_per_epoch: 64,
+            max_traj_len: 16,
+            num_actors: 4,
+            rollout_workers: 2,
+            rollout_seed: 11,
+            ..Default::default()
+        };
+        let full = {
+            let mut env = CounterEnv::new(3, 1, 5);
+            let mut agent = small_agent(&env, 7);
+            train(&mut env, &mut agent, &cfg);
+            agent.export_state()
+        };
+        let halves = {
+            let mut env = CounterEnv::new(3, 1, 5);
+            let mut agent = small_agent(&env, 7);
+            let short = TrainConfig {
+                epochs: 2,
+                ..cfg.clone()
+            };
+            train(&mut env, &mut agent, &short);
+            let blob = agent.export_state();
+            let mut env2 = CounterEnv::new(3, 1, 5);
+            let mut agent2 = small_agent(&env2, 7);
+            assert!(agent2.import_state(&blob));
+            let resume = TrainResume {
+                next_epoch: 2,
+                converged_run: 0,
+                prev_return: f64::NAN,
+                recovery_nonce: 0,
+                stats: Vec::new(),
+            };
+            train_resumable(
+                &mut env2,
+                &mut agent2,
+                &cfg,
+                &Telemetry::noop(),
+                &np_chaos::Chaos::disabled(),
+                Some(resume),
+                None,
+            );
+            agent2.export_state()
+        };
+        assert_eq!(halves, full);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, Once, Weak};
 use std::time::Instant;
 
 /// Subsystem labels used across the workspace, so call sites and tests
@@ -41,6 +41,7 @@ pub mod sys {
     pub const EVAL: &str = "eval";
     pub const RL: &str = "rl";
     pub const PIPELINE: &str = "pipeline";
+    pub const POOL: &str = "pool";
 }
 
 /// One telemetry event, as written to the JSONL sink.
@@ -200,15 +201,21 @@ impl Telemetry {
 
     /// A handle that appends JSONL to `path` (truncating any existing
     /// file) and also keeps the in-memory aggregation.
+    ///
+    /// The sink is crash-safe: a process-wide panic hook flushes every
+    /// live JSONL writer the moment a panic starts (before any unwind
+    /// that might be cut short by an abort), and dropping the last
+    /// handle flushes on the way out — so a crashed run still leaves a
+    /// parseable telemetry file up to its final buffered event.
     pub fn jsonl(path: impl AsRef<Path>) -> io::Result<Self> {
         let file = File::create(path)?;
-        Ok(Telemetry {
-            inner: Some(Arc::new(Inner {
-                start: Instant::now(),
-                store: Mutex::new(Store::default()),
-                writer: Some(Mutex::new(BufWriter::new(file))),
-            })),
-        })
+        let inner = Arc::new(Inner {
+            start: Instant::now(),
+            store: Mutex::new(Store::default()),
+            writer: Some(Mutex::new(BufWriter::new(file))),
+        });
+        register_for_panic_flush(&inner);
+        Ok(Telemetry { inner: Some(inner) })
     }
 
     /// Whether events are recorded at all. Call sites with non-trivial
@@ -412,6 +419,46 @@ impl Inner {
     }
 }
 
+impl Inner {
+    fn flush_writer(&self) {
+        if let Some(w) = &self.writer {
+            let _ = lock(w).flush();
+        }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // `BufWriter` flushes on drop too, but only best-effort and only
+        // if the drop actually runs; doing it explicitly keeps the
+        // guarantee independent of the writer's internals.
+        self.flush_writer();
+    }
+}
+
+/// Live JSONL sinks, flushed by the panic hook. Weak references so a
+/// finished run's sink can actually drop (and flush) normally.
+static SINKS: Mutex<Vec<Weak<Inner>>> = Mutex::new(Vec::new());
+static PANIC_HOOK: Once = Once::new();
+
+fn register_for_panic_flush(inner: &Arc<Inner>) {
+    let mut sinks = lock(&SINKS);
+    sinks.retain(|w| w.strong_count() > 0);
+    sinks.push(Arc::downgrade(inner));
+    drop(sinks);
+    PANIC_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            for w in lock(&SINKS).iter() {
+                if let Some(inner) = w.upgrade() {
+                    inner.flush_writer();
+                }
+            }
+            prev(info);
+        }));
+    });
+}
+
 /// Lock ignoring poisoning: telemetry must never compound a panic.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
@@ -542,6 +589,43 @@ mod tests {
         assert!(matches!(events[2].kind, EventKind::Span { .. }));
         // And the live aggregation is available alongside the file.
         assert_eq!(tel.counter(sys::LP, "bb_nodes"), 5);
+    }
+
+    #[test]
+    fn panic_hook_flushes_the_buffered_tail() {
+        let path = std::env::temp_dir().join(format!(
+            "np-telemetry-panic-test-{}.jsonl",
+            std::process::id()
+        ));
+        let tel = Telemetry::jsonl(&path).unwrap();
+        tel.incr(sys::LP, "bb_nodes", 9);
+        // No flush: the event sits in the BufWriter. A panic anywhere in
+        // the process must push it to disk via the hook.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        let result = std::panic::catch_unwind(|| panic!("injected test panic"));
+        assert!(result.is_err());
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let events: Vec<Event> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(events.len(), 1, "buffered tail survived the panic");
+        assert_eq!(events[0].kind, EventKind::Counter(9));
+    }
+
+    #[test]
+    fn dropping_the_last_handle_flushes() {
+        let path = std::env::temp_dir().join(format!(
+            "np-telemetry-drop-test-{}.jsonl",
+            std::process::id()
+        ));
+        let tel = Telemetry::jsonl(&path).unwrap();
+        tel.incr(sys::EVAL, "scenario_checks", 1);
+        drop(tel);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(text.lines().count(), 1);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! repository is exactly reproducible.
 
 use crate::cost::CostModel;
+use crate::error::TopologyError;
 use crate::ids::{FiberId, SiteId};
 use crate::model::{CosClass, Failure, FailureKind, Fiber, Flow, IpLink, Site};
 use crate::network::Network;
@@ -132,9 +133,61 @@ impl GeneratorConfig {
         cfg
     }
 
-    /// Generate the network for this configuration.
+    /// Validate the configuration before generation: every numeric knob a
+    /// user can feed through the CLI must be in range, so a malformed
+    /// request degrades to an error instead of a panic (or an endless
+    /// rejection loop) deep inside the generator.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        let mut problem: Option<String> = None;
+        if self.num_sites < 2 {
+            problem = Some(format!("num_sites must be >= 2, got {}", self.num_sites));
+        } else if self.num_flows == 0 {
+            problem = Some("num_flows must be >= 1".to_string());
+        } else if !(self.datacenter_fraction.is_finite()
+            && (0.0..=1.0).contains(&self.datacenter_fraction))
+        {
+            problem = Some(format!(
+                "datacenter_fraction must be in [0, 1], got {}",
+                self.datacenter_fraction
+            ));
+        } else if !(self.mean_demand_gbps.is_finite() && self.mean_demand_gbps > 0.0) {
+            problem = Some(format!(
+                "mean_demand_gbps must be positive, got {}",
+                self.mean_demand_gbps
+            ));
+        } else if !(self.unit_gbps.is_finite() && self.unit_gbps > 0.0) {
+            problem = Some(format!(
+                "unit_gbps must be positive, got {}",
+                self.unit_gbps
+            ));
+        } else if !(self.spectrum_ghz.is_finite() && self.spectrum_ghz > 0.0) {
+            problem = Some(format!(
+                "spectrum_ghz must be positive, got {}",
+                self.spectrum_ghz
+            ));
+        } else if !(self.capacity_fill.is_finite() && self.capacity_fill >= 0.0) {
+            problem = Some(format!(
+                "capacity_fill must be finite and >= 0, got {}",
+                self.capacity_fill
+            ));
+        }
+        match problem {
+            Some(msg) => Err(TopologyError::Invalid(format!("generator config: {msg}"))),
+            None => Ok(()),
+        }
+    }
+
+    /// Generate the network, validating the configuration first.
+    pub fn try_generate(&self) -> Result<Network, TopologyError> {
+        self.validate()?;
+        Ok(Generator::new(self.clone()).run())
+    }
+
+    /// Generate the network for this configuration; panics on a malformed
+    /// configuration (validated-input fast path — CLI callers use
+    /// [`GeneratorConfig::try_generate`]).
     pub fn generate(&self) -> Network {
-        Generator::new(self.clone()).run()
+        self.try_generate().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -663,6 +716,48 @@ impl Ord for OrderedF64 {
 mod tests {
     use super::*;
     use crate::transform::transform;
+
+    #[test]
+    fn malformed_configs_degrade_to_errors() {
+        let good = GeneratorConfig::preset(TopologyPreset::A);
+        assert!(good.validate().is_ok());
+        for bad in [
+            GeneratorConfig {
+                num_sites: 1,
+                ..good.clone()
+            },
+            GeneratorConfig {
+                num_flows: 0,
+                ..good.clone()
+            },
+            GeneratorConfig {
+                datacenter_fraction: 1.5,
+                ..good.clone()
+            },
+            GeneratorConfig {
+                mean_demand_gbps: f64::NAN,
+                ..good.clone()
+            },
+            GeneratorConfig {
+                unit_gbps: 0.0,
+                ..good.clone()
+            },
+            GeneratorConfig {
+                spectrum_ghz: -1.0,
+                ..good.clone()
+            },
+            GeneratorConfig {
+                capacity_fill: f64::INFINITY,
+                ..good.clone()
+            },
+        ] {
+            let err = bad.try_generate().expect_err("config must be rejected");
+            assert!(
+                matches!(err, TopologyError::Invalid(_)),
+                "unexpected error {err:?}"
+            );
+        }
+    }
 
     #[test]
     fn generation_is_deterministic() {

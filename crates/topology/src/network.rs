@@ -34,6 +34,11 @@ impl PlanSnapshot {
     pub fn as_slice(&self) -> &[u32] {
         &self.units
     }
+
+    /// Rebuild a snapshot from raw per-link units (checkpoint restore).
+    pub fn from_units(units: Vec<u32>) -> Self {
+        PlanSnapshot { units }
+    }
 }
 
 /// A complete network-planning instance: the L1/L3 topology, the traffic
@@ -489,16 +494,28 @@ impl Network {
         }
     }
 
-    /// Restore a previously-taken snapshot.
-    pub fn restore(&mut self, snap: &PlanSnapshot) {
-        assert_eq!(
-            snap.units.len(),
-            self.links.len(),
-            "snapshot from a different network"
-        );
+    /// Restore a previously-taken snapshot, rejecting one whose link
+    /// count does not match this network (e.g. a checkpoint from a
+    /// different topology file).
+    pub fn try_restore(&mut self, snap: &PlanSnapshot) -> Result<(), TopologyError> {
+        if snap.units.len() != self.links.len() {
+            return Err(TopologyError::Invalid(format!(
+                "snapshot from a different network: {} links vs {}",
+                snap.units.len(),
+                self.links.len()
+            )));
+        }
         for (l, &u) in self.links.iter_mut().zip(&snap.units) {
             l.capacity_units = u;
         }
+        Ok(())
+    }
+
+    /// Restore a previously-taken snapshot; panics when it came from a
+    /// different network (validated-input fast path).
+    pub fn restore(&mut self, snap: &PlanSnapshot) {
+        self.try_restore(snap)
+            .unwrap_or_else(|e| panic!("snapshot from a different network: {e}"));
     }
 
     /// Reset all capacities to the construction-time baseline (the RL
@@ -756,6 +773,19 @@ pub(crate) mod tests {
         net.reset_to_base();
         assert_eq!(net.link(LinkId::new(3)).capacity_units, 0);
         assert_eq!(net.link(LinkId::new(0)).capacity_units, 2);
+    }
+
+    #[test]
+    fn try_restore_rejects_foreign_snapshots() {
+        let mut net = square();
+        let snap = net.snapshot();
+        let foreign = PlanSnapshot {
+            units: vec![0; snap.units.len() + 1],
+        };
+        let err = net.try_restore(&foreign).expect_err("size mismatch");
+        assert!(matches!(err, TopologyError::Invalid(_)));
+        assert_eq!(net.snapshot(), snap, "rejected restore changes nothing");
+        assert!(net.try_restore(&snap).is_ok());
     }
 
     #[test]
