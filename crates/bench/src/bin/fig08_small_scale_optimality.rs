@@ -34,10 +34,8 @@ fn main() {
         let ilp = solve_ilp(&net, EvalConfig::default(), ilp_budget);
         let reference = ilp.cost();
         let result = NeuroPlan::new(np_cfg.clone()).plan(&net);
-        assert!(
-            neuroplan::validate_plan(&net, &result.final_units),
-            "A-{fill}: final plan failed exact validation"
-        );
+        neuroplan::validate_plan(&net, &result.final_units)
+            .unwrap_or_else(|e| panic!("A-{fill}: final plan failed exact validation: {e}"));
         let denom = if reference > 0.0 { reference } else { 1.0 };
         table.row(vec![
             cell(format!("A-{fill}")),

@@ -53,11 +53,9 @@ fn main() {
         let heur = solve_ilp_heur(&net, EvalConfig::default(), budget, 4);
         let ilp = solve_ilp(&net, EvalConfig::default(), budget);
         let result = NeuroPlan::new(np_cfg.clone()).plan(&net);
-        assert!(
-            neuroplan::validate_plan(&net, &result.final_units),
-            "{}: final plan failed exact validation",
-            preset.name()
-        );
+        neuroplan::validate_plan(&net, &result.final_units).unwrap_or_else(|e| {
+            panic!("{}: final plan failed exact validation: {e}", preset.name())
+        });
         let denom = heur.cost().max(1e-9);
         table.row(vec![
             cell(preset.name()),

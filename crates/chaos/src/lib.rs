@@ -97,13 +97,40 @@ impl FaultClass {
     }
 }
 
-/// A malformed chaos spec.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ChaosError(pub String);
+/// A malformed chaos spec, with the offending token preserved so
+/// callers can report *which* part of the spec is wrong.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChaosError {
+    /// `seed=<x>` where `<x>` is not a u64.
+    BadSeed { token: String },
+    /// A fault-class name outside [`FaultClass::ALL`].
+    UnknownClass { name: String },
+    /// `class@<occ>` where `<occ>` is not a u64.
+    BadOccurrence { token: String },
+    /// `class@a-b` with `a > b`.
+    EmptyRange { token: String },
+    /// `class%<p>` where `<p>` is not a number.
+    BadProbability { token: String },
+    /// `class%<p>` with `<p>` outside `[0, 100]`.
+    ProbabilityOutOfRange { token: String, value: f64 },
+    /// A token matching none of the grammar's productions.
+    UnrecognizedToken { token: String },
+}
 
 impl std::fmt::Display for ChaosError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid chaos spec: {}", self.0)
+        write!(f, "invalid chaos spec: ")?;
+        match self {
+            ChaosError::BadSeed { token } => write!(f, "bad seed in `{token}`"),
+            ChaosError::UnknownClass { name } => write!(f, "unknown fault class `{name}`"),
+            ChaosError::BadOccurrence { token } => write!(f, "bad occurrence in `{token}`"),
+            ChaosError::EmptyRange { token } => write!(f, "empty range in `{token}`"),
+            ChaosError::BadProbability { token } => write!(f, "bad probability in `{token}`"),
+            ChaosError::ProbabilityOutOfRange { token, value } => {
+                write!(f, "probability {value} out of [0,100] in `{token}`")
+            }
+            ChaosError::UnrecognizedToken { token } => write!(f, "unrecognized token `{token}`"),
+        }
     }
 }
 
@@ -139,44 +166,51 @@ impl FaultPlan {
                 continue;
             }
             if let Some(value) = token.strip_prefix("seed=") {
-                plan.seed = value
-                    .parse()
-                    .map_err(|_| ChaosError(format!("bad seed in `{token}`")))?;
+                plan.seed = value.parse().map_err(|_| ChaosError::BadSeed {
+                    token: token.to_string(),
+                })?;
             } else if let Some((name, occ)) = token.split_once('@') {
-                let class = FaultClass::from_name(name)
-                    .ok_or_else(|| ChaosError(format!("unknown fault class `{name}`")))?;
+                let class =
+                    FaultClass::from_name(name).ok_or_else(|| ChaosError::UnknownClass {
+                        name: name.to_string(),
+                    })?;
                 let trig = if let Some((a, b)) = occ.split_once('-') {
-                    let a = a
-                        .parse()
-                        .map_err(|_| ChaosError(format!("bad range start in `{token}`")))?;
-                    let b = b
-                        .parse()
-                        .map_err(|_| ChaosError(format!("bad range end in `{token}`")))?;
+                    let bad = |_| ChaosError::BadOccurrence {
+                        token: token.to_string(),
+                    };
+                    let a = a.parse().map_err(bad)?;
+                    let b = b.parse().map_err(bad)?;
                     if a > b {
-                        return Err(ChaosError(format!("empty range in `{token}`")));
+                        return Err(ChaosError::EmptyRange {
+                            token: token.to_string(),
+                        });
                     }
                     Trigger::Range(a, b)
                 } else {
-                    Trigger::At(
-                        occ.parse()
-                            .map_err(|_| ChaosError(format!("bad occurrence in `{token}`")))?,
-                    )
+                    Trigger::At(occ.parse().map_err(|_| ChaosError::BadOccurrence {
+                        token: token.to_string(),
+                    })?)
                 };
                 plan.triggers.push((class, trig));
             } else if let Some((name, pct)) = token.split_once('%') {
-                let class = FaultClass::from_name(name)
-                    .ok_or_else(|| ChaosError(format!("unknown fault class `{name}`")))?;
-                let p: f64 = pct
-                    .parse()
-                    .map_err(|_| ChaosError(format!("bad probability in `{token}`")))?;
+                let class =
+                    FaultClass::from_name(name).ok_or_else(|| ChaosError::UnknownClass {
+                        name: name.to_string(),
+                    })?;
+                let p: f64 = pct.parse().map_err(|_| ChaosError::BadProbability {
+                    token: token.to_string(),
+                })?;
                 if !(0.0..=100.0).contains(&p) {
-                    return Err(ChaosError(format!(
-                        "probability out of [0,100] in `{token}`"
-                    )));
+                    return Err(ChaosError::ProbabilityOutOfRange {
+                        token: token.to_string(),
+                        value: p,
+                    });
                 }
                 plan.triggers.push((class, Trigger::Prob(p / 100.0)));
             } else {
-                return Err(ChaosError(format!("unrecognized token `{token}`")));
+                return Err(ChaosError::UnrecognizedToken {
+                    token: token.to_string(),
+                });
             }
         }
         Ok(plan)
@@ -367,6 +401,92 @@ mod tests {
             "lp-singular",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn malformed_specs_yield_typed_errors_not_panics() {
+        assert_eq!(
+            FaultPlan::parse("frobnicate@3"),
+            Err(ChaosError::UnknownClass {
+                name: "frobnicate".to_string()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("cosmic-ray%50"),
+            Err(ChaosError::UnknownClass {
+                name: "cosmic-ray".to_string()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("deadline%150"),
+            Err(ChaosError::ProbabilityOutOfRange {
+                token: "deadline%150".to_string(),
+                value: 150.0
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("deadline%-1"),
+            Err(ChaosError::ProbabilityOutOfRange {
+                token: "deadline%-1".to_string(),
+                value: -1.0
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("deadline%"),
+            Err(ChaosError::BadProbability {
+                token: "deadline%".to_string()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("kill@5-2"),
+            Err(ChaosError::EmptyRange {
+                token: "kill@5-2".to_string()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("kill@two"),
+            Err(ChaosError::BadOccurrence {
+                token: "kill@two".to_string()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("seed=minus-one"),
+            Err(ChaosError::BadSeed {
+                token: "seed=minus-one".to_string()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("kill"),
+            Err(ChaosError::UnrecognizedToken {
+                token: "kill".to_string()
+            })
+        );
+        // Display keeps the offending token visible for CLI reporting.
+        let msg = FaultPlan::parse("deadline%150").unwrap_err().to_string();
+        assert!(msg.contains("deadline%150"), "{msg}");
+    }
+
+    #[test]
+    fn overlapping_ranges_fire_once_per_occurrence() {
+        // Two ranges overlapping on 2..=3: an occurrence in the overlap
+        // still fires exactly once (triggers are OR-ed, not summed).
+        let chaos = Chaos::new(FaultPlan::parse("deadline@1-3,deadline@2-4").unwrap());
+        let fires: Vec<bool> = (0..6)
+            .map(|_| chaos.should_fire(FaultClass::Deadline))
+            .collect();
+        assert_eq!(fires, [false, true, true, true, true, false]);
+        assert_eq!(chaos.fired(FaultClass::Deadline), 4);
+    }
+
+    #[test]
+    fn probability_bounds_are_inclusive() {
+        // 0% never fires, 100% always fires — both are valid specs.
+        let never = Chaos::new(FaultPlan::parse("nan-grad%0").unwrap());
+        let always = Chaos::new(FaultPlan::parse("nan-grad%100").unwrap());
+        for i in 0..50 {
+            assert!(!never.fires_at(FaultClass::NanGrad, i));
+            assert!(always.fires_at(FaultClass::NanGrad, i));
         }
     }
 

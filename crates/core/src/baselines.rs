@@ -64,6 +64,7 @@ pub fn solve_ilp(net: &Network, eval_cfg: EvalConfig, budget: BaselineBudget) ->
         granularity: 1,
         gap_tol: MasterConfig::DEFAULT_GAP,
         warm_units: None,
+        polish_final: true,
     };
     let master = solve_master(net, &mut evaluator, &cfg);
     BaselineOutcome {
@@ -129,6 +130,7 @@ pub fn solve_ilp_heur(
                 .map(|l| warm.link(l).capacity_units)
                 .collect()
         }),
+        polish_final: true,
     };
     let master = solve_master(net, &mut evaluator, &cfg);
     BaselineOutcome {
@@ -192,7 +194,7 @@ mod tests {
             out.solved_to_optimality,
             "topology A is within the ILP's reach"
         );
-        assert!(validate_plan(&net, &out.master.units));
+        validate_plan(&net, &out.master.units).expect("ILP plan validates");
     }
 
     #[test]
@@ -201,7 +203,7 @@ mod tests {
         let exact = solve_ilp(&net, EvalConfig::default(), BaselineBudget::default());
         let heur = solve_ilp_heur(&net, EvalConfig::default(), BaselineBudget::default(), 4);
         assert!(heur.master.has_plan());
-        assert!(validate_plan(&net, &heur.master.units));
+        validate_plan(&net, &heur.master.units).expect("ILP-heur plan validates");
         // Both incumbents carry the solver's practical gap; the heuristic
         // cannot beat the exact search by more than that band.
         assert!(

@@ -25,7 +25,8 @@ fn usage() -> ! {
         "usage:\n  neuroplan generate --preset <a..e> [--fill <0..1>] [--long-term] \
          [--seed <u64>] [--out <file>]\n  neuroplan plan [--preset <a..e> | --topology \
          <file>] [--fill <0..1>] [--alpha <f64>] [--quick|--default] [--seed <u64>] \
-         [--workers <n|auto>] [--telemetry <file>] [--checkpoint-dir <dir>] [--resume] \
+         [--workers <n|auto>] [--stage-budget <secs>] [--max-retries <n>] [--no-degrade] \
+         [--telemetry <file>] [--checkpoint-dir <dir>] [--resume] \
          [--chaos <spec>] [--out <file>]\n  neuroplan evaluate \
          --topology <file> [--plan <file>] [--workers <n|auto>] [--telemetry <file>]\n  \
          neuroplan baseline [--preset <a..e> | --topology <file>] --method \
@@ -44,7 +45,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             usage();
         };
         match key {
-            "long-term" | "quick" | "default" | "resume" => {
+            "long-term" | "quick" | "default" | "resume" | "no-degrade" => {
                 map.insert(key.to_string(), "true".to_string());
             }
             _ => {
@@ -229,6 +230,26 @@ fn main() {
             if flags.contains_key("workers") {
                 cfg = cfg.with_workers(workers_of(&flags));
             }
+            if let Some(secs) = flags.get("stage-budget") {
+                let secs: f64 = secs.parse().unwrap_or_else(|_| {
+                    eprintln!("--stage-budget takes seconds");
+                    exit(2)
+                });
+                if secs < 0.0 {
+                    eprintln!("--stage-budget takes seconds >= 0");
+                    exit(2)
+                }
+                cfg = cfg.with_stage_budget(secs);
+            }
+            if let Some(n) = flags.get("max-retries") {
+                cfg = cfg.with_max_retries(n.parse().unwrap_or_else(|_| {
+                    eprintln!("--max-retries takes a small integer");
+                    exit(2)
+                }));
+            }
+            if flags.contains_key("no-degrade") {
+                cfg = cfg.with_degrade(false);
+            }
             let tel = telemetry_of(&flags);
             let mut planner = NeuroPlan::with_telemetry(cfg, tel.clone());
             if let Some(dir) = flags.get("checkpoint-dir") {
@@ -237,8 +258,16 @@ fn main() {
                 eprintln!("--resume needs --checkpoint-dir");
                 exit(2)
             }
-            let result = planner.plan(&net);
-            assert!(validate_plan(&net, &result.final_units));
+            let result = planner.try_plan(&net).unwrap_or_else(|e| {
+                finish_telemetry(&tel, &flags);
+                finish_chaos();
+                eprintln!("plan failed: {e}");
+                exit(1)
+            });
+            if let Err(e) = validate_plan(&net, &result.final_units) {
+                eprintln!("plan failed validation: {e}");
+                exit(1)
+            }
             finish_telemetry(&tel, &flags);
             finish_chaos();
             eprintln!(
@@ -249,10 +278,18 @@ fn main() {
                 result.master.nodes,
                 result.master.cuts_added
             );
+            eprintln!(
+                "quality {} (rung {}), {} retries, {} degrades",
+                result.quality,
+                result.quality.rung(),
+                result.supervision.total_retries(),
+                result.supervision.degrades
+            );
             let body = serde_json::json!({
                 "units": result.final_units,
                 "cost": result.final_cost,
                 "first_stage_cost": result.first_stage_cost,
+                "quality": result.quality.name(),
             });
             write_or_print(&flags, &serde_json::to_string_pretty(&body).expect("json"));
         }

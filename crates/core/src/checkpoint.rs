@@ -16,6 +16,7 @@ use np_chaos::checkpoint::{f64_to_hex, fnv1a64, hex_to_f64};
 use np_flow::MetricCut;
 use np_lp::MipStatus;
 use np_rl::{EpochStats, TrainProgress, TrainReport};
+use np_supervisor::PlanQuality;
 use np_topology::{LinkId, Network};
 use serde_json::Value;
 
@@ -23,8 +24,13 @@ use serde_json::Value;
 /// a different topology, seed or budget must not splice runs together,
 /// so the `meta` record carries this and mismatches discard the file.
 pub fn fingerprint(net: &Network, cfg: &NeuroPlanConfig) -> String {
+    // Supervisor knobs shape which rung of the ladder produced the
+    // recorded result, so they are part of the fingerprint: a resume
+    // under a different budget or retry policy must recompute, not
+    // splice. The wall budget travels as bits so INFINITY is stable.
+    let sup = &cfg.supervisor;
     let tag = format!(
-        "{}|{}|{}|{}|{}|{}|{}|{}",
+        "{}|{}|{}|{}|{}|{}|{}|{}|{:016x}|{:?}|{:?}|{}|{}",
         cfg.seed,
         cfg.train.epochs,
         cfg.train.steps_per_epoch,
@@ -33,6 +39,11 @@ pub fn fingerprint(net: &Network, cfg: &NeuroPlanConfig) -> String {
         cfg.max_units_per_step,
         cfg.final_rollouts,
         cfg.mip_node_limit,
+        sup.budget.wall_secs.to_bits(),
+        sup.budget.max_nodes,
+        sup.budget.max_epochs,
+        sup.retry.max_retries,
+        sup.degrade,
     );
     format!(
         "{:016x}",
@@ -216,6 +227,7 @@ fn status_name(s: MipStatus) -> &'static str {
         MipStatus::Feasible => "feasible",
         MipStatus::Infeasible => "infeasible",
         MipStatus::Limit => "limit",
+        MipStatus::TimeLimit => "time-limit",
         MipStatus::Unbounded => "unbounded",
     }
 }
@@ -226,13 +238,17 @@ fn status_from(name: &str) -> Option<MipStatus> {
         "feasible" => MipStatus::Feasible,
         "infeasible" => MipStatus::Infeasible,
         "limit" => MipStatus::Limit,
+        "time-limit" => MipStatus::TimeLimit,
         "unbounded" => MipStatus::Unbounded,
         _ => return None,
     })
 }
 
-/// Body of the `master` record.
-pub fn master_body(m: &MasterOutcome) -> Value {
+/// Body of the `master` record. `quality` is the ladder rung the
+/// supervised second stage settled on — a finished-run resume must
+/// report the same [`PlanQuality`] the original run did, so it is part
+/// of the record rather than re-derived.
+pub fn master_body(m: &MasterOutcome, quality: PlanQuality) -> Value {
     Value::Object(vec![
         (
             "status".to_string(),
@@ -246,19 +262,38 @@ pub fn master_body(m: &MasterOutcome) -> Value {
             "best_bound".to_string(),
             Value::Str(f64_to_hex(m.best_bound)),
         ),
+        ("overshoot_us".to_string(), num(m.deadline_overshoot_us)),
+        (
+            "quality".to_string(),
+            Value::Str(quality.name().to_string()),
+        ),
+        ("rung".to_string(), num(u64::from(quality.rung()))),
     ])
 }
 
-/// Decode a `master` record body.
-pub fn decode_master(body: &Value) -> Option<MasterOutcome> {
-    Some(MasterOutcome {
+/// Decode a `master` record body. Records written before the anytime
+/// supervisor carry no quality field; those infer it from the status
+/// (proven optimal → `Optimal`, anything with a plan → `Incumbent`).
+pub fn decode_master(body: &Value) -> Option<(MasterOutcome, PlanQuality)> {
+    let outcome = MasterOutcome {
         status: status_from(body.get("status")?.as_str()?)?,
         cost: hex_field(body, "cost")?,
         units: units_field(body, "units")?,
         nodes: u64_field(body, "nodes")? as usize,
         cuts_added: u64_field(body, "cuts_added")? as usize,
         best_bound: hex_field(body, "best_bound")?,
-    })
+        deadline_overshoot_us: u64_field(body, "overshoot_us").unwrap_or(0),
+    };
+    let quality = body
+        .get("quality")
+        .and_then(Value::as_str)
+        .and_then(PlanQuality::from_name)
+        .unwrap_or(if outcome.status == MipStatus::Optimal {
+            PlanQuality::Optimal
+        } else {
+            PlanQuality::Incumbent
+        });
+    Some((outcome, quality))
 }
 
 #[cfg(test)]
@@ -336,18 +371,61 @@ mod tests {
     #[test]
     fn master_record_round_trips() {
         let m = MasterOutcome {
-            status: MipStatus::Feasible,
+            status: MipStatus::TimeLimit,
             cost: 99.5,
             units: vec![2, 2, 0],
             nodes: 17,
             cuts_added: 4,
             best_bound: 80.25,
+            deadline_overshoot_us: 123,
         };
-        let back = decode_master(&master_body(&m)).expect("round trip");
+        let (back, quality) =
+            decode_master(&master_body(&m, PlanQuality::Incumbent)).expect("round trip");
         assert_eq!(back.status, m.status);
         assert_eq!(back.cost.to_bits(), m.cost.to_bits());
         assert_eq!(back.units, m.units);
         assert_eq!(back.nodes, 17);
         assert_eq!(back.best_bound.to_bits(), m.best_bound.to_bits());
+        assert_eq!(back.deadline_overshoot_us, 123);
+        assert_eq!(quality, PlanQuality::Incumbent);
+    }
+
+    #[test]
+    fn pre_supervisor_master_records_infer_their_quality() {
+        // A record written before the anytime supervisor: no quality,
+        // rung or overshoot fields.
+        let legacy = Value::Object(vec![
+            ("status".to_string(), Value::Str("optimal".to_string())),
+            ("cost".to_string(), Value::Str(f64_to_hex(10.0))),
+            ("units".to_string(), units_value(&[1, 2])),
+            ("nodes".to_string(), num(3)),
+            ("cuts_added".to_string(), num(0)),
+            ("best_bound".to_string(), Value::Str(f64_to_hex(10.0))),
+        ]);
+        let (back, quality) = decode_master(&legacy).expect("legacy decode");
+        assert_eq!(back.deadline_overshoot_us, 0);
+        assert_eq!(quality, PlanQuality::Optimal);
+    }
+
+    #[test]
+    fn fingerprint_tracks_supervisor_knobs() {
+        let net = GeneratorConfig::preset(TopologyPreset::A).generate();
+        let cfg = NeuroPlanConfig::quick();
+        let base = fingerprint(&net, &cfg);
+        assert_ne!(
+            base,
+            fingerprint(&net, &cfg.clone().with_stage_budget(30.0)),
+            "stage budget changes it"
+        );
+        assert_ne!(
+            base,
+            fingerprint(&net, &cfg.clone().with_degrade(false)),
+            "degradation toggle changes it"
+        );
+        assert_ne!(
+            base,
+            fingerprint(&net, &cfg.clone().with_max_retries(7)),
+            "retry policy changes it"
+        );
     }
 }

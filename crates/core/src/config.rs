@@ -2,6 +2,7 @@
 
 use np_eval::EvalConfig;
 use np_rl::{AgentConfig, TrainConfig};
+use np_supervisor::SupervisorConfig;
 use serde::{Deserialize, Serialize};
 
 /// Everything that parameterizes a NeuroPlan run.
@@ -31,6 +32,9 @@ pub struct NeuroPlanConfig {
     pub final_rollouts: usize,
     /// Master seed for the whole pipeline.
     pub seed: u64,
+    /// Anytime-planning supervision: per-stage budgets, retry policy and
+    /// the degradation ladder (DESIGN.md §11).
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for NeuroPlanConfig {
@@ -61,6 +65,7 @@ impl Default for NeuroPlanConfig {
                 num_actors: 1,
                 rollout_workers: 1,
                 rollout_seed: 0,
+                wall_limit_secs: f64::INFINITY,
             },
             eval: {
                 let mut eval = EvalConfig::default();
@@ -77,6 +82,7 @@ impl Default for NeuroPlanConfig {
             mip_time_limit_secs: 120.0,
             final_rollouts: 8,
             seed: 0,
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -133,6 +139,31 @@ impl NeuroPlanConfig {
         self.train.rollout_workers = workers;
         self.train.num_actors = 4;
         self.train.rollout_seed = self.seed;
+        self
+    }
+
+    /// Cap every supervised stage at `secs` wall-clock seconds (the
+    /// CLI's `--stage-budget`). Also reseeds retry backoff jitter from
+    /// the master seed so reruns are reproducible.
+    pub fn with_stage_budget(mut self, secs: f64) -> Self {
+        self.supervisor.budget.wall_secs = secs;
+        self.supervisor.retry.seed = self.seed;
+        self
+    }
+
+    /// Retries allowed per stage before the supervisor degrades or gives
+    /// up (the CLI's `--max-retries`).
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.supervisor.retry.max_retries = retries;
+        self
+    }
+
+    /// Enable or disable the degradation ladder (the CLI's
+    /// `--no-degrade` passes `false`). With degradation off, a stage
+    /// that exhausts its budget without an incumbent is a hard error
+    /// instead of falling back to rounding or the heuristic plan.
+    pub fn with_degrade(mut self, degrade: bool) -> Self {
+        self.supervisor.degrade = degrade;
         self
     }
 }

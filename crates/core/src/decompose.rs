@@ -134,6 +134,7 @@ pub fn solve_decomposed_telemetry(
                     granularity: 1,
                     gap_tol: MasterConfig::DEFAULT_GAP,
                     warm_units: None,
+                    polish_final: true,
                 };
                 let out = solve_master_telemetry(&sub.net, &mut evaluator, &cfg, &region_tel);
                 region_tel.incr(sys::PIPELINE, "regions_solved", 1);
@@ -376,7 +377,7 @@ mod tests {
         let net = GeneratorConfig::a_variant(0.0).generate();
         let out = solve_decomposed(&net, EvalConfig::default(), 10.0, 2, 1)
             .expect("decomposition must stitch to feasibility");
-        assert!(validate_plan(&net, &out.units));
+        validate_plan(&net, &out.units).expect("decomposed plan validates");
         assert!(out.cost > 0.0);
         assert_eq!(out.regions, 2);
     }
@@ -401,6 +402,7 @@ mod tests {
                 granularity: 1,
                 gap_tol: MasterConfig::DEFAULT_GAP,
                 warm_units: None,
+                polish_final: true,
             },
         );
         assert!(global.has_plan());

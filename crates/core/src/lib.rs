@@ -40,5 +40,6 @@ pub use decompose::{solve_decomposed, solve_decomposed_telemetry, DecomposedOutc
 pub use env::PlanningEnv;
 pub use greedy::greedy_augment;
 pub use master::{solve_master, solve_master_telemetry, MasterConfig, MasterOutcome};
-pub use pipeline::{validate_plan, FirstStage, NeuroPlan, NeuroPlanResult};
+pub use np_supervisor::{PlanQuality, StageBudget, SupervisionReport, SupervisorConfig};
+pub use pipeline::{validate_plan, FirstStage, NeuroPlan, NeuroPlanResult, PlanError, PlanFailure};
 pub use report::{PhaseReport, PruningReport};

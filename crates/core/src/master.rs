@@ -15,9 +15,13 @@
 
 use np_eval::{PlanEvaluator, Separation};
 use np_flow::MetricCut;
-use np_lp::{solve_mip_telemetry, Cut, MipConfig, MipStatus, Model, Sense, SimplexConfig, VarId};
+use np_lp::{
+    solve_lp, solve_mip_telemetry, Cut, LpStatus, MipConfig, MipStatus, Model, Sense,
+    SimplexConfig, VarId,
+};
 use np_telemetry::{sys, Telemetry};
 use np_topology::{LinkId, Network};
+use std::time::Instant;
 
 /// Master-problem configuration.
 #[derive(Clone, Debug)]
@@ -50,6 +54,10 @@ pub struct MasterConfig {
     /// returned if the search finds nothing better — the mechanism behind
     /// §3.2's "warm-start solutions … help solvers converge faster".
     pub warm_units: Option<Vec<u32>>,
+    /// Run the post-solve 1-opt polish inside [`solve_master`] (the
+    /// historical behavior). The supervised pipeline sets this to
+    /// `false` and runs polishing as its own budgeted stage instead.
+    pub polish_final: bool,
 }
 
 impl MasterConfig {
@@ -112,6 +120,11 @@ pub struct MasterOutcome {
     pub cuts_added: usize,
     /// Proven lower bound on the optimal cost within the given bounds.
     pub best_bound: f64,
+    /// Microseconds run past the wall budget inside uninterruptible
+    /// separation rounds, MILP-internal rounds plus the master-level
+    /// polish rounds (the latter also emitted as the
+    /// `master.deadline_overshoot_us` counter).
+    pub deadline_overshoot_us: u64,
 }
 
 impl MasterOutcome {
@@ -143,60 +156,18 @@ pub fn solve_master_telemetry(
     tel: &Telemetry,
 ) -> MasterOutcome {
     let _solve_span = tel.span(sys::MASTER, "solve_master");
+    let start = Instant::now();
     let reuse_before = evaluator.stats.cut_reuse_hits;
-    let links: Vec<LinkId> = net.link_ids().collect();
-    assert_eq!(cfg.upper_bounds.len(), links.len());
-    let base: Vec<u32> = links.iter().map(|&l| net.base_units(l)).collect();
+    let built = build_master_model(net, cfg);
+    let MasterModel {
+        model,
+        avars,
+        links,
+        base,
+        gran,
+    } = built;
     let unit = net.unit_gbps;
-    let gran = cfg.granularity.max(1);
     let g = f64::from(gran);
-
-    let mut model = Model::new("neuroplan-master");
-    // a_l: added capacity *chunks* above baseline (each chunk = `gran`
-    // units; gran = 1 is the exact formulation). The per-unit objective
-    // already contains the amortized optical cost (Eq. 1's linear form).
-    let avars: Vec<VarId> = links
-        .iter()
-        .map(|&l| {
-            let i = l.index();
-            let span = f64::from((cfg.upper_bounds[i].max(base[i]) - base[i]) / gran);
-            let obj = g * net.unit_cost(l);
-            model.add_var(format!("a_{l}"), 0.0, span, obj, true)
-        })
-        .collect();
-    // Spectrum rows (Eq. 4).
-    for f in net.fiber_ids() {
-        let mut coeffs = Vec::new();
-        let mut used_base = 0.0;
-        for &l in net.links_over_fiber(f) {
-            let eff = net
-                .link(l)
-                .fiber_path
-                .iter()
-                .find(|&&(ff, _)| ff == f)
-                .map(|&(_, e)| e)
-                .expect("link is over fiber");
-            coeffs.push((avars[l.index()], eff * g));
-            used_base += eff * f64::from(base[l.index()]);
-        }
-        if !coeffs.is_empty() {
-            model.add_constr(
-                format!("spec_{f}"),
-                coeffs,
-                Sense::Le,
-                net.fiber(f).spectrum_ghz - used_base,
-            );
-        }
-    }
-    // Seed cuts (raw + Chvátal–Gomory-rounded variants).
-    for (k, cut) in cfg.seed_cuts.iter().enumerate() {
-        if let Some((coeffs, rhs)) = cut_to_row(cut, &avars, &base, unit, g) {
-            if let Some((rc, rr)) = cg_round(&coeffs, rhs) {
-                model.add_constr(format!("seed_cg_{k}"), rc, Sense::Ge, rr);
-            }
-            model.add_constr(format!("seed_{k}"), coeffs, Sense::Ge, rhs);
-        }
-    }
 
     let mip_cfg = MipConfig {
         node_limit: cfg.node_limit,
@@ -208,8 +179,12 @@ pub fn solve_master_telemetry(
     };
     // Polish and install the warm plan as the incumbent before searching
     // (must happen before the separator closure borrows the evaluator).
+    // The polish loop runs the expensive separation oracle, so it gets
+    // the same deadline accounting the MILP's own rounds have.
+    let mut polish_overshoot_us = 0u64;
     let warm = cfg.warm_units.clone().map(|mut units| {
-        polish_units(net, evaluator, &mut units);
+        polish_overshoot_us +=
+            polish_units_budgeted(net, evaluator, &mut units, &start, cfg.time_limit_secs);
         let cost = plan_cost_of(net, &units);
         (units, cost)
     });
@@ -218,6 +193,13 @@ pub fn solve_master_telemetry(
             (Some((_, wc)), Some(c)) => Some(c.min(wc * (1.0 + 1e-9) + 1e-9)),
             (Some((_, wc)), None) => Some(wc * (1.0 + 1e-9) + 1e-9),
             (None, c) => c,
+        },
+        // The warm polish spent part of the master's wall budget; the
+        // MILP gets what is left, so the stage as a whole honors it.
+        time_limit_secs: if mip_cfg.time_limit_secs.is_finite() {
+            (mip_cfg.time_limit_secs - start.elapsed().as_secs_f64()).max(0.0)
+        } else {
+            mip_cfg.time_limit_secs
         },
         ..mip_cfg
     };
@@ -282,11 +264,16 @@ pub fn solve_master_telemetry(
     };
     let mut cost = sol.objective;
     if !units.is_empty() {
-        // 1-opt polishing: drop single units (most expensive links first)
-        // while the plan stays feasible. This is the stage-2 trimming of
-        // "useless steps" the paper attributes to the ILP, done as the
-        // solution-polishing heuristic every commercial solver also runs.
-        polish_units(net, evaluator, &mut units);
+        if cfg.polish_final {
+            // 1-opt polishing: drop single units (most expensive links
+            // first) while the plan stays feasible. This is the stage-2
+            // trimming of "useless steps" the paper attributes to the
+            // ILP, done as the solution-polishing heuristic every
+            // commercial solver also runs. (The supervised pipeline
+            // disables this and polishes as its own budgeted stage.)
+            polish_overshoot_us +=
+                polish_units_budgeted(net, evaluator, &mut units, &start, cfg.time_limit_secs);
+        }
         cost = plan_cost_of(net, &units);
     }
     // Fall back to (or prefer) the polished warm plan when it wins.
@@ -312,6 +299,7 @@ pub fn solve_master_telemetry(
             evaluator.stats.cut_reuse_hits.saturating_sub(reuse_before),
         );
         tel.incr(sys::MASTER, "incumbent_updates", incumbent_updates);
+        tel.incr(sys::MASTER, "deadline_overshoot_us", polish_overshoot_us);
         tel.record(sys::MASTER, "best_cost", cost);
     }
     MasterOutcome {
@@ -321,7 +309,157 @@ pub fn solve_master_telemetry(
         nodes: sol.nodes,
         cuts_added: sol.cuts_added,
         best_bound: sol.best_bound.min(cost),
+        deadline_overshoot_us: sol.deadline_overshoot_us + polish_overshoot_us,
     }
+}
+
+/// The master model plus the handles needed to map between model
+/// variables and link capacity units.
+struct MasterModel {
+    model: Model,
+    avars: Vec<VarId>,
+    links: Vec<LinkId>,
+    base: Vec<u32>,
+    gran: u32,
+}
+
+/// Build the master MILP for `net` within `cfg.upper_bounds`: one
+/// integer added-chunks variable per link, spectrum rows (Eq. 4), and
+/// the seed cuts (raw + Chvátal–Gomory-rounded variants).
+fn build_master_model(net: &Network, cfg: &MasterConfig) -> MasterModel {
+    let links: Vec<LinkId> = net.link_ids().collect();
+    assert_eq!(cfg.upper_bounds.len(), links.len());
+    let base: Vec<u32> = links.iter().map(|&l| net.base_units(l)).collect();
+    let unit = net.unit_gbps;
+    let gran = cfg.granularity.max(1);
+    let g = f64::from(gran);
+
+    let mut model = Model::new("neuroplan-master");
+    // a_l: added capacity *chunks* above baseline (each chunk = `gran`
+    // units; gran = 1 is the exact formulation). The per-unit objective
+    // already contains the amortized optical cost (Eq. 1's linear form).
+    let avars: Vec<VarId> = links
+        .iter()
+        .map(|&l| {
+            let i = l.index();
+            let span = f64::from((cfg.upper_bounds[i].max(base[i]) - base[i]) / gran);
+            let obj = g * net.unit_cost(l);
+            model.add_var(format!("a_{l}"), 0.0, span, obj, true)
+        })
+        .collect();
+    // Spectrum rows (Eq. 4).
+    for f in net.fiber_ids() {
+        let mut coeffs = Vec::new();
+        let mut used_base = 0.0;
+        for &l in net.links_over_fiber(f) {
+            let eff = net
+                .link(l)
+                .fiber_path
+                .iter()
+                .find(|&&(ff, _)| ff == f)
+                .map(|&(_, e)| e)
+                .expect("link is over fiber");
+            coeffs.push((avars[l.index()], eff * g));
+            used_base += eff * f64::from(base[l.index()]);
+        }
+        if !coeffs.is_empty() {
+            model.add_constr(
+                format!("spec_{f}"),
+                coeffs,
+                Sense::Le,
+                net.fiber(f).spectrum_ghz - used_base,
+            );
+        }
+    }
+    // Seed cuts (raw + Chvátal–Gomory-rounded variants).
+    for (k, cut) in cfg.seed_cuts.iter().enumerate() {
+        if let Some((coeffs, rhs)) = cut_to_row(cut, &avars, &base, unit, g) {
+            if let Some((rc, rr)) = cg_round(&coeffs, rhs) {
+                model.add_constr(format!("seed_cg_{k}"), rc, Sense::Ge, rr);
+            }
+            model.add_constr(format!("seed_{k}"), coeffs, Sense::Ge, rhs);
+        }
+    }
+    MasterModel {
+        model,
+        avars,
+        links,
+        base,
+        gran,
+    }
+}
+
+/// Rung 2 of the degradation ladder: solve the master's *LP relaxation*,
+/// round the fractional added-chunks up to integers, and repair against
+/// the separation oracle — cuts violated by the rounded point are valid
+/// rows that push the next LP iterate upward, so the loop converges like
+/// a cutting-plane method at a tiny fraction of the MILP's cost. Returns
+/// `(units, cost)` on the first rounded point every scenario accepts, or
+/// `None` when `deadline` fires / the LP fails / the instance is
+/// structurally infeasible.
+pub fn lp_round_plan(
+    net: &Network,
+    evaluator: &mut PlanEvaluator,
+    cfg: &MasterConfig,
+    deadline: &mut dyn FnMut() -> bool,
+    tel: &Telemetry,
+) -> Option<(Vec<u32>, f64)> {
+    let _span = tel.span(sys::MASTER, "lp_round");
+    let MasterModel {
+        mut model,
+        avars,
+        links,
+        base,
+        gran,
+    } = build_master_model(net, cfg);
+    let unit = net.unit_gbps;
+    let g = f64::from(gran);
+    let scfg = SimplexConfig::default();
+    const MAX_ROUNDS: usize = 60;
+    for round in 0..MAX_ROUNDS {
+        if deadline() {
+            return None;
+        }
+        let lp = solve_lp(&model, &scfg);
+        if lp.status != LpStatus::Optimal {
+            return None;
+        }
+        let units: Vec<u32> = links
+            .iter()
+            .map(|&l| {
+                let i = l.index();
+                base[i] + gran * (lp.x[avars[i].0] - 1e-9).ceil().max(0.0) as u32
+            })
+            .collect();
+        let caps: Vec<f64> = units.iter().map(|&u| f64::from(u) * unit).collect();
+        match evaluator.separate(&caps, cfg.max_cuts_per_round) {
+            Separation::Feasible => {
+                tel.incr(sys::MASTER, "lp_round_rounds", round as u64 + 1);
+                let cost = plan_cost_of(net, &units);
+                return Some((units, cost));
+            }
+            Separation::Cuts(cuts) => {
+                let mut added = false;
+                for (k, cut) in cuts.iter().enumerate() {
+                    if let Some((coeffs, rhs)) = cut_to_row(cut, &avars, &base, unit, g) {
+                        if let Some((rc, rr)) = cg_round(&coeffs, rhs) {
+                            model.add_constr(format!("round_cg_{round}_{k}"), rc, Sense::Ge, rr);
+                        }
+                        model.add_constr(format!("round_{round}_{k}"), coeffs, Sense::Ge, rhs);
+                        added = true;
+                    }
+                }
+                if !added {
+                    // Every cut was satisfied by the baseline already:
+                    // the oracle and the rounding disagree numerically
+                    // and more rounds cannot make progress.
+                    return None;
+                }
+            }
+            Separation::StructurallyInfeasible(_) => return None,
+        }
+    }
+    None
 }
 
 /// Eq. 1 cost of a units vector relative to the network baseline.
@@ -338,6 +476,23 @@ pub fn plan_cost_of(net: &Network, units: &[u32]) -> f64 {
 /// expensive first) as long as every scenario stays feasible. Never goes
 /// below a link's `min_units` (Eq. 5).
 pub fn polish_units(net: &Network, evaluator: &mut PlanEvaluator, units: &mut [u32]) {
+    polish_units_budgeted(net, evaluator, units, &Instant::now(), f64::INFINITY);
+}
+
+/// [`polish_units`] under the master's wall budget: stops (leaving a
+/// still-feasible plan) once `start` has run for `limit_secs`, and
+/// returns the microseconds by which the last uninterruptible separation
+/// round overshot the budget — the same accounting contract as the
+/// MILP's `lp.deadline_overshoot_us`. An infinite budget never stops and
+/// returns 0, so the unbudgeted wrapper above is behavior-identical to
+/// the historical polish.
+pub(crate) fn polish_units_budgeted(
+    net: &Network,
+    evaluator: &mut PlanEvaluator,
+    units: &mut [u32],
+    start: &Instant,
+    limit_secs: f64,
+) -> u64 {
     let mut order: Vec<LinkId> = net.link_ids().collect();
     order.sort_by(|&a, &b| {
         net.unit_cost(b)
@@ -348,13 +503,31 @@ pub fn polish_units(net: &Network, evaluator: &mut PlanEvaluator, units: &mut [u
         .iter()
         .map(|&u| f64::from(u) * net.unit_gbps)
         .collect();
+    let mut overshoot = 0u64;
+    // Overshoot helper mirroring np-lp's: time past the budget, in µs.
+    let over_now = |start: &Instant| -> u64 {
+        let over = start.elapsed().as_secs_f64() - limit_secs;
+        if over > 0.0 {
+            (over * 1e6) as u64
+        } else {
+            0
+        }
+    };
     loop {
         let mut improved = false;
         for &l in &order {
             let i = l.index();
             while units[i] > net.link(l).min_units {
+                // Never *start* a separation round the budget no longer
+                // covers; a round already in flight runs to completion
+                // and its overrun is accounted below.
+                if start.elapsed().as_secs_f64() >= limit_secs {
+                    return overshoot;
+                }
                 caps[i] = f64::from(units[i] - 1) * net.unit_gbps;
-                match evaluator.separate(&caps, 1) {
+                let sep = evaluator.separate(&caps, 1);
+                overshoot += over_now(start);
+                match sep {
                     Separation::Feasible => {
                         units[i] -= 1;
                         improved = true;
@@ -370,6 +543,7 @@ pub fn polish_units(net: &Network, evaluator: &mut PlanEvaluator, units: &mut [u
             break;
         }
     }
+    overshoot
 }
 
 /// Convert a metric cut over link capacities (Gbps) into a master row
@@ -489,6 +663,7 @@ mod tests {
             granularity: 1,
             gap_tol: MasterConfig::DEFAULT_GAP,
             warm_units: None,
+            polish_final: true,
         };
         let out = solve_master(&net, &mut evaluator, &cfg);
         assert!(
@@ -537,6 +712,7 @@ mod tests {
                 granularity: 1,
                 gap_tol: MasterConfig::DEFAULT_GAP,
                 warm_units: None,
+                polish_final: true,
             };
             solve_master(&net, &mut evaluator, &cfg)
         };
@@ -569,6 +745,7 @@ mod tests {
             granularity: 1,
             gap_tol: MasterConfig::DEFAULT_GAP,
             warm_units: None,
+            polish_final: true,
         };
         let first = solve_master(&net, &mut ev1, &base_cfg);
         // Re-solve seeding the certificates the first run discovered: same

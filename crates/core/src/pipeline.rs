@@ -1,19 +1,28 @@
-//! The two-stage NeuroPlan pipeline (Fig. 2 / Fig. 3).
+//! The two-stage NeuroPlan pipeline (Fig. 2 / Fig. 3), run under the
+//! anytime supervisor: every stage has a budget, transient failures are
+//! retried with seeded backoff, and hard budget exhaustion walks the
+//! degradation ladder instead of failing (DESIGN.md §11).
 
 use crate::checkpoint;
 use crate::config::NeuroPlanConfig;
 use crate::env::PlanningEnv;
 use crate::greedy::greedy_augment;
-use crate::master::{apply_units, solve_master_telemetry, MasterConfig, MasterOutcome};
+use crate::master::{
+    apply_units, lp_round_plan, plan_cost_of, polish_units_budgeted, solve_master_telemetry,
+    MasterConfig, MasterOutcome,
+};
 use crate::report::PruningReport;
 use np_chaos::checkpoint::{append_record, read_records, Record};
 use np_eval::EvalStats;
 use np_flow::MetricCut;
+use np_lp::MipStatus;
 use np_rl::{train_resumable, ActorCritic, GraphEnv, TrainProgress, TrainReport, TrainResume};
+use np_supervisor::{PlanQuality, StageCtx, StageError, SupervisionReport, Supervisor};
 use np_telemetry::{sys, Telemetry};
 use np_topology::Network;
 use serde_json::Value;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Outputs of the RL stage.
 #[derive(Clone, Debug)]
@@ -49,6 +58,10 @@ pub struct NeuroPlanResult {
     pub final_cost: f64,
     /// Units per link of the final plan.
     pub final_units: Vec<u32>,
+    /// Which rung of the degradation ladder produced the final plan.
+    pub quality: PlanQuality,
+    /// Per-stage retry/backoff/degrade trace from the supervisor.
+    pub supervision: SupervisionReport,
     /// Per-epoch RL training statistics.
     pub train_report: TrainReport,
     /// Second-stage solver outcome.
@@ -58,6 +71,100 @@ pub struct NeuroPlanResult {
     /// The interpretable pruning summary (§4.3).
     pub pruning: PruningReport,
 }
+
+/// Why a [`NeuroPlan::try_plan`] run could not produce a plan. With the
+/// default configuration (unlimited budgets, degradation enabled) this
+/// is unreachable: some rung of the ladder always returns the feasible
+/// first-stage plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanFailure {
+    /// A stage ran out of budget/retries and `--no-degrade` forbade
+    /// falling back to a lower rung.
+    StageExhausted {
+        /// The stage that gave out.
+        stage: String,
+        /// Last failure reason seen.
+        reason: String,
+    },
+    /// The instance admits no feasible plan at any capacity.
+    Infeasible {
+        /// What proved it infeasible.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for PlanFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanFailure::StageExhausted { stage, reason } => write!(
+                f,
+                "stage `{stage}` exhausted its budget and degradation is disabled: {reason}"
+            ),
+            PlanFailure::Infeasible { reason } => {
+                write!(f, "planning instance is infeasible: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanFailure {}
+
+/// Why [`validate_plan`] rejected a plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// The unit vector does not have one entry per link.
+    WrongLength {
+        /// Links in the network.
+        expected: usize,
+        /// Entries in the plan.
+        got: usize,
+    },
+    /// A scenario's service expectations are violated by these
+    /// capacities. Scenario 0 is the no-failure base case; scenario `k`
+    /// (k ≥ 1) is failure `k − 1` of the instance's failure set.
+    ScenarioInfeasible {
+        /// Dense scenario index of the first violation.
+        scenario: usize,
+    },
+    /// The violated scenario cannot be fixed by adding capacity — the
+    /// instance itself is broken under that failure.
+    StructurallyInfeasible {
+        /// Dense scenario index of the structural violation.
+        scenario: usize,
+    },
+}
+
+impl PlanError {
+    fn scenario_name(scenario: usize) -> String {
+        if scenario == 0 {
+            "scenario 0 (no-failure)".to_string()
+        } else {
+            format!("scenario {scenario} (failure {})", scenario - 1)
+        }
+    }
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::WrongLength { expected, got } => {
+                write!(f, "plan has {got} capacity entries for {expected} links")
+            }
+            PlanError::ScenarioInfeasible { scenario } => write!(
+                f,
+                "plan violates the service expectations of {}",
+                Self::scenario_name(*scenario)
+            ),
+            PlanError::StructurallyInfeasible { scenario } => write!(
+                f,
+                "{} admits no feasible routing at any capacity",
+                Self::scenario_name(*scenario)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// The NeuroPlan planner.
 pub struct NeuroPlan {
@@ -89,7 +196,8 @@ impl NeuroPlan {
     }
 
     /// New planner reporting through `tel`: stage spans under `pipeline`,
-    /// plus the `rl`, `eval`, `master` and `lp` subsystem counters.
+    /// plus the `rl`, `eval`, `master`, `lp` and `supervisor` subsystem
+    /// counters.
     pub fn with_telemetry(cfg: NeuroPlanConfig, tel: Telemetry) -> Self {
         NeuroPlan {
             cfg,
@@ -123,13 +231,28 @@ impl NeuroPlan {
 
     /// Run both stages on a planning instance.
     ///
-    /// Panics if the instance is structurally infeasible (some protected
-    /// demand has no surviving path under some scenario) — the generator
-    /// never produces such instances, and a user instance with that
-    /// property has no plan at any cost.
+    /// Panics if [`NeuroPlan::try_plan`] fails — which with the default
+    /// supervisor configuration only happens for a structurally
+    /// infeasible instance (some protected demand has no surviving path
+    /// under some scenario); such an instance has no plan at any cost.
     pub fn plan(&self, net: &Network) -> NeuroPlanResult {
+        self.try_plan(net)
+            .unwrap_or_else(|e| panic!("neuroplan: {e}"))
+    }
+
+    /// Run both stages under the anytime supervisor.
+    ///
+    /// Every stage runs under [`NeuroPlanConfig::supervisor`]'s budget
+    /// and retry policy. When the second stage cannot produce a plan in
+    /// budget, the degradation ladder steps down — proven-optimal MILP,
+    /// best MILP incumbent, LP-relaxation rounding, first-stage
+    /// heuristic — and the rung reached is reported as
+    /// [`NeuroPlanResult::quality`]. `Err` is only possible when the
+    /// instance is infeasible or degradation is disabled.
+    pub fn try_plan(&self, net: &Network) -> Result<NeuroPlanResult, PlanFailure> {
         let _plan_span = self.tel.span(sys::PIPELINE, "plan");
         let chaos = np_chaos::global();
+        let sup = Supervisor::new(self.cfg.supervisor, self.tel.clone());
         let ckpt = self.checkpoint_path();
         let mut records: Vec<Record> = Vec::new();
         if let Some(path) = &ckpt {
@@ -174,24 +297,48 @@ impl NeuroPlan {
             .and_then(|r| checkpoint::decode_master(&r.body));
 
         // A run that already finished resumes straight to its recorded
-        // result. The pruning report is a pure function of the
-        // first-stage plan, so it is recomputed rather than stored.
-        if let (Some(first), Some(master)) = (&first_rec, master_rec) {
+        // result, including the ladder rung the original run settled on.
+        // The pruning report is a pure function of the first-stage plan,
+        // so it is recomputed rather than stored.
+        if let (Some(first), Some((master, quality))) = (&first_rec, master_rec) {
             let pruning = self.pruning_report(net, &first.units);
-            return Self::finish(
+            return Ok(Self::finish(
                 first.cost,
                 first.units.clone(),
                 first.report.clone(),
                 master,
+                quality,
+                sup.report(),
                 EvalStats::default(),
                 pruning,
-            );
+            ));
         }
 
         let first = match first_rec {
             Some(first) => first,
             None => {
-                let first = self.first_stage_resumable(net, ckpt.as_deref(), epoch_recs, chaos);
+                let first = sup
+                    .run("first_stage", |ctx| {
+                        // A retry after a mid-training panic must resume
+                        // from the records the failed attempt managed to
+                        // append, not from the stale pre-attempt view.
+                        let recs = match (&ckpt, ctx.attempt) {
+                            (Some(path), a) if a > 0 => read_records(path)
+                                .iter()
+                                .filter(|r| r.kind == "epoch")
+                                .filter_map(|r| checkpoint::decode_epoch(&r.body))
+                                .collect(),
+                            _ => epoch_recs.clone(),
+                        };
+                        self.first_stage_resumable(net, ckpt.as_deref(), recs, chaos, Some(ctx))
+                    })
+                    .map_err(|e| match e {
+                        StageError::Fatal(reason) => PlanFailure::Infeasible { reason },
+                        StageError::Transient(reason) => PlanFailure::StageExhausted {
+                            stage: "first_stage".to_string(),
+                            reason,
+                        },
+                    })?;
                 if let Some(path) = &ckpt {
                     self.append(
                         path,
@@ -211,28 +358,44 @@ impl NeuroPlan {
             stats: mut eval_stats,
             ..
         } = first;
-        let (master, pruning) =
-            self.second_stage(net, &first_units, first_cost, seed_cuts, &mut eval_stats);
+        let (master, pruning, quality) = self.second_stage_supervised(
+            &sup,
+            net,
+            &first_units,
+            first_cost,
+            seed_cuts,
+            &mut eval_stats,
+        )?;
         if let Some(path) = &ckpt {
-            self.append(path, "master", checkpoint::master_body(&master), chaos);
+            self.append(
+                path,
+                "master",
+                checkpoint::master_body(&master, quality),
+                chaos,
+            );
         }
-        Self::finish(
+        Ok(Self::finish(
             first_cost,
             first_units,
             train_report,
             master,
+            quality,
+            sup.report(),
             eval_stats,
             pruning,
-        )
+        ))
     }
 
     /// Final plan selection: the master incumbent when it beats the
     /// first stage, otherwise the first-stage plan itself.
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         first_cost: f64,
         first_units: Vec<u32>,
         train_report: TrainReport,
         master: MasterOutcome,
+        quality: PlanQuality,
+        supervision: SupervisionReport,
         eval_stats: EvalStats,
         pruning: PruningReport,
     ) -> NeuroPlanResult {
@@ -246,6 +409,8 @@ impl NeuroPlan {
             first_stage_units: first_units,
             final_cost,
             final_units,
+            quality,
+            supervision,
             train_report,
             master,
             eval_stats,
@@ -262,26 +427,36 @@ impl NeuroPlan {
     /// Stage 1: train the agent and extract the best feasible plan. A
     /// greedy certificate-guided plan provides the reward normalizer and
     /// the fallback if training never completes a trajectory.
+    ///
+    /// Panics on a structurally infeasible instance (same contract as
+    /// [`NeuroPlan::plan`]); runs unsupervised with no budget.
     pub fn first_stage(&self, net: &Network) -> FirstStage {
-        self.first_stage_resumable(net, None, Vec::new(), np_chaos::global())
+        match self.first_stage_resumable(net, None, Vec::new(), np_chaos::global(), None) {
+            Ok(first) => first,
+            Err(e) => panic!("planning instance must admit a feasible plan: {e}"),
+        }
     }
 
-    /// [`NeuroPlan::first_stage`], with checkpointing: epoch records are
-    /// appended to `ckpt` as training progresses, and `epoch_recs` (the
-    /// decoded records of an interrupted run) restore the trainer to the
-    /// exact post-epoch state the last record captured.
+    /// [`NeuroPlan::first_stage`], with checkpointing and supervision:
+    /// epoch records are appended to `ckpt` as training progresses,
+    /// `epoch_recs` (the decoded records of an interrupted run) restore
+    /// the trainer to the exact post-epoch state the last record
+    /// captured, and `ctx` (when supervised) caps the epoch count and
+    /// wall clock of the training loop.
     fn first_stage_resumable(
         &self,
         net: &Network,
         ckpt: Option<&Path>,
         epoch_recs: Vec<checkpoint::EpochRecord>,
         chaos: &np_chaos::Chaos,
-    ) -> FirstStage {
+        ctx: Option<&StageCtx>,
+    ) -> Result<FirstStage, StageError> {
         let _stage_span = self.tel.span(sys::PIPELINE, "first_stage");
-        // Reference plan: reward scale + fallback.
+        // Reference plan: reward scale + fallback. Failure here means no
+        // plan exists at any capacity — not worth retrying.
         let mut ref_net = net.clone();
         let ref_cost = greedy_augment(&mut ref_net, self.cfg.eval)
-            .expect("planning instance must admit a feasible plan");
+            .map_err(|e| StageError::Fatal(format!("greedy reference failed: {e:?}")))?;
         let ref_units: Vec<u32> = ref_net
             .link_ids()
             .map(|l| ref_net.link(l).capacity_units)
@@ -330,6 +505,19 @@ impl NeuroPlan {
                 );
             }
         }
+        // The supervised stage budget clamps the training loop: epoch
+        // cap directly, wall cap via the trainer's own epoch-boundary
+        // check so the stop always lands on a checkpointable epoch.
+        let mut tcfg = self.cfg.train.clone();
+        if let Some(ctx) = ctx {
+            if let Some(cap) = ctx.budget.max_epochs {
+                tcfg.epochs = tcfg.epochs.min(cap);
+            }
+            let remaining = ctx.remaining_secs();
+            if remaining.is_finite() {
+                tcfg.wall_limit_secs = tcfg.wall_limit_secs.min(remaining);
+            }
+        }
         let report = match ckpt {
             Some(path) => {
                 let mut hook =
@@ -346,29 +534,30 @@ impl NeuroPlan {
                 train_resumable(
                     &mut env,
                     &mut agent,
-                    &self.cfg.train,
+                    &tcfg,
                     &self.tel,
                     chaos,
                     resume,
                     Some(&mut hook),
                 )
             }
-            None => train_resumable(
-                &mut env,
-                &mut agent,
-                &self.cfg.train,
-                &self.tel,
-                chaos,
-                resume,
-                None,
-            ),
+            None => train_resumable(&mut env, &mut agent, &tcfg, &self.tel, chaos, resume, None),
         };
 
-        // Final rollouts: stochastic samples plus one greedy decode.
+        // Final rollouts: stochastic samples plus one greedy decode. With
+        // the wall budget spent, the stochastic extras are dropped but
+        // the greedy decode always runs — it is what turns a trained
+        // policy into a plan.
         agent.reseed_sampling(self.cfg.seed ^ 0xdead_beef);
         let rollout_cap = self.cfg.train.max_traj_len * 4;
+        let wall_spent = |ctx: Option<&StageCtx>| {
+            ctx.is_some_and(|c| c.budget.wall_secs.is_finite() && c.remaining_secs() <= 0.0)
+        };
         for k in 0..=self.cfg.final_rollouts {
             let greedy_decode = k == self.cfg.final_rollouts;
+            if !greedy_decode && wall_spent(ctx) {
+                continue;
+            }
             let mut obs = env.reset();
             for _ in 0..rollout_cap {
                 if !obs.has_valid_action() {
@@ -400,7 +589,7 @@ impl NeuroPlan {
             .filter_map(|i| evaluator.certificate(i).cloned())
             .collect();
         let stats = evaluator.take_stats();
-        FirstStage {
+        Ok(FirstStage {
             units,
             cost,
             rl_cost,
@@ -408,10 +597,12 @@ impl NeuroPlan {
             report,
             certificates: certs,
             stats,
-        }
+        })
     }
 
-    /// Stage 2: α-pruned ILP around the first-stage plan.
+    /// Stage 2: α-pruned ILP around the first-stage plan — the
+    /// unsupervised entry point (no budgets, no ladder, post-solve
+    /// polish inside the master as in the original pipeline).
     pub fn second_stage(
         &self,
         net: &Network,
@@ -441,20 +632,233 @@ impl NeuroPlan {
             // Stage 2 starts from the first-stage plan: polish it, use it
             // as the incumbent, never return anything worse.
             warm_units: Some(first_units.to_vec()),
+            polish_final: true,
         };
         let outcome = solve_master_telemetry(net, &mut evaluator, &cfg, &self.tel);
         eval_stats.merge(&evaluator.take_stats());
         (outcome, pruning)
     }
+
+    /// Stage 2 under the supervisor: the α-relaxed MILP with incumbent
+    /// return, then — on hard budget exhaustion — the degradation
+    /// ladder: LP-relaxation rounding, then the first-stage heuristic
+    /// plan. A final budget-aware 1-opt polish runs as its own stage.
+    fn second_stage_supervised(
+        &self,
+        sup: &Supervisor,
+        net: &Network,
+        first_units: &[u32],
+        first_cost: f64,
+        seed_cuts: Vec<MetricCut>,
+        eval_stats: &mut EvalStats,
+    ) -> Result<(MasterOutcome, PruningReport, PlanQuality), PlanFailure> {
+        let _stage_span = self.tel.span(sys::PIPELINE, "second_stage");
+        let spectrum = MasterConfig::spectrum_bounds(net);
+        let bounds = MasterConfig::pruned_bounds(net, first_units, self.cfg.relax_factor);
+        let pruning =
+            PruningReport::new(net, first_units, &bounds, &spectrum, self.cfg.relax_factor);
+        let mut evaluator =
+            np_eval::PlanEvaluator::with_telemetry(net, self.cfg.eval, self.tel.clone());
+        let budget = self.cfg.supervisor.budget;
+
+        // Rungs 0/1: the α-relaxed MILP. `TimeLimit` with an incumbent is
+        // a *success* here — anytime semantics — so only a solve that
+        // comes back empty-handed is a transient worth retrying (with a
+        // widened node budget, since `Limit` is the usual cause).
+        let master_try = sup.run("master", |ctx| {
+            if ctx.exhausted() {
+                return Err(StageError::Transient(
+                    "stage budget exhausted before the master solve".to_string(),
+                ));
+            }
+            let node_limit = {
+                let scaled = self
+                    .cfg
+                    .mip_node_limit
+                    .saturating_mul(ctx.attempt as usize + 1);
+                match budget.max_nodes {
+                    Some(cap) => scaled.min(cap),
+                    None => scaled,
+                }
+            };
+            let cfg = MasterConfig {
+                upper_bounds: bounds.clone(),
+                cutoff: Some(first_cost * (1.0 + 1e-9) + 1e-9),
+                node_limit,
+                time_limit_secs: self.cfg.mip_time_limit_secs.min(ctx.remaining_secs()),
+                max_cuts_per_round: 8,
+                seed_cuts: seed_cuts.clone(),
+                granularity: 1,
+                gap_tol: MasterConfig::DEFAULT_GAP,
+                warm_units: Some(first_units.to_vec()),
+                // The supervised pipeline polishes in its own budgeted
+                // stage below.
+                polish_final: false,
+            };
+            let outcome = solve_master_telemetry(net, &mut evaluator, &cfg, &self.tel);
+            if outcome.has_plan() {
+                let quality = if outcome.status == MipStatus::Optimal {
+                    PlanQuality::Optimal
+                } else {
+                    PlanQuality::Incumbent
+                };
+                Ok((outcome, quality))
+            } else if outcome.status == MipStatus::Infeasible {
+                Err(StageError::Fatal(
+                    "master proved the pruned instance infeasible".to_string(),
+                ))
+            } else {
+                Err(StageError::Transient(format!(
+                    "master returned no incumbent (status {:?})",
+                    outcome.status
+                )))
+            }
+        });
+
+        let (outcome, quality) = match master_try {
+            Ok(v) => v,
+            Err(StageError::Fatal(reason)) => {
+                // A feasible first-stage plan exists, so "infeasible"
+                // here is a solver artifact; the ladder still applies.
+                self.degraded_outcome(sup, net, &mut evaluator, &bounds, first_units, first_cost)
+                    .ok_or(PlanFailure::Infeasible { reason })?
+            }
+            Err(StageError::Transient(reason)) => self
+                .degraded_outcome(sup, net, &mut evaluator, &bounds, first_units, first_cost)
+                .ok_or(PlanFailure::StageExhausted {
+                    stage: "master".to_string(),
+                    reason,
+                })?,
+        };
+
+        // Final stage: budget-aware 1-opt polish of whatever rung won.
+        // Skipping on an exhausted budget is not a failure — the plan is
+        // already feasible, polish only trims cost.
+        let polished = sup.run("polish", |ctx| {
+            let mut m = outcome.clone();
+            if m.has_plan() && !ctx.exhausted() {
+                let over = polish_units_budgeted(
+                    net,
+                    &mut evaluator,
+                    &mut m.units,
+                    &Instant::now(),
+                    ctx.remaining_secs(),
+                );
+                if over > 0 {
+                    m.deadline_overshoot_us += over;
+                    self.tel.incr(sys::MASTER, "deadline_overshoot_us", over);
+                }
+                m.cost = plan_cost_of(net, &m.units);
+            }
+            Ok::<_, StageError>(m)
+        });
+        let outcome = match polished {
+            Ok(m) => m,
+            Err(_) => outcome,
+        };
+        eval_stats.merge(&evaluator.take_stats());
+        Ok((outcome, pruning, quality))
+    }
+
+    /// Walk the ladder below the incumbent rung: LP-relaxation rounding
+    /// (`Rounded`), then the first-stage plan itself (`Heuristic`).
+    /// `None` when degradation is disabled — the caller turns that into
+    /// the hard error the `--no-degrade` contract demands.
+    fn degraded_outcome(
+        &self,
+        sup: &Supervisor,
+        net: &Network,
+        evaluator: &mut np_eval::PlanEvaluator,
+        bounds: &[u32],
+        first_units: &[u32],
+        first_cost: f64,
+    ) -> Option<(MasterOutcome, PlanQuality)> {
+        if !sup.may_degrade() {
+            return None;
+        }
+        // Rung 2: solve the LP relaxation, round up, repair with
+        // separation rounds until the rounded plan verifies.
+        sup.note_degrade("master", PlanQuality::Rounded);
+        let rounded = sup.run("lp_round", |ctx| {
+            if ctx.exhausted() {
+                return Err(StageError::Transient(
+                    "stage budget exhausted before LP rounding".to_string(),
+                ));
+            }
+            let cfg = MasterConfig {
+                upper_bounds: bounds.to_vec(),
+                cutoff: None,
+                node_limit: self.cfg.mip_node_limit,
+                time_limit_secs: self.cfg.mip_time_limit_secs,
+                max_cuts_per_round: 8,
+                seed_cuts: Vec::new(),
+                granularity: 1,
+                gap_tol: MasterConfig::DEFAULT_GAP,
+                warm_units: None,
+                polish_final: false,
+            };
+            let mut deadline = || ctx.remaining_secs() <= 0.0;
+            match lp_round_plan(net, evaluator, &cfg, &mut deadline, &self.tel) {
+                Some((units, cost)) => Ok(MasterOutcome {
+                    status: MipStatus::TimeLimit,
+                    cost,
+                    units,
+                    nodes: 0,
+                    cuts_added: 0,
+                    best_bound: f64::NEG_INFINITY,
+                    deadline_overshoot_us: 0,
+                }),
+                None => Err(StageError::Transient(
+                    "LP rounding found no verifiable plan".to_string(),
+                )),
+            }
+        });
+        if let Ok(outcome) = rounded {
+            return Some((outcome, PlanQuality::Rounded));
+        }
+        // Rung 3: the first-stage plan is feasible by construction;
+        // return it as-is. This rung cannot fail.
+        sup.note_degrade("lp_round", PlanQuality::Heuristic);
+        sup.note_skip("heuristic");
+        Some((
+            MasterOutcome {
+                status: MipStatus::TimeLimit,
+                cost: first_cost,
+                units: first_units.to_vec(),
+                nodes: 0,
+                cuts_added: 0,
+                best_bound: f64::NEG_INFINITY,
+                deadline_overshoot_us: 0,
+            },
+            PlanQuality::Heuristic,
+        ))
+    }
 }
 
 /// Validate a finished plan end-to-end with a fresh exact evaluator —
-/// harnesses call this before trusting any reported cost.
-pub fn validate_plan(net: &Network, units: &[u32]) -> bool {
+/// harnesses call this before trusting any reported cost. On failure the
+/// error names the violated constraint (the first infeasible scenario).
+pub fn validate_plan(net: &Network, units: &[u32]) -> Result<(), PlanError> {
+    let expected = net.link_ids().count();
+    if units.len() != expected {
+        return Err(PlanError::WrongLength {
+            expected,
+            got: units.len(),
+        });
+    }
     let mut check = net.clone();
     apply_units(&mut check, units);
     let mut evaluator = np_eval::PlanEvaluator::new(&check, self_exact());
-    evaluator.check_network(&check).feasible
+    let outcome = evaluator.check_network(&check);
+    if outcome.feasible {
+        return Ok(());
+    }
+    let scenario = outcome.first_violated.unwrap_or(0);
+    Err(if outcome.structural {
+        PlanError::StructurallyInfeasible { scenario }
+    } else {
+        PlanError::ScenarioInfeasible { scenario }
+    })
 }
 
 fn self_exact() -> np_eval::EvalConfig {
@@ -479,8 +883,12 @@ mod tests {
         let (net, result) = quick_plan(0.0);
         assert!(result.final_cost > 0.0);
         assert!(result.final_cost <= result.first_stage_cost + 1e-9);
-        assert!(validate_plan(&net, &result.final_units));
-        assert!(validate_plan(&net, &result.first_stage_units));
+        validate_plan(&net, &result.final_units).expect("final plan validates");
+        validate_plan(&net, &result.first_stage_units).expect("first-stage plan validates");
+        // An unlimited budget never degrades below the incumbent rung.
+        assert!(result.quality <= PlanQuality::Incumbent);
+        assert_eq!(result.supervision.degrades, 0);
+        assert!(result.supervision.stage("master").is_some());
     }
 
     #[test]
@@ -488,7 +896,7 @@ mod tests {
         let (net, result) = quick_plan(0.75);
         // With most capacity pre-provisioned, stage 2 must still deliver a
         // feasible plan within bounds.
-        assert!(validate_plan(&net, &result.final_units));
+        validate_plan(&net, &result.final_units).expect("final plan validates");
         // Bounds honored: every final capacity within the pruned bound.
         for (i, &(l, _, _, ub, _)) in result.pruning.per_link.iter().enumerate() {
             assert!(
@@ -504,5 +912,61 @@ mod tests {
         assert!(result.train_report.epochs_run() > 0);
         assert!(result.eval_stats.scenario_checks > 0);
         assert!(result.pruning.reduction_log10() >= 0.0);
+    }
+
+    #[test]
+    fn validate_plan_names_the_violated_constraint() {
+        let net = GeneratorConfig::a_variant(0.0).generate();
+        let links = net.link_ids().count();
+        let short = validate_plan(&net, &vec![0u32; links - 1]);
+        assert_eq!(
+            short,
+            Err(PlanError::WrongLength {
+                expected: links,
+                got: links - 1
+            })
+        );
+        // A dark network fails at the first scenario and says so.
+        let dark = validate_plan(&net, &vec![0u32; links]);
+        match dark {
+            Err(PlanError::ScenarioInfeasible { scenario }) => {
+                let msg = PlanError::ScenarioInfeasible { scenario }.to_string();
+                assert!(
+                    msg.contains("scenario"),
+                    "message names the scenario: {msg}"
+                );
+            }
+            other => panic!("expected a scenario violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn epoch_budget_degrades_gracefully_not_fatally() {
+        // One training epoch and a starved node budget: the run must
+        // still produce a validated plan, possibly on a lower rung.
+        let net = GeneratorConfig::a_variant(0.5).generate();
+        let mut cfg = NeuroPlanConfig::quick().with_seed(3);
+        cfg.supervisor.budget.max_epochs = Some(1);
+        cfg.mip_node_limit = 1;
+        let result = NeuroPlan::new(cfg).plan(&net);
+        validate_plan(&net, &result.final_units).expect("degraded plan still validates");
+        assert!(result.train_report.epochs_run() <= 1);
+    }
+
+    #[test]
+    fn no_degrade_reports_a_stage_exhausted_error() {
+        // A zero wall budget starves the first stage before the greedy
+        // reference; with degradation off this must surface as an error,
+        // not a panic or a silent bad plan.
+        let net = GeneratorConfig::a_variant(0.5).generate();
+        let mut cfg = NeuroPlanConfig::quick().with_seed(3);
+        cfg = cfg.with_stage_budget(0.0).with_degrade(false);
+        cfg.supervisor.retry.max_retries = 0;
+        match NeuroPlan::new(cfg).try_plan(&net) {
+            Err(PlanFailure::StageExhausted { stage, .. }) => {
+                assert_eq!(stage, "master");
+            }
+            other => panic!("expected StageExhausted, got {other:?}"),
+        }
     }
 }

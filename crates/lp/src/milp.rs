@@ -119,14 +119,19 @@ impl Default for MipConfig {
 pub enum MipStatus {
     /// Incumbent proven optimal (within `gap_tol`).
     Optimal,
-    /// A limit was hit; the incumbent is feasible but unproven.
+    /// A non-deadline limit (nodes, LP iterations) was hit; the
+    /// incumbent is feasible but unproven.
     Feasible,
     /// No integer-feasible point exists.
     Infeasible,
-    /// A limit was hit before any incumbent was found.
+    /// A non-deadline limit was hit before any incumbent was found.
     Limit,
     /// The relaxation is unbounded.
     Unbounded,
+    /// The wall-clock budget expired (real or chaos-injected). The
+    /// best incumbent found so far, if any, is returned in
+    /// `x`/`objective` — deadline expiry never discards it.
+    TimeLimit,
 }
 
 /// Result of a MILP solve.
@@ -145,6 +150,10 @@ pub struct MipSolution {
     pub nodes: usize,
     /// Lazy cuts added by the separator.
     pub cuts_added: usize,
+    /// Microseconds the solve ran past its wall-clock budget inside
+    /// uninterruptible separation rounds (also emitted as the
+    /// `lp.deadline_overshoot_us` telemetry counter).
+    pub deadline_overshoot_us: u64,
 }
 
 impl MipSolution {
@@ -235,6 +244,7 @@ pub fn solve_mip_telemetry(
             best_bound: f64::INFINITY,
             nodes: 0,
             cuts_added: 0,
+            deadline_overshoot_us: 0,
         };
     }
     let base_bounds: Vec<(f64, f64)> = work.vars().iter().map(|v| (v.lb, v.ub)).collect();
@@ -319,6 +329,10 @@ pub fn solve_mip_telemetry(
     // a monotone global lower bound regardless of later purging.
     let mut root_bound = f64::NEG_INFINITY;
     let mut limit_hit = false;
+    // Set alongside `limit_hit` when the limit was the wall clock (real
+    // or chaos-injected) rather than nodes/iterations — distinguishes
+    // `TimeLimit` from `Feasible`/`Limit` in the final status.
+    let mut deadline_expired = false;
 
     'outer: while let Some(ByKey(_, popped)) = heap2.pop() {
         best_bound = popped.bound.max(f64::NEG_INFINITY);
@@ -336,9 +350,15 @@ pub fn solve_mip_telemetry(
             if node.bound >= incumbent_obj - prune_margin {
                 continue 'outer;
             }
-            if nodes >= config.node_limit || deadline_hit(&start) {
+            if nodes >= config.node_limit {
                 limit_hit = true;
                 // Preserve the bound information of the unexplored node.
+                heap2.push(ByKey(HeapKey(node.bound, Reverse(node.depth)), node));
+                break 'outer;
+            }
+            if deadline_hit(&start) {
+                limit_hit = true;
+                deadline_expired = true;
                 heap2.push(ByKey(HeapKey(node.bound, Reverse(node.depth)), node));
                 break 'outer;
             }
@@ -355,6 +375,7 @@ pub fn solve_mip_telemetry(
                 // wall-clock budget inside it too.
                 if deadline_hit(&start) {
                     limit_hit = true;
+                    deadline_expired = true;
                     break;
                 }
                 // The tableau view is only needed for root GMI generation.
@@ -377,6 +398,7 @@ pub fn solve_mip_telemetry(
                                 best_bound: f64::NEG_INFINITY,
                                 nodes,
                                 cuts_added,
+                                deadline_overshoot_us: tally.deadline_overshoot_us,
                             };
                         }
                         break;
@@ -433,6 +455,7 @@ pub fn solve_mip_telemetry(
                                 // deadline no longer covers.
                                 if deadline_hit(&start) {
                                     limit_hit = true;
+                                    deadline_expired = true;
                                     break;
                                 }
                                 tally.lazy_callbacks += 1;
@@ -457,6 +480,7 @@ pub fn solve_mip_telemetry(
                                 if over > 0 {
                                     tally.deadline_overshoot_us += over;
                                     limit_hit = true;
+                                    deadline_expired = true;
                                     break;
                                 }
                                 if added_any {
@@ -492,6 +516,7 @@ pub fn solve_mip_telemetry(
                                     // Can't afford the validation round, and
                                     // an unvalidated incumbent is worthless.
                                     limit_hit = true;
+                                    deadline_expired = true;
                                     break;
                                 }
                                 let rejected = separator
@@ -520,6 +545,7 @@ pub fn solve_mip_telemetry(
                                     // the round produced, then stop.
                                     tally.deadline_overshoot_us += over;
                                     limit_hit = true;
+                                    deadline_expired = true;
                                     break;
                                 }
                                 if rejected {
@@ -587,6 +613,7 @@ pub fn solve_mip_telemetry(
                             // stays unproven — leave without accepting it.
                             if start.elapsed().as_secs_f64() > config.time_limit_secs {
                                 limit_hit = true;
+                                deadline_expired = true;
                                 break;
                             }
                             tally.lazy_callbacks += 1;
@@ -595,6 +622,7 @@ pub fn solve_mip_telemetry(
                             if over > 0 {
                                 tally.deadline_overshoot_us += over;
                                 limit_hit = true;
+                                deadline_expired = true;
                             }
                             if !cuts.is_empty() {
                                 purge_cuts(&mut work, base_rows, &lp.x);
@@ -674,14 +702,21 @@ pub fn solve_mip_telemetry(
             best_bound = best_bound.min(incumbent_obj);
         }
     }
+    // Deadline expiry reports `TimeLimit` but never discards the
+    // incumbent: a budget-limited caller consumes `x`/`objective` as
+    // its best-effort plan.
     let status = if incumbent_x.is_empty() && !incumbent_obj.is_finite() {
         if proven {
             MipStatus::Infeasible
+        } else if deadline_expired {
+            MipStatus::TimeLimit
         } else {
             MipStatus::Limit
         }
     } else if proven {
         MipStatus::Optimal
+    } else if deadline_expired {
+        MipStatus::TimeLimit
     } else {
         MipStatus::Feasible
     };
@@ -693,6 +728,7 @@ pub fn solve_mip_telemetry(
         best_bound,
         nodes,
         cuts_added,
+        deadline_overshoot_us: tally.deadline_overshoot_us,
     }
 }
 
@@ -997,13 +1033,62 @@ mod tests {
         use np_telemetry::sys::LP;
         let over = tel.counter(LP, "deadline_overshoot_us");
         assert!(over > 0, "the blown round must be reported: {over}");
+        assert_eq!(
+            s.deadline_overshoot_us, over,
+            "the solution must carry the same overshoot the counter reports"
+        );
         assert_eq!(calls, 1, "no further separation after the deadline");
         assert_eq!(s.cuts_added, 1, "the paid-for cut is kept");
-        assert_ne!(
+        assert_eq!(
             s.status,
-            MipStatus::Optimal,
-            "a budget-limited run cannot claim a proof"
+            MipStatus::TimeLimit,
+            "a deadline-limited run reports TimeLimit, not a proof"
         );
+    }
+
+    #[test]
+    fn deadline_expiry_returns_the_incumbent_with_time_limit_status() {
+        // min x + y s.t. 3x + 3y ≥ 8, integers: LP bound 8/3, optimum 3.
+        // The root rounding heuristic finds the incumbent; the second
+        // separator call then blows the whole wall budget. The solver
+        // must return that incumbent with `TimeLimit`, not discard it.
+        let mut m = Model::new("anytime");
+        let x = m.add_var("x", 0.0, 10.0, 1.0, true);
+        let y = m.add_var("y", 0.0, 10.0, 1.0, true);
+        m.add_constr("c", vec![(x, 3.0), (y, 3.0)], Sense::Ge, 8.0);
+        let mut calls = 0usize;
+        let mut sep = |_point: &[f64]| -> Vec<Cut> {
+            calls += 1;
+            if calls > 1 {
+                std::thread::sleep(std::time::Duration::from_millis(80));
+            }
+            vec![]
+        };
+        let cfg = MipConfig {
+            time_limit_secs: 0.04,
+            ..Default::default()
+        };
+        let s = solve_mip(&m, &cfg, Some(&mut sep));
+        assert_eq!(s.status, MipStatus::TimeLimit);
+        assert!(!s.x.is_empty(), "the incumbent point must be returned");
+        assert!((s.objective - 3.0).abs() < 1e-6, "obj {}", s.objective);
+        assert!(s.deadline_overshoot_us > 0);
+        assert!(s.gap() > 0.0, "the proof was genuinely incomplete");
+    }
+
+    #[test]
+    fn zero_budget_reports_time_limit_with_no_incumbent() {
+        let mut m = Model::new("hopeless");
+        let x = m.add_var("x", 0.0, 10.0, 1.0, true);
+        m.add_constr("c", vec![(x, 2.0)], Sense::Ge, 3.0);
+        let cfg = MipConfig {
+            time_limit_secs: 0.0,
+            ..Default::default()
+        };
+        let s = solve_mip(&m, &cfg, None);
+        assert_eq!(s.status, MipStatus::TimeLimit);
+        assert!(s.x.is_empty());
+        assert!(s.objective.is_infinite());
     }
 
     #[test]

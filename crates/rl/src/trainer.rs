@@ -48,6 +48,13 @@ pub struct TrainConfig {
     /// Base seed of the per-actor RNG streams (only used when
     /// `num_actors > 1`).
     pub rollout_seed: u64,
+    /// Wall-clock budget for the whole training loop, seconds
+    /// (`f64::INFINITY` disables). Checked only at epoch boundaries so a
+    /// budgeted run still ends on a complete, checkpointable epoch; a
+    /// finite budget also honors chaos-injected `deadline` faults at the
+    /// same boundary, which is how the anytime tests cut training
+    /// deterministically (DESIGN.md §11).
+    pub wall_limit_secs: f64,
 }
 
 impl Default for TrainConfig {
@@ -65,6 +72,7 @@ impl Default for TrainConfig {
             num_actors: 1,
             rollout_workers: 1,
             rollout_seed: 0,
+            wall_limit_secs: f64::INFINITY,
         }
     }
 }
@@ -356,7 +364,20 @@ pub fn train_resumable(
         None => (0, 0, f64::NAN, 0),
     };
     let mut consecutive_rollbacks = 0u32;
+    let started = std::time::Instant::now();
     while epoch < cfg.epochs {
+        // Budget check at the epoch boundary only: the finished epochs
+        // behind us are all checkpointed, so a budget stop is always
+        // resumable. Chaos deadlines are consumed only under a finite
+        // budget so unbudgeted runs keep their historical fault
+        // ordering.
+        if cfg.wall_limit_secs.is_finite()
+            && (started.elapsed().as_secs_f64() >= cfg.wall_limit_secs
+                || chaos.should_fire(np_chaos::FaultClass::Deadline))
+        {
+            tel.incr(sys::RL, "budget_stops", 1);
+            break;
+        }
         let _epoch_span = tel.span(sys::RL, "epoch");
         let snapshot = agent.clone();
         buffer.clear();

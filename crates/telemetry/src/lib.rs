@@ -42,6 +42,7 @@ pub mod sys {
     pub const RL: &str = "rl";
     pub const PIPELINE: &str = "pipeline";
     pub const POOL: &str = "pool";
+    pub const SUPERVISOR: &str = "supervisor";
 }
 
 /// One telemetry event, as written to the JSONL sink.

@@ -47,7 +47,10 @@ fn main() {
         ("ILP-heur", &heur.master.units),
         ("NeuroPlan", &np.final_units),
     ] {
-        assert!(validate_plan(&net, units), "{name} plan must validate");
+        assert!(
+            validate_plan(&net, units).is_ok(),
+            "{name} plan must validate"
+        );
     }
 
     println!("\nnormalized to ILP-heur = 1.000:");

@@ -29,7 +29,7 @@ fn main() {
 
     let planner = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(23));
     let result = planner.plan(&net);
-    assert!(validate_plan(&net, &result.final_units));
+    validate_plan(&net, &result.final_units).expect("final plan validates");
 
     // Which candidate fibers did the plan actually light?
     let mut lit_candidates = 0;

@@ -48,10 +48,7 @@ fn main() {
     );
 
     // Independent end-to-end validation with a fresh exact evaluator.
-    assert!(
-        validate_plan(&net, &result.final_units),
-        "plan must survive all scenarios"
-    );
+    validate_plan(&net, &result.final_units).expect("plan must survive all scenarios");
     println!("\nplan validated: every flow survives every failure scenario ✓");
 
     println!("\nper-link plan (only links whose capacity changed):");

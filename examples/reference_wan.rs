@@ -23,7 +23,7 @@ fn main() {
 
     let planner = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(42));
     let result = planner.plan(&net);
-    assert!(validate_plan(&net, &result.final_units));
+    validate_plan(&net, &result.final_units).expect("final plan validates");
     println!(
         "\nplan: first-stage {:.0} -> final {:.0} ({} Benders cuts)",
         result.first_stage_cost, result.final_cost, result.master.cuts_added

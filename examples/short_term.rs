@@ -34,7 +34,7 @@ fn main() {
 
     let planner = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(11));
     let result = planner.plan(&net);
-    assert!(validate_plan(&net, &result.final_units));
+    validate_plan(&net, &result.final_units).expect("final plan validates");
 
     let upgrades: Vec<_> = net
         .link_ids()

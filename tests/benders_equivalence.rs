@@ -3,9 +3,10 @@
 //! variables for every failure scenario). On a hand-built instance small
 //! enough to solve both ways, the optimal costs must agree.
 
-use neuroplan::master::{solve_master, MasterConfig};
+use neuroplan::master::{solve_master, solve_master_telemetry, MasterConfig};
 use np_eval::{EvalConfig, PlanEvaluator};
 use np_lp::{solve_mip, MipConfig, MipStatus, Model, Sense, VarId};
+use np_telemetry::Telemetry;
 use np_topology::{
     CosClass, CostModel, Failure, FailureKind, Fiber, FiberId, Flow, IpLink, Network,
     ReliabilityPolicy, SiteId,
@@ -212,6 +213,7 @@ fn benders_master_matches_the_joint_formulation() {
         granularity: 1,
         gap_tol: 1e-6,
         warm_units: None,
+        polish_final: true,
     };
     let master = solve_master(&net, &mut evaluator, &cfg);
     assert!(master.has_plan(), "master must find a plan");
@@ -239,6 +241,69 @@ fn benders_master_matches_the_joint_formulation() {
 }
 
 #[test]
+fn master_overshoot_accounting_is_identical_across_worker_counts() {
+    // The deadline-overshoot accounting must be part of the
+    // parallel-vs-serial equivalence contract: at 1 and at 4 evaluator
+    // workers the master returns bit-identical plans, and the
+    // `deadline_overshoot_us` it reports equals exactly what the `lp`
+    // and `master` telemetry counters recorded. (With an unconstrained
+    // budget the overshoot is definitionally zero — the accounting
+    // identity is what is being pinned here; the >0 path is covered
+    // deterministically in np-lp's unit tests.)
+    let net = tiny_instance();
+    let workers = match std::env::var("NP_EQUIV_WORKERS") {
+        Ok(v) => v.parse::<usize>().expect("NP_EQUIV_WORKERS is a count"),
+        Err(_) => 4,
+    };
+    let mut outcomes = Vec::new();
+    for w in [1, workers.max(2)] {
+        let tel = Telemetry::memory();
+        let mut evaluator = PlanEvaluator::with_telemetry(
+            &net,
+            EvalConfig {
+                parallel_workers: w,
+                ..EvalConfig::default()
+            },
+            tel.clone(),
+        );
+        let cfg = MasterConfig {
+            upper_bounds: vec![60; net.links().len()],
+            cutoff: None,
+            node_limit: 200_000,
+            time_limit_secs: f64::INFINITY,
+            max_cuts_per_round: 8,
+            seed_cuts: vec![],
+            granularity: 1,
+            gap_tol: 1e-6,
+            warm_units: Some(vec![10; net.links().len()]),
+            polish_final: true,
+        };
+        let out = solve_master_telemetry(&net, &mut evaluator, &cfg, &tel);
+        let recorded = tel.counter("lp", "deadline_overshoot_us")
+            + tel.counter("master", "deadline_overshoot_us");
+        assert_eq!(
+            out.deadline_overshoot_us, recorded,
+            "workers={w}: the outcome's overshoot must equal the telemetry counters"
+        );
+        outcomes.push((w, out));
+    }
+    let (_, baseline) = &outcomes[0];
+    for (w, out) in &outcomes[1..] {
+        assert_eq!(out.units, baseline.units, "workers={w}: plans differ");
+        assert_eq!(
+            out.cost.to_bits(),
+            baseline.cost.to_bits(),
+            "workers={w}: costs differ"
+        );
+        assert_eq!(out.status, baseline.status, "workers={w}: status differs");
+        assert_eq!(
+            out.deadline_overshoot_us, baseline.deadline_overshoot_us,
+            "workers={w}: an unconstrained budget must never overshoot"
+        );
+    }
+}
+
+#[test]
 fn master_plan_is_feasible_in_the_joint_model() {
     let net = tiny_instance();
     let mut evaluator = PlanEvaluator::new(&net, EvalConfig::default());
@@ -252,6 +317,7 @@ fn master_plan_is_feasible_in_the_joint_model() {
         granularity: 1,
         gap_tol: 1e-6,
         warm_units: None,
+        polish_final: true,
     };
     let master = solve_master(&net, &mut evaluator, &cfg);
     // Fix the joint model's capacity variables to the master's plan: the

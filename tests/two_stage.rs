@@ -18,7 +18,7 @@ fn plans_a_half_provisioned_instance() {
         "demand outgrew the baseline, so the plan costs"
     );
     assert!(result.final_cost <= result.first_stage_cost + 1e-9);
-    assert!(validate_plan(&net, &result.final_units));
+    validate_plan(&net, &result.final_units).expect("final plan validates");
     // Every capacity respects Eq. 5 and the pruned bounds.
     for (i, &(l, _, _, ub, _)) in result.pruning.per_link.iter().enumerate() {
         assert!(result.final_units[i] >= net.link(l).min_units);
@@ -32,7 +32,7 @@ fn long_term_instance_lights_candidates_only_when_worthwhile() {
     cfg.long_term = true;
     let net = cfg.generate();
     let result = quick_planner(2).plan(&net);
-    assert!(validate_plan(&net, &result.final_units));
+    validate_plan(&net, &result.final_units).expect("final plan validates");
     // The plan never exceeds the greedy reference in cost: stage 2's
     // cutoff guarantees it.
     let mut greedy_net = net.clone();
@@ -59,8 +59,8 @@ fn different_seeds_may_differ_but_both_validate() {
     let net = GeneratorConfig::a_variant(0.25).generate();
     let a = quick_planner(10).plan(&net);
     let b = quick_planner(11).plan(&net);
-    assert!(validate_plan(&net, &a.final_units));
-    assert!(validate_plan(&net, &b.final_units));
+    validate_plan(&net, &a.final_units).expect("plan a validates");
+    validate_plan(&net, &b.final_units).expect("plan b validates");
 }
 
 #[test]
