@@ -1,0 +1,140 @@
+//! Figure 15 (repo-local): LP warm-start effectiveness.
+//!
+//! Runs the same Benders master solve on a Figure-9 instance twice —
+//! once on the dense reference backend (every LP a cold two-phase
+//! solve) and once on the sparse revised simplex (B&B children and cut
+//! rounds warm-started from the previous optimal basis) — and writes
+//! the pivot counts, factorization counters and wall times to
+//! `BENCH_lp.json` to seed the perf trajectory.
+//!
+//! Both runs use a node budget rather than a wall budget so the search
+//! path is identical and the resulting plan cost must be bit-identical;
+//! the contract checked by the equivalence suite is observable here as
+//! the `costs_bit_identical` field.
+
+use neuroplan::master::{solve_master_telemetry, MasterConfig};
+use np_bench::ExpArgs;
+use np_eval::{EvalConfig, PlanEvaluator};
+use np_lp::LpBackend;
+use np_telemetry::{sys, Telemetry};
+use np_topology::{generator::preset_network, Network, TopologyPreset};
+use std::time::Instant;
+
+struct BackendRun {
+    cost: f64,
+    pivots: u64,
+    warm_start_pivots: u64,
+    refactorizations: u64,
+    eta_len: u64,
+    cold_solves: u64,
+    nodes: usize,
+    cuts_added: usize,
+    wall_secs: f64,
+}
+
+fn run(net: &Network, backend: LpBackend, node_limit: usize) -> BackendRun {
+    let tel = Telemetry::memory();
+    let mut evaluator = PlanEvaluator::new(net, EvalConfig::default());
+    let cfg = MasterConfig {
+        upper_bounds: MasterConfig::spectrum_bounds(net),
+        cutoff: None,
+        node_limit,
+        // A node budget, not a wall budget: the dense run must walk the
+        // exact same tree so the costs are comparable bit-for-bit.
+        time_limit_secs: f64::INFINITY,
+        max_cuts_per_round: 8,
+        seed_cuts: vec![],
+        granularity: 1,
+        gap_tol: MasterConfig::DEFAULT_GAP,
+        warm_units: None,
+        polish_final: false,
+        lp_backend: backend,
+    };
+    let t0 = Instant::now();
+    let out = solve_master_telemetry(net, &mut evaluator, &cfg, &tel);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    BackendRun {
+        cost: out.cost,
+        pivots: tel.counter(sys::LP, "simplex_iterations"),
+        warm_start_pivots: tel.counter(sys::LP, "warm_start_pivots"),
+        refactorizations: tel.counter(sys::LP, "refactorizations"),
+        eta_len: tel.counter(sys::LP, "eta_len"),
+        cold_solves: tel.counter(sys::LP, "cold_solves"),
+        nodes: out.nodes,
+        cuts_added: out.cuts_added,
+        wall_secs,
+    }
+}
+
+fn backend_json(r: &BackendRun) -> serde_json::Value {
+    serde_json::json!({
+        "cost": r.cost,
+        "pivots": r.pivots,
+        "warm_start_pivots": r.warm_start_pivots,
+        "refactorizations": r.refactorizations,
+        "eta_len": r.eta_len,
+        "cold_solves": r.cold_solves,
+        "nodes": r.nodes,
+        "cuts_added": r.cuts_added,
+        "wall_secs": r.wall_secs,
+    })
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let (preset, node_limit) = if args.quick {
+        (TopologyPreset::B, 600)
+    } else {
+        (TopologyPreset::C, 2000)
+    };
+    let net = preset_network(preset);
+    println!(
+        "Figure 15: warm-start effectiveness on preset {} ({} links, {} failures)\n",
+        preset.name(),
+        net.links().len(),
+        net.failures().len()
+    );
+
+    let dense = run(&net, LpBackend::Dense, node_limit);
+    println!(
+        "dense  (cold): {} pivots, {} nodes, {} cuts, cost {:.1}, {:.2}s",
+        dense.pivots, dense.nodes, dense.cuts_added, dense.cost, dense.wall_secs
+    );
+    let sparse = run(&net, LpBackend::Sparse, node_limit);
+    println!(
+        "sparse (warm): {} pivots ({} in warm re-optimizations), {} refactorizations, \
+         {} cold solves, cost {:.1}, {:.2}s",
+        sparse.pivots,
+        sparse.warm_start_pivots,
+        sparse.refactorizations,
+        sparse.cold_solves,
+        sparse.cost,
+        sparse.wall_secs
+    );
+
+    let reduction = dense.pivots as f64 / (sparse.pivots.max(1)) as f64;
+    let identical = dense.cost.to_bits() == sparse.cost.to_bits();
+    println!(
+        "\npivot reduction: {reduction:.2}x  wall speedup: {:.2}x  costs bit-identical: {identical}",
+        dense.wall_secs / sparse.wall_secs.max(1e-9),
+    );
+
+    let body = serde_json::json!({
+        "figure": "fig15_lp_warm_start",
+        "instance": preset.name(),
+        "node_limit": node_limit,
+        "dense": backend_json(&dense),
+        "sparse": backend_json(&sparse),
+        "pivot_reduction": reduction,
+        "wall_speedup": dense.wall_secs / sparse.wall_secs.max(1e-9),
+        "costs_bit_identical": identical,
+    });
+    let out = serde_json::to_string_pretty(&body).expect("json");
+    std::fs::write("BENCH_lp.json", &out).expect("write BENCH_lp.json");
+    println!("wrote BENCH_lp.json");
+    assert!(
+        identical,
+        "backends disagreed on the plan cost: dense {} vs sparse {}",
+        dense.cost, sparse.cost
+    );
+}

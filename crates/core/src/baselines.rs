@@ -4,7 +4,7 @@ use crate::greedy::greedy_augment;
 use crate::master::{solve_master, MasterConfig, MasterOutcome};
 use np_eval::{EvalConfig, PlanEvaluator};
 use np_flow::{k_shortest_paths, FlowGraph};
-use np_lp::MipStatus;
+use np_lp::{LpBackend, MipStatus};
 use np_topology::Network;
 use std::time::Instant;
 
@@ -65,6 +65,7 @@ pub fn solve_ilp(net: &Network, eval_cfg: EvalConfig, budget: BaselineBudget) ->
         gap_tol: MasterConfig::DEFAULT_GAP,
         warm_units: None,
         polish_final: true,
+        lp_backend: LpBackend::Auto,
     };
     let master = solve_master(net, &mut evaluator, &cfg);
     BaselineOutcome {
@@ -131,6 +132,7 @@ pub fn solve_ilp_heur(
                 .collect()
         }),
         polish_final: true,
+        lp_backend: LpBackend::Auto,
     };
     let master = solve_master(net, &mut evaluator, &cfg);
     BaselineOutcome {

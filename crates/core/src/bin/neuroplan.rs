@@ -26,6 +26,7 @@ fn usage() -> ! {
          [--seed <u64>] [--out <file>]\n  neuroplan plan [--preset <a..e> | --topology \
          <file>] [--fill <0..1>] [--alpha <f64>] [--quick|--default] [--seed <u64>] \
          [--workers <n|auto>] [--stage-budget <secs>] [--max-retries <n>] [--no-degrade] \
+         [--lp-backend <dense|sparse|auto>] \
          [--telemetry <file>] [--checkpoint-dir <dir>] [--resume] \
          [--chaos <spec>] [--out <file>]\n  neuroplan evaluate \
          --topology <file> [--plan <file>] [--workers <n|auto>] [--telemetry <file>]\n  \
@@ -137,6 +138,26 @@ fn finish_chaos() {
     }
 }
 
+/// `--lp-backend <dense|sparse|auto>`: simplex basis engine for every LP
+/// in the run. Also exported as `NP_LP_BACKEND` so code paths that only
+/// see the `Auto` default (baselines, ad-hoc solves) resolve the same
+/// choice. Defaults to `auto` (sparse unless `NP_LP_BACKEND=dense`).
+fn lp_backend_of(flags: &HashMap<String, String>) -> np_lp::LpBackend {
+    let Some(spec) = flags.get("lp-backend") else {
+        return np_lp::LpBackend::Auto;
+    };
+    let Some(backend) = np_lp::LpBackend::parse(spec) else {
+        eprintln!("--lp-backend must be dense, sparse or auto");
+        exit(2)
+    };
+    match backend {
+        np_lp::LpBackend::Dense => std::env::set_var("NP_LP_BACKEND", "dense"),
+        np_lp::LpBackend::Sparse => std::env::set_var("NP_LP_BACKEND", "sparse"),
+        np_lp::LpBackend::Auto => {}
+    }
+    backend
+}
+
 /// `--workers <n|auto>`: thread budget for the parallel execution paths
 /// (`auto` = all available cores). Defaults to 1 (serial) when absent.
 fn workers_of(flags: &HashMap<String, String>) -> usize {
@@ -193,6 +214,7 @@ fn main() {
     };
     let flags = parse_flags(rest);
     install_chaos(&flags);
+    let lp_backend = lp_backend_of(&flags);
     match cmd.as_str() {
         "generate" => {
             let net = load_network(&flags);
@@ -250,6 +272,7 @@ fn main() {
             if flags.contains_key("no-degrade") {
                 cfg = cfg.with_degrade(false);
             }
+            cfg = cfg.with_lp_backend(lp_backend);
             let tel = telemetry_of(&flags);
             let mut planner = NeuroPlan::with_telemetry(cfg, tel.clone());
             if let Some(dir) = flags.get("checkpoint-dir") {

@@ -29,8 +29,12 @@ pub fn fingerprint(net: &Network, cfg: &NeuroPlanConfig) -> String {
     // under a different budget or retry policy must recompute, not
     // splice. The wall budget travels as bits so INFINITY is stable.
     let sup = &cfg.supervisor;
+    // The *resolved* simplex backend is part of the fingerprint: the two
+    // engines may reach equal-cost plans through different pivot
+    // sequences, so a resume across a backend switch (flag or
+    // NP_LP_BACKEND) must recompute rather than splice.
     let tag = format!(
-        "{}|{}|{}|{}|{}|{}|{}|{}|{:016x}|{:?}|{:?}|{}|{}",
+        "{}|{}|{}|{}|{}|{}|{}|{}|{:016x}|{:?}|{:?}|{}|{}|{:?}",
         cfg.seed,
         cfg.train.epochs,
         cfg.train.steps_per_epoch,
@@ -44,6 +48,7 @@ pub fn fingerprint(net: &Network, cfg: &NeuroPlanConfig) -> String {
         sup.budget.max_epochs,
         sup.retry.max_retries,
         sup.degrade,
+        cfg.lp_backend.resolved(),
     );
     format!(
         "{:016x}",
@@ -427,5 +432,19 @@ mod tests {
             fingerprint(&net, &cfg.clone().with_max_retries(7)),
             "retry policy changes it"
         );
+    }
+
+    #[test]
+    fn fingerprint_tracks_resolved_lp_backend() {
+        let net = GeneratorConfig::preset(TopologyPreset::A).generate();
+        let cfg = NeuroPlanConfig::quick();
+        let dense = fingerprint(&net, &cfg.clone().with_lp_backend(np_lp::LpBackend::Dense));
+        let sparse = fingerprint(&net, &cfg.clone().with_lp_backend(np_lp::LpBackend::Sparse));
+        assert_ne!(dense, sparse, "backend switch changes the fingerprint");
+        // Auto resolves to sparse unless NP_LP_BACKEND says otherwise, so
+        // an explicit Sparse must fingerprint identically to the default.
+        if np_lp::LpBackend::Auto.resolved() == np_lp::ResolvedBackend::Sparse {
+            assert_eq!(sparse, fingerprint(&net, &cfg), "Auto == resolved Sparse");
+        }
     }
 }

@@ -17,6 +17,7 @@ use crate::master::{
     apply_units, plan_cost_of, polish_units, solve_master_telemetry, MasterConfig,
 };
 use np_eval::{EvalConfig, PlanEvaluator};
+use np_lp::LpBackend;
 use np_telemetry::{sys, Telemetry};
 use np_topology::{FailureKind, LinkId, Network, SiteId};
 
@@ -135,6 +136,7 @@ pub fn solve_decomposed_telemetry(
                     gap_tol: MasterConfig::DEFAULT_GAP,
                     warm_units: None,
                     polish_final: true,
+                    lp_backend: LpBackend::Auto,
                 };
                 let out = solve_master_telemetry(&sub.net, &mut evaluator, &cfg, &region_tel);
                 region_tel.incr(sys::PIPELINE, "regions_solved", 1);
@@ -403,6 +405,7 @@ mod tests {
                 gap_tol: MasterConfig::DEFAULT_GAP,
                 warm_units: None,
                 polish_final: true,
+                lp_backend: LpBackend::Auto,
             },
         );
         assert!(global.has_plan());

@@ -16,8 +16,8 @@
 use np_eval::{PlanEvaluator, Separation};
 use np_flow::MetricCut;
 use np_lp::{
-    solve_lp, solve_mip_telemetry, Cut, LpStatus, MipConfig, MipStatus, Model, Sense,
-    SimplexConfig, VarId,
+    solve_mip_telemetry, Cut, IncrementalLp, LpBackend, LpStatus, MipConfig, MipStatus, Model,
+    Sense, SimplexConfig, VarId,
 };
 use np_telemetry::{sys, Telemetry};
 use np_topology::{LinkId, Network};
@@ -58,6 +58,10 @@ pub struct MasterConfig {
     /// historical behavior). The supervised pipeline sets this to
     /// `false` and runs polishing as its own budgeted stage instead.
     pub polish_final: bool,
+    /// Simplex basis engine for every LP the master solves (B&B node
+    /// relaxations and the LP-rounding loop). `Auto` defers to the
+    /// `NP_LP_BACKEND` environment variable and defaults to sparse.
+    pub lp_backend: LpBackend,
 }
 
 impl MasterConfig {
@@ -174,7 +178,10 @@ pub fn solve_master_telemetry(
         time_limit_secs: cfg.time_limit_secs,
         gap_tol: cfg.gap_tol,
         int_tol: 1e-6,
-        simplex: SimplexConfig::default(),
+        simplex: SimplexConfig {
+            backend: cfg.lp_backend,
+            ..SimplexConfig::default()
+        },
         cutoff: cfg.cutoff,
     };
     // Polish and install the warm plan as the incumbent before searching
@@ -406,7 +413,7 @@ pub fn lp_round_plan(
 ) -> Option<(Vec<u32>, f64)> {
     let _span = tel.span(sys::MASTER, "lp_round");
     let MasterModel {
-        mut model,
+        model,
         avars,
         links,
         base,
@@ -414,52 +421,69 @@ pub fn lp_round_plan(
     } = build_master_model(net, cfg);
     let unit = net.unit_gbps;
     let g = f64::from(gran);
-    let scfg = SimplexConfig::default();
+    let scfg = SimplexConfig {
+        backend: cfg.lp_backend,
+        ..SimplexConfig::default()
+    };
+    // One persistent LP lives across all separation rounds: each round
+    // appends its cuts in place and the next solve re-optimizes from the
+    // previous optimal basis (dual simplex on the sparse backend) instead
+    // of rebuilding and re-solving from scratch. Rows only ever grow —
+    // `IncrementalLp::solve` asserts the monotonicity.
+    let mut inc = IncrementalLp::new(model, scfg);
     const MAX_ROUNDS: usize = 60;
-    for round in 0..MAX_ROUNDS {
-        if deadline() {
-            return None;
-        }
-        let lp = solve_lp(&model, &scfg);
-        if lp.status != LpStatus::Optimal {
-            return None;
-        }
-        let units: Vec<u32> = links
-            .iter()
-            .map(|&l| {
-                let i = l.index();
-                base[i] + gran * (lp.x[avars[i].0] - 1e-9).ceil().max(0.0) as u32
-            })
-            .collect();
-        let caps: Vec<f64> = units.iter().map(|&u| f64::from(u) * unit).collect();
-        match evaluator.separate(&caps, cfg.max_cuts_per_round) {
-            Separation::Feasible => {
-                tel.incr(sys::MASTER, "lp_round_rounds", round as u64 + 1);
-                let cost = plan_cost_of(net, &units);
-                return Some((units, cost));
+    let result = 'rounds: {
+        for round in 0..MAX_ROUNDS {
+            if deadline() {
+                break 'rounds None;
             }
-            Separation::Cuts(cuts) => {
-                let mut added = false;
-                for (k, cut) in cuts.iter().enumerate() {
-                    if let Some((coeffs, rhs)) = cut_to_row(cut, &avars, &base, unit, g) {
-                        if let Some((rc, rr)) = cg_round(&coeffs, rhs) {
-                            model.add_constr(format!("round_cg_{round}_{k}"), rc, Sense::Ge, rr);
+            let lp = inc.solve();
+            if lp.status != LpStatus::Optimal {
+                break 'rounds None;
+            }
+            let units: Vec<u32> = links
+                .iter()
+                .map(|&l| {
+                    let i = l.index();
+                    base[i] + gran * (lp.x[avars[i].0] - 1e-9).ceil().max(0.0) as u32
+                })
+                .collect();
+            let caps: Vec<f64> = units.iter().map(|&u| f64::from(u) * unit).collect();
+            match evaluator.separate(&caps, cfg.max_cuts_per_round) {
+                Separation::Feasible => {
+                    tel.incr(sys::MASTER, "lp_round_rounds", round as u64 + 1);
+                    let cost = plan_cost_of(net, &units);
+                    break 'rounds Some((units, cost));
+                }
+                Separation::Cuts(cuts) => {
+                    let rows_before = inc.num_rows();
+                    for (k, cut) in cuts.iter().enumerate() {
+                        if let Some((coeffs, rhs)) = cut_to_row(cut, &avars, &base, unit, g) {
+                            if let Some((rc, rr)) = cg_round(&coeffs, rhs) {
+                                inc.add_row(format!("round_cg_{round}_{k}"), rc, Sense::Ge, rr);
+                            }
+                            inc.add_row(format!("round_{round}_{k}"), coeffs, Sense::Ge, rhs);
                         }
-                        model.add_constr(format!("round_{round}_{k}"), coeffs, Sense::Ge, rhs);
-                        added = true;
+                    }
+                    if inc.num_rows() == rows_before {
+                        // Every cut was satisfied by the baseline already:
+                        // the oracle and the rounding disagree numerically
+                        // and more rounds cannot make progress.
+                        break 'rounds None;
                     }
                 }
-                if !added {
-                    // Every cut was satisfied by the baseline already:
-                    // the oracle and the rounding disagree numerically
-                    // and more rounds cannot make progress.
-                    return None;
-                }
+                Separation::StructurallyInfeasible(_) => break 'rounds None,
             }
-            Separation::StructurallyInfeasible(_) => return None,
         }
+        None
+    };
+    if tel.is_enabled() {
+        tel.incr(sys::LP, "refactorizations", inc.stats.refactorizations);
+        tel.incr(sys::LP, "eta_len", inc.stats.peak_eta_len);
+        tel.incr(sys::LP, "warm_start_pivots", inc.stats.warm_pivots);
+        tel.incr(sys::LP, "cold_solves", inc.cold_solves);
     }
-    None
+    result
 }
 
 /// Eq. 1 cost of a units vector relative to the network baseline.
@@ -664,6 +688,7 @@ mod tests {
             gap_tol: MasterConfig::DEFAULT_GAP,
             warm_units: None,
             polish_final: true,
+            lp_backend: LpBackend::Auto,
         };
         let out = solve_master(&net, &mut evaluator, &cfg);
         assert!(
@@ -713,6 +738,7 @@ mod tests {
                 gap_tol: MasterConfig::DEFAULT_GAP,
                 warm_units: None,
                 polish_final: true,
+                lp_backend: LpBackend::Auto,
             };
             solve_master(&net, &mut evaluator, &cfg)
         };
@@ -746,6 +772,7 @@ mod tests {
             gap_tol: MasterConfig::DEFAULT_GAP,
             warm_units: None,
             polish_final: true,
+            lp_backend: LpBackend::Auto,
         };
         let first = solve_master(&net, &mut ev1, &base_cfg);
         // Re-solve seeding the certificates the first run discovered: same

@@ -633,6 +633,7 @@ impl NeuroPlan {
             // as the incumbent, never return anything worse.
             warm_units: Some(first_units.to_vec()),
             polish_final: true,
+            lp_backend: self.cfg.lp_backend,
         };
         let outcome = solve_master_telemetry(net, &mut evaluator, &cfg, &self.tel);
         eval_stats.merge(&evaluator.take_stats());
@@ -694,6 +695,7 @@ impl NeuroPlan {
                 // The supervised pipeline polishes in its own budgeted
                 // stage below.
                 polish_final: false,
+                lp_backend: self.cfg.lp_backend,
             };
             let outcome = solve_master_telemetry(net, &mut evaluator, &cfg, &self.tel);
             if outcome.has_plan() {
@@ -796,6 +798,7 @@ impl NeuroPlan {
                 gap_tol: MasterConfig::DEFAULT_GAP,
                 warm_units: None,
                 polish_final: false,
+                lp_backend: self.cfg.lp_backend,
             };
             let mut deadline = || ctx.remaining_secs() <= 0.0;
             match lp_round_plan(net, evaluator, &cfg, &mut deadline, &self.tel) {

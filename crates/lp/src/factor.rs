@@ -1,0 +1,475 @@
+//! LU-factorized basis for the sparse revised simplex.
+//!
+//! The basis matrix `B` (the basic columns of the CSC constraint matrix)
+//! is factorized as `P·B = L·U` by a left-looking sparse LU with partial
+//! pivoting. Between refactorizations, pivots append product-form eta
+//! vectors (the Forrest–Tomlin-style cheap update: reuse the FTRAN'd
+//! entering column as the elementary transform) instead of reworking the
+//! factors; FTRAN/BTRAN apply the LU solve followed by the eta file.
+//! The eta file is cleared on every refactorization, which the driver
+//! triggers periodically (`SimplexConfig::refactor_every`) and whenever a
+//! pivot looks numerically unsafe.
+
+use crate::sparse::CscMatrix;
+
+/// Error: the basis matrix is numerically singular (no acceptable pivot
+/// in some elimination column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SingularBasis;
+
+impl std::fmt::Display for SingularBasis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("numerically singular basis")
+    }
+}
+
+impl std::error::Error for SingularBasis {}
+
+/// One product-form eta transform, recorded at a pivot on row `r` with
+/// the FTRAN'd entering column `t` (`col` holds the off-pivot nonzeros).
+#[derive(Clone, Debug)]
+struct Eta {
+    r: usize,
+    pivot: f64,
+    col: Vec<(usize, f64)>,
+}
+
+/// Sparse LU factors of the basis, `P·B = L·U`.
+///
+/// `L` is unit-lower-triangular with columns indexed by elimination
+/// position but entries stored by *original* row index; `U` is
+/// upper-triangular in position space with its diagonal split out.
+#[derive(Clone, Debug, Default)]
+struct Lu {
+    /// Permutation: elimination position → original row.
+    rowp: Vec<usize>,
+    /// Inverse permutation: original row → elimination position.
+    rowp_inv: Vec<usize>,
+    /// Column `j` of `L` below the diagonal: `(orig_row, value)`.
+    lcols: Vec<Vec<(usize, f64)>>,
+    /// Column `k` of `U` above the diagonal: `(position, value)`.
+    ucols: Vec<Vec<(usize, f64)>>,
+    /// Diagonal of `U` by position.
+    udiag: Vec<f64>,
+}
+
+/// The factorized-basis engine: LU factors plus the eta file, with the
+/// telemetry counters the solver reports (`lp.refactorizations`,
+/// `lp.eta_len`).
+#[derive(Clone, Debug)]
+pub struct SparseBasis {
+    m: usize,
+    lu: Lu,
+    etas: Vec<Eta>,
+    /// Number of factorizations performed over the engine's lifetime.
+    pub refactorizations: u64,
+    /// Longest eta file seen between refactorizations.
+    pub peak_eta_len: u64,
+}
+
+impl SparseBasis {
+    /// An engine for an `m`-row tableau (not yet factorized).
+    pub fn new(m: usize) -> SparseBasis {
+        SparseBasis {
+            m,
+            lu: Lu::default(),
+            etas: Vec::new(),
+            refactorizations: 0,
+            peak_eta_len: 0,
+        }
+    }
+
+    /// Current eta-file length.
+    pub fn eta_len(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Factorize the basis given by `basis[r]` = column of row `r`,
+    /// clearing the eta file. Fails on a (numerically) singular basis.
+    pub fn refactorize(&mut self, cols: &CscMatrix, basis: &[usize]) -> Result<(), SingularBasis> {
+        let m = self.m;
+        debug_assert_eq!(basis.len(), m);
+        self.etas.clear();
+        self.refactorizations += 1;
+        let scale = cols.scale_of(basis);
+        let singular_tol = 1e-13 * scale;
+
+        // Left-looking elimination with a dense work column. `pos_of[i]`
+        // is the elimination position an original row was pivoted to, or
+        // usize::MAX while still unpivoted.
+        let mut pos_of = vec![usize::MAX; m];
+        let mut rowp = Vec::with_capacity(m);
+        let mut lcols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut ucols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut udiag = Vec::with_capacity(m);
+        let mut work = vec![0.0f64; m]; // indexed by original row
+        let mut in_col = vec![false; m]; // membership marker for `touched`
+        let mut touched: Vec<usize> = Vec::with_capacity(m);
+
+        for (k, &bj) in basis.iter().enumerate() {
+            // Scatter column k of B.
+            for &i in &touched {
+                work[i] = 0.0;
+                in_col[i] = false;
+            }
+            touched.clear();
+            for (i, v) in cols.col(bj) {
+                if v != 0.0 && !in_col[i] {
+                    in_col[i] = true;
+                    touched.push(i);
+                }
+                work[i] += v;
+            }
+            // Apply the existing L columns in elimination order: for each
+            // pivoted position j with a nonzero multiplier row, eliminate.
+            // Positions must be visited ascending; collect & sort the
+            // pivoted positions present in the work vector lazily by
+            // walking 0..k and probing the pivot row — for our instance
+            // sizes (m up to a few thousand, basis columns with a handful
+            // of nonzeros) the simple walk is dominated by the probe cost
+            // of the dense work array.
+            let mut urow: Vec<(usize, f64)> = Vec::new();
+            for j in 0..k {
+                let piv_row = rowp[j];
+                let zj = work[piv_row];
+                if zj == 0.0 {
+                    continue;
+                }
+                urow.push((j, zj));
+                work[piv_row] = 0.0;
+                for &(i, lv) in &lcols[j] {
+                    if !in_col[i] {
+                        in_col[i] = true;
+                        touched.push(i);
+                    }
+                    work[i] -= lv * zj;
+                }
+            }
+            // Partial pivoting over the unpivoted rows.
+            let mut best_row = usize::MAX;
+            let mut best = 0.0f64;
+            for &i in &touched {
+                if pos_of[i] == usize::MAX && work[i].abs() > best {
+                    best = work[i].abs();
+                    best_row = i;
+                }
+            }
+            if best_row == usize::MAX || best < singular_tol {
+                return Err(SingularBasis);
+            }
+            let pivot = work[best_row];
+            let mut lcol: Vec<(usize, f64)> = Vec::new();
+            for &i in &touched {
+                if pos_of[i] == usize::MAX && i != best_row && work[i] != 0.0 {
+                    lcol.push((i, work[i] / pivot));
+                }
+            }
+            lcol.sort_unstable_by_key(|&(i, _)| i);
+            pos_of[best_row] = k;
+            rowp.push(best_row);
+            lcols.push(lcol);
+            ucols.push(urow);
+            udiag.push(pivot);
+            // Reset the work vector for the next column.
+            for &i in &touched {
+                work[i] = 0.0;
+                in_col[i] = false;
+            }
+            touched.clear();
+        }
+
+        let mut rowp_inv = vec![0usize; m];
+        for (k, &i) in rowp.iter().enumerate() {
+            rowp_inv[i] = k;
+        }
+        self.lu = Lu {
+            rowp,
+            rowp_inv,
+            lcols,
+            ucols,
+            udiag,
+        };
+        Ok(())
+    }
+
+    /// Solve `B·x = a` where `a` is given by sparse `(row, value)`
+    /// entries; the result is dense, indexed by basis *position*.
+    pub fn ftran_sparse(&self, entries: impl IntoIterator<Item = (usize, f64)>) -> Vec<f64> {
+        let mut w = vec![0.0f64; self.m];
+        for (i, v) in entries {
+            w[i] += v;
+        }
+        self.ftran_in_place(&mut w);
+        w
+    }
+
+    /// Solve `B·x = a` for dense `a` (indexed by original row); the
+    /// result is dense, indexed by basis position.
+    pub fn ftran_dense(&self, a: &[f64]) -> Vec<f64> {
+        let mut w = a.to_vec();
+        self.ftran_in_place(&mut w);
+        w
+    }
+
+    /// In-place FTRAN: `w` enters indexed by original row, leaves indexed
+    /// by basis position.
+    fn ftran_in_place(&self, w: &mut [f64]) {
+        let m = self.m;
+        let lu = &self.lu;
+        // Forward solve L·z = P·a, z in position space. z_j is read from
+        // the pivot row of position j after earlier eliminations applied.
+        let mut z = vec![0.0f64; m];
+        for j in 0..m {
+            let zj = w[lu.rowp[j]];
+            z[j] = zj;
+            if zj != 0.0 {
+                for &(i, lv) in &lu.lcols[j] {
+                    w[i] -= lv * zj;
+                }
+            }
+        }
+        // Backward solve U·x = z, both in position space; reuse w.
+        for k in (0..m).rev() {
+            let xk = z[k] / lu.udiag[k];
+            w[k] = xk;
+            if xk != 0.0 {
+                for &(j, uv) in &lu.ucols[k] {
+                    z[j] -= uv * xk;
+                }
+            }
+        }
+        // Eta file, oldest first.
+        for eta in &self.etas {
+            let vr = w[eta.r] / eta.pivot;
+            if vr != 0.0 {
+                for &(i, t) in &eta.col {
+                    w[i] -= t * vr;
+                }
+            }
+            w[eta.r] = vr;
+        }
+    }
+
+    /// Solve `Bᵀ·y = c` where `c` is indexed by basis position; the
+    /// result is dense, indexed by original row.
+    pub fn btran(&self, c: &[f64]) -> Vec<f64> {
+        let m = self.m;
+        let mut z = c.to_vec();
+        // Eta file transposed, newest first.
+        for eta in self.etas.iter().rev() {
+            let mut acc = z[eta.r];
+            for &(i, t) in &eta.col {
+                acc -= t * z[i];
+            }
+            z[eta.r] = acc / eta.pivot;
+        }
+        let lu = &self.lu;
+        // Forward solve Uᵀ·v = z in position space.
+        for k in 0..m {
+            let mut acc = z[k];
+            for &(j, uv) in &lu.ucols[k] {
+                acc -= uv * z[j];
+            }
+            z[k] = acc / lu.udiag[k];
+        }
+        // Backward solve Lᵀ, then undo the permutation: y[rowp[j]] = v_j.
+        let mut y = vec![0.0f64; m];
+        for j in (0..m).rev() {
+            let mut acc = z[j];
+            for &(i, lv) in &lu.lcols[j] {
+                acc -= lv * z[lu.rowp_inv[i]];
+            }
+            z[j] = acc;
+            y[lu.rowp[j]] = acc;
+        }
+        y
+    }
+
+    /// Row `r` of `B⁻¹`: solve `Bᵀ·y = e_r` (position space) — the
+    /// pricing vector of the dual simplex.
+    pub fn btran_unit(&self, r: usize) -> Vec<f64> {
+        let mut e = vec![0.0f64; self.m];
+        e[r] = 1.0;
+        self.btran(&e)
+    }
+
+    /// Record the pivot (row `r`, FTRAN'd entering column `t`) as an eta
+    /// transform. `t[r]` must already have passed the driver's pivot
+    /// guard.
+    pub fn update(&mut self, r: usize, t: &[f64]) {
+        let col: Vec<(usize, f64)> = t
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i != r && v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        self.etas.push(Eta {
+            r,
+            pivot: t[r],
+            col,
+        });
+        self.peak_eta_len = self.peak_eta_len.max(self.etas.len() as u64);
+    }
+
+    /// Materialize `B⁻¹` row-major (`binv[r*m + i]`), as the dense
+    /// backend stores it — used only to synthesize a [`crate::simplex::TableauView`]
+    /// for Gomory cut generation at the B&B root.
+    pub fn dense_binv(&self) -> Vec<f64> {
+        let m = self.m;
+        let mut binv = vec![0.0f64; m * m];
+        for i in 0..m {
+            // Column i of B^-1 is FTRAN(e_i); scatter into row-major.
+            let mut e = vec![0.0f64; m];
+            e[i] = 1.0;
+            self.ftran_in_place(&mut e);
+            for r in 0..m {
+                binv[r * m + i] = e[r];
+            }
+        }
+        binv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CscMatrix;
+
+    fn dense_mat(m: usize, entries: &[&[f64]]) -> CscMatrix {
+        // entries[j] is column j, dense.
+        let mut csc = CscMatrix::with_capacity(m, entries.len(), m * entries.len());
+        for col in entries {
+            csc.push_col(
+                col.iter()
+                    .enumerate()
+                    .filter(|&(_, &v)| v != 0.0)
+                    .map(|(i, &v)| (i, v)),
+            );
+        }
+        csc
+    }
+
+    fn mat_vec(m: usize, cols: &CscMatrix, basis: &[usize], x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; m];
+        for (r, &j) in basis.iter().enumerate() {
+            for (i, v) in cols.col(j) {
+                out[i] += v * x[r];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lu_solves_match_the_matrix() {
+        // A 4x4 basis needing row pivoting (first column's largest entry
+        // is not on the diagonal).
+        let cols = dense_mat(
+            4,
+            &[
+                &[0.0, 2.0, 1.0, 0.0],
+                &[3.0, 0.0, 0.0, 1.0],
+                &[1.0, 1.0, 4.0, 0.0],
+                &[0.0, 0.5, 0.0, 2.0],
+            ],
+        );
+        let basis = [0usize, 1, 2, 3];
+        let mut eng = SparseBasis::new(4);
+        eng.refactorize(&cols, &basis).expect("nonsingular");
+
+        // FTRAN: B x = a.
+        let a = [1.0, -2.0, 0.5, 3.0];
+        let x = eng.ftran_dense(&a);
+        let back = mat_vec(4, &cols, &basis, &x);
+        for i in 0..4 {
+            assert!((back[i] - a[i]).abs() < 1e-10, "ftran row {i}");
+        }
+
+        // BTRAN: B^T y = c (c in position space).
+        let c = [0.3, 1.0, -1.5, 2.0];
+        let y = eng.btran(&c);
+        for (r, &j) in basis.iter().enumerate() {
+            let dot: f64 = cols.col(j).map(|(i, v)| v * y[i]).sum();
+            assert!((dot - c[r]).abs() < 1e-10, "btran position {r}");
+        }
+    }
+
+    #[test]
+    fn eta_update_tracks_a_column_swap() {
+        let cols = dense_mat(
+            3,
+            &[
+                &[2.0, 0.0, 1.0],
+                &[0.0, 1.0, 0.0],
+                &[0.0, 0.0, 3.0],
+                &[1.0, 1.0, 1.0], // candidate entering column
+            ],
+        );
+        let mut basis = vec![0usize, 1, 2];
+        let mut eng = SparseBasis::new(3);
+        eng.refactorize(&cols, &basis).unwrap();
+
+        // Pivot column 3 into row 1 via the eta update.
+        let t = eng.ftran_sparse(cols.col(3));
+        eng.update(1, &t);
+        basis[1] = 3;
+        assert_eq!(eng.eta_len(), 1);
+
+        // The updated engine must solve with the *new* basis matrix.
+        let a = [1.0, 2.0, 3.0];
+        let x = eng.ftran_dense(&a);
+        let back = mat_vec(3, &cols, &basis, &x);
+        for i in 0..3 {
+            assert!((back[i] - a[i]).abs() < 1e-10, "post-eta ftran row {i}");
+        }
+        let c = [1.0, -1.0, 0.5];
+        let y = eng.btran(&c);
+        for (r, &j) in basis.iter().enumerate() {
+            let dot: f64 = cols.col(j).map(|(i, v)| v * y[i]).sum();
+            assert!((dot - c[r]).abs() < 1e-10, "post-eta btran position {r}");
+        }
+
+        // A fresh factorization of the updated basis agrees and clears
+        // the eta file.
+        let mut fresh = SparseBasis::new(3);
+        fresh.refactorize(&cols, &basis).unwrap();
+        let x2 = fresh.ftran_dense(&a);
+        for r in 0..3 {
+            assert!((x2[r] - x[r]).abs() < 1e-10);
+        }
+        assert_eq!(fresh.eta_len(), 0);
+    }
+
+    #[test]
+    fn singular_basis_is_rejected() {
+        let cols = dense_mat(2, &[&[1.0, 2.0], &[2.0, 4.0]]);
+        let mut eng = SparseBasis::new(2);
+        assert!(eng.refactorize(&cols, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn dense_binv_matches_unit_solves() {
+        let cols = dense_mat(3, &[&[4.0, 1.0, 0.0], &[0.0, 2.0, 1.0], &[1.0, 0.0, 3.0]]);
+        let basis = [0usize, 1, 2];
+        let mut eng = SparseBasis::new(3);
+        eng.refactorize(&cols, &basis).unwrap();
+        let binv = eng.dense_binv();
+        // B * B^-1 = I, checked column by column of B^-1.
+        for i in 0..3 {
+            let xi: Vec<f64> = (0..3).map(|r| binv[r * 3 + i]).collect();
+            let back = mat_vec(3, &cols, &basis, &xi);
+            for (r, &b) in back.iter().enumerate() {
+                let want = if r == i { 1.0 } else { 0.0 };
+                assert!((b - want).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_basis_is_fine() {
+        let cols = CscMatrix::with_capacity(0, 0, 0);
+        let mut eng = SparseBasis::new(0);
+        eng.refactorize(&cols, &[]).unwrap();
+        assert!(eng.ftran_dense(&[]).is_empty());
+        assert!(eng.btran(&[]).is_empty());
+    }
+}

@@ -7,11 +7,17 @@
 //! * [`model`] — a solver-agnostic model builder: variables with bounds,
 //!   objective coefficients and integrality; linear constraints with
 //!   `≤ / = / ≥` senses. The same model type is consumed by both solvers.
-//! * [`simplex`] — a dense **bounded-variable two-phase primal simplex**.
-//!   Phase 1 drives artificial variables out of an all-artificial basis;
-//!   phase 2 optimizes the true objective. The basis inverse is kept
-//!   explicitly and refactorized periodically; Dantzig pricing with a
-//!   Bland fallback guards against cycling.
+//! * [`simplex`] — a **bounded-variable two-phase simplex** with two
+//!   interchangeable basis engines behind one driver: the default
+//!   **sparse revised simplex** ([`sparse`] CSC storage, [`factor`]
+//!   LU-factorized basis with eta updates and periodic refactorization)
+//!   and the historical **dense** basis inverse (`NP_LP_BACKEND=dense`),
+//!   kept as the bit-exactness reference. Dantzig pricing with a Bland
+//!   fallback guards against cycling on both engines.
+//! * [`dual`] — a bounded-variable **dual simplex** used for
+//!   warm-started re-optimization: reinstall a previously-optimal basis
+//!   after a bound change or appended rows and restore feasibility in a
+//!   handful of pivots instead of re-running both phases.
 //! * `presolve` — safe model reductions (singleton rows, redundant
 //!   rows, bound tightening with integer rounding) applied before the
 //!   heavy machinery;
@@ -21,19 +27,25 @@
 //!   **lazy-constraint callbacks**: every integer-feasible candidate is
 //!   offered to a user callback that may reject it with violated cuts
 //!   (our Benders metric-inequality separation), exactly the mechanism
-//!   commercial solvers expose for row generation.
+//!   commercial solvers expose for row generation. Each child node
+//!   warm-starts from its parent's optimal basis.
 //!
-//! Scale honesty: this is a dense textbook implementation engineered for
-//! the repository's problem sizes (hundreds of rows/columns per LP). It
-//! is *not* a sparse revised simplex with LU updates — see DESIGN.md §1
-//! for why the Benders decomposition keeps every LP we solve inside this
-//! envelope.
+//! Scale honesty: the sparse engine is a real revised simplex with LU
+//! updates, but tuned for the repository's problem sizes (hundreds to a
+//! few thousand rows/columns per LP) — the factorization is left-looking
+//! with a dense work column rather than a supernodal code, and pricing is
+//! full Dantzig rather than partial/steepest-edge. See DESIGN.md §12 for
+//! the warm-start contract and §1 for why the Benders decomposition keeps
+//! every LP we solve inside this envelope.
 
+pub mod dual;
+pub mod factor;
 pub mod gomory;
 pub mod milp;
 pub mod model;
 pub mod presolve;
 pub mod simplex;
+pub mod sparse;
 
 pub use gomory::GmiCut;
 pub use milp::{
@@ -42,6 +54,7 @@ pub use milp::{
 pub use model::{ConstrId, Model, Sense, VarId};
 pub use presolve::{presolve, PresolveReport};
 pub use simplex::{
-    solve_lp, solve_lp_tableau, solve_lp_tableau_chaos, LpSolution, LpStatus, SimplexConfig,
-    TableauView,
+    solve_lp, solve_lp_tableau, solve_lp_tableau_chaos, solve_lp_warm, solve_lp_warm_chaos,
+    LpOutcome, LpSolution, LpStatus, SimplexConfig, SolveStats, TableauView,
 };
+pub use sparse::{CscMatrix, IncrementalLp, LpBackend, ResolvedBackend, WarmBasis, WarmCol};

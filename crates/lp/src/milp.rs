@@ -19,10 +19,12 @@
 
 use crate::gomory;
 use crate::model::{Model, Sense, VarId};
-use crate::simplex::{solve_lp, solve_lp_tableau, LpStatus, SimplexConfig};
+use crate::simplex::{solve_lp, solve_lp_warm_chaos, LpSolution, LpStatus, SimplexConfig};
+use crate::sparse::WarmBasis;
 use np_telemetry::{sys, Telemetry};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 use std::time::Instant;
 
 /// Solver-side counters, accumulated locally and emitted as one batch of
@@ -38,9 +40,29 @@ struct MipTally {
     /// separation rounds (a single separator call is not interruptible,
     /// so the budget can only be honored at round boundaries).
     deadline_overshoot_us: u64,
+    /// Basis factorizations across all node LPs.
+    refactorizations: u64,
+    /// Sum of per-solve peak eta-file lengths (sparse backend only).
+    eta_len: u64,
+    /// Pivots spent in warm-started re-optimizations.
+    warm_start_pivots: u64,
+    /// Node LPs solved without a reusable basis.
+    cold_solves: u64,
 }
 
 impl MipTally {
+    /// Fold one LP solution's counters into the tally.
+    fn absorb(&mut self, lp: &LpSolution) {
+        self.simplex_iterations += lp.iterations as u64;
+        self.refactorizations += lp.stats.refactorizations;
+        self.eta_len += lp.stats.peak_eta_len;
+        if lp.stats.warm {
+            self.warm_start_pivots += lp.stats.warm_pivots;
+        } else {
+            self.cold_solves += 1;
+        }
+    }
+
     fn emit(&self, tel: &Telemetry, nodes: usize, cuts_added: usize) {
         if !tel.is_enabled() {
             return;
@@ -52,6 +74,10 @@ impl MipTally {
         tel.incr(sys::LP, "cuts_added", cuts_added as u64);
         tel.incr(sys::LP, "incumbent_updates", self.incumbent_updates);
         tel.incr(sys::LP, "deadline_overshoot_us", self.deadline_overshoot_us);
+        tel.incr(sys::LP, "refactorizations", self.refactorizations);
+        tel.incr(sys::LP, "eta_len", self.eta_len);
+        tel.incr(sys::LP, "warm_start_pivots", self.warm_start_pivots);
+        tel.incr(sys::LP, "cold_solves", self.cold_solves);
     }
 }
 
@@ -172,6 +198,10 @@ struct Node {
     overrides: Vec<(VarId, f64, f64)>,
     bound: f64,
     depth: usize,
+    /// Parent's optimal basis (sparse backend), tagged with the cut-purge
+    /// generation it was captured under: a purge renumbers cut rows, so a
+    /// snapshot from an older generation is treated as cold.
+    basis: Option<(u64, Rc<WarmBasis>)>,
 }
 
 #[derive(PartialEq)]
@@ -247,7 +277,6 @@ pub fn solve_mip_telemetry(
             deadline_overshoot_us: 0,
         };
     }
-    let base_bounds: Vec<(f64, f64)> = work.vars().iter().map(|v| (v.lb, v.ub)).collect();
     let int_vars: Vec<VarId> = (0..model.num_vars())
         .map(VarId)
         .filter(|&v| model.var(v).integer)
@@ -284,16 +313,19 @@ pub fn solve_mip_telemetry(
                 }
             })
     }
-    fn purge_cuts(work: &mut Model, base_rows: usize, x: &[f64]) {
+    /// Returns `true` when rows were removed (cut indices shifted, so any
+    /// warm-basis snapshot from before the purge is stale).
+    fn purge_cuts(work: &mut Model, base_rows: usize, x: &[f64]) -> bool {
         let total = work.num_constrs();
         if total - base_rows <= CUT_POOL {
-            return;
+            return false;
         }
         let decisions: Vec<bool> = (base_rows..total)
             .map(|k| k + CUT_KEEP_RECENT >= total || work.row_slack(&work.constrs()[k], x) <= 1e-6)
             .collect();
         let mut it = decisions.into_iter();
         work.purge_constrs(base_rows, |_| it.next().unwrap_or(true));
+        work.num_constrs() != total
     }
     // Max-heap on HeapKey (inverted): we implemented Ord so that pop()
     // yields the smallest-bound node. Node payload must not affect order.
@@ -321,8 +353,13 @@ pub fn solve_mip_telemetry(
             overrides: vec![],
             bound: f64::NEG_INFINITY,
             depth: 0,
+            basis: None,
         },
     ));
+    // Cut-purge generation: bumped whenever `purge_cuts` removes rows.
+    // Warm-basis snapshots are tagged with the generation they were
+    // captured under and only reused while it is current.
+    let mut purge_gen: u64 = 0;
 
     let mut best_bound = f64::NEG_INFINITY;
     // Highest LP objective ever seen at the root (no bound overrides):
@@ -364,10 +401,19 @@ pub fn solve_mip_telemetry(
             }
             nodes += 1;
 
-            // Apply this node's bound overrides.
+            // Apply this node's bound overrides, recording an undo stack
+            // of the displaced bounds: reverting it after the node is
+            // O(depth), instead of the O(num_vars) full restore the
+            // solver used to pay per node.
+            let mut undo: Vec<(VarId, f64, f64)> = Vec::with_capacity(node.overrides.len());
             for &(v, lb, ub) in &node.overrides {
+                let old = work.var(v);
+                undo.push((v, old.lb, old.ub));
                 work.set_bounds(v, lb, ub);
             }
+            // The parent's optimal basis seeds this node's first LP; each
+            // optimal re-solve refreshes it for the next one.
+            let mut node_basis = node.basis.clone();
             let mut candidate = None;
             // Separation loop: re-solve while the separator rejects candidates.
             loop {
@@ -378,18 +424,32 @@ pub fn solve_mip_telemetry(
                     deadline_expired = true;
                     break;
                 }
-                // The tableau view is only needed for root GMI generation.
-                let (lp, view) = if node.depth == 0 {
-                    solve_lp_tableau(&work, &config.simplex)
-                } else {
-                    (solve_lp(&work, &config.simplex), None)
-                };
-                tally.simplex_iterations += lp.iterations as u64;
+                // Warm-start from the parent's (or the previous round's)
+                // optimal basis, unless a cut purge has invalidated it by
+                // deleting rows. The tableau view is only needed for root
+                // GMI generation.
+                let warm_ref = node_basis
+                    .as_ref()
+                    .and_then(|(gen, b)| (*gen == purge_gen).then(|| b.as_ref()));
+                let out = solve_lp_warm_chaos(
+                    &work,
+                    &config.simplex,
+                    warm_ref,
+                    node.depth == 0,
+                    np_chaos::global(),
+                );
+                let lp = out.solution;
+                let view = out.view;
+                if let Some(b) = out.basis {
+                    node_basis = Some((purge_gen, Rc::new(b)));
+                }
+                tally.absorb(&lp);
                 match lp.status {
                     LpStatus::Infeasible => break,
                     LpStatus::Unbounded => {
                         if node.depth == 0 && node.overrides.is_empty() {
-                            restore_bounds(&mut work, &base_bounds);
+                            // No overrides were applied, so `work` still
+                            // carries the original bounds — nothing to undo.
                             tally.emit(tel, nodes, cuts_added);
                             return MipSolution {
                                 status: MipStatus::Unbounded,
@@ -464,7 +524,9 @@ pub fn solve_mip_telemetry(
                                 let mut added_any = false;
                                 if !cuts.is_empty() {
                                     root_cut_rounds += 1;
-                                    purge_cuts(&mut work, base_rows, &lp.x);
+                                    if purge_cuts(&mut work, base_rows, &lp.x) {
+                                        purge_gen += 1;
+                                    }
                                     for cut in cuts {
                                         if row_exists(&work, base_rows, &cut.coeffs, cut.rhs) {
                                             continue; // duplicate row: adding it again
@@ -562,7 +624,9 @@ pub fn solve_mip_telemetry(
                                 let cuts = gomory::generate(&work, view, &is_int, 10, 1e-6);
                                 if !cuts.is_empty() {
                                     gmi_rounds += 1;
-                                    purge_cuts(&mut work, base_rows, &lp.x);
+                                    if purge_cuts(&mut work, base_rows, &lp.x) {
+                                        purge_gen += 1;
+                                    }
                                     for (k, cut) in cuts.into_iter().enumerate() {
                                         work.add_constr(
                                             format!("gmi_{gmi_rounds}_{k}"),
@@ -592,6 +656,7 @@ pub fn solve_mip_telemetry(
                                     overrides: o,
                                     bound: lp.objective,
                                     depth: node.depth + 1,
+                                    basis: node_basis.clone(),
                                 },
                             ));
                         }
@@ -602,6 +667,7 @@ pub fn solve_mip_telemetry(
                                 overrides: o,
                                 bound: lp.objective,
                                 depth: node.depth + 1,
+                                basis: node_basis.clone(),
                             });
                         }
                         break;
@@ -625,7 +691,9 @@ pub fn solve_mip_telemetry(
                                 deadline_expired = true;
                             }
                             if !cuts.is_empty() {
-                                purge_cuts(&mut work, base_rows, &lp.x);
+                                if purge_cuts(&mut work, base_rows, &lp.x) {
+                                    purge_gen += 1;
+                                }
                                 let mut added_any = false;
                                 for cut in cuts {
                                     if row_exists(&work, base_rows, &cut.coeffs, cut.rhs) {
@@ -666,11 +734,14 @@ pub fn solve_mip_telemetry(
                     tally.incumbent_updates += 1;
                 }
             }
-            // Restore bounds before the next plunge step / heap node.
-            restore_bounds(&mut work, &base_bounds);
+            // Revert this node's bound overrides before the next plunge
+            // step / heap node. Reverse order so nested overrides of the
+            // same variable unwind to the original bounds.
+            for &(v, lb, ub) in undo.iter().rev() {
+                work.set_bounds(v, lb, ub);
+            }
         }
     }
-    restore_bounds(&mut work, &base_bounds);
 
     // The remaining best bound is the smallest bound still in the heap (or
     // the incumbent if the tree is exhausted).
@@ -687,7 +758,7 @@ pub fn solve_mip_telemetry(
         // cuts accumulate globally. One fresh root LP over the *current*
         // row set is a valid global lower bound and usually much tighter.
         let root = solve_lp(&work, &config.simplex);
-        tally.simplex_iterations += root.iterations as u64;
+        tally.absorb(&root);
         if root.status == LpStatus::Optimal {
             best_bound = best_bound.max(root.objective);
         } else if root.status == LpStatus::Infeasible {
@@ -729,12 +800,6 @@ pub fn solve_mip_telemetry(
         nodes,
         cuts_added,
         deadline_overshoot_us: tally.deadline_overshoot_us,
-    }
-}
-
-fn restore_bounds(model: &mut Model, base: &[(f64, f64)]) {
-    for (j, &(lb, ub)) in base.iter().enumerate() {
-        model.set_bounds(VarId(j), lb, ub);
     }
 }
 

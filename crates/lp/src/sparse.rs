@@ -1,0 +1,294 @@
+//! Sparse substrate for the revised simplex: CSC constraint-matrix
+//! storage, the dense/sparse backend switch, warm-start basis snapshots,
+//! and an incremental LP that re-optimizes after appended rows.
+//!
+//! The sparse backend (see [`crate::factor`] for the LU machinery and
+//! [`crate::dual`] for the dual simplex) is the default; the historical
+//! dense tableau survives behind `NP_LP_BACKEND=dense` as the reference
+//! implementation the equivalence suite checks against.
+
+use crate::model::{Model, Sense, VarId};
+use crate::simplex::{Loc, LpSolution, SimplexConfig};
+
+/// Which simplex basis engine a solve uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LpBackend {
+    /// Resolve from the `NP_LP_BACKEND` environment variable
+    /// (`dense` → dense; anything else, including unset → sparse).
+    #[default]
+    Auto,
+    /// Dense basis inverse updated with row operations — the historical
+    /// textbook implementation, kept alive as the equivalence reference.
+    Dense,
+    /// CSC + LU-factorized basis with eta updates and warm starts.
+    Sparse,
+}
+
+impl LpBackend {
+    /// Resolve `Auto` against the `NP_LP_BACKEND` environment variable.
+    pub fn resolved(self) -> ResolvedBackend {
+        match self {
+            LpBackend::Dense => ResolvedBackend::Dense,
+            LpBackend::Sparse => ResolvedBackend::Sparse,
+            LpBackend::Auto => match std::env::var("NP_LP_BACKEND") {
+                Ok(v) if v.eq_ignore_ascii_case("dense") => ResolvedBackend::Dense,
+                _ => ResolvedBackend::Sparse,
+            },
+        }
+    }
+
+    /// Parse a CLI/env spelling (`dense`, `sparse`, `auto`).
+    pub fn parse(s: &str) -> Option<LpBackend> {
+        match s.to_ascii_lowercase().as_str() {
+            "dense" => Some(LpBackend::Dense),
+            "sparse" => Some(LpBackend::Sparse),
+            "auto" => Some(LpBackend::Auto),
+            _ => None,
+        }
+    }
+}
+
+/// A fully-resolved backend choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResolvedBackend {
+    /// Dense basis inverse.
+    Dense,
+    /// Factorized sparse basis.
+    Sparse,
+}
+
+/// Compressed-sparse-column matrix: the tableau's constraint matrix
+/// (structural, logical and artificial columns) in three flat arrays.
+/// Columns are appended once at build time and never mutated, so the
+/// factorization and pricing loops iterate cache-friendly slices.
+#[derive(Clone, Debug)]
+pub struct CscMatrix {
+    m: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// An empty matrix with `m` rows and reserved space.
+    pub fn with_capacity(m: usize, ncols: usize, nnz: usize) -> CscMatrix {
+        let mut col_ptr = Vec::with_capacity(ncols + 1);
+        col_ptr.push(0);
+        CscMatrix {
+            m,
+            col_ptr,
+            row_idx: Vec::with_capacity(nnz),
+            vals: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Append one column given `(row, value)` entries.
+    pub fn push_col(&mut self, entries: impl IntoIterator<Item = (usize, f64)>) {
+        for (i, v) in entries {
+            debug_assert!(i < self.m);
+            self.row_idx.push(i);
+            self.vals.push(v);
+        }
+        self.col_ptr.push(self.row_idx.len());
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The `(row, value)` entries of column `j`.
+    pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        self.row_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.vals[lo..hi].iter().copied())
+    }
+
+    /// Largest absolute value among the entries of the given columns
+    /// (1.0 floor), used to scale singularity thresholds.
+    pub fn scale_of(&self, cols: &[usize]) -> f64 {
+        let mut s = 1.0f64;
+        for &j in cols {
+            for (_, v) in self.col(j) {
+                s = s.max(v.abs());
+            }
+        }
+        s
+    }
+}
+
+/// A column reference that survives row append/renumber: the identity of
+/// a basis member independent of the tableau's flat column indexing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WarmCol {
+    /// Structural variable `j` (stable across row changes).
+    Struct(usize),
+    /// The logical (slack) column of row `i`.
+    Logical(usize),
+    /// The artificial column of row `i` (pinned to zero after phase 1;
+    /// may linger in a degenerate optimal basis).
+    Artificial(usize),
+}
+
+/// An optimal-basis snapshot, sufficient to warm-start a re-optimization
+/// after bound changes (branch & bound children) or appended rows
+/// (Benders cut rounds). Captured by the sparse backend on every optimal
+/// solve; installing it on a grown model puts each *new* row's logical
+/// into the basis, which preserves dual feasibility (logicals price to
+/// zero), so the dual simplex restores primal feasibility in a handful
+/// of pivots instead of re-running both phases.
+#[derive(Clone, Debug)]
+pub struct WarmBasis {
+    /// The basic column of each row at capture time.
+    pub basis: Vec<WarmCol>,
+    /// Rest state of every structural column.
+    pub loc_struct: Vec<Loc>,
+    /// Rest state of every logical column (indexed by row at capture).
+    pub loc_logical: Vec<Loc>,
+}
+
+/// An LP that persists across Benders separation rounds: rows are
+/// appended in place (never rebuilt, never removed — the row count is
+/// asserted monotone) and each `solve` re-optimizes from the previous
+/// optimal basis on the sparse backend. On the dense backend every solve
+/// is cold, preserving the reference behavior exactly.
+pub struct IncrementalLp {
+    model: Model,
+    config: SimplexConfig,
+    warm: Option<WarmBasis>,
+    rows_floor: usize,
+    /// Cumulative [`crate::simplex::SolveStats`] over all solves.
+    pub stats: crate::simplex::SolveStats,
+    /// Solves that could not reuse a basis (first call, dense backend,
+    /// or warm-start fallback).
+    pub cold_solves: u64,
+}
+
+impl IncrementalLp {
+    /// Wrap `model` for incremental re-optimization.
+    pub fn new(model: Model, config: SimplexConfig) -> IncrementalLp {
+        let rows_floor = model.num_constrs();
+        IncrementalLp {
+            model,
+            config,
+            warm: None,
+            rows_floor,
+            stats: crate::simplex::SolveStats::default(),
+            cold_solves: 0,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Current row count.
+    pub fn num_rows(&self) -> usize {
+        self.model.num_constrs()
+    }
+
+    /// Append a row in place. Rows are only ever added — the persistent
+    /// master model grows monotonically across separation rounds.
+    pub fn add_row(
+        &mut self,
+        name: impl Into<String>,
+        coeffs: Vec<(VarId, f64)>,
+        sense: Sense,
+        rhs: f64,
+    ) {
+        self.model.add_constr(name, coeffs, sense, rhs);
+    }
+
+    /// Solve the current model, warm-starting from the previous optimal
+    /// basis when the sparse backend is active.
+    pub fn solve(&mut self) -> LpSolution {
+        assert!(
+            self.model.num_constrs() >= self.rows_floor,
+            "incremental LP rows must grow monotonically ({} < {})",
+            self.model.num_constrs(),
+            self.rows_floor
+        );
+        self.rows_floor = self.model.num_constrs();
+        let out = crate::simplex::solve_lp_warm(&self.model, &self.config, self.warm.as_ref());
+        self.stats.refactorizations += out.solution.stats.refactorizations;
+        self.stats.peak_eta_len += out.solution.stats.peak_eta_len;
+        self.stats.warm_pivots += out.solution.stats.warm_pivots;
+        if !out.solution.stats.warm {
+            self.cold_solves += 1;
+        }
+        self.warm = out.basis;
+        out.solution
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+    use crate::simplex::LpStatus;
+
+    #[test]
+    fn csc_round_trips_columns() {
+        let mut csc = CscMatrix::with_capacity(3, 2, 4);
+        csc.push_col(vec![(0, 1.0), (2, -2.0)]);
+        csc.push_col(vec![(1, 3.0)]);
+        assert_eq!(csc.ncols(), 2);
+        assert_eq!(csc.nnz(), 3);
+        assert_eq!(csc.col(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, -2.0)]);
+        assert_eq!(csc.col(1).collect::<Vec<_>>(), vec![(1, 3.0)]);
+        assert_eq!(csc.scale_of(&[0, 1]), 3.0);
+    }
+
+    #[test]
+    fn backend_resolution_prefers_explicit_choice() {
+        assert_eq!(LpBackend::Dense.resolved(), ResolvedBackend::Dense);
+        assert_eq!(LpBackend::Sparse.resolved(), ResolvedBackend::Sparse);
+        assert_eq!(LpBackend::parse("DENSE"), Some(LpBackend::Dense));
+        assert_eq!(LpBackend::parse("sparse"), Some(LpBackend::Sparse));
+        assert_eq!(LpBackend::parse("auto"), Some(LpBackend::Auto));
+        assert_eq!(LpBackend::parse("gurobi"), None);
+    }
+
+    #[test]
+    fn incremental_rows_are_monotone_and_reoptimize() {
+        // min x, x in [0, 10]; rounds push the lower bound up via rows.
+        let mut m = Model::new("inc");
+        let x = m.add_var("x", 0.0, 10.0, 1.0, false);
+        let cfg = SimplexConfig {
+            backend: LpBackend::Sparse,
+            ..SimplexConfig::default()
+        };
+        let mut inc = IncrementalLp::new(m, cfg);
+        let s0 = inc.solve();
+        assert_eq!(s0.status, LpStatus::Optimal);
+        assert!((s0.objective - 0.0).abs() < 1e-9);
+        for k in 1..=4 {
+            let rows = inc.num_rows();
+            inc.add_row(format!("ge{k}"), vec![(x, 1.0)], Sense::Ge, f64::from(k));
+            assert_eq!(inc.num_rows(), rows + 1);
+            let s = inc.solve();
+            assert_eq!(s.status, LpStatus::Optimal);
+            assert!(
+                (s.objective - f64::from(k)).abs() < 1e-6,
+                "round {k}: {}",
+                s.objective
+            );
+        }
+        // First solve is cold; the re-optimizations reuse the basis.
+        assert_eq!(inc.cold_solves, 1, "appended rows must warm-start");
+    }
+}

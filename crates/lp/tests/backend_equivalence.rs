@@ -1,0 +1,208 @@
+//! Backend equivalence: the sparse revised simplex must agree with the
+//! dense reference on randomly generated bounded LPs — same status, same
+//! objective, and compatible duals — including degenerate and infeasible
+//! instances (DESIGN.md §12).
+//!
+//! Dual comparison caveat: degenerate optima admit multiple valid dual
+//! vectors, so a componentwise mismatch is only a failure when one of
+//! the two vectors fails the KKT certificate (dual feasibility +
+//! complementary slackness) checked from outside the solver.
+
+use np_lp::{
+    solve_lp, solve_lp_warm_chaos, LpBackend, LpSolution, LpStatus, Model, Sense, SimplexConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn config(backend: LpBackend) -> SimplexConfig {
+    SimplexConfig {
+        backend,
+        ..SimplexConfig::default()
+    }
+}
+
+/// A random bounded LP with small integer data, which makes ties (and
+/// therefore degeneracy) common rather than rare.
+fn random_model(seed: u64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(1..=5usize);
+    let m = rng.gen_range(0..=7usize);
+    let mut model = Model::new(format!("rand_{seed}"));
+    let vars: Vec<_> = (0..n)
+        .map(|j| {
+            let lb = f64::from(rng.gen_range(-3..=1i32));
+            let width = f64::from(rng.gen_range(0..=6i32));
+            let obj = f64::from(rng.gen_range(-4..=4i32));
+            model.add_var(format!("x{j}"), lb, lb + width, obj, false)
+        })
+        .collect();
+    for i in 0..m {
+        let coeffs: Vec<_> = vars
+            .iter()
+            .filter_map(|&v| {
+                let a = rng.gen_range(-3..=3i32);
+                (a != 0).then(|| (v, f64::from(a)))
+            })
+            .collect();
+        if coeffs.is_empty() {
+            continue;
+        }
+        let sense = match rng.gen_range(0..6u32) {
+            0 => Sense::Eq, // rarer: equalities make infeasibility likely
+            1 | 2 => Sense::Ge,
+            _ => Sense::Le,
+        };
+        let rhs = f64::from(rng.gen_range(-6..=6i32));
+        model.add_constr(format!("c{i}"), coeffs, sense, rhs);
+    }
+    model
+}
+
+/// KKT certificate for `(lp.x, lp.duals)` checked from first principles:
+/// primal feasibility, dual feasibility (reduced costs respect each
+/// variable's rest position), and complementary slackness on the rows.
+fn kkt_certified(model: &Model, lp: &LpSolution, tol: f64) -> bool {
+    if model.max_violation(&lp.x) > tol {
+        return false;
+    }
+    // Reduced costs d_j = c_j − yᵀA_j, accumulated column-wise.
+    let mut d: Vec<f64> = model.vars().iter().map(|v| v.obj).collect();
+    for (c, &yi) in model.constrs().iter().zip(&lp.duals) {
+        for &(v, a) in &c.coeffs {
+            d[v.0] -= yi * a;
+        }
+    }
+    for (j, v) in model.vars().iter().enumerate() {
+        let at_lb = lp.x[j] <= v.lb + tol;
+        let at_ub = lp.x[j] >= v.ub - tol;
+        let ok = match (at_lb, at_ub) {
+            (true, true) => true, // fixed: any reduced cost
+            (true, false) => d[j] >= -tol,
+            (false, true) => d[j] <= tol,
+            (false, false) => d[j].abs() <= tol,
+        };
+        if !ok {
+            return false;
+        }
+    }
+    for (c, &yi) in model.constrs().iter().zip(&lp.duals) {
+        let slack = model.row_slack(c, &lp.x);
+        // A slack row must carry a zero dual; a tight inequality's dual
+        // sign follows from its slack column's reduced cost (∓y_i ≥ 0).
+        let ok = match c.sense {
+            Sense::Eq => true,
+            _ if slack > tol => yi.abs() <= tol,
+            Sense::Le => yi <= tol,
+            Sense::Ge => yi >= -tol,
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+fn assert_backends_agree(model: &Model, seed: u64) {
+    let dense = solve_lp(model, &config(LpBackend::Dense));
+    let sparse = solve_lp(model, &config(LpBackend::Sparse));
+    assert_eq!(
+        dense.status, sparse.status,
+        "status diverged on seed {seed}: dense {:?}, sparse {:?}",
+        dense.status, sparse.status
+    );
+    if dense.status != LpStatus::Optimal {
+        return;
+    }
+    let scale = dense.objective.abs().max(1.0);
+    assert!(
+        (dense.objective - sparse.objective).abs() <= 1e-6 * scale,
+        "objective diverged on seed {seed}: dense {}, sparse {}",
+        dense.objective,
+        sparse.objective
+    );
+    let close = dense
+        .duals
+        .iter()
+        .zip(&sparse.duals)
+        .all(|(a, b)| (a - b).abs() <= 1e-5 * a.abs().max(1.0));
+    if !close {
+        // Degenerate optimum: multiple valid dual vectors. Both must
+        // still be KKT certificates for their own primal point.
+        assert!(
+            kkt_certified(model, &dense, 1e-6) && kkt_certified(model, &sparse, 1e-6),
+            "duals diverged without certificates on seed {seed}:\n dense {:?}\n sparse {:?}",
+            dense.duals,
+            sparse.duals
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+    #[test]
+    fn sparse_and_dense_agree_on_random_bounded_lps(seed in 0u64..1_000_000) {
+        assert_backends_agree(&random_model(seed), seed);
+    }
+}
+
+#[test]
+fn backends_agree_on_a_degenerate_vertex() {
+    // Many redundant rows meet at the same optimal vertex, so the basis
+    // there is massively degenerate and the dual vector is not unique.
+    let mut m = Model::new("degenerate");
+    let x = m.add_var("x", 0.0, 10.0, -1.0, false);
+    let y = m.add_var("y", 0.0, 10.0, -1.0, false);
+    for k in 1..=5 {
+        m.add_constr(format!("tie{k}"), vec![(x, 1.0), (y, 1.0)], Sense::Le, 4.0);
+    }
+    m.add_constr("cap_x", vec![(x, 1.0)], Sense::Le, 2.0);
+    m.add_constr("cap_y", vec![(y, 1.0)], Sense::Le, 2.0);
+    assert_backends_agree(&m, u64::MAX);
+    let sparse = solve_lp(&m, &config(LpBackend::Sparse));
+    assert_eq!(sparse.status, LpStatus::Optimal);
+    assert!((sparse.objective - -4.0).abs() < 1e-9);
+}
+
+#[test]
+fn backends_agree_that_contradictory_rows_are_infeasible() {
+    let mut m = Model::new("contradiction");
+    let x = m.add_var("x", 0.0, 5.0, 1.0, false);
+    let y = m.add_var("y", 0.0, 5.0, 1.0, false);
+    m.add_constr("lo", vec![(x, 1.0), (y, 1.0)], Sense::Ge, 8.0);
+    m.add_constr("hi", vec![(x, 1.0), (y, 1.0)], Sense::Le, 3.0);
+    let dense = solve_lp(&m, &config(LpBackend::Dense));
+    let sparse = solve_lp(&m, &config(LpBackend::Sparse));
+    assert_eq!(dense.status, LpStatus::Infeasible);
+    assert_eq!(sparse.status, LpStatus::Infeasible);
+}
+
+#[test]
+fn warm_started_sparse_solve_recovers_from_injected_singularity() {
+    use np_chaos::{Chaos, FaultClass, FaultPlan};
+    // A warm-started re-optimization that chaos declares singular must
+    // fall back to the cold ladder and still land on the cold optimum —
+    // the `lp-singular` fault now exercises the factorized path too.
+    let mut m = Model::new("warm_chaos");
+    let x = m.add_var("x", 0.0, 10.0, 1.0, false);
+    let y = m.add_var("y", 0.0, 10.0, 2.0, false);
+    m.add_constr("need", vec![(x, 1.0), (y, 1.0)], Sense::Ge, 3.0);
+    let cfg = config(LpBackend::Sparse);
+
+    let clean = solve_lp_warm_chaos(&m, &cfg, None, false, &Chaos::disabled());
+    assert_eq!(clean.solution.status, LpStatus::Optimal);
+    let basis = clean.basis.expect("optimal sparse solves capture a basis");
+
+    m.add_constr("cut", vec![(x, 1.0)], Sense::Ge, 4.0);
+    let chaos = Chaos::new(FaultPlan::parse("lp-singular@0").unwrap());
+    let out = solve_lp_warm_chaos(&m, &cfg, Some(&basis), false, &chaos);
+    assert_eq!(chaos.fired(FaultClass::LpSingular), 1);
+    assert_eq!(out.solution.status, LpStatus::Optimal);
+    let reference = solve_lp(&m, &config(LpBackend::Dense));
+    assert!(
+        (out.solution.objective - reference.objective).abs() < 1e-9,
+        "recovery drifted: {} vs {}",
+        out.solution.objective,
+        reference.objective
+    );
+}

@@ -24,6 +24,14 @@
 //! {"t_us":34,"sys":"rl","event":"metric","name":"mean_return","value":-1.5}
 //! {"t_us":56,"sys":"eval","event":"span","name":"check","dur_us":420}
 //! ```
+//!
+//! The `lp` subsystem additionally reports the sparse revised simplex's
+//! performance counters (DESIGN.md §12): `lp.refactorizations` (basis
+//! factorizations), `lp.eta_len` (summed per-solve peak eta-file
+//! lengths), `lp.warm_start_pivots` (pivots spent in warm-started
+//! re-optimizations), and `lp.cold_solves` (LPs solved without a
+//! reusable basis). Warm-start effectiveness is the ratio of
+//! `warm_start_pivots` to `simplex_iterations`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

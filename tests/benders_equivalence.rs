@@ -5,7 +5,7 @@
 
 use neuroplan::master::{solve_master, solve_master_telemetry, MasterConfig};
 use np_eval::{EvalConfig, PlanEvaluator};
-use np_lp::{solve_mip, MipConfig, MipStatus, Model, Sense, VarId};
+use np_lp::{solve_mip, LpBackend, MipConfig, MipStatus, Model, Sense, VarId};
 use np_telemetry::Telemetry;
 use np_topology::{
     CosClass, CostModel, Failure, FailureKind, Fiber, FiberId, Flow, IpLink, Network,
@@ -214,6 +214,7 @@ fn benders_master_matches_the_joint_formulation() {
         gap_tol: 1e-6,
         warm_units: None,
         polish_final: true,
+        lp_backend: LpBackend::Auto,
     };
     let master = solve_master(&net, &mut evaluator, &cfg);
     assert!(master.has_plan(), "master must find a plan");
@@ -277,6 +278,7 @@ fn master_overshoot_accounting_is_identical_across_worker_counts() {
             gap_tol: 1e-6,
             warm_units: Some(vec![10; net.links().len()]),
             polish_final: true,
+            lp_backend: LpBackend::Auto,
         };
         let out = solve_master_telemetry(&net, &mut evaluator, &cfg, &tel);
         let recorded = tel.counter("lp", "deadline_overshoot_us")
@@ -318,6 +320,7 @@ fn master_plan_is_feasible_in_the_joint_model() {
         gap_tol: 1e-6,
         warm_units: None,
         polish_final: true,
+        lp_backend: LpBackend::Auto,
     };
     let master = solve_master(&net, &mut evaluator, &cfg);
     // Fix the joint model's capacity variables to the master's plan: the
