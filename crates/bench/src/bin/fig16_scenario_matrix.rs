@@ -1,0 +1,275 @@
+//! Figure 16 (repo-local, beyond the paper): the scenario-diversity
+//! matrix.
+//!
+//! The paper evaluates on production-derived WAN topologies only; this
+//! harness sweeps the full `{topology family × size tier × failure
+//! model}` grid from `np_topology::family`, runs the RL+ILP pipeline
+//! against the greedy baseline in every cell, and records cost vs
+//! baseline, wall times, and the supervisor degradation rung reached.
+//! Results go to `BENCH_scenarios.json` (schema in `np_bench::scenario`,
+//! pinned by `tests/scenario_schema.rs`).
+//!
+//! ```text
+//! fig16_scenario_matrix [--quick|--full] [--seed <u64>]
+//!                       [--families wan,ba,...] [--tiers A,B,...]
+//!                       [--failure-models none,cuts,full]
+//!                       [--out <file.json>]
+//! ```
+//!
+//! `--quick` (default) covers all 7 families × tiers {A, B} × failure
+//! models {cuts, full} under CI-sized budgets. `--full` widens to tiers
+//! {A, B, C, D, E} × all failure models with the standard quick-run
+//! training budget. The 10× tier F is deliberately opt-in
+//! (`--tiers F`): generation is milliseconds but planning is not.
+
+use neuroplan::{greedy_augment, validate_plan, NeuroPlan, NeuroPlanConfig};
+use np_bench::scenario::{ScenarioCell, ScenarioMatrix, SCENARIO_SCHEMA_VERSION};
+use np_bench::{cell, Table};
+use np_eval::EvalConfig;
+use np_flow::DemandProfile;
+use np_topology::{FailureModel, FamilyConfig, Network, SizeTier, TopologyFamily};
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    families: Vec<TopologyFamily>,
+    tiers: Vec<SizeTier>,
+    failure_models: Vec<FailureModel>,
+    out: std::path::PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "fig16_scenario_matrix [--quick|--full] [--seed <u64>] \
+         [--families <csv>] [--tiers <csv>] [--failure-models <csv>] [--out <file>]\n\
+         families: wan ba ws er grid community clos; tiers: A..F; \
+         failure models: none cuts full"
+    );
+    std::process::exit(2);
+}
+
+fn parse_csv<T>(spec: &str, what: &str, parse: impl Fn(&str) -> Option<T>) -> Vec<T> {
+    spec.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            parse(s.trim()).unwrap_or_else(|| {
+                eprintln!("unknown {what} {s:?}");
+                usage()
+            })
+        })
+        .collect()
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: true,
+        seed: 0,
+        families: TopologyFamily::ALL.to_vec(),
+        tiers: vec![SizeTier::A, SizeTier::B],
+        failure_models: vec![FailureModel::SingleCut, FailureModel::Full],
+        out: std::path::PathBuf::from("BENCH_scenarios.json"),
+    };
+    let mut tiers_set = false;
+    let mut models_set = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} takes a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--full" => args.quick = false,
+            "--seed" => {
+                args.seed = value("--seed").parse().unwrap_or_else(|_| usage());
+            }
+            "--families" => {
+                args.families = parse_csv(&value("--families"), "family", TopologyFamily::parse);
+            }
+            "--tiers" => {
+                args.tiers = parse_csv(&value("--tiers"), "tier", SizeTier::parse);
+                tiers_set = true;
+            }
+            "--failure-models" => {
+                args.failure_models = parse_csv(
+                    &value("--failure-models"),
+                    "failure model",
+                    FailureModel::parse,
+                );
+                models_set = true;
+            }
+            "--out" => args.out = std::path::PathBuf::from(value("--out")),
+            _ => usage(),
+        }
+    }
+    if !args.quick {
+        if !tiers_set {
+            args.tiers = vec![
+                SizeTier::A,
+                SizeTier::B,
+                SizeTier::C,
+                SizeTier::D,
+                SizeTier::E,
+            ];
+        }
+        if !models_set {
+            args.failure_models = FailureModel::ALL.to_vec();
+        }
+    }
+    if args.families.is_empty() || args.tiers.is_empty() || args.failure_models.is_empty() {
+        usage()
+    }
+    args
+}
+
+/// Pipeline configuration for one cell. Quick mode shrinks training the
+/// same way the smoke tests do; both modes cap each supervised stage so
+/// a hard cell degrades instead of stalling the sweep.
+fn cell_config(quick: bool, seed: u64) -> NeuroPlanConfig {
+    let mut cfg = NeuroPlanConfig::quick().with_seed(seed);
+    if quick {
+        cfg.train.epochs = cfg.train.epochs.min(4);
+        cfg.train.steps_per_epoch = cfg.train.steps_per_epoch.min(128);
+        cfg.train.max_traj_len = cfg.train.max_traj_len.min(96);
+        cfg.mip_node_limit = cfg.mip_node_limit.min(500);
+        cfg.mip_time_limit_secs = cfg.mip_time_limit_secs.min(5.0);
+        cfg.final_rollouts = 2;
+        cfg.with_stage_budget(20.0)
+    } else {
+        cfg.with_stage_budget(90.0)
+    }
+}
+
+fn run_cell(
+    family: TopologyFamily,
+    tier: SizeTier,
+    model: FailureModel,
+    args: &Args,
+) -> ScenarioCell {
+    let cfg = FamilyConfig::new(family, tier)
+        .with_failure_model(model)
+        .with_seed(args.seed.wrapping_add(FamilyConfig::new(family, tier).seed));
+    let t0 = Instant::now();
+    let net: Network = cfg.generate();
+    let gen_millis = t0.elapsed().as_secs_f64() * 1e3;
+    let profile = DemandProfile::of(&net);
+
+    let t0 = Instant::now();
+    let mut baseline_net = net.clone();
+    let baseline_cost =
+        greedy_augment(&mut baseline_net, EvalConfig::default()).expect("greedy baseline");
+    let baseline_millis = t0.elapsed().as_secs_f64() * 1e3;
+
+    let planner = NeuroPlan::new(cell_config(args.quick, cfg.seed));
+    let t0 = Instant::now();
+    let result = planner
+        .try_plan(&net)
+        .unwrap_or_else(|e| panic!("{family}/{tier}/{model}: pipeline failed: {e:?}"));
+    let plan_millis = t0.elapsed().as_secs_f64() * 1e3;
+    validate_plan(&net, &result.final_units)
+        .unwrap_or_else(|e| panic!("{family}/{tier}/{model}: invalid plan: {e:?}"));
+
+    ScenarioCell {
+        family: family.name().to_string(),
+        tier: tier.name().to_string(),
+        failure_model: model.name().to_string(),
+        seed: cfg.seed,
+        sites: net.sites().len(),
+        fibers: net.fibers().len(),
+        links: net.links().len(),
+        flows: net.flows().len(),
+        failures: net.failures().len(),
+        total_demand_gbps: profile.total_gbps,
+        east_west_share: profile.east_west_share,
+        baseline_cost,
+        plan_cost: result.final_cost,
+        cost_vs_baseline: result.final_cost / baseline_cost,
+        gen_millis,
+        baseline_millis,
+        plan_millis,
+        quality: result.quality.name().to_string(),
+        rung: result.quality.rung(),
+        retries: result.supervision.total_retries(),
+        degrades: result.supervision.degrades,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let total = args.families.len() * args.tiers.len() * args.failure_models.len();
+    println!(
+        "Figure 16: scenario-diversity matrix — {} famil{} x {} tier{} x {} failure model{} = {total} cells ({})\n",
+        args.families.len(),
+        if args.families.len() == 1 { "y" } else { "ies" },
+        args.tiers.len(),
+        if args.tiers.len() == 1 { "" } else { "s" },
+        args.failure_models.len(),
+        if args.failure_models.len() == 1 { "" } else { "s" },
+        if args.quick { "quick" } else { "full" },
+    );
+
+    let mut table = Table::new(&[
+        "family",
+        "tier",
+        "failures",
+        "links",
+        "flows",
+        "cost/base",
+        "plan_ms",
+        "rung",
+    ]);
+    let mut cells = Vec::with_capacity(total);
+    for &family in &args.families {
+        for &tier in &args.tiers {
+            for &model in &args.failure_models {
+                let c = run_cell(family, tier, model, &args);
+                println!(
+                    "[{:>3}/{total}] {}/{}/{}: cost/base {:.3}, {:.0} ms, rung {} ({})",
+                    cells.len() + 1,
+                    c.family,
+                    c.tier,
+                    c.failure_model,
+                    c.cost_vs_baseline,
+                    c.plan_millis,
+                    c.rung,
+                    c.quality,
+                );
+                table.row(vec![
+                    cell(&c.family),
+                    cell(&c.tier),
+                    cell(&c.failure_model),
+                    cell(c.links),
+                    cell(c.flows),
+                    cell(format!("{:.3}", c.cost_vs_baseline)),
+                    cell(format!("{:.0}", c.plan_millis)),
+                    cell(format!("{} ({})", c.rung, c.quality)),
+                ]);
+                cells.push(c);
+            }
+        }
+    }
+
+    println!();
+    table.print();
+
+    let beat = cells.iter().filter(|c| c.cost_vs_baseline < 1.0).count();
+    let degraded = cells.iter().filter(|c| c.rung > 0).count();
+    println!(
+        "\npipeline beat greedy in {beat}/{} cells; supervisor degraded in {degraded}",
+        cells.len()
+    );
+
+    let matrix = ScenarioMatrix {
+        schema_version: SCENARIO_SCHEMA_VERSION,
+        seed: args.seed,
+        quick: args.quick,
+        cells,
+    };
+    let body = serde_json::to_string_pretty(&matrix).expect("serialize matrix");
+    std::fs::write(&args.out, &body)
+        .unwrap_or_else(|e| panic!("write {}: {e}", args.out.display()));
+    println!("wrote {}", args.out.display());
+}

@@ -13,6 +13,7 @@
 //! | `fig11_mlp_hidden` | Fig. 11 — MLP width sensitivity |
 //! | `fig12_capacity_units` | Fig. 12 — action granularity |
 //! | `fig13_relax_factor` | Fig. 13 — relax factor α |
+//! | `fig16_scenario_matrix` | beyond-paper — {family × tier × failures} sweep |
 //!
 //! Every binary accepts `--quick` (CI-sized, the default) or `--full`
 //! (longer budgets), plus `--seed <u64>` and `--out <dir>`.
@@ -21,6 +22,8 @@
 use std::fmt::Display;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+pub mod scenario;
 
 /// Shared command-line options for experiment binaries.
 #[derive(Clone, Debug)]

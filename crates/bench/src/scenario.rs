@@ -1,0 +1,150 @@
+//! Schema of `BENCH_scenarios.json`, the scenario-diversity matrix
+//! emitted by `fig16_scenario_matrix`.
+//!
+//! The file is a stable interface: downstream tooling (plot scripts,
+//! regression dashboards) reads it by field name. Renaming or retyping
+//! a field is a breaking change and must bump [`SCENARIO_SCHEMA_VERSION`];
+//! `crates/bench/tests/scenario_schema.rs` pins the layout. Family,
+//! tier and failure-model axes are serialized as their stable wire
+//! names (`np_topology::TopologyFamily::name` etc.), not enum variants,
+//! so the JSON survives enum refactors.
+
+use serde::{Deserialize, Serialize};
+
+/// Bump on any breaking change to [`ScenarioMatrix`] / [`ScenarioCell`].
+pub const SCENARIO_SCHEMA_VERSION: u32 = 1;
+
+/// Top-level contents of `BENCH_scenarios.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioMatrix {
+    /// Layout version, [`SCENARIO_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// Master seed the sweep ran under (per-cell seeds derive from it).
+    pub seed: u64,
+    /// `true` for `--quick` (CI-sized budgets), `false` for `--full`.
+    pub quick: bool,
+    /// One entry per `{family × tier × failure model}` cell, in sweep
+    /// order (family-major, then tier, then failure model).
+    pub cells: Vec<ScenarioCell>,
+}
+
+impl ScenarioMatrix {
+    /// Distinct family names present in the matrix, in sweep order.
+    pub fn families(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.family.as_str()) {
+                out.push(&c.family);
+            }
+        }
+        out
+    }
+
+    /// Distinct tier names present in the matrix, in sweep order.
+    pub fn tiers(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.tier.as_str()) {
+                out.push(&c.tier);
+            }
+        }
+        out
+    }
+}
+
+/// One cell of the matrix: a generated instance and how the pipeline
+/// fared on it relative to the greedy baseline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioCell {
+    /// Topology family wire name (`wan`, `ba`, `ws`, `er`, `grid`,
+    /// `community`, `clos`).
+    pub family: String,
+    /// Size tier wire name (`A`–`F`).
+    pub tier: String,
+    /// Failure model wire name (`none`, `cuts`, `full`).
+    pub failure_model: String,
+    /// Seed the cell's instance was generated from.
+    pub seed: u64,
+    /// Instance shape: sites in the generated network.
+    pub sites: usize,
+    /// Fiber spans.
+    pub fibers: usize,
+    /// IP links (candidate capacity containers).
+    pub links: usize,
+    /// Traffic-flow components.
+    pub flows: usize,
+    /// Failure scenarios.
+    pub failures: usize,
+    /// Total demand volume, Gbps (`np_flow::DemandProfile`).
+    pub total_demand_gbps: f64,
+    /// Demand-weighted share between non-datacenter sites: 1.0 for the
+    /// Clos fabric's pure east-west matrix, low for gravity WANs.
+    pub east_west_share: f64,
+    /// Eq. 1 cost of the greedy baseline plan.
+    pub baseline_cost: f64,
+    /// Eq. 1 cost of the RL+ILP plan.
+    pub plan_cost: f64,
+    /// `plan_cost / baseline_cost`; < 1 means the pipeline beat greedy.
+    pub cost_vs_baseline: f64,
+    /// Wall time to generate the instance, milliseconds.
+    pub gen_millis: f64,
+    /// Wall time of the greedy baseline, milliseconds.
+    pub baseline_millis: f64,
+    /// Wall time of the RL+ILP pipeline, milliseconds.
+    pub plan_millis: f64,
+    /// Degradation-ladder rung name the supervisor landed on
+    /// (`optimal`, `incumbent`, `rounded`, `heuristic`).
+    pub quality: String,
+    /// Numeric rung, 0 (optimal) … 3 (heuristic).
+    pub rung: u8,
+    /// Total supervised-stage retries.
+    pub retries: u32,
+    /// Ladder rungs skipped downward due to budget exhaustion.
+    pub degrades: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_cell() -> ScenarioCell {
+        ScenarioCell {
+            family: "ba".into(),
+            tier: "A".into(),
+            failure_model: "full".into(),
+            seed: 7,
+            sites: 8,
+            fibers: 14,
+            links: 20,
+            flows: 24,
+            failures: 11,
+            total_demand_gbps: 5500.0,
+            east_west_share: 0.25,
+            baseline_cost: 120.5,
+            plan_cost: 96.4,
+            cost_vs_baseline: 0.8,
+            gen_millis: 1.5,
+            baseline_millis: 3.25,
+            plan_millis: 5000.0,
+            quality: "incumbent".into(),
+            rung: 1,
+            retries: 2,
+            degrades: 1,
+        }
+    }
+
+    #[test]
+    fn axis_listing_dedupes_in_sweep_order() {
+        let mut a = sample_cell();
+        a.family = "wan".into();
+        a.tier = "B".into();
+        let m = ScenarioMatrix {
+            schema_version: SCENARIO_SCHEMA_VERSION,
+            seed: 0,
+            quick: true,
+            cells: vec![sample_cell(), a, sample_cell()],
+        };
+        assert_eq!(m.families(), ["ba", "wan"]);
+        assert_eq!(m.tiers(), ["A", "B"]);
+    }
+}

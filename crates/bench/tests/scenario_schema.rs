@@ -1,0 +1,132 @@
+//! Golden-schema pin for `BENCH_scenarios.json`.
+//!
+//! Downstream tooling reads the matrix by field name, so the layout is
+//! an interface: this test serializes a fully-populated matrix and
+//! compares it to the canonical golden string. If it fails, either
+//! restore the layout or bump `SCENARIO_SCHEMA_VERSION` *and* update
+//! the golden text here deliberately (mirrors the telemetry golden
+//! tests in `tests/serialization.rs`).
+
+use np_bench::scenario::{ScenarioCell, ScenarioMatrix, SCENARIO_SCHEMA_VERSION};
+
+fn sample_matrix() -> ScenarioMatrix {
+    ScenarioMatrix {
+        schema_version: SCENARIO_SCHEMA_VERSION,
+        seed: 42,
+        quick: true,
+        cells: vec![ScenarioCell {
+            family: "clos".into(),
+            tier: "B".into(),
+            failure_model: "full".into(),
+            seed: 16384042,
+            sites: 12,
+            fibers: 18,
+            links: 30,
+            flows: 60,
+            failures: 27,
+            total_demand_gbps: 15000.5,
+            east_west_share: 1.0,
+            baseline_cost: 250.75,
+            plan_cost: 200.5,
+            cost_vs_baseline: 0.7995,
+            gen_millis: 2.5,
+            baseline_millis: 12.0,
+            plan_millis: 4500.25,
+            quality: "optimal".into(),
+            rung: 0,
+            retries: 1,
+            degrades: 0,
+        }],
+    }
+}
+
+/// The full canonical serialization, field for field. A rename, a
+/// removal, a type change (float → int) or a reorder all fail here.
+#[test]
+fn golden_serialization_is_stable() {
+    let golden = r#"{
+  "schema_version": 1,
+  "seed": 42,
+  "quick": true,
+  "cells": [
+    {
+      "family": "clos",
+      "tier": "B",
+      "failure_model": "full",
+      "seed": 16384042,
+      "sites": 12,
+      "fibers": 18,
+      "links": 30,
+      "flows": 60,
+      "failures": 27,
+      "total_demand_gbps": 15000.5,
+      "east_west_share": 1,
+      "baseline_cost": 250.75,
+      "plan_cost": 200.5,
+      "cost_vs_baseline": 0.7995,
+      "gen_millis": 2.5,
+      "baseline_millis": 12,
+      "plan_millis": 4500.25,
+      "quality": "optimal",
+      "rung": 0,
+      "retries": 1,
+      "degrades": 0
+    }
+  ]
+}"#;
+    let body = serde_json::to_string_pretty(&sample_matrix()).expect("serialize");
+    assert_eq!(
+        body, golden,
+        "BENCH_scenarios.json layout changed; bump SCENARIO_SCHEMA_VERSION \
+         and update the golden string if this is intentional"
+    );
+}
+
+#[test]
+fn round_trip_is_lossless() {
+    let matrix = sample_matrix();
+    let body = serde_json::to_string(&matrix).expect("serialize");
+    let back: ScenarioMatrix = serde_json::from_str(&body).expect("deserialize");
+    assert_eq!(back, matrix);
+}
+
+/// Readers must tolerate files from *newer* writers that add fields.
+#[test]
+fn unknown_fields_are_ignored_on_read() {
+    let mut v: serde_json::Value =
+        serde_json::from_str(&serde_json::to_string(&sample_matrix()).unwrap()).unwrap();
+    let serde_json::Value::Object(top) = &mut v else {
+        panic!("matrix serializes to an object");
+    };
+    top.push(("future_field".into(), serde_json::json!("ignored")));
+    let Some(serde_json::Value::Array(cells)) =
+        top.iter_mut().find(|(k, _)| k == "cells").map(|(_, v)| v)
+    else {
+        panic!("cells array present");
+    };
+    let serde_json::Value::Object(first) = &mut cells[0] else {
+        panic!("cell serializes to an object");
+    };
+    first.push(("another_future_field".into(), serde_json::json!(123)));
+    let back: ScenarioMatrix = serde_json::from_value(v).expect("forward-compatible read");
+    assert_eq!(back, sample_matrix());
+}
+
+/// The wire names on the axes match what `np_topology` emits, so a
+/// matrix written today parses back onto the enums.
+#[test]
+fn axis_names_parse_back_onto_the_topology_enums() {
+    use np_topology::{FailureModel, SizeTier, TopologyFamily};
+    let matrix = sample_matrix();
+    for c in &matrix.cells {
+        assert!(TopologyFamily::parse(&c.family).is_some(), "{}", c.family);
+        assert!(SizeTier::parse(&c.tier).is_some(), "{}", c.tier);
+        assert!(
+            FailureModel::parse(&c.failure_model).is_some(),
+            "{}",
+            c.failure_model
+        );
+    }
+    assert_eq!(matrix.families(), ["clos"]);
+    assert_eq!(matrix.tiers(), ["B"]);
+}

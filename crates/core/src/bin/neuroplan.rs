@@ -22,8 +22,11 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  neuroplan generate --preset <a..e> [--fill <0..1>] [--long-term] \
-         [--seed <u64>] [--out <file>]\n  neuroplan plan [--preset <a..e> | --topology \
+        "usage:\n  neuroplan generate [--preset <a..e> | --family <wan|ba|ws|er|grid|\
+         community|clos> [--size-tier <a..f>] [--failure-model <none|cuts|full>]] \
+         [--fill <0..1>] [--long-term] \
+         [--seed <u64>] [--out <file>]\n  neuroplan plan [--preset <a..e> | --family \
+         <name> [--size-tier <a..f>] [--failure-model <m>] | --topology \
          <file>] [--fill <0..1>] [--alpha <f64>] [--quick|--default] [--seed <u64>] \
          [--workers <n|auto>] [--stage-budget <secs>] [--max-retries <n>] [--no-degrade] \
          [--lp-backend <dense|sparse|auto>] \
@@ -77,8 +80,56 @@ fn preset_of(flags: &HashMap<String, String>) -> Option<TopologyPreset> {
         })
 }
 
+/// `--family <name>` selects a scenario-matrix generator instead of the
+/// paper-calibrated `--preset` WANs; `--size-tier <a..f>` and
+/// `--failure-model <none|cuts|full>` refine the cell (`--fill` and
+/// `--seed` apply to both generator surfaces).
+fn family_network_of(flags: &HashMap<String, String>) -> Option<Network> {
+    use np_topology::{FailureModel, FamilyConfig, SizeTier, TopologyFamily};
+    let family = flags.get("family").map(|f| {
+        TopologyFamily::parse(f).unwrap_or_else(|| {
+            eprintln!("unknown family {f}; one of: wan ba ws er grid community clos");
+            usage()
+        })
+    })?;
+    let tier = match flags.get("size-tier") {
+        Some(t) => SizeTier::parse(t).unwrap_or_else(|| {
+            eprintln!("unknown size tier {t}; one of: a b c d e f");
+            usage()
+        }),
+        None => SizeTier::B,
+    };
+    let mut cfg = FamilyConfig::new(family, tier);
+    if let Some(m) = flags.get("failure-model") {
+        cfg.failure_model = FailureModel::parse(m).unwrap_or_else(|| {
+            eprintln!("unknown failure model {m}; one of: none cuts full");
+            usage()
+        });
+    }
+    if let Some(fill) = flags.get("fill") {
+        cfg.capacity_fill = fill.parse().unwrap_or_else(|_| {
+            eprintln!("--fill takes a number in [0,1]");
+            exit(2)
+        });
+    }
+    if let Some(seed) = flags.get("seed") {
+        cfg.seed = seed.parse().unwrap_or_else(|_| {
+            eprintln!("--seed takes a u64");
+            exit(2)
+        });
+    }
+    Some(cfg.try_generate().unwrap_or_else(|e| {
+        eprintln!("invalid family config: {e}");
+        exit(1)
+    }))
+}
+
 fn load_network(flags: &HashMap<String, String>) -> Network {
     if let Some(path) = flags.get("topology") {
+        if flags.contains_key("family") {
+            eprintln!("--family conflicts with --topology");
+            usage()
+        }
         let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read {path}: {e}");
             exit(1)
@@ -88,8 +139,15 @@ fn load_network(flags: &HashMap<String, String>) -> Network {
             exit(1)
         });
     }
+    if let Some(net) = family_network_of(flags) {
+        if flags.contains_key("preset") {
+            eprintln!("--family conflicts with --preset");
+            usage()
+        }
+        return net;
+    }
     let Some(preset) = preset_of(flags) else {
-        eprintln!("need --preset or --topology");
+        eprintln!("need --preset, --family or --topology");
         usage()
     };
     let mut cfg = GeneratorConfig::preset(preset);

@@ -49,7 +49,12 @@ pub fn angular_regions(net: &Network, k: usize) -> Vec<usize> {
     order.sort_by(|&a, &b| {
         let ta = (net.sites()[a].pos.1 - cy).atan2(net.sites()[a].pos.0 - cx);
         let tb = (net.sites()[b].pos.1 - cy).atan2(net.sites()[b].pos.0 - cx);
-        ta.partial_cmp(&tb).expect("finite angles")
+        // `total_cmp`, not `partial_cmp().expect(..)`: degenerate inputs
+        // (co-located sites from the grid/Clos generators collapsing the
+        // centroid offset to ±0, or non-finite coordinates) must fall
+        // into *some* sector, never panic mid-decomposition. Ties break
+        // by site index so the partition stays deterministic.
+        ta.total_cmp(&tb).then(a.cmp(&b))
     });
     let mut region = vec![0usize; n];
     for (rank, &site) in order.iter().enumerate() {
@@ -343,6 +348,35 @@ mod tests {
         .expect("an instance with no sites is degenerate but valid");
         assert!(angular_regions(&net, 3).is_empty());
         assert!(angular_regions(&net, 0).is_empty());
+    }
+
+    #[test]
+    fn degenerate_coordinates_never_panic_the_partition() {
+        // Co-located sites (a collapsed metro, or generators that stack
+        // nodes) put every site at the centroid: all angles are atan2 of
+        // signed zeros. The sort must stay total and deterministic.
+        let stacked = positions_net(&[(5.0, 5.0); 6]);
+        let region = angular_regions(&stacked, 3);
+        assert_eq!(region.len(), 6);
+        assert!(region.iter().all(|&r| r < 3));
+        for r in 0..3 {
+            assert!(region.contains(&r), "region {r} empty for stacked sites");
+        }
+        assert_eq!(region, angular_regions(&stacked, 3));
+
+        // Non-finite coordinates (upstream data bugs) used to panic in
+        // `partial_cmp(..).expect("finite angles")`; they must now land
+        // in some sector instead of killing the decomposition.
+        let poisoned = positions_net(&[
+            (0.0, 0.0),
+            (f64::NAN, 1.0),
+            (1.0, f64::INFINITY),
+            (2.0, 1.0),
+        ]);
+        let region = angular_regions(&poisoned, 2);
+        assert_eq!(region.len(), 4);
+        assert!(region.iter().all(|&r| r < 2));
+        assert_eq!(region, angular_regions(&poisoned, 2));
     }
 
     #[test]

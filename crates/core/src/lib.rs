@@ -36,7 +36,9 @@ pub mod report;
 
 pub use analysis::{analyze_plan, PlanAnalysis};
 pub use config::NeuroPlanConfig;
-pub use decompose::{solve_decomposed, solve_decomposed_telemetry, DecomposedOutcome};
+pub use decompose::{
+    angular_regions, solve_decomposed, solve_decomposed_telemetry, DecomposedOutcome,
+};
 pub use env::PlanningEnv;
 pub use greedy::greedy_augment;
 pub use master::{solve_master, solve_master_telemetry, MasterConfig, MasterOutcome};

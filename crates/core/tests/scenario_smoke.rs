@@ -1,0 +1,67 @@
+//! Pipeline smoke matrix: every topology family must survive the full
+//! RL + ILP pipeline end to end.
+//!
+//! One cell per [`TopologyFamily`] at the smallest tier with the full
+//! failure model, planned under a deliberately tight stage budget. The
+//! supervisor is allowed to degrade (that is the point of the ladder) —
+//! what it is *not* allowed to do is fail outright or emit a plan that
+//! `validate_plan` rejects. A second pass checks the angular
+//! decomposition handles every family's geometry, including the layered
+//! Clos placement and the co-linear grid rows that used to be able to
+//! panic `angular_regions`.
+
+use neuroplan::{angular_regions, validate_plan, NeuroPlan, NeuroPlanConfig};
+use np_topology::{FamilyConfig, SizeTier, TopologyFamily};
+
+/// Small enough that the whole 7-family matrix runs in a debug-mode
+/// `cargo test` without dominating the suite: the point is plumbing
+/// (family surface → transform → RL → ILP → validation), not policy
+/// quality.
+fn smoke_config() -> NeuroPlanConfig {
+    let mut cfg = NeuroPlanConfig::quick().with_seed(11);
+    cfg.train.epochs = 2;
+    cfg.train.steps_per_epoch = 64;
+    cfg.train.max_traj_len = 48;
+    cfg.mip_node_limit = 100;
+    cfg.mip_time_limit_secs = 2.0;
+    cfg.final_rollouts = 1;
+    cfg.with_stage_budget(30.0)
+}
+
+#[test]
+fn every_family_plans_end_to_end_at_tier_a() {
+    let planner = NeuroPlan::new(smoke_config());
+    for family in TopologyFamily::ALL {
+        let net = FamilyConfig::new(family, SizeTier::A).generate();
+        let result = planner.try_plan(&net).unwrap_or_else(|e| {
+            panic!("{family}: pipeline failed outright: {e:?}");
+        });
+        validate_plan(&net, &result.final_units)
+            .unwrap_or_else(|e| panic!("{family}: invalid final plan: {e:?}"));
+        assert!(
+            result.final_cost.is_finite() && result.final_cost > 0.0,
+            "{family}: bad final cost {}",
+            result.final_cost
+        );
+        assert!(
+            result.final_cost <= result.first_stage_cost * (1.0 + 1e-9),
+            "{family}: second stage made the plan worse ({} > {})",
+            result.final_cost,
+            result.first_stage_cost
+        );
+        // Whatever rung the ladder landed on, it is a named, real rung.
+        assert!(result.quality.rung() <= 3, "{family}: unknown rung");
+    }
+}
+
+#[test]
+fn every_family_decomposes_without_panicking() {
+    for family in TopologyFamily::ALL {
+        for k in [1, 2, 4] {
+            let net = FamilyConfig::new(family, SizeTier::B).generate();
+            let region = angular_regions(&net, k);
+            assert_eq!(region.len(), net.sites().len(), "{family} k={k}");
+            assert!(region.iter().all(|&r| r < k), "{family} k={k}");
+        }
+    }
+}

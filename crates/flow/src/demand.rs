@@ -1,0 +1,183 @@
+//! Demand-matrix synthesis bridge and traffic profiling.
+//!
+//! The multi-family generators in `np_topology::family` synthesize
+//! qualitatively different traffic: gravity-model WAN matrices
+//! (datacenter-weighted, distance-discounted) versus uniform east-west
+//! fabrics. This module is the np-flow side of that surface: it turns a
+//! generated [`Network`]'s flows into routable [`Commodity`] lists and
+//! summarizes *what kind* of demand a scenario carries, so the
+//! scenario-matrix harness can report the traffic shape next to the
+//! planning outcome.
+
+use crate::commodity::{merge_parallel, Commodity};
+use np_topology::{CosClass, Network};
+
+/// Build the commodity list of a network's full demand matrix: one
+/// commodity per `(src, dst)` pair, parallel flow components merged,
+/// sorted for determinism. Site indices map to flow-graph nodes 1:1.
+pub fn commodities(net: &Network) -> Vec<Commodity> {
+    let flows: Vec<Commodity> = net
+        .flows()
+        .iter()
+        .map(|f| Commodity::new(f.src.index(), f.dst.index(), f.demand_gbps))
+        .collect();
+    merge_parallel(&flows)
+}
+
+/// Shape summary of a network's demand matrix. All `*_share` fields are
+/// demand-weighted fractions in `[0, 1]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DemandProfile {
+    /// Flow components (per class of service, before merging).
+    pub flow_components: usize,
+    /// Distinct `(src, dst)` pairs after merging.
+    pub pairs: usize,
+    /// Total demand volume, Gbps.
+    pub total_gbps: f64,
+    /// Mean demand per pair, Gbps.
+    pub mean_pair_gbps: f64,
+    /// Demand share with at least one datacenter endpoint.
+    pub dc_share: f64,
+    /// Demand share between two non-datacenter sites ("east-west" in
+    /// the Clos fabric, edge-to-edge in the WAN families).
+    pub east_west_share: f64,
+    /// Demand share in the Gold (always-protected) class.
+    pub gold_share: f64,
+    /// Demand share of the largest 10% of pairs — the concentration
+    /// signature separating hub-heavy gravity matrices (high) from
+    /// uniform east-west matrices (≈ 0.1 × pairs⁻¹-ish scale).
+    pub top_decile_share: f64,
+}
+
+impl DemandProfile {
+    /// Profile `net`'s demand matrix. A network without flows profiles
+    /// to all-zero shares rather than NaN.
+    pub fn of(net: &Network) -> DemandProfile {
+        let flows = net.flows();
+        let total: f64 = flows.iter().map(|f| f.demand_gbps).sum();
+        let share = |part: f64| if total > 0.0 { part / total } else { 0.0 };
+        let is_dc = |s: np_topology::SiteId| net.sites()[s.index()].is_datacenter;
+        let dc: f64 = flows
+            .iter()
+            .filter(|f| is_dc(f.src) || is_dc(f.dst))
+            .map(|f| f.demand_gbps)
+            .sum();
+        let gold: f64 = flows
+            .iter()
+            .filter(|f| f.cos == CosClass::Gold)
+            .map(|f| f.demand_gbps)
+            .sum();
+        let merged = commodities(net);
+        let mut by_pair: Vec<f64> = merged.iter().map(|c| c.demand).collect();
+        by_pair.sort_by(|a, b| b.total_cmp(a));
+        let top = by_pair.len().div_ceil(10);
+        let top_demand: f64 = by_pair.iter().take(top).sum();
+        DemandProfile {
+            flow_components: flows.len(),
+            pairs: merged.len(),
+            total_gbps: total,
+            mean_pair_gbps: if merged.is_empty() {
+                0.0
+            } else {
+                total / merged.len() as f64
+            },
+            dc_share: share(dc),
+            east_west_share: share(total - dc),
+            gold_share: share(gold),
+            top_decile_share: share(top_demand),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_topology::{family_network, SizeTier, TopologyFamily};
+
+    #[test]
+    fn commodities_merge_and_cover_all_flows() {
+        let net = family_network(TopologyFamily::Wan, SizeTier::A);
+        let cs = commodities(&net);
+        assert!(!cs.is_empty());
+        assert!(cs.len() <= net.flows().len());
+        let total: f64 = net.flows().iter().map(|f| f.demand_gbps).sum();
+        let merged: f64 = cs.iter().map(|c| c.demand).sum();
+        assert!((total - merged).abs() < 1e-9);
+        for w in cs.windows(2) {
+            assert!(
+                (w[0].src, w[0].dst) < (w[1].src, w[1].dst),
+                "unsorted/duplicate pair"
+            );
+        }
+    }
+
+    #[test]
+    fn shares_are_complementary_and_bounded() {
+        for family in TopologyFamily::ALL {
+            let p = DemandProfile::of(&family_network(family, SizeTier::B));
+            assert!(p.total_gbps > 0.0, "{family}");
+            for s in [
+                p.dc_share,
+                p.east_west_share,
+                p.gold_share,
+                p.top_decile_share,
+            ] {
+                assert!(
+                    (0.0..=1.0 + 1e-12).contains(&s),
+                    "{family}: share {s} out of range"
+                );
+            }
+            assert!(
+                (p.dc_share + p.east_west_share - 1.0).abs() < 1e-9,
+                "{family}: dc + east-west must partition the demand"
+            );
+            assert!(p.gold_share > 0.0, "{family}: some traffic is always Gold");
+        }
+    }
+
+    #[test]
+    fn clos_traffic_is_pure_east_west_and_wan_is_dc_heavy() {
+        let clos = DemandProfile::of(&family_network(TopologyFamily::FatTree, SizeTier::B));
+        assert_eq!(clos.east_west_share, 1.0, "Clos endpoints are ToRs only");
+        let wan = DemandProfile::of(&family_network(TopologyFamily::Wan, SizeTier::B));
+        assert!(
+            wan.dc_share > 0.5,
+            "gravity weighting should concentrate WAN demand on datacenters, got {}",
+            wan.dc_share
+        );
+    }
+
+    #[test]
+    fn top_decile_takes_the_largest_pairs() {
+        for family in [TopologyFamily::Wan, TopologyFamily::FatTree] {
+            let p = DemandProfile::of(&family_network(family, SizeTier::C));
+            // The largest 10% of pairs must carry at least a
+            // proportional share — fails if the sort runs ascending.
+            assert!(
+                p.top_decile_share >= 0.1,
+                "{family}: top decile carries only {}",
+                p.top_decile_share
+            );
+        }
+    }
+
+    #[test]
+    fn empty_matrix_profiles_to_zeros() {
+        use np_topology::Network;
+        let net = Network::new(
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            Default::default(),
+            Default::default(),
+            100.0,
+        )
+        .expect("empty instance is degenerate but valid");
+        let p = DemandProfile::of(&net);
+        assert_eq!(p.total_gbps, 0.0);
+        assert_eq!(p.dc_share, 0.0);
+        assert_eq!(p.mean_pair_gbps, 0.0);
+    }
+}

@@ -30,6 +30,7 @@
 //! `neuroplan` equivalent to the paper's joint formulation.
 
 pub mod commodity;
+pub mod demand;
 pub mod dijkstra;
 pub mod dinic;
 pub mod error;
@@ -40,6 +41,7 @@ pub mod metric;
 pub mod mwu;
 
 pub use commodity::Commodity;
+pub use demand::DemandProfile;
 pub use dijkstra::ShortestPaths;
 pub use error::FlowError;
 pub use graph::{Arc, ArcId, FlowGraph, NodeId};

@@ -19,10 +19,13 @@
 //! The crate also provides the paper's **node-link transformation**
 //! (§4.2, Fig. 5) used to feed the topology to a GNN, and deterministic
 //! synthetic [`generator`]s calibrated to the paper's production
-//! topologies A–E.
+//! topologies A–E. The [`family`] module generalizes generation to a
+//! whole scenario matrix: seven [`TopologyFamily`] graph processes ×
+//! six [`SizeTier`]s (A–E plus a 10× "F") × three [`FailureModel`]s.
 
 pub mod cost;
 pub mod error;
+pub mod family;
 pub mod generator;
 pub mod ids;
 pub mod model;
@@ -33,6 +36,7 @@ pub mod transform;
 
 pub use cost::CostModel;
 pub use error::TopologyError;
+pub use family::{family_network, FailureModel, FamilyConfig, SizeTier, TopologyFamily};
 pub use generator::{GeneratorConfig, TopologyPreset};
 pub use ids::{FailureId, FiberId, FlowId, LinkId, SiteId};
 pub use model::{CosClass, Failure, FailureKind, Fiber, Flow, IpLink, Site};

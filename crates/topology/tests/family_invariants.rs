@@ -1,0 +1,393 @@
+//! Property suite for the multi-family scenario generators.
+//!
+//! Each family promises the same contract to the rest of the pipeline —
+//! connected plant, canonical well-formed fibers, live traffic,
+//! survivable failure set — plus a family-specific structural signature
+//! (scale-free tail for BA, small-world clustering for WS, strict
+//! layering for Clos, lattice shape for the grid, planted partitions
+//! for Community). Cases sample random seeds per property, so these
+//! hold over the seed space, not just the calibrated defaults.
+//! Generation is a pure function of [`FamilyConfig`] (no threads, no
+//! environment reads), so "bit-identical at any worker count" reduces
+//! to the determinism property checked here.
+
+use np_topology::{family_network, FailureModel, FamilyConfig, Network, SizeTier, TopologyFamily};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Small tiers sampled by the random-case properties (tier E appears in
+/// the targeted structural tests; tier F is release-only, exercised by
+/// `cargo test --release -p np-topology -- --ignored` and the bench).
+const SMALL_TIERS: [SizeTier; 3] = [SizeTier::A, SizeTier::B, SizeTier::C];
+
+fn sampled_config(fam: usize, tier: usize, seed: u64) -> FamilyConfig {
+    FamilyConfig::new(
+        TopologyFamily::ALL[fam % TopologyFamily::ALL.len()],
+        SMALL_TIERS[tier % SMALL_TIERS.len()],
+    )
+    .with_seed(seed)
+}
+
+/// Per-site degree in the fiber plant.
+fn fiber_degrees(net: &Network) -> Vec<usize> {
+    let mut deg = vec![0usize; net.sites().len()];
+    for f in net.fibers() {
+        deg[f.endpoints.0.index()] += 1;
+        deg[f.endpoints.1.index()] += 1;
+    }
+    deg
+}
+
+/// Whether the fiber plant is one connected component.
+fn plant_connected(net: &Network) -> bool {
+    let n = net.sites().len();
+    if n == 0 {
+        return true;
+    }
+    let mut adj = vec![Vec::new(); n];
+    for f in net.fibers() {
+        let (a, b) = (f.endpoints.0.index(), f.endpoints.1.index());
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut seen = vec![false; n];
+    seen[0] = true;
+    let mut stack = vec![0usize];
+    while let Some(u) = stack.pop() {
+        for &v in &adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                stack.push(v);
+            }
+        }
+    }
+    seen.into_iter().all(|s| s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every family at every small tier, under arbitrary seeds: right
+    /// site count, connected plant, canonical self-loop-free fibers
+    /// with no duplicate spans, and live well-formed traffic.
+    #[test]
+    fn well_formed_and_connected(
+        fam in 0usize..7,
+        tier in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = sampled_config(fam, tier, seed);
+        let net = cfg.generate();
+        prop_assert_eq!(net.sites().len(), cfg.tier.num_sites());
+        prop_assert!(plant_connected(&net), "{} plant disconnected", cfg.family);
+        let mut spans = HashSet::new();
+        for f in net.fibers() {
+            prop_assert!(f.endpoints.0 < f.endpoints.1, "non-canonical or self-loop fiber");
+            prop_assert!(spans.insert(f.endpoints), "duplicate fiber span {:?}", f.endpoints);
+            prop_assert!(f.length_km > 0.0 && f.spectrum_ghz > 0.0 && f.build_cost > 0.0);
+        }
+        prop_assert!(!net.flows().is_empty());
+        for w in net.flows() {
+            prop_assert!(w.src != w.dst, "self-flow");
+            prop_assert!(w.demand_gbps >= 1.0);
+        }
+    }
+
+    /// Same config → byte-identical serialized network; seed moves it.
+    #[test]
+    fn deterministic_per_seed(
+        fam in 0usize..7,
+        tier in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = sampled_config(fam, tier, seed);
+        prop_assert_eq!(cfg.generate().to_json(), cfg.generate().to_json());
+        prop_assert!(
+            cfg.generate().to_json() != cfg.clone().with_seed(seed + 1).generate().to_json(),
+            "{} ignored the seed", cfg.family
+        );
+    }
+
+    /// Every generated failure scenario keeps the surviving fiber plant
+    /// connected — the promise that makes protected traffic plannable.
+    #[test]
+    fn failures_never_disconnect_survivors(
+        fam in 0usize..7,
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = sampled_config(fam, 1, seed); // tier B: all three classes
+        let net = cfg.generate();
+        prop_assert!(!net.failures().is_empty());
+        for fid in net.failure_ids() {
+            let impact = net.impact(fid);
+            let n = net.sites().len();
+            let mut adj = vec![Vec::new(); n];
+            for l in net.link_ids() {
+                if impact.dead_links.contains(&l) {
+                    continue;
+                }
+                let link = net.link(l);
+                adj[link.src.index()].push(link.dst.index());
+                adj[link.dst.index()].push(link.src.index());
+            }
+            let alive = |s: usize| !impact.dead_sites.iter().any(|d| d.index() == s);
+            let start = (0..n).find(|&s| alive(s)).unwrap();
+            let mut seen = vec![false; n];
+            seen[start] = true;
+            let mut stack = vec![start];
+            while let Some(u) = stack.pop() {
+                for &v in &adj[u] {
+                    if alive(v) && !seen[v] {
+                        seen[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            for (s, &reached) in seen.iter().enumerate() {
+                prop_assert!(
+                    reached || !alive(s),
+                    "{}: {} disconnects site {}", cfg.family, net.failure(fid).name, s
+                );
+            }
+        }
+    }
+
+    /// The failure-model axis is monotone: none ⊂ cuts ⊂ full.
+    #[test]
+    fn failure_model_is_monotone(fam in 0usize..7, seed in 0u64..1_000_000) {
+        let cfg = sampled_config(fam, 1, seed);
+        let none = cfg.clone().with_failure_model(FailureModel::None).generate();
+        let cuts = cfg.clone().with_failure_model(FailureModel::SingleCut).generate();
+        let full = cfg.clone().with_failure_model(FailureModel::Full).generate();
+        prop_assert_eq!(none.failures().len(), 0);
+        prop_assert!(!cuts.failures().is_empty());
+        prop_assert!(full.failures().len() > cuts.failures().len());
+        // The cut prefix is shared: the stronger model extends, never reshuffles.
+        prop_assert_eq!(&full.failures()[..cuts.failures().len()], cuts.failures());
+    }
+
+    /// Barabási-Albert signature over random seeds: minimum degree ≥ m
+    /// and a right-skewed degree distribution (hubs pull the mean above
+    /// the median — the scale-free asymmetry uniform families lack).
+    #[test]
+    fn ba_is_hub_skewed(seed in 0u64..1_000_000) {
+        let cfg = FamilyConfig::new(TopologyFamily::BarabasiAlbert, SizeTier::C)
+            .with_seed(seed);
+        let net = cfg.generate();
+        let mut deg = fiber_degrees(&net);
+        prop_assert!(deg.iter().all(|&d| d >= cfg.ba_attach), "min degree < m");
+        deg.sort_unstable();
+        let median = deg[deg.len() / 2] as f64;
+        let mean = deg.iter().sum::<usize>() as f64 / deg.len() as f64;
+        let max = *deg.last().unwrap() as f64;
+        prop_assert!(mean > median, "no hub skew: mean {mean} <= median {median}");
+        // At 20 nodes the tail is young; 1.5x mean separates BA from the
+        // uniform families (grid maxes at 4/~3.6x1.1, ER concentrates at
+        // ~1.3x). Tier E asserts the grown 2x tail deterministically.
+        prop_assert!(max >= 1.5 * mean, "no hub tail: max {max} < 1.5x mean {mean}");
+    }
+
+    /// Watts-Strogatz signature over random seeds: edge count stays at
+    /// the lattice's n·k/2 (± connectivity repairs) and the rewired
+    /// fraction stays near β, far below a uniform random graph's.
+    #[test]
+    fn ws_rewiring_is_bounded(seed in 0u64..1_000_000) {
+        let cfg = FamilyConfig::new(TopologyFamily::WattsStrogatz, SizeTier::C)
+            .with_seed(seed);
+        let net = cfg.generate();
+        let n = cfg.tier.num_sites();
+        let lattice_edges = n * cfg.ws_neighbors / 2;
+        prop_assert!(net.fibers().len() >= lattice_edges);
+        prop_assert!(net.fibers().len() <= lattice_edges + 3, "too many repair edges");
+        let rewired = net
+            .fibers()
+            .iter()
+            .filter(|f| {
+                let (a, b) = (f.endpoints.0.index(), f.endpoints.1.index());
+                let ring = (a as i64 - b as i64).rem_euclid(n as i64).min(
+                    (b as i64 - a as i64).rem_euclid(n as i64),
+                ) as usize;
+                ring > cfg.ws_neighbors / 2
+            })
+            .count();
+        prop_assert!(
+            (rewired as f64) <= 3.0 * cfg.ws_rewire * lattice_edges as f64 + 3.0,
+            "rewired fraction {}/{} far above beta={}", rewired, lattice_edges, cfg.ws_rewire
+        );
+    }
+
+    /// Clos/fat-tree layering over random seeds: sites split cleanly
+    /// into core/agg/tor by name, infrastructure layers are protected
+    /// (datacenter-flagged), every fiber joins adjacent layers only,
+    /// and all east-west traffic terminates at ToRs.
+    #[test]
+    fn clos_layering_is_strict(seed in 0u64..1_000_000, tier in 0usize..3) {
+        let net = FamilyConfig::new(TopologyFamily::FatTree, SMALL_TIERS[tier])
+            .with_seed(seed)
+            .generate();
+        let mut layers = Vec::new();
+        for s in 0..net.sites().len() {
+            let name = &net.sites()[s].name;
+            prop_assert!(
+                name.starts_with("core") || name.starts_with("agg") || name.starts_with("tor"),
+                "unknown layer for {name}"
+            );
+            layers.push(if name.starts_with("core") {
+                2u8
+            } else if name.starts_with("agg") {
+                1
+            } else {
+                0
+            });
+            prop_assert_eq!(net.sites()[s].is_datacenter, layers[s] > 0);
+        }
+        prop_assert!(layers.iter().filter(|&&l| l == 2).count() >= 2);
+        prop_assert!(layers.iter().filter(|&&l| l == 0).count() >= 2);
+        for f in net.fibers() {
+            let (a, b) = (layers[f.endpoints.0.index()], layers[f.endpoints.1.index()]);
+            prop_assert!(
+                a.abs_diff(b) == 1,
+                "fiber {:?} joins non-adjacent layers {a}/{b}", f.endpoints
+            );
+        }
+        for w in net.flows() {
+            prop_assert_eq!(layers[w.src.index()], 0);
+            prop_assert_eq!(layers[w.dst.index()], 0);
+        }
+    }
+
+    /// Grid signature: exact lattice edge count and max degree 4.
+    #[test]
+    fn grid_is_a_lattice(seed in 0u64..1_000_000, tier in 0usize..3) {
+        let cfg = FamilyConfig::new(TopologyFamily::Grid2d, SMALL_TIERS[tier]).with_seed(seed);
+        let net = cfg.generate();
+        let n = cfg.tier.num_sites();
+        let rows = (n as f64).sqrt().floor() as usize;
+        let cols = n.div_ceil(rows);
+        let mut expected = 0usize;
+        for i in 0..n {
+            if i % cols + 1 < cols && i + 1 < n {
+                expected += 1;
+            }
+            if i + cols < n {
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(net.fibers().len(), expected);
+        prop_assert!(fiber_degrees(&net).into_iter().all(|d| d <= 4));
+    }
+
+    /// Community signature: most fiber spans stay inside their planted
+    /// partition (read back from the generated site names).
+    #[test]
+    fn community_structure_is_planted(seed in 0u64..1_000_000) {
+        let net = FamilyConfig::new(TopologyFamily::Community, SizeTier::C)
+            .with_seed(seed)
+            .generate();
+        let community: Vec<usize> = net
+            .sites()
+            .iter()
+            .map(|s| {
+                let digits: String = s
+                    .name
+                    .trim_start_matches("hub")
+                    .trim_start_matches('c')
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect();
+                digits.parse().expect("community id in site name")
+            })
+            .collect();
+        let intra = net
+            .fibers()
+            .iter()
+            .filter(|f| community[f.endpoints.0.index()] == community[f.endpoints.1.index()])
+            .count();
+        prop_assert!(
+            intra * 2 >= net.fibers().len(),
+            "intra-community share {intra}/{} below 1/2", net.fibers().len()
+        );
+    }
+
+    /// Erdős-Rényi under a random target degree still comes out
+    /// connected (the repair pass) with at least a spanning tree.
+    #[test]
+    fn er_repair_guarantees_connectivity(seed in 0u64..1_000_000, degree in 1.0f64..8.0) {
+        let mut cfg = FamilyConfig::new(TopologyFamily::ErdosRenyi, SizeTier::B).with_seed(seed);
+        cfg.er_degree = degree;
+        let net = cfg.generate();
+        prop_assert!(plant_connected(&net));
+        prop_assert!(net.fibers().len() >= net.sites().len() - 1);
+    }
+}
+
+/// Baseline provisioning leaves planning headroom on every fiber: the
+/// pre-provisioned spectrum load fits with room to at least double.
+#[test]
+fn baseline_spectrum_has_headroom() {
+    for family in TopologyFamily::ALL {
+        let net = family_network(family, SizeTier::B);
+        for (fid, fiber) in net.fibers().iter().enumerate() {
+            let used: f64 = net
+                .links()
+                .iter()
+                .flat_map(|l| {
+                    l.fiber_path
+                        .iter()
+                        .filter(|(f, _)| f.index() == fid)
+                        .map(move |&(_, ghz)| f64::from(l.capacity_units) * ghz)
+                })
+                .sum();
+            assert!(
+                used * 2.0 <= fiber.spectrum_ghz,
+                "{family}: fiber {fid} already at {used:.0}/{:.0} GHz at baseline",
+                fiber.spectrum_ghz
+            );
+        }
+    }
+}
+
+/// The calibrated default cells at paper scale (tier E): spot-check the
+/// structural signatures at the size the matrix actually publishes.
+#[test]
+fn tier_e_defaults_keep_their_signatures() {
+    let ba = family_network(TopologyFamily::BarabasiAlbert, SizeTier::E);
+    let mut deg = fiber_degrees(&ba);
+    deg.sort_unstable();
+    assert!(
+        *deg.last().unwrap() >= 2 * deg[deg.len() / 2],
+        "BA tier E lost its hub tail"
+    );
+
+    let ws = family_network(TopologyFamily::WattsStrogatz, SizeTier::E);
+    // Average local clustering: small-world graphs keep most of the
+    // lattice's triangles (C ≈ (3(k-2))/(4(k-1)) · (1-β)³ ≈ 0.4 here);
+    // an ER graph of equal density would sit near k/n ≈ 0.16.
+    let n = ws.sites().len();
+    let mut adj = vec![HashSet::new(); n];
+    for f in ws.fibers() {
+        adj[f.endpoints.0.index()].insert(f.endpoints.1.index());
+        adj[f.endpoints.1.index()].insert(f.endpoints.0.index());
+    }
+    let mut clustering = 0.0f64;
+    for v in 0..n {
+        let neigh: Vec<usize> = adj[v].iter().copied().collect();
+        if neigh.len() < 2 {
+            continue;
+        }
+        let mut closed = 0usize;
+        for i in 0..neigh.len() {
+            for j in i + 1..neigh.len() {
+                if adj[neigh[i]].contains(&neigh[j]) {
+                    closed += 1;
+                }
+            }
+        }
+        clustering += closed as f64 / (neigh.len() * (neigh.len() - 1) / 2) as f64;
+    }
+    clustering /= n as f64;
+    assert!(
+        clustering >= 0.25,
+        "WS tier E clustering {clustering:.3} below small-world floor"
+    );
+}
