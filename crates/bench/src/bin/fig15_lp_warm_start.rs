@@ -32,9 +32,9 @@ struct BackendRun {
     wall_secs: f64,
 }
 
-fn run(net: &Network, backend: LpBackend, node_limit: usize) -> BackendRun {
+fn run(net: &Network, backend: LpBackend, node_limit: usize) -> (BackendRun, Telemetry) {
     let tel = Telemetry::memory();
-    let mut evaluator = PlanEvaluator::new(net, EvalConfig::default());
+    let mut evaluator = PlanEvaluator::with_telemetry(net, EvalConfig::default(), tel.clone());
     let cfg = MasterConfig {
         upper_bounds: MasterConfig::spectrum_bounds(net),
         cutoff: None,
@@ -53,7 +53,7 @@ fn run(net: &Network, backend: LpBackend, node_limit: usize) -> BackendRun {
     let t0 = Instant::now();
     let out = solve_master_telemetry(net, &mut evaluator, &cfg, &tel);
     let wall_secs = t0.elapsed().as_secs_f64();
-    BackendRun {
+    let run = BackendRun {
         cost: out.cost,
         pivots: tel.counter(sys::LP, "simplex_iterations"),
         warm_start_pivots: tel.counter(sys::LP, "warm_start_pivots"),
@@ -63,7 +63,8 @@ fn run(net: &Network, backend: LpBackend, node_limit: usize) -> BackendRun {
         nodes: out.nodes,
         cuts_added: out.cuts_added,
         wall_secs,
-    }
+    };
+    (run, tel)
 }
 
 fn backend_json(r: &BackendRun) -> serde_json::Value {
@@ -82,6 +83,9 @@ fn backend_json(r: &BackendRun) -> serde_json::Value {
 
 fn main() {
     let args = ExpArgs::parse();
+    // Stage timing on: the sparse run doubles as the profile exemplar,
+    // and timing collection never changes solver arithmetic.
+    np_telemetry::set_profiling(true);
     let (preset, node_limit) = if args.quick {
         (TopologyPreset::B, 600)
     } else {
@@ -95,12 +99,12 @@ fn main() {
         net.failures().len()
     );
 
-    let dense = run(&net, LpBackend::Dense, node_limit);
+    let (dense, _) = run(&net, LpBackend::Dense, node_limit);
     println!(
         "dense  (cold): {} pivots, {} nodes, {} cuts, cost {:.1}, {:.2}s",
         dense.pivots, dense.nodes, dense.cuts_added, dense.cost, dense.wall_secs
     );
-    let sparse = run(&net, LpBackend::Sparse, node_limit);
+    let (sparse, sparse_tel) = run(&net, LpBackend::Sparse, node_limit);
     println!(
         "sparse (warm): {} pivots ({} in warm re-optimizations), {} refactorizations, \
          {} cold solves, cost {:.1}, {:.2}s",
@@ -132,6 +136,16 @@ fn main() {
     let out = serde_json::to_string_pretty(&body).expect("json");
     std::fs::write("BENCH_lp.json", &out).expect("write BENCH_lp.json");
     println!("wrote BENCH_lp.json");
+
+    // Self-time wall breakdown of the sparse run (np-profile-v1).
+    let report = np_telemetry::profile::ProfileReport::from_telemetry(
+        &sparse_tel,
+        (sparse.wall_secs * 1e6) as u64,
+    );
+    eprint!("{}", report.render_table());
+    let profile = serde_json::to_string_pretty(&report.to_json()).expect("profile json");
+    std::fs::write("BENCH_profile.json", format!("{profile}\n")).expect("write BENCH_profile.json");
+    println!("wrote BENCH_profile.json");
     assert!(
         identical,
         "backends disagreed on the plan cost: dense {} vs sparse {}",

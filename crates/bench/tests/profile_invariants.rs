@@ -1,0 +1,84 @@
+//! The `--profile` mode's core contract: the process-global profiling
+//! switch changes *timing collection only*, never solver arithmetic or
+//! control flow. Randomized pin: a full Benders master solve must
+//! produce a bit-identical plan cost and an identical telemetry counter
+//! stream with profiling on and off, serially and with 4 evaluator
+//! workers.
+//!
+//! The profiling switch is process-global, so all four configurations
+//! run inside one `#[test]` body (test threads within this binary would
+//! otherwise race on the flag).
+
+use neuroplan::master::{solve_master_telemetry, MasterConfig};
+use np_eval::{EvalConfig, PlanEvaluator};
+use np_lp::LpBackend;
+use np_telemetry::Telemetry;
+use np_topology::{generator::preset_network, Network, TopologyPreset};
+use proptest::prelude::*;
+
+/// One master solve; returns the plan cost and the full counter stream.
+fn run(
+    net: &Network,
+    workers: usize,
+    profiling: bool,
+    node_limit: usize,
+    granularity: u32,
+) -> (f64, Vec<(String, String, u64)>) {
+    np_telemetry::set_profiling(profiling);
+    let tel = Telemetry::memory();
+    let mut evaluator = PlanEvaluator::with_telemetry(
+        net,
+        EvalConfig {
+            parallel_workers: workers,
+            ..EvalConfig::default()
+        },
+        tel.clone(),
+    );
+    let cfg = MasterConfig {
+        upper_bounds: MasterConfig::spectrum_bounds(net),
+        cutoff: None,
+        node_limit,
+        time_limit_secs: f64::INFINITY,
+        max_cuts_per_round: 8,
+        seed_cuts: vec![],
+        granularity,
+        gap_tol: MasterConfig::DEFAULT_GAP,
+        warm_units: None,
+        polish_final: false,
+        lp_backend: LpBackend::Sparse,
+    };
+    let out = solve_master_telemetry(net, &mut evaluator, &cfg, &tel);
+    np_telemetry::set_profiling(false);
+    (out.cost, tel.counters())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    #[test]
+    fn profiling_toggle_never_changes_costs_or_counters(
+        granularity in 1u32..3,
+        node_limit in 20usize..60,
+    ) {
+        let net = preset_network(TopologyPreset::A);
+        for workers in [1usize, 4] {
+            let (cost_off, counters_off) =
+                run(&net, workers, false, node_limit, granularity);
+            let (cost_on, counters_on) =
+                run(&net, workers, true, node_limit, granularity);
+            prop_assert_eq!(
+                cost_off.to_bits(),
+                cost_on.to_bits(),
+                "profiling changed the plan cost at {} workers: off {} vs on {}",
+                workers,
+                cost_off,
+                cost_on
+            );
+            prop_assert_eq!(
+                counters_off,
+                counters_on,
+                "profiling changed the counter stream at {} workers",
+                workers
+            );
+        }
+    }
+}

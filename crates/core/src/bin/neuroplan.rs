@@ -30,9 +30,11 @@ fn usage() -> ! {
          <file>] [--fill <0..1>] [--alpha <f64>] [--quick|--default] [--seed <u64>] \
          [--workers <n|auto>] [--stage-budget <secs>] [--max-retries <n>] [--no-degrade] \
          [--lp-backend <dense|sparse|auto>] \
-         [--telemetry <file>] [--checkpoint-dir <dir>] [--resume] \
+         [--telemetry <file>] [--profile [--profile-out <file>]] \
+         [--checkpoint-dir <dir>] [--resume] \
          [--chaos <spec>] [--out <file>]\n  neuroplan evaluate \
-         --topology <file> [--plan <file>] [--workers <n|auto>] [--telemetry <file>]\n  \
+         --topology <file> [--plan <file>] [--workers <n|auto>] [--telemetry <file>] \
+         [--profile [--profile-out <file>]]\n  \
          neuroplan baseline [--preset <a..e> | --topology <file>] --method \
          <ilp|ilp-heur|decompose> [--time <secs>] [--workers <n|auto>] \
          [--telemetry <file>]"
@@ -49,7 +51,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             usage();
         };
         match key {
-            "long-term" | "quick" | "default" | "resume" | "no-degrade" => {
+            "long-term" | "quick" | "default" | "resume" | "no-degrade" | "profile" => {
                 map.insert(key.to_string(), "true".to_string());
             }
             _ => {
@@ -230,17 +232,28 @@ fn workers_of(flags: &HashMap<String, String>) -> usize {
 }
 
 /// `--telemetry <path>`: a JSONL sink at `path`, else the free no-op.
+/// `--profile` needs an enabled handle to aggregate spans into, so it
+/// forces an in-memory sink when `--telemetry` is absent, and flips the
+/// process-global profiling switch that makes the solver layers collect
+/// stage times (timing only — plan costs and counters are unchanged).
 fn telemetry_of(flags: &HashMap<String, String>) -> Telemetry {
+    if flags.contains_key("profile") {
+        np_telemetry::set_profiling(true);
+    }
     match flags.get("telemetry") {
         Some(path) => Telemetry::jsonl(path).unwrap_or_else(|e| {
             eprintln!("cannot open telemetry file {path}: {e}");
             exit(1)
         }),
+        None if flags.contains_key("profile") => Telemetry::memory(),
         None => Telemetry::noop(),
     }
 }
 
-/// Flush the sink and print the per-phase breakdown to stderr.
+/// Flush the sink and print the per-phase breakdown to stderr. Under
+/// `--profile`, additionally print the self-time wall breakdown and
+/// write the `np-profile-v1` JSON (default `BENCH_profile.json`,
+/// overridable with `--profile-out`).
 fn finish_telemetry(tel: &Telemetry, flags: &HashMap<String, String>) {
     if !tel.is_enabled() {
         return;
@@ -249,6 +262,19 @@ fn finish_telemetry(tel: &Telemetry, flags: &HashMap<String, String>) {
     eprint!("{}", tel.render_summary());
     if let Some(path) = flags.get("telemetry") {
         eprintln!("telemetry written to {path}");
+    }
+    if flags.contains_key("profile") {
+        let report = np_telemetry::profile::ProfileReport::from_telemetry(tel, tel.elapsed_us());
+        eprint!("{}", report.render_table());
+        let out = flags
+            .get("profile-out")
+            .map(String::as_str)
+            .unwrap_or("BENCH_profile.json");
+        let body = serde_json::to_string_pretty(&report.to_json()).expect("profile json");
+        match std::fs::write(out, format!("{body}\n")) {
+            Ok(()) => eprintln!("profile written to {out}"),
+            Err(e) => eprintln!("cannot write profile file {out}: {e}"),
+        }
     }
 }
 

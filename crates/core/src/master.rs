@@ -423,6 +423,7 @@ pub fn lp_round_plan(
     let g = f64::from(gran);
     let scfg = SimplexConfig {
         backend: cfg.lp_backend,
+        collect_timing: tel.is_enabled() && np_telemetry::profiling(),
         ..SimplexConfig::default()
     };
     // One persistent LP lives across all separation rounds: each round
@@ -482,6 +483,14 @@ pub fn lp_round_plan(
         tel.incr(sys::LP, "eta_len", inc.stats.peak_eta_len);
         tel.incr(sys::LP, "warm_start_pivots", inc.stats.warm_pivots);
         tel.incr(sys::LP, "cold_solves", inc.cold_solves);
+        // Stage times (profiling only) as deferred leaf spans, charged to
+        // the live `lp_round` span so self-time sums stay ≤ wall.
+        let st = &inc.stats;
+        if st.factor_us + st.ftran_btran_us + st.pricing_us > 0 {
+            tel.record_span(sys::LP, "factorize", st.factor_us);
+            tel.record_span(sys::LP, "ftran_btran", st.ftran_btran_us);
+            tel.record_span(sys::LP, "pricing", st.pricing_us);
+        }
     }
     result
 }

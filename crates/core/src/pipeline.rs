@@ -224,8 +224,16 @@ impl NeuroPlan {
     /// Best-effort record append: a full disk must degrade the run to
     /// "unresumable", never kill it.
     fn append(&self, path: &Path, kind: &str, body: Value, chaos: &np_chaos::Chaos) {
+        let t0 = np_telemetry::profiling().then(std::time::Instant::now);
         if let Err(e) = append_record(path, kind, body, chaos) {
             eprintln!("warning: failed to write checkpoint record `{kind}`: {e}");
+        }
+        if let Some(t0) = t0 {
+            self.tel.record_span(
+                sys::PIPELINE,
+                "checkpoint_io",
+                t0.elapsed().as_micros() as u64,
+            );
         }
     }
 

@@ -54,6 +54,33 @@ fn every_family_plans_end_to_end_at_tier_a() {
     }
 }
 
+/// Regression pin for the one cell of the Figure-16 matrix that used to
+/// degrade under quick budgets: Erdős-Rényi at tier B. The stall was
+/// never a branching pathology — `--profile` attributed the wall to the
+/// evaluator (full-length fine-MWU runs on boundary-infeasible
+/// scenarios, plus cold exact-LP re-solves), so the master's MILP budget
+/// ran dry and the supervisor fell back to its incumbent. With the
+/// re-budgeted fine ε, witness reuse and warm-started LPs the cell
+/// proves optimality well inside the same budgets; this test keeps it
+/// that way.
+#[test]
+fn er_tier_b_no_longer_degrades_to_incumbent() {
+    let planner = NeuroPlan::new(smoke_config());
+    let net = FamilyConfig::new(TopologyFamily::ErdosRenyi, SizeTier::B).generate();
+    let result = planner
+        .try_plan(&net)
+        .unwrap_or_else(|e| panic!("er/B: pipeline failed outright: {e:?}"));
+    validate_plan(&net, &result.final_units)
+        .unwrap_or_else(|e| panic!("er/B: invalid final plan: {e:?}"));
+    assert_eq!(
+        result.quality.rung(),
+        0,
+        "er/B degraded to rung {} ({}) — the evaluator stall is back",
+        result.quality.rung(),
+        result.quality
+    );
+}
+
 #[test]
 fn every_family_decomposes_without_panicking() {
     for family in TopologyFamily::ALL {

@@ -161,6 +161,19 @@ impl PlanEvaluator {
         {
             self.tel.incr(sys::EVAL, name, now.saturating_sub(before));
         }
+        // Stage times (profiling only) flow as deferred leaf spans, never
+        // counters, so counter streams are identical with profiling off.
+        let mwu_us = self.stats.mwu_us.saturating_sub(self.published.mwu_us);
+        if mwu_us > 0 {
+            self.tel.record_span(sys::EVAL, "mwu", mwu_us);
+        }
+        let lp_us = self
+            .stats
+            .exact_lp_us
+            .saturating_sub(self.published.exact_lp_us);
+        if lp_us > 0 {
+            self.tel.record_span(sys::EVAL, "exact_lp", lp_us);
+        }
         self.published = self.stats.clone();
     }
 

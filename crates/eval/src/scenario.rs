@@ -32,6 +32,22 @@ pub struct ScenarioCtx {
     /// Demands that must be carried, merged per `(src, dst)` when source
     /// aggregation is on, otherwise one commodity per flow.
     pub commodities: Vec<Commodity>,
+    /// Optimal-basis snapshot of the last exact concurrent-flow LP on
+    /// this scenario. The LP's structure (variables, rows, their order)
+    /// depends only on the fixed graph and commodities — successive
+    /// checks change capacities alone — so the dual simplex re-optimizes
+    /// from here in a handful of pivots instead of a cold two-phase
+    /// solve. Interior mutability keeps `check_scenario`'s shared-borrow
+    /// signature; each scenario is only ever checked by one worker at a
+    /// time.
+    pub lp_warm: std::cell::RefCell<Option<np_lp::WarmBasis>>,
+    /// Per-arc flow of the last *positive* feasibility witness (greedy,
+    /// completed MWU, or exact-LP primal). The demands of a scenario are
+    /// fixed, so a stored flow that routes them all stays a valid proof
+    /// under any capacity vector that still covers it arc-wise — an O(m)
+    /// comparison that short-circuits the whole verdict pipeline. The
+    /// dual twin of the evaluator's metric-cut certificate store.
+    pub witness: std::cell::RefCell<Option<Vec<f64>>>,
 }
 
 impl ScenarioCtx {
@@ -70,6 +86,8 @@ impl ScenarioCtx {
             graph,
             arc_link,
             commodities,
+            lp_warm: std::cell::RefCell::new(None),
+            witness: std::cell::RefCell::new(None),
         }
     }
 

@@ -14,6 +14,9 @@ pub struct EvalStats {
     pub stateful_skips: u64,
     /// Infeasibility decided by re-evaluating a stored certificate.
     pub cut_reuse_hits: u64,
+    /// Feasibility decided by re-validating a stored witness flow (the
+    /// positive twin of `cut_reuse_hits`).
+    pub witness_reuse_hits: u64,
     /// Infeasibility decided by the degree (node-cut) shortcut.
     pub degree_cut_hits: u64,
     /// Greedy routing attempts / successes.
@@ -26,6 +29,15 @@ pub struct EvalStats {
     pub lp_calls: u64,
     /// Wall-clock time inside the evaluator.
     pub elapsed: Duration,
+    /// Wall microseconds inside the MWU solver, populated only under the
+    /// process-global profiling switch. Deliberately *not* part of
+    /// [`EvalStats::counter_fields`]: timing is nondeterministic, and the
+    /// telemetry counter stream must stay identical with profiling on or
+    /// off. The evaluator reports these as `eval` spans instead.
+    pub mwu_us: u64,
+    /// Wall microseconds inside the exact concurrent-flow LP (profiling
+    /// only; same span-not-counter contract as `mwu_us`).
+    pub exact_lp_us: u64,
 }
 
 impl EvalStats {
@@ -33,11 +45,12 @@ impl EvalStats {
     /// This is the bridge into the telemetry layer: serial and parallel
     /// evaluation publish through the same merged block, so they report
     /// the same counter names with the same meanings.
-    pub fn counter_fields(&self) -> [(&'static str, u64); 8] {
+    pub fn counter_fields(&self) -> [(&'static str, u64); 9] {
         [
             ("scenario_checks", self.scenario_checks),
             ("stateful_skips", self.stateful_skips),
             ("cut_reuse_hits", self.cut_reuse_hits),
+            ("witness_reuse_hits", self.witness_reuse_hits),
             ("degree_cut_hits", self.degree_cut_hits),
             ("greedy_attempts", self.greedy_attempts),
             ("greedy_hits", self.greedy_hits),
@@ -52,12 +65,15 @@ impl EvalStats {
         self.scenario_checks += other.scenario_checks;
         self.stateful_skips += other.stateful_skips;
         self.cut_reuse_hits += other.cut_reuse_hits;
+        self.witness_reuse_hits += other.witness_reuse_hits;
         self.degree_cut_hits += other.degree_cut_hits;
         self.greedy_attempts += other.greedy_attempts;
         self.greedy_hits += other.greedy_hits;
         self.mwu_calls += other.mwu_calls;
         self.lp_calls += other.lp_calls;
         self.elapsed += other.elapsed;
+        self.mwu_us += other.mwu_us;
+        self.exact_lp_us += other.exact_lp_us;
     }
 }
 

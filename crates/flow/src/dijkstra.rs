@@ -3,7 +3,13 @@
 //! This is the workhorse of the MWU concurrent-flow solver (one call per
 //! routed path) and of metric-cut evaluation (one call per source), so it
 //! is written to avoid allocation on repeat use: a [`DijkstraWorkspace`]
-//! can be reused across calls on graphs of the same size.
+//! carries the heap *and* generation-stamped `dist`/`prev` arrays, so a
+//! reused workspace performs no per-call allocation at all. The MWU
+//! routing loop additionally uses [`shortest_path_between`], which stops
+//! as soon as the destination is settled — by then its distance and
+//! predecessor chain are final (all chain nodes settle before it), so
+//! the returned path is identical to the full run's, at a fraction of
+//! the heap work.
 
 use crate::graph::{ArcId, FlowGraph, NodeId};
 use std::cmp::Reverse;
@@ -38,10 +44,131 @@ impl ShortestPaths {
     }
 }
 
-/// Reusable scratch space for repeated Dijkstra runs.
+/// Reusable scratch space for repeated Dijkstra runs: the heap plus
+/// generation-stamped distance/predecessor arrays (bumping `gen`
+/// invalidates every entry in O(1), so reuse never clears memory).
 #[derive(Clone, Debug, Default)]
 pub struct DijkstraWorkspace {
     heap: BinaryHeap<(Reverse<NotNan>, NodeId)>,
+    dist: Vec<f64>,
+    prev: Vec<Option<ArcId>>,
+    stamp: Vec<u32>,
+    gen: u32,
+}
+
+impl DijkstraWorkspace {
+    /// Start a fresh run over `n` nodes: bump the generation (lazily
+    /// clearing the arrays) and empty the heap.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.prev.resize(n, None);
+            self.stamp.resize(n, 0);
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Wrapped: stale stamps could collide with the new generation.
+            self.stamp.fill(0);
+            self.gen = 1;
+        }
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn dist_of(&self, v: NodeId) -> f64 {
+        if self.stamp[v] == self.gen {
+            self.dist[v]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, v: NodeId, d: f64, p: Option<ArcId>) {
+        self.stamp[v] = self.gen;
+        self.dist[v] = d;
+        self.prev[v] = p;
+    }
+
+    /// Dijkstra core. With `until = Some(dst)` the loop returns as soon
+    /// as `dst` is settled; the settled prefix (everything popped so
+    /// far) is identical to the full run's, which makes the early exit
+    /// result-transparent for anything derived from `dst`'s chain.
+    fn run(
+        &mut self,
+        graph: &FlowGraph,
+        src: NodeId,
+        until: Option<NodeId>,
+        mut length: impl FnMut(ArcId) -> f64,
+        mut usable: impl FnMut(ArcId) -> bool,
+    ) {
+        self.begin(graph.num_nodes());
+        self.set(src, 0.0, None);
+        self.heap.push((Reverse(NotNan(0.0)), src));
+        while let Some((Reverse(NotNan(d)), u)) = self.heap.pop() {
+            if d > self.dist_of(u) {
+                continue;
+            }
+            if until == Some(u) {
+                return;
+            }
+            for &aid in graph.out_arcs(u) {
+                if !usable(aid) {
+                    continue;
+                }
+                let len = length(aid);
+                if len < 0.0 || !len.is_finite() {
+                    continue;
+                }
+                let v = graph.arc(aid).to;
+                let nd = d + len;
+                if nd < self.dist_of(v) {
+                    self.set(v, nd, Some(aid));
+                    self.heap.push((Reverse(NotNan(nd)), v));
+                }
+            }
+        }
+    }
+
+    /// Run a full single-source shortest-path tree from `src`, leaving
+    /// the result queryable in place via [`Self::tree_dist`] /
+    /// [`Self::tree_path`]. Unlike [`shortest_paths_with`] nothing is
+    /// materialized, so a reused workspace performs no allocation; the
+    /// tree stays valid until the next run on this workspace.
+    pub fn build_tree(
+        &mut self,
+        graph: &FlowGraph,
+        src: NodeId,
+        length: impl FnMut(ArcId) -> f64,
+        usable: impl FnMut(ArcId) -> bool,
+    ) {
+        self.run(graph, src, None, length, usable);
+    }
+
+    /// Distance of `v` in the last tree (`f64::INFINITY` if unreached).
+    #[inline]
+    pub fn tree_dist(&self, v: NodeId) -> f64 {
+        self.dist_of(v)
+    }
+
+    /// Extract the last tree's arc path to `dst` into `path` (cleared
+    /// first); returns `false` when `dst` was not reached.
+    pub fn tree_path(&self, graph: &FlowGraph, dst: NodeId, path: &mut Vec<ArcId>) -> bool {
+        path.clear();
+        if self.dist_of(dst).is_infinite() {
+            return false;
+        }
+        // Every node on the chain was written this generation: dst is
+        // fresh (finite distance), and each predecessor settled before
+        // relaxing the arc that set its successor's `prev`.
+        let mut at = dst;
+        while let Some(arc) = self.prev[at] {
+            path.push(arc);
+            at = graph.arc(arc).from;
+        }
+        path.reverse();
+        true
+    }
 }
 
 /// Dijkstra from `src` where arc `a` has length `lengths(a)`; arcs with
@@ -52,38 +179,44 @@ pub struct DijkstraWorkspace {
 pub fn shortest_paths_with(
     graph: &FlowGraph,
     src: NodeId,
-    mut length: impl FnMut(ArcId) -> f64,
-    mut usable: impl FnMut(ArcId) -> bool,
+    length: impl FnMut(ArcId) -> f64,
+    usable: impl FnMut(ArcId) -> bool,
     ws: &mut DijkstraWorkspace,
 ) -> ShortestPaths {
     let n = graph.num_nodes();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut prev = vec![None; n];
-    ws.heap.clear();
-    dist[src] = 0.0;
-    ws.heap.push((Reverse(NotNan(0.0)), src));
-    while let Some((Reverse(NotNan(d)), u)) = ws.heap.pop() {
-        if d > dist[u] {
-            continue;
-        }
-        for &aid in graph.out_arcs(u) {
-            if !usable(aid) {
-                continue;
-            }
-            let len = length(aid);
-            if len < 0.0 || !len.is_finite() {
-                continue;
-            }
-            let v = graph.arc(aid).to;
-            let nd = d + len;
-            if nd < dist[v] {
-                dist[v] = nd;
-                prev[v] = Some(aid);
-                ws.heap.push((Reverse(NotNan(nd)), v));
-            }
-        }
+    ws.run(graph, src, None, length, usable);
+    ShortestPaths {
+        dist: (0..n).map(|v| ws.dist_of(v)).collect(),
+        prev: (0..n)
+            .map(|v| {
+                if ws.stamp[v] == ws.gen {
+                    ws.prev[v]
+                } else {
+                    None
+                }
+            })
+            .collect(),
     }
-    ShortestPaths { dist, prev }
+}
+
+/// Shortest `src → dst` arc path, stopping as soon as `dst` is settled.
+///
+/// Appends the path to `path` (cleared first) and returns `true`, or
+/// returns `false` when `dst` is unreachable. The path is bit-identical
+/// to `shortest_paths_with(..).path_to(graph, dst)`: every node on the
+/// predecessor chain settles before `dst` does, and a settled node's
+/// distance and predecessor can never change afterwards.
+pub fn shortest_path_between(
+    graph: &FlowGraph,
+    src: NodeId,
+    dst: NodeId,
+    length: impl FnMut(ArcId) -> f64,
+    usable: impl FnMut(ArcId) -> bool,
+    ws: &mut DijkstraWorkspace,
+    path: &mut Vec<ArcId>,
+) -> bool {
+    ws.run(graph, src, Some(dst), length, usable);
+    ws.tree_path(graph, dst, path)
 }
 
 /// Dijkstra with a per-arc length slice and no extra filtering.
@@ -174,5 +307,72 @@ mod tests {
         let a = shortest_paths_with(&g, 0, |_| 1.0, |_| true, &mut ws);
         let b = shortest_paths_with(&g, 0, |_| 1.0, |_| true, &mut ws);
         assert_eq!(a.dist, b.dist);
+    }
+
+    #[test]
+    fn early_exit_path_matches_full_run() {
+        // A grid-ish graph with ties, run under several length functions
+        // and shared workspace reuse across calls.
+        let mut g = FlowGraph::new(6);
+        g.add_arc(0, 1, 1.0, None);
+        g.add_arc(0, 2, 1.0, None);
+        g.add_arc(1, 3, 1.0, None);
+        g.add_arc(2, 3, 1.0, None);
+        g.add_arc(3, 4, 1.0, None);
+        g.add_arc(3, 5, 1.0, None);
+        g.add_arc(4, 5, 1.0, None);
+        g.add_arc(1, 5, 1.0, None);
+        let length_sets: Vec<Vec<f64>> = vec![
+            vec![1.0; 8],
+            vec![1.0, 2.0, 3.0, 1.0, 2.0, 9.0, 1.0, 7.0],
+            vec![0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5],
+        ];
+        let mut ws = DijkstraWorkspace::default();
+        let mut path = Vec::new();
+        for lens in &length_sets {
+            for dst in 1..6 {
+                let full = shortest_paths(&g, 0, lens).path_to(&g, dst);
+                let found =
+                    shortest_path_between(&g, 0, dst, |a| lens[a], |_| true, &mut ws, &mut path);
+                match full {
+                    Some(p) => {
+                        assert!(found, "dst {dst} reachable in full run");
+                        assert_eq!(path, p, "dst {dst}: early exit must match full run");
+                    }
+                    None => assert!(!found),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_reports_unreachable() {
+        let mut g = FlowGraph::new(3);
+        g.add_arc(0, 1, 1.0, None);
+        let mut ws = DijkstraWorkspace::default();
+        let mut path = vec![7]; // stale content must be cleared
+        assert!(!shortest_path_between(
+            &g,
+            0,
+            2,
+            |_| 1.0,
+            |_| true,
+            &mut ws,
+            &mut path
+        ));
+        assert!(path.is_empty());
+    }
+
+    #[test]
+    fn stamped_workspace_survives_generation_wrap() {
+        let g = triangle();
+        let mut ws = DijkstraWorkspace {
+            gen: u32::MAX - 1,
+            ..Default::default()
+        };
+        for _ in 0..4 {
+            let sp = shortest_paths_with(&g, 0, |_| 1.0, |_| true, &mut ws);
+            assert_eq!(sp.dist[2], 1.0);
+        }
     }
 }

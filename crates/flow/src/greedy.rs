@@ -9,7 +9,7 @@
 //! complete); callers escalate to [`crate::mwu`] / an exact LP.
 
 use crate::commodity::Commodity;
-use crate::dijkstra::{shortest_paths_with, DijkstraWorkspace};
+use crate::dijkstra::{shortest_path_between, DijkstraWorkspace};
 use crate::graph::FlowGraph;
 
 /// Outcome of a greedy routing attempt.
@@ -31,11 +31,25 @@ const EPS: f64 = 1e-9;
 /// arc long, steering early commodities away from future bottlenecks. Each
 /// commodity may split across up to `max_paths_per_commodity` paths.
 pub fn route(graph: &FlowGraph, commodities: &[Commodity]) -> GreedyRouting {
-    let mut residual: Vec<f64> = graph.arcs().iter().map(|a| a.cap).collect();
+    let residual: Vec<f64> = graph.arcs().iter().map(|a| a.cap).collect();
+    route_residual(graph, commodities, residual)
+}
+
+/// [`route`] starting from pre-consumed capacities: `residual[a]` is what
+/// is left of arc `a` (e.g. after subtracting an MWU flow). A `feasible`
+/// answer certifies that `commodities` fit in the residual capacities, so
+/// the caller's base flow plus this one is a witness for the combined
+/// demand.
+pub fn route_residual(
+    graph: &FlowGraph,
+    commodities: &[Commodity],
+    mut residual: Vec<f64>,
+) -> GreedyRouting {
     let mut flow = vec![0.0; graph.num_arcs()];
     let mut order: Vec<&Commodity> = commodities.iter().collect();
     order.sort_by(|a, b| b.demand.partial_cmp(&a.demand).unwrap());
     let mut ws = DijkstraWorkspace::default();
+    let mut path = Vec::new();
     let max_paths = 1 + graph.num_arcs() / 4;
     for c in order {
         let mut remaining = c.demand;
@@ -50,22 +64,25 @@ pub fn route(graph: &FlowGraph, commodities: &[Commodity]) -> GreedyRouting {
             paths_used += 1;
             // Length: 1 hop + congestion pressure. `residual/cap` near 0
             // makes the arc ~expensive; saturated arcs are unusable.
-            let sp = shortest_paths_with(
+            // Early-exit Dijkstra: only the path to c.dst matters.
+            let found = shortest_path_between(
                 graph,
                 c.src,
+                c.dst,
                 |a| {
                     let cap = graph.arc(a).cap;
                     1.0 + (cap / residual[a].max(EPS)).min(1e6) * 0.25
                 },
                 |a| residual[a] > EPS,
                 &mut ws,
+                &mut path,
             );
-            let Some(path) = sp.path_to(graph, c.dst) else {
+            if !found {
                 return GreedyRouting {
                     feasible: false,
                     flow,
                 };
-            };
+            }
             let bottleneck = path
                 .iter()
                 .map(|&a| residual[a])

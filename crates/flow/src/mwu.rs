@@ -18,7 +18,7 @@
 //!   **metric inequality** via [`crate::metric::extract_cut`].
 
 use crate::commodity::Commodity;
-use crate::dijkstra::{shortest_paths_with, DijkstraWorkspace};
+use crate::dijkstra::DijkstraWorkspace;
 use crate::graph::FlowGraph;
 
 /// Tuning parameters for the MWU solver.
@@ -29,6 +29,12 @@ pub struct MwuConfig {
     pub epsilon: f64,
     /// Hard cap on routed paths, guarding against pathological instances.
     pub max_path_routings: usize,
+    /// Stop as soon as the *certified* λ (completed phases / scale)
+    /// reaches this value. A checker that only needs "is λ ≥ 1?" sets
+    /// `Some(1.0)` and skips the tail phases a full run would spend
+    /// sharpening λ beyond the threshold. `None` runs to the classic
+    /// `D(l) ≥ 1` termination.
+    pub target_lambda: Option<f64>,
 }
 
 impl Default for MwuConfig {
@@ -36,6 +42,7 @@ impl Default for MwuConfig {
         MwuConfig {
             epsilon: 0.15,
             max_path_routings: 2_000_000,
+            target_lambda: None,
         }
     }
 }
@@ -51,6 +58,11 @@ pub struct ConcurrentFlow {
     pub lengths: Vec<f64>,
     /// Scaled per-arc flow (capacity-feasible).
     pub flow: Vec<f64>,
+    /// Scaled amount actually routed per input commodity (aligned with
+    /// the `commodities` argument). `flow` delivers exactly `routed[j]`
+    /// of commodity j, so `demand - routed[j]` is the residual a
+    /// completion heuristic must still place.
+    pub routed: Vec<f64>,
     /// Some active commodity had no path at all: infeasible regardless of
     /// capacities (structural disconnection).
     pub disconnected: bool,
@@ -95,44 +107,88 @@ pub fn max_concurrent_flow(
             lambda: f64::INFINITY,
             lengths,
             flow,
+            routed: Vec::new(),
             disconnected: false,
         };
     }
+    let mut routed = vec![0.0f64; commodities.len()];
+
+    // Fleischer's source grouping: all commodities sharing a source are
+    // routed off ONE shortest-path tree, recomputed only when a used
+    // path has grown past (1+ε) of its tree-time length. Lengths only
+    // grow, so a tree path within (1+ε) of its tree-time distance is a
+    // (1+ε)-approximate shortest path *now* — exactly the slack the
+    // (1-ε)³ guarantee budgets for. Dijkstra count drops from
+    // phases × commodities to roughly phases × distinct sources.
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (i, c) in commodities.iter().enumerate() {
+        match groups.iter_mut().find(|(s, _)| *s == c.src) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((c.src, vec![i])),
+        }
+    }
 
     let mut ws = DijkstraWorkspace::default();
+    let mut path = Vec::new();
     let mut phases = 0usize;
     let mut routings = 0usize;
     let mut disconnected = false;
 
     'outer: while d_total < 1.0 {
-        for c in commodities {
-            let mut remaining = c.demand;
-            while remaining > 0.0 && d_total < 1.0 {
-                if routings >= cfg.max_path_routings {
+        for (src, members) in &groups {
+            let mut tree_fresh = false;
+            for &ci in members {
+                let c = &commodities[ci];
+                let mut remaining = c.demand;
+                while remaining > 0.0 && d_total < 1.0 {
+                    if routings >= cfg.max_path_routings {
+                        break 'outer;
+                    }
+                    if !tree_fresh {
+                        // Zero-capacity arcs need no `usable` filter:
+                        // their lengths are INFINITY, which Dijkstra
+                        // already treats as absent.
+                        ws.build_tree(graph, *src, |a| lengths[a], |_| true);
+                        tree_fresh = true;
+                    }
+                    if !ws.tree_path(graph, c.dst, &mut path) {
+                        disconnected = true;
+                        break 'outer;
+                    }
+                    let path_len: f64 = path.iter().map(|&a| lengths[a]).sum();
+                    if path_len > (1.0 + eps) * ws.tree_dist(c.dst) {
+                        // Stale: recompute the tree and retry. The fresh
+                        // tree's path equals its distance, so this makes
+                        // progress every time.
+                        tree_fresh = false;
+                        continue;
+                    }
+                    routings += 1;
+                    let bottleneck = path.iter().map(|&a| caps[a]).fold(f64::INFINITY, f64::min);
+                    let send = remaining.min(bottleneck);
+                    // Σ_a l_a·c_a·(ε·send/c_a) telescopes to ε·send·Σ l_a,
+                    // so D(l) advances in one multiply per routing.
+                    d_total += eps * send * path_len;
+                    for &a in &path {
+                        flow[a] += send;
+                        lengths[a] *= 1.0 + eps * send / caps[a];
+                    }
+                    routed[ci] += send;
+                    remaining -= send;
+                }
+                if d_total >= 1.0 {
                     break 'outer;
                 }
-                routings += 1;
-                let sp =
-                    shortest_paths_with(graph, c.src, |a| lengths[a], |a| caps[a] > 0.0, &mut ws);
-                let Some(path) = sp.path_to(graph, c.dst) else {
-                    disconnected = true;
-                    break 'outer;
-                };
-                let bottleneck = path.iter().map(|&a| caps[a]).fold(f64::INFINITY, f64::min);
-                let send = remaining.min(bottleneck);
-                for &a in &path {
-                    flow[a] += send;
-                    let grow = eps * send / caps[a];
-                    d_total += lengths[a] * caps[a] * grow;
-                    lengths[a] *= 1.0 + grow;
-                }
-                remaining -= send;
-            }
-            if d_total >= 1.0 {
-                break 'outer;
             }
         }
         phases += 1;
+        if let Some(target) = cfg.target_lambda {
+            // phases/scale is the λ already certified; the caller asked
+            // for no more than `target`.
+            if phases as f64 >= target * scale {
+                break;
+            }
+        }
     }
 
     // Scale the accumulated flow: dividing by log_{1+eps}(1/delta) makes it
@@ -140,6 +196,9 @@ pub fn max_concurrent_flow(
     // factor 1/delta), and it routes (phases/scale)·d_j per commodity.
     for f in &mut flow {
         *f /= scale;
+    }
+    for r in &mut routed {
+        *r /= scale;
     }
     let lambda = if disconnected {
         0.0
@@ -174,6 +233,7 @@ pub fn max_concurrent_flow(
         lambda,
         lengths,
         flow,
+        routed,
         disconnected,
     }
 }

@@ -76,8 +76,9 @@ pub(crate) fn restore_feasibility(
         // admissible sign of α_j per rest state; among the admissible
         // columns the one with the smallest |d_j/α_j| keeps every reduced
         // cost on its feasible side.
-        let rho = t.engine.btran_unit(r);
+        let rho = t.btran_unit(r);
         let y = t.duals();
+        let p0 = t.clock();
         let mut enter: Option<(usize, f64, f64)> = None; // (col, ratio, alpha)
         for j in 0..t.ncols {
             if t.loc[j] == Loc::Basic || t.ub[j] - t.lb[j] <= t.tol {
@@ -126,6 +127,7 @@ pub(crate) fn restore_feasibility(
                 enter = Some((j, ratio, alpha));
             }
         }
+        t.lap_price(p0);
         let Some((j, _, _)) = enter else {
             return DualStatus::Infeasible;
         };
@@ -153,7 +155,7 @@ pub(crate) fn restore_feasibility(
         t.loc[j] = Loc::Basic;
         t.basis[r] = j;
         t.engine.update(r, &tcol);
-        if (*iterations).is_multiple_of(refactor_every) && t.refactorize().is_err() {
+        if t.due_refactor(*iterations, refactor_every) && t.refactorize().is_err() {
             return DualStatus::NumericalFailure;
         }
     }

@@ -1,14 +1,29 @@
 //! LU-factorized basis for the sparse revised simplex.
 //!
 //! The basis matrix `B` (the basic columns of the CSC constraint matrix)
-//! is factorized as `P·B = L·U` by a left-looking sparse LU with partial
-//! pivoting. Between refactorizations, pivots append product-form eta
-//! vectors (the Forrest–Tomlin-style cheap update: reuse the FTRAN'd
-//! entering column as the elementary transform) instead of reworking the
-//! factors; FTRAN/BTRAN apply the LU solve followed by the eta file.
-//! The eta file is cleared on every refactorization, which the driver
-//! triggers periodically (`SimplexConfig::refactor_every`) and whenever a
-//! pivot looks numerically unsafe.
+//! is factorized as `P·B·Q = L·U` by a left-looking sparse LU with
+//! partial pivoting and a Markowitz-style static column pre-ordering
+//! (sparsest basis columns eliminated first, which is what keeps the
+//! factors from filling in on the master's wide cut rows). Between
+//! refactorizations, pivots append product-form eta vectors (the
+//! Forrest–Tomlin-style cheap update: reuse the FTRAN'd entering column
+//! as the elementary transform) instead of reworking the factors;
+//! FTRAN/BTRAN apply the LU solve followed by the eta file. Triangular
+//! solves go hyper-sparse when the right-hand side is sparse enough: a
+//! position heap visits exactly the nonzero pattern in elimination
+//! order, performing bit-identical arithmetic to the dense probe loops.
+//!
+//! The eta file is cleared on every refactorization. The driver decides
+//! *when* to refactorize from this engine's own accounting
+//! ([`SparseBasis::should_refactor`]): the trigger fires on eta-file
+//! growth (length reaching `refactor_every`) or fill-in (accumulated
+//! eta nonzeros outweighing the LU factors themselves), never on a
+//! pivot-count schedule — a warm-started solve that performs two pivots
+//! must not pay a cold factorization price.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::sparse::CscMatrix;
 
@@ -34,17 +49,22 @@ struct Eta {
     col: Vec<(usize, f64)>,
 }
 
-/// Sparse LU factors of the basis, `P·B = L·U`.
+/// Sparse LU factors of the basis, `P·B·Q = L·U`.
 ///
 /// `L` is unit-lower-triangular with columns indexed by elimination
 /// position but entries stored by *original* row index; `U` is
 /// upper-triangular in position space with its diagonal split out.
+/// `colp` is the Markowitz column pre-ordering: elimination position
+/// `k` factorized basis column `colp[k]`, so solve results are mapped
+/// back through it to basis-position space.
 #[derive(Clone, Debug, Default)]
 struct Lu {
     /// Permutation: elimination position → original row.
     rowp: Vec<usize>,
     /// Inverse permutation: original row → elimination position.
     rowp_inv: Vec<usize>,
+    /// Column permutation: elimination position → basis position.
+    colp: Vec<usize>,
     /// Column `j` of `L` below the diagonal: `(orig_row, value)`.
     lcols: Vec<Vec<(usize, f64)>>,
     /// Column `k` of `U` above the diagonal: `(position, value)`.
@@ -52,6 +72,30 @@ struct Lu {
     /// Diagonal of `U` by position.
     udiag: Vec<f64>,
 }
+
+/// Reusable solve workspace: heaps and marker arrays for the
+/// hyper-sparse paths, plus the dense intermediate vector, so the
+/// thousands of FTRAN/BTRAN calls per solve do not each pay a malloc.
+#[derive(Clone, Debug, Default)]
+struct Scratch {
+    /// Dense intermediate (position space), kept zeroed between calls.
+    z: Vec<f64>,
+    /// Min-heap of positions for the forward (L) solve.
+    lo: BinaryHeap<Reverse<usize>>,
+    /// Max-heap of positions for the backward (U) solve.
+    hi: BinaryHeap<usize>,
+    /// Position-space membership marker for the heaps.
+    queued: Vec<bool>,
+    /// Positions whose `z` entry was written (to re-zero cheaply).
+    touched: Vec<usize>,
+}
+
+/// Below this fill ratio (input nonzeros × the factor vs. `m`) the
+/// triangular solves walk the nonzero pattern through a heap instead of
+/// probing every position. The arithmetic is identical either way —
+/// positions are visited in the same elimination order — so the switch
+/// is purely a cost model.
+const HYPER_SPARSE_FACTOR: usize = 8;
 
 /// The factorized-basis engine: LU factors plus the eta file, with the
 /// telemetry counters the solver reports (`lp.refactorizations`,
@@ -61,10 +105,15 @@ pub struct SparseBasis {
     m: usize,
     lu: Lu,
     etas: Vec<Eta>,
+    /// Nonzeros currently stored in the LU factors (L + U + diagonal).
+    lu_nnz: usize,
+    /// Accumulated off-pivot nonzeros in the eta file.
+    eta_nnz: usize,
     /// Number of factorizations performed over the engine's lifetime.
     pub refactorizations: u64,
     /// Longest eta file seen between refactorizations.
     pub peak_eta_len: u64,
+    scratch: RefCell<Scratch>,
 }
 
 impl SparseBasis {
@@ -74,8 +123,11 @@ impl SparseBasis {
             m,
             lu: Lu::default(),
             etas: Vec::new(),
+            lu_nnz: 0,
+            eta_nnz: 0,
             refactorizations: 0,
             peak_eta_len: 0,
+            scratch: RefCell::new(Scratch::default()),
         }
     }
 
@@ -84,15 +136,56 @@ impl SparseBasis {
         self.etas.len()
     }
 
+    /// Install the factors of a signed-diagonal basis (the all-artificial
+    /// phase-1 start, where column `r` is `±e_r`) directly — no
+    /// elimination, no refactorization counted: there is no work a
+    /// counter should bill for.
+    pub fn factor_signed_identity(&mut self, signs: &[f64]) {
+        let m = self.m;
+        debug_assert_eq!(signs.len(), m);
+        self.etas.clear();
+        self.eta_nnz = 0;
+        self.lu = Lu {
+            rowp: (0..m).collect(),
+            rowp_inv: (0..m).collect(),
+            colp: (0..m).collect(),
+            lcols: vec![Vec::new(); m],
+            ucols: vec![Vec::new(); m],
+            udiag: signs.to_vec(),
+        };
+        self.lu_nnz = m;
+    }
+
+    /// Should the driver refactorize now? Fires on eta-file *growth*
+    /// (`refactor_every` transforms accumulated — the numerical-drift
+    /// bound the knob always meant) or on *fill-in* (the eta file
+    /// carrying more nonzeros than the LU factors themselves, at which
+    /// point every FTRAN pays more for the updates than for a fresh
+    /// factorization's solve). A pivot-count schedule would charge
+    /// warm-started two-pivot solves a cold factorization price — the
+    /// 109-vs-99 refactorization bug this replaced.
+    pub fn should_refactor(&self, refactor_every: usize) -> bool {
+        self.etas.len() >= refactor_every.max(1)
+            || self.eta_nnz > self.lu_nnz.max(8 * self.m.max(1))
+    }
+
     /// Factorize the basis given by `basis[r]` = column of row `r`,
     /// clearing the eta file. Fails on a (numerically) singular basis.
     pub fn refactorize(&mut self, cols: &CscMatrix, basis: &[usize]) -> Result<(), SingularBasis> {
         let m = self.m;
         debug_assert_eq!(basis.len(), m);
         self.etas.clear();
+        self.eta_nnz = 0;
         self.refactorizations += 1;
         let scale = cols.scale_of(basis);
         let singular_tol = 1e-13 * scale;
+
+        // Markowitz-style static pre-ordering: eliminate the sparsest
+        // basis columns first (stable on ties), which empirically keeps
+        // fill-in low on the master's mix of unit logical columns and
+        // wide cut rows without the bookkeeping of a dynamic ordering.
+        let mut colp: Vec<usize> = (0..m).collect();
+        colp.sort_by_key(|&c| (cols.col_nnz(basis[c]), c));
 
         // Left-looking elimination with a dense work column. `pos_of[i]`
         // is the elimination position an original row was pivoted to, or
@@ -105,31 +198,33 @@ impl SparseBasis {
         let mut work = vec![0.0f64; m]; // indexed by original row
         let mut in_col = vec![false; m]; // membership marker for `touched`
         let mut touched: Vec<usize> = Vec::with_capacity(m);
+        // Pivoted positions present in the work column, visited in
+        // ascending elimination order through a min-heap: fill-in from
+        // an elimination at position j can only touch positions > j, so
+        // the heap walks exactly the symbolic pattern instead of probing
+        // all 0..k positions per column.
+        let mut heap: BinaryHeap<Reverse<usize>> = BinaryHeap::with_capacity(m);
+        let mut queued = vec![false; m];
+        let mut lu_nnz = m; // the diagonal
 
-        for (k, &bj) in basis.iter().enumerate() {
-            // Scatter column k of B.
-            for &i in &touched {
-                work[i] = 0.0;
-                in_col[i] = false;
-            }
-            touched.clear();
-            for (i, v) in cols.col(bj) {
+        for (k, &c) in colp.iter().enumerate() {
+            // Scatter column colp[k] of B.
+            for (i, v) in cols.col(basis[c]) {
                 if v != 0.0 && !in_col[i] {
                     in_col[i] = true;
                     touched.push(i);
+                    let p = pos_of[i];
+                    if p != usize::MAX && !queued[p] {
+                        queued[p] = true;
+                        heap.push(Reverse(p));
+                    }
                 }
                 work[i] += v;
             }
-            // Apply the existing L columns in elimination order: for each
-            // pivoted position j with a nonzero multiplier row, eliminate.
-            // Positions must be visited ascending; collect & sort the
-            // pivoted positions present in the work vector lazily by
-            // walking 0..k and probing the pivot row — for our instance
-            // sizes (m up to a few thousand, basis columns with a handful
-            // of nonzeros) the simple walk is dominated by the probe cost
-            // of the dense work array.
+            // Apply the existing L columns in ascending elimination order.
             let mut urow: Vec<(usize, f64)> = Vec::new();
-            for j in 0..k {
+            while let Some(Reverse(j)) = heap.pop() {
+                queued[j] = false;
                 let piv_row = rowp[j];
                 let zj = work[piv_row];
                 if zj == 0.0 {
@@ -141,6 +236,11 @@ impl SparseBasis {
                     if !in_col[i] {
                         in_col[i] = true;
                         touched.push(i);
+                        let p = pos_of[i];
+                        if p != usize::MAX && !queued[p] {
+                            queued[p] = true;
+                            heap.push(Reverse(p));
+                        }
                     }
                     work[i] -= lv * zj;
                 }
@@ -165,6 +265,7 @@ impl SparseBasis {
                 }
             }
             lcol.sort_unstable_by_key(|&(i, _)| i);
+            lu_nnz += lcol.len() + urow.len();
             pos_of[best_row] = k;
             rowp.push(best_row);
             lcols.push(lcol);
@@ -185,10 +286,12 @@ impl SparseBasis {
         self.lu = Lu {
             rowp,
             rowp_inv,
+            colp,
             lcols,
             ucols,
             udiag,
         };
+        self.lu_nnz = lu_nnz;
         Ok(())
     }
 
@@ -196,10 +299,12 @@ impl SparseBasis {
     /// entries; the result is dense, indexed by basis *position*.
     pub fn ftran_sparse(&self, entries: impl IntoIterator<Item = (usize, f64)>) -> Vec<f64> {
         let mut w = vec![0.0f64; self.m];
+        let mut nnz = 0usize;
         for (i, v) in entries {
             w[i] += v;
+            nnz += 1;
         }
-        self.ftran_in_place(&mut w);
+        self.ftran_in_place_hint(&mut w, nnz);
         w
     }
 
@@ -214,31 +319,23 @@ impl SparseBasis {
     /// In-place FTRAN: `w` enters indexed by original row, leaves indexed
     /// by basis position.
     fn ftran_in_place(&self, w: &mut [f64]) {
+        self.ftran_in_place_hint(w, self.m);
+    }
+
+    fn ftran_in_place_hint(&self, w: &mut [f64], nnz_hint: usize) {
         let m = self.m;
-        let lu = &self.lu;
-        // Forward solve L·z = P·a, z in position space. z_j is read from
-        // the pivot row of position j after earlier eliminations applied.
-        let mut z = vec![0.0f64; m];
-        for j in 0..m {
-            let zj = w[lu.rowp[j]];
-            z[j] = zj;
-            if zj != 0.0 {
-                for &(i, lv) in &lu.lcols[j] {
-                    w[i] -= lv * zj;
-                }
-            }
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        if s.z.len() != m {
+            s.z = vec![0.0f64; m];
+            s.queued = vec![false; m];
         }
-        // Backward solve U·x = z, both in position space; reuse w.
-        for k in (0..m).rev() {
-            let xk = z[k] / lu.udiag[k];
-            w[k] = xk;
-            if xk != 0.0 {
-                for &(j, uv) in &lu.ucols[k] {
-                    z[j] -= uv * xk;
-                }
-            }
+        if nnz_hint.saturating_mul(HYPER_SPARSE_FACTOR) < m {
+            self.ftran_hyper_sparse(w, s);
+        } else {
+            self.ftran_dense_probe(w, &mut s.z);
         }
-        // Eta file, oldest first.
+        // Eta file, oldest first (entirely in basis-position space).
         for eta in &self.etas {
             let vr = w[eta.r] / eta.pivot;
             if vr != 0.0 {
@@ -250,12 +347,116 @@ impl SparseBasis {
         }
     }
 
+    /// Dense-probe LU solve: O(m) walks over every position. `z` is a
+    /// borrowed scratch vector (fully overwritten, left as-is).
+    fn ftran_dense_probe(&self, w: &mut [f64], z: &mut [f64]) {
+        let m = self.m;
+        let lu = &self.lu;
+        // Forward solve L·z = P·a, z in position space. z_j is read from
+        // the pivot row of position j after earlier eliminations applied.
+        for j in 0..m {
+            let zj = w[lu.rowp[j]];
+            z[j] = zj;
+            if zj != 0.0 {
+                for &(i, lv) in &lu.lcols[j] {
+                    w[i] -= lv * zj;
+                }
+            }
+        }
+        // Backward solve U·x = z, mapped to basis-position space through
+        // the column ordering: elimination position k is basis position
+        // colp[k].
+        for k in (0..m).rev() {
+            let xk = z[k] / lu.udiag[k];
+            w[lu.colp[k]] = xk;
+            if xk != 0.0 {
+                for &(j, uv) in &lu.ucols[k] {
+                    z[j] -= uv * xk;
+                }
+            }
+        }
+        // Re-zero scratch for the next hyper-sparse caller.
+        for v in z.iter_mut() {
+            *v = 0.0;
+        }
+    }
+
+    /// Hyper-sparse LU solve: identical arithmetic to
+    /// [`Self::ftran_dense_probe`] (positions visited in the same
+    /// elimination order), but only the nonzero pattern is walked.
+    /// Requires `s.z` zeroed on entry; leaves it zeroed.
+    fn ftran_hyper_sparse(&self, w: &mut [f64], s: &mut Scratch) {
+        let lu = &self.lu;
+        debug_assert!(s.lo.is_empty() && s.hi.is_empty());
+        s.touched.clear();
+        // Seed the forward worklist with the positions of nonzero input
+        // rows.
+        for (i, &v) in w.iter().enumerate() {
+            if v != 0.0 {
+                let j = lu.rowp_inv[i];
+                if !s.queued[j] {
+                    s.queued[j] = true;
+                    s.lo.push(Reverse(j));
+                }
+            }
+        }
+        // Forward solve L·z = P·a on the pattern, ascending positions.
+        while let Some(Reverse(j)) = s.lo.pop() {
+            s.queued[j] = false;
+            let zj = w[lu.rowp[j]];
+            if zj == 0.0 {
+                continue;
+            }
+            s.z[j] = zj;
+            s.touched.push(j);
+            for &(i, lv) in &lu.lcols[j] {
+                let p = lu.rowp_inv[i];
+                // L is unit lower triangular: fill lands at p > j only.
+                if !s.queued[p] && s.z[p] == 0.0 && w[i] == 0.0 {
+                    s.queued[p] = true;
+                    s.lo.push(Reverse(p));
+                }
+                w[i] -= lv * zj;
+            }
+        }
+        // The input rows have served their purpose; the result lands in
+        // basis-position space, so clear the row-indexed remnants.
+        w[..self.m].fill(0.0);
+        // Backward solve U·x = z on the pattern, descending positions.
+        for &j in &s.touched {
+            if !s.queued[j] {
+                s.queued[j] = true;
+                s.hi.push(j);
+            }
+        }
+        while let Some(k) = s.hi.pop() {
+            s.queued[k] = false;
+            let zk = s.z[k];
+            s.z[k] = 0.0;
+            if zk == 0.0 {
+                continue;
+            }
+            let xk = zk / lu.udiag[k];
+            w[lu.colp[k]] = xk;
+            if xk != 0.0 {
+                for &(j, uv) in &lu.ucols[k] {
+                    if !s.queued[j] && s.z[j] == 0.0 {
+                        s.queued[j] = true;
+                        s.hi.push(j);
+                    }
+                    s.z[j] -= uv * xk;
+                }
+            }
+        }
+        s.touched.clear();
+    }
+
     /// Solve `Bᵀ·y = c` where `c` is indexed by basis position; the
     /// result is dense, indexed by original row.
     pub fn btran(&self, c: &[f64]) -> Vec<f64> {
         let m = self.m;
         let mut z = c.to_vec();
-        // Eta file transposed, newest first.
+        // Eta file transposed, newest first (basis-position space).
         for eta in self.etas.iter().rev() {
             let mut acc = z[eta.r];
             for &(i, t) in &eta.col {
@@ -264,22 +465,27 @@ impl SparseBasis {
             z[eta.r] = acc / eta.pivot;
         }
         let lu = &self.lu;
-        // Forward solve Uᵀ·v = z in position space.
+        // Map basis-position space to elimination-position space.
+        let mut zp = vec![0.0f64; m];
         for k in 0..m {
-            let mut acc = z[k];
+            zp[k] = z[lu.colp[k]];
+        }
+        // Forward solve Uᵀ·v = zp in position space.
+        for k in 0..m {
+            let mut acc = zp[k];
             for &(j, uv) in &lu.ucols[k] {
-                acc -= uv * z[j];
+                acc -= uv * zp[j];
             }
-            z[k] = acc / lu.udiag[k];
+            zp[k] = acc / lu.udiag[k];
         }
         // Backward solve Lᵀ, then undo the permutation: y[rowp[j]] = v_j.
         let mut y = vec![0.0f64; m];
         for j in (0..m).rev() {
-            let mut acc = z[j];
+            let mut acc = zp[j];
             for &(i, lv) in &lu.lcols[j] {
-                acc -= lv * z[lu.rowp_inv[i]];
+                acc -= lv * zp[lu.rowp_inv[i]];
             }
-            z[j] = acc;
+            zp[j] = acc;
             y[lu.rowp[j]] = acc;
         }
         y
@@ -303,6 +509,7 @@ impl SparseBasis {
             .filter(|&(i, &v)| i != r && v != 0.0)
             .map(|(i, &v)| (i, v))
             .collect();
+        self.eta_nnz += col.len() + 1;
         self.etas.push(Eta {
             r,
             pivot: t[r],
@@ -394,6 +601,46 @@ mod tests {
     }
 
     #[test]
+    fn hyper_sparse_ftran_matches_dense_probe() {
+        // Unit right-hand sides take the hyper-sparse path (1 nonzero on
+        // an 8-row basis); dense RHS takes the probe path. Both must
+        // produce bit-identical results.
+        let m = 8;
+        let cols_dense: Vec<Vec<f64>> = (0..m)
+            .map(|j| {
+                (0..m)
+                    .map(|i| {
+                        if i == j {
+                            2.0 + j as f64
+                        } else if (i + 3 * j) % 5 == 0 {
+                            1.0 + (i as f64) * 0.25
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = cols_dense.iter().map(|c| c.as_slice()).collect();
+        let cols = dense_mat(m, &refs);
+        let basis: Vec<usize> = (0..m).collect();
+        let mut eng = SparseBasis::new(m);
+        eng.refactorize(&cols, &basis).unwrap();
+        for i in 0..m {
+            let sparse = eng.ftran_sparse([(i, 1.0)]);
+            let mut dense_rhs = vec![0.0; m];
+            dense_rhs[i] = 1.0;
+            let dense = eng.ftran_dense(&dense_rhs);
+            assert_eq!(sparse, dense, "unit rhs {i}");
+            let back = mat_vec(m, &cols, &basis, &sparse);
+            for (r, &b) in back.iter().enumerate() {
+                let want = if r == i { 1.0 } else { 0.0 };
+                assert!((b - want).abs() < 1e-10, "rhs {i} row {r}");
+            }
+        }
+    }
+
+    #[test]
     fn eta_update_tracks_a_column_swap() {
         let cols = dense_mat(
             3,
@@ -437,6 +684,55 @@ mod tests {
             assert!((x2[r] - x[r]).abs() < 1e-10);
         }
         assert_eq!(fresh.eta_len(), 0);
+    }
+
+    #[test]
+    fn signed_identity_factors_solve_without_a_refactorization() {
+        let cols = dense_mat(3, &[&[1.0, 0.0, 0.0], &[0.0, -1.0, 0.0], &[0.0, 0.0, 1.0]]);
+        let basis = [0usize, 1, 2];
+        let mut eng = SparseBasis::new(3);
+        eng.factor_signed_identity(&[1.0, -1.0, 1.0]);
+        assert_eq!(eng.refactorizations, 0);
+        let a = [2.0, 3.0, -4.0];
+        let x = eng.ftran_dense(&a);
+        let back = mat_vec(3, &cols, &basis, &x);
+        for i in 0..3 {
+            assert!((back[i] - a[i]).abs() < 1e-12);
+        }
+        let y = eng.btran(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![1.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn refactor_trigger_follows_eta_growth_not_pivot_count() {
+        let mut eng = SparseBasis::new(4);
+        let cols = dense_mat(
+            4,
+            &[
+                &[1.0, 0.0, 0.0, 0.0],
+                &[0.0, 1.0, 0.0, 0.0],
+                &[0.0, 0.0, 1.0, 0.0],
+                &[0.0, 0.0, 0.0, 1.0],
+            ],
+        );
+        eng.refactorize(&cols, &[0, 1, 2, 3]).unwrap();
+        assert!(!eng.should_refactor(64), "fresh factors need no rebuild");
+        // Dense eta columns trip the fill-in arm long before the length
+        // arm.
+        for _ in 0..16 {
+            eng.update(1, &[0.5, 2.0, 0.5, 0.5]);
+        }
+        assert!(eng.should_refactor(64), "fill-in outweighs the LU");
+        // Clearing through a refactorization resets both arms.
+        eng.refactorize(&cols, &[0, 1, 2, 3]).unwrap();
+        assert!(!eng.should_refactor(64));
+        // The length arm fires at refactor_every transforms.
+        for _ in 0..3 {
+            eng.update(0, &[1.0, 0.0, 0.0, 0.0]);
+        }
+        assert!(!eng.should_refactor(4));
+        eng.update(0, &[1.0, 0.0, 0.0, 0.0]);
+        assert!(eng.should_refactor(4));
     }
 
     #[test]

@@ -48,6 +48,13 @@ struct MipTally {
     warm_start_pivots: u64,
     /// Node LPs solved without a reusable basis.
     cold_solves: u64,
+    /// Stage wall time across all node LPs (µs), populated only when
+    /// [`SimplexConfig::collect_timing`] is on. Emitted as `lp` spans —
+    /// never counters — so counter streams stay bit-identical with
+    /// profiling on or off.
+    factor_us: u64,
+    ftran_btran_us: u64,
+    pricing_us: u64,
 }
 
 impl MipTally {
@@ -61,6 +68,9 @@ impl MipTally {
         } else {
             self.cold_solves += 1;
         }
+        self.factor_us += lp.stats.factor_us;
+        self.ftran_btran_us += lp.stats.ftran_btran_us;
+        self.pricing_us += lp.stats.pricing_us;
     }
 
     fn emit(&self, tel: &Telemetry, nodes: usize, cuts_added: usize) {
@@ -78,6 +88,14 @@ impl MipTally {
         tel.incr(sys::LP, "eta_len", self.eta_len);
         tel.incr(sys::LP, "warm_start_pivots", self.warm_start_pivots);
         tel.incr(sys::LP, "cold_solves", self.cold_solves);
+        // Stage times (present only under `--profile`) ride as deferred
+        // leaf spans: `record_span` charges their self time to the live
+        // enclosing `solve_mip` span, keeping self-time sums ≤ wall.
+        if self.factor_us + self.ftran_btran_us + self.pricing_us > 0 {
+            tel.record_span(sys::LP, "factorize", self.factor_us);
+            tel.record_span(sys::LP, "ftran_btran", self.ftran_btran_us);
+            tel.record_span(sys::LP, "pricing", self.pricing_us);
+        }
     }
 }
 
@@ -252,6 +270,14 @@ pub fn solve_mip_telemetry(
     let _solve_span = tel.span(sys::LP, "solve_mip");
     let mut tally = MipTally::default();
     let start = Instant::now();
+    // Under the process-global `--profile` switch, node LPs collect
+    // stage times (factorize / ftran-btran / pricing). Timing never
+    // changes arithmetic, so the solve path is otherwise identical.
+    let simplex_cfg = SimplexConfig {
+        collect_timing: config.simplex.collect_timing
+            || (tel.is_enabled() && np_telemetry::profiling()),
+        ..config.simplex
+    };
     // Every wall-clock check is also a chaos trigger point: an injected
     // `deadline` fault exhausts the budget early, exercising the same
     // graceful limit-hit path a real timeout takes.
@@ -433,7 +459,7 @@ pub fn solve_mip_telemetry(
                     .and_then(|(gen, b)| (*gen == purge_gen).then(|| b.as_ref()));
                 let out = solve_lp_warm_chaos(
                     &work,
-                    &config.simplex,
+                    &simplex_cfg,
                     warm_ref,
                     node.depth == 0,
                     np_chaos::global(),
@@ -757,7 +783,7 @@ pub fn solve_mip_telemetry(
         // Heap bounds are parent-era LP objectives and go stale as lazy
         // cuts accumulate globally. One fresh root LP over the *current*
         // row set is a valid global lower bound and usually much tighter.
-        let root = solve_lp(&work, &config.simplex);
+        let root = solve_lp(&work, &simplex_cfg);
         tally.absorb(&root);
         if root.status == LpStatus::Optimal {
             best_bound = best_bound.max(root.objective);

@@ -31,6 +31,8 @@
 // linear algebra without changing the generated code.
 #![allow(clippy::needless_range_loop)]
 
+use std::time::Instant;
+
 use crate::factor::SparseBasis;
 use crate::model::{Model, Sense};
 use crate::sparse::{CscMatrix, LpBackend, ResolvedBackend, WarmBasis, WarmCol};
@@ -61,11 +63,21 @@ pub struct SimplexConfig {
     pub max_iterations: usize,
     /// Feasibility / optimality tolerance.
     pub tol: f64,
-    /// Refactorize the basis every this many pivots.
+    /// Numerical-drift bound on incremental basis updates. The dense
+    /// engine refactorizes every this many pivots (the historical
+    /// bit-exact reference behavior); the sparse engine refactorizes
+    /// when the *eta file* reaches this many transforms or its fill-in
+    /// outweighs the LU factors ([`SparseBasis::should_refactor`]) —
+    /// never on a pivot-count schedule.
     pub refactor_every: usize,
     /// Which basis engine to use (default: resolve `NP_LP_BACKEND`,
     /// falling back to sparse).
     pub backend: LpBackend,
+    /// Collect per-stage wall timers (factorize / ftran-btran /
+    /// pricing) into [`SolveStats`]. Off by default: the clock reads
+    /// are cheap but not free, and only `--profile` consumers look at
+    /// them.
+    pub collect_timing: bool,
 }
 
 impl Default for SimplexConfig {
@@ -75,6 +87,7 @@ impl Default for SimplexConfig {
             tol: 1e-7,
             refactor_every: 64,
             backend: LpBackend::Auto,
+            collect_timing: false,
         }
     }
 }
@@ -91,6 +104,31 @@ pub struct SolveStats {
     pub refactorizations: u64,
     /// Longest eta file between refactorizations (0 on dense).
     pub peak_eta_len: u64,
+    /// Wall spent in basis factorizations, µs (0 unless
+    /// `collect_timing`).
+    pub factor_us: u64,
+    /// Wall spent in FTRAN/BTRAN solves, µs (0 unless `collect_timing`).
+    pub ftran_btran_us: u64,
+    /// Wall spent in pricing / ratio-test column scans, µs (0 unless
+    /// `collect_timing`).
+    pub pricing_us: u64,
+}
+
+/// Nanosecond-resolution stage clocks, accumulated only when
+/// `collect_timing` is set (µs resolution would truncate the many
+/// sub-µs FTRAN calls to zero). `Cell`s so `&self` solve paths
+/// (`duals`, `ftran`) can charge themselves without threading `&mut`
+/// through every read-only caller.
+#[derive(Debug, Default)]
+pub(crate) struct StageTimers {
+    factor_ns: std::cell::Cell<u64>,
+    solve_ns: std::cell::Cell<u64>,
+    price_ns: std::cell::Cell<u64>,
+}
+
+#[inline]
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// An LP solution.
@@ -228,7 +266,7 @@ impl DenseBasis {
 /// The basis-representation switch shared by both simplex drivers.
 pub(crate) enum Engine {
     Dense(DenseBasis),
-    Sparse(SparseBasis),
+    Sparse(Box<SparseBasis>),
 }
 
 impl Engine {
@@ -371,6 +409,8 @@ pub(crate) struct Tableau {
     pub(crate) x: Vec<f64>,
     pub(crate) engine: Engine,
     pub(crate) tol: f64,
+    /// Stage clocks, present only when `SimplexConfig::collect_timing`.
+    pub(crate) timers: Option<StageTimers>,
 }
 
 /// A tiny deterministic magnitude for the singular-recovery perturbation:
@@ -393,7 +433,13 @@ impl Tableau {
     /// loosened by a deterministic [`perturb_eps`] — the feasible set
     /// only grows, so a feasible model stays feasible and the optimum
     /// moves by at most O(1e-9) relative.
-    fn build(model: &Model, tol: f64, perturb: Option<u64>, backend: ResolvedBackend) -> Tableau {
+    fn build(
+        model: &Model,
+        tol: f64,
+        perturb: Option<u64>,
+        backend: ResolvedBackend,
+        timing: bool,
+    ) -> Tableau {
         let m = model.num_constrs();
         let n = model.num_vars();
         let ncols = n + m + m;
@@ -493,10 +539,17 @@ impl Tableau {
                 })
             }
             ResolvedBackend::Sparse => {
+                // The all-artificial basis is a ±1 diagonal: install its
+                // factors directly instead of paying (and counting) a
+                // factorization that a warm install would immediately
+                // discard anyway.
                 let mut s = SparseBasis::new(m);
-                s.refactorize(&cols, &basis)
-                    .expect("the all-artificial basis is a ±1 diagonal");
-                Engine::Sparse(s)
+                let signs: Vec<f64> = basis
+                    .iter()
+                    .map(|&aj| cols.col(aj).next().map_or(1.0, |(_, v)| v))
+                    .collect();
+                s.factor_signed_identity(&signs);
+                Engine::Sparse(Box::new(s))
             }
         };
         Tableau {
@@ -514,13 +567,82 @@ impl Tableau {
             x,
             engine,
             tol,
+            timers: timing.then(StageTimers::default),
         }
+    }
+
+    /// Read the clock iff stage timing is on.
+    #[inline]
+    pub(crate) fn clock(&self) -> Option<Instant> {
+        self.timers.as_ref().map(|_| Instant::now())
+    }
+
+    #[inline]
+    fn lap_factor(&self, t0: Option<Instant>) {
+        if let (Some(t0), Some(tm)) = (t0, self.timers.as_ref()) {
+            tm.factor_ns.set(tm.factor_ns.get() + elapsed_ns(t0));
+        }
+    }
+
+    #[inline]
+    fn lap_solve(&self, t0: Option<Instant>) {
+        if let (Some(t0), Some(tm)) = (t0, self.timers.as_ref()) {
+            tm.solve_ns.set(tm.solve_ns.get() + elapsed_ns(t0));
+        }
+    }
+
+    #[inline]
+    pub(crate) fn lap_price(&self, t0: Option<Instant>) {
+        if let (Some(t0), Some(tm)) = (t0, self.timers.as_ref()) {
+            tm.price_ns.set(tm.price_ns.get() + elapsed_ns(t0));
+        }
+    }
+
+    /// Periodic-refactorization decision after a pivot: the dense engine
+    /// keeps the historical pivot-count schedule (it refreshes the
+    /// *inverse*, whose drift grows per update regardless of sparsity);
+    /// the sparse engine asks its own eta-growth/fill-in accounting.
+    #[inline]
+    pub(crate) fn due_refactor(&self, iterations: usize, refactor_every: usize) -> bool {
+        match &self.engine {
+            Engine::Dense(_) => iterations.is_multiple_of(refactor_every),
+            Engine::Sparse(s) => s.should_refactor(refactor_every),
+        }
+    }
+
+    /// Post-optimal cleanup: refresh the basic values (and on drifted
+    /// factors, the factorization) so `x` tightly agrees with the row
+    /// system. With an empty eta file the sparse factors already *are*
+    /// the fresh factorization of the current basis, so only the basic
+    /// values need recomputing — skipping the factorization that made
+    /// warm two-pivot solves pay cold prices.
+    pub(crate) fn refresh_final(&mut self) -> Result<(), ()> {
+        if let Engine::Sparse(s) = &self.engine {
+            if s.eta_len() == 0 {
+                let t0 = self.clock();
+                self.recompute_basics();
+                self.lap_solve(t0);
+                return Ok(());
+            }
+        }
+        self.refactorize()
     }
 
     /// `y = c_B B⁻¹`.
     pub(crate) fn duals(&self) -> Vec<f64> {
+        let t0 = self.clock();
         let cb: Vec<f64> = self.basis.iter().map(|&bj| self.cost[bj]).collect();
-        self.engine.btran(&cb)
+        let y = self.engine.btran(&cb);
+        self.lap_solve(t0);
+        y
+    }
+
+    /// Row `r` of `B⁻¹` (the dual-simplex pricing vector), timed.
+    pub(crate) fn btran_unit(&self, r: usize) -> Vec<f64> {
+        let t0 = self.clock();
+        let rho = self.engine.btran_unit(r);
+        self.lap_solve(t0);
+        rho
     }
 
     /// Reduced cost of column `j` given duals `y`.
@@ -534,13 +656,21 @@ impl Tableau {
 
     /// `t = B⁻¹ A_j`.
     pub(crate) fn ftran(&self, j: usize) -> Vec<f64> {
-        self.engine.ftran_col(&self.cols, j)
+        let t0 = self.clock();
+        let t = self.engine.ftran_col(&self.cols, j);
+        self.lap_solve(t0);
+        t
     }
 
     /// Rebuild the basis representation and basic values from scratch.
     pub(crate) fn refactorize(&mut self) -> Result<(), ()> {
-        self.engine.refactorize(&self.cols, &self.basis)?;
+        let t0 = self.clock();
+        let r = self.engine.refactorize(&self.cols, &self.basis);
+        self.lap_factor(t0);
+        r?;
+        let t0 = self.clock();
         self.recompute_basics();
+        self.lap_solve(t0);
         Ok(())
     }
 
@@ -635,8 +765,13 @@ impl Tableau {
                 };
             }
         }
-        self.engine.refactorize(&self.cols, &self.basis)?;
+        let t0 = self.clock();
+        let r = self.engine.refactorize(&self.cols, &self.basis);
+        self.lap_factor(t0);
+        r?;
+        let t0 = self.clock();
         self.recompute_basics();
+        self.lap_solve(t0);
         Ok(())
     }
 
@@ -706,6 +841,7 @@ impl Tableau {
             }
             let y = self.duals();
             // --- pricing ---------------------------------------------------
+            let p0 = self.clock();
             let mut entering: Option<(usize, f64, f64)> = None; // (col, |d|, dir)
             for j in 0..self.ncols {
                 if self.loc[j] == Loc::Basic {
@@ -731,6 +867,7 @@ impl Tableau {
                     entering = Some((j, d.abs(), dir));
                 }
             }
+            self.lap_price(p0);
             let Some((j, _, dir)) = entering else {
                 return LpStatus::Optimal;
             };
@@ -817,7 +954,7 @@ impl Tableau {
                     self.engine.update(r, &t);
                 }
             }
-            if (*iterations).is_multiple_of(refactor) && self.refactorize().is_err() {
+            if self.due_refactor(*iterations, refactor) && self.refactorize().is_err() {
                 return LpStatus::NumericalFailure;
             }
         }
@@ -887,6 +1024,9 @@ fn extract(
             warm_pivots: if warm { iterations as u64 } else { 0 },
             refactorizations: t.engine.refactorizations(),
             peak_eta_len: t.engine.peak_eta_len(),
+            factor_us: t.timers.as_ref().map_or(0, |tm| tm.factor_ns.get() / 1_000),
+            ftran_btran_us: t.timers.as_ref().map_or(0, |tm| tm.solve_ns.get() / 1_000),
+            pricing_us: t.timers.as_ref().map_or(0, |tm| tm.price_ns.get() / 1_000),
         },
     }
 }
@@ -1008,7 +1148,7 @@ fn solve_attempt(
     want_view: bool,
     backend: ResolvedBackend,
 ) -> (LpSolution, Option<TableauView>, Option<WarmBasis>) {
-    let mut t = Tableau::build(model, config.tol, perturb, backend);
+    let mut t = Tableau::build(model, config.tol, perturb, backend, config.collect_timing);
     let max_iters = iter_cap(config, &t);
     let mut iterations = 0usize;
 
@@ -1032,7 +1172,7 @@ fn solve_attempt(
     let s2 = t.optimize(max_iters, &mut iterations, config.refactor_every, bland);
     // Final cleanup for tight agreement between x and the row system.
     if s2 == LpStatus::Optimal {
-        let _ = t.refactorize();
+        let _ = t.refresh_final();
     }
     let view = (s2 == LpStatus::Optimal && want_view).then(|| t.view());
     // Only unperturbed optimal bases are worth snapshotting: a perturbed
@@ -1059,7 +1199,13 @@ fn warm_attempt(
     if chaos.should_fire(np_chaos::FaultClass::LpSingular) {
         return None;
     }
-    let mut t = Tableau::build(model, config.tol, None, ResolvedBackend::Sparse);
+    let mut t = Tableau::build(
+        model,
+        config.tol,
+        None,
+        ResolvedBackend::Sparse,
+        config.collect_timing,
+    );
     t.enter_phase2(model);
     t.install_warm(warm).ok()?;
     let max_iters = iter_cap(config, &t);
@@ -1088,7 +1234,7 @@ fn warm_attempt(
     // residual dual infeasibility (e.g. rest states repaired on install).
     let s2 = t.optimize(max_iters, &mut iterations, config.refactor_every, false);
     if s2 == LpStatus::Optimal {
-        let _ = t.refactorize();
+        let _ = t.refresh_final();
     }
     match s2 {
         LpStatus::Optimal => Some(LpOutcome {

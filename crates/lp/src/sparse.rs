@@ -107,6 +107,11 @@ impl CscMatrix {
         self.vals.len()
     }
 
+    /// Stored entries in column `j`.
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
     /// The `(row, value)` entries of column `j`.
     pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.col_ptr[j];
@@ -227,6 +232,9 @@ impl IncrementalLp {
         self.stats.refactorizations += out.solution.stats.refactorizations;
         self.stats.peak_eta_len += out.solution.stats.peak_eta_len;
         self.stats.warm_pivots += out.solution.stats.warm_pivots;
+        self.stats.factor_us += out.solution.stats.factor_us;
+        self.stats.ftran_btran_us += out.solution.stats.ftran_btran_us;
+        self.stats.pricing_us += out.solution.stats.pricing_us;
         if !out.solution.stats.warm {
             self.cold_solves += 1;
         }

@@ -73,42 +73,64 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// `self · other` (ikj loop order for cache friendliness).
+    /// Depth-block size for the blocked matmul kernels: a `DEPTH_BLOCK ×
+    /// cols` panel of the right-hand matrix stays resident in L1/L2 while
+    /// every output row sweeps over it.
+    const DEPTH_BLOCK: usize = 64;
+
+    /// `self · other`, blocked over the shared (depth) dimension.
+    ///
+    /// Loop order is p-block outer / row / p-in-block / column-inner: the
+    /// `other` panel for one p-block is reused across all `n` rows instead
+    /// of being re-streamed from memory per row, and the inner loop is a
+    /// contiguous axpy the compiler vectorizes. Every output element still
+    /// accumulates its `a[i,p]·b[p,j]` terms in ascending `p` order —
+    /// blocks ascend and `p` ascends within each block — so the result is
+    /// bit-identical to the naive ikj kernel (f64 addition is performed in
+    /// the exact same sequence).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(n, m);
-        for i in 0..n {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[p * m..(p + 1) * m];
+        for pb in (0..k).step_by(Self::DEPTH_BLOCK) {
+            let pe = (pb + Self::DEPTH_BLOCK).min(k);
+            for i in 0..n {
                 let dst = &mut out.data[i * m..(i + 1) * m];
-                for (d, &o) in dst.iter_mut().zip(orow) {
-                    *d += a * o;
+                for p in pb..pe {
+                    let a = self.data[i * k + p];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let orow = &other.data[p * m..(p + 1) * m];
+                    for (d, &o) in dst.iter_mut().zip(orow) {
+                        *d += a * o;
+                    }
                 }
             }
         }
         out
     }
 
-    /// `selfᵀ · other` without materializing the transpose.
+    /// `selfᵀ · other` without materializing the transpose, blocked over
+    /// the shared (row) dimension with the same ascending-`p` accumulation
+    /// order — and therefore the same bits — as the unblocked kernel.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         let (k, n, m) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(n, m);
-        for p in 0..k {
-            let arow = &self.data[p * n..(p + 1) * n];
-            let orow = &other.data[p * m..(p + 1) * m];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
+        for pb in (0..k).step_by(Self::DEPTH_BLOCK) {
+            let pe = (pb + Self::DEPTH_BLOCK).min(k);
+            for i in 0..n {
                 let dst = &mut out.data[i * m..(i + 1) * m];
-                for (d, &o) in dst.iter_mut().zip(orow) {
-                    *d += a * o;
+                for p in pb..pe {
+                    let a = self.data[p * n + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let orow = &other.data[p * m..(p + 1) * m];
+                    for (d, &o) in dst.iter_mut().zip(orow) {
+                        *d += a * o;
+                    }
                 }
             }
         }
@@ -293,6 +315,54 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn matmul_rejects_bad_shapes() {
         m23().matmul(&m23());
+    }
+
+    /// Naive ikj matmul: the pre-blocking reference kernel. Every output
+    /// element accumulates in ascending `p` order, the order the blocked
+    /// kernels promise to preserve.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let (n, k, m) = (a.rows(), a.cols(), b.cols());
+        let mut out = Matrix::zeros(n, m);
+        for i in 0..n {
+            for p in 0..k {
+                let av = a.get(i, p);
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..m {
+                    let v = out.get(i, j) + av * b.get(p, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive() {
+        // Depth 150 spans multiple DEPTH_BLOCK panels plus a ragged tail;
+        // equality here is exact (f64 bits), not approximate.
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Matrix::kaiming(37, 150, &mut rng);
+        let b = Matrix::kaiming(150, 23, &mut rng);
+        assert_eq!(a.matmul(&b), naive_matmul(&a, &b));
+    }
+
+    #[test]
+    fn blocked_t_matmul_is_bit_identical_to_naive() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = Matrix::kaiming(150, 37, &mut rng); // k=150 shared rows
+        let b = Matrix::kaiming(150, 23, &mut rng);
+        let at = {
+            let mut t = Matrix::zeros(37, 150);
+            for r in 0..150 {
+                for c in 0..37 {
+                    t.set(c, r, a.get(r, c));
+                }
+            }
+            t
+        };
+        assert_eq!(a.t_matmul(&b), naive_matmul(&at, &b));
     }
 
     #[test]

@@ -382,20 +382,27 @@ pub fn train_resumable(
         let snapshot = agent.clone();
         buffer.clear();
         let stream_base = effective_rollout_seed(cfg.rollout_seed, recovery_nonce);
-        let parts = if cfg.num_actors > 1 {
-            collect_parallel(env, agent, cfg, epoch, stream_base, tel)
-        } else {
-            None
+        // Rollout collection is dominated by policy forward passes; under
+        // profiling it reports as the `rl.forward` stage of the breakdown.
+        // A *live* span (not a deferred one) so the evaluator spans nested
+        // inside the rollouts subtract from its self time.
+        let parts = {
+            let _fwd_span = np_telemetry::profiling().then(|| tel.span(sys::RL, "forward"));
+            let parts = if cfg.num_actors > 1 {
+                collect_parallel(env, agent, cfg, epoch, stream_base, tel)
+            } else {
+                None
+            };
+            parts.unwrap_or_else(|| {
+                vec![collect_quota(
+                    env,
+                    agent,
+                    cfg,
+                    cfg.steps_per_epoch,
+                    |ag, f, m| ag.act(f, m),
+                )]
+            })
         };
-        let parts = parts.unwrap_or_else(|| {
-            vec![collect_quota(
-                env,
-                agent,
-                cfg,
-                cfg.steps_per_epoch,
-                |ag, f, m| ag.act(f, m),
-            )]
-        });
         // Merge in actor order — fixed regardless of worker scheduling.
         let mut returns: Vec<f64> = Vec::new();
         let mut lengths: Vec<usize> = Vec::new();
@@ -413,6 +420,9 @@ pub fn train_resumable(
         }
         {
             let _update_span = tel.span(sys::RL, "policy_update");
+            // The update is the backward/optimizer stage of the profile
+            // breakdown; live so it nets out of `policy_update`'s self.
+            let _bwd_span = np_telemetry::profiling().then(|| tel.span(sys::RL, "backward"));
             agent.update_policy(buffer.steps());
             agent.update_value(buffer.steps());
         }

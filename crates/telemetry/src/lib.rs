@@ -22,8 +22,22 @@
 //! ```json
 //! {"t_us":12,"sys":"lp","event":"counter","name":"bb_nodes","value":3}
 //! {"t_us":34,"sys":"rl","event":"metric","name":"mean_return","value":-1.5}
-//! {"t_us":56,"sys":"eval","event":"span","name":"check","dur_us":420}
+//! {"t_us":56,"sys":"eval","event":"span","name":"check","dur_us":420,"self_us":420}
 //! ```
+//!
+//! Spans carry both an inclusive duration (`dur_us`) and a
+//! **parent-exclusive self time** (`self_us`): the part of `dur_us` not
+//! covered by spans nested inside it on the same thread. Aggregating
+//! `self_us` instead of `dur_us` is what makes the `--profile`
+//! breakdown sum to ≤ total wall even though `span("plan")` encloses
+//! `span("lp")`. Older streams without `self_us` deserialize with
+//! `self_us = dur_us` (every span a leaf). Replayed spans
+//! ([`Telemetry::record_span`] / [`Telemetry::replay_into`]) charge
+//! their *self* time to the enclosing live span, so a serial replay of
+//! a worker buffer subtracts exactly the worker's span-covered wall
+//! from the enclosing span — parallel replays can instead report more
+//! self time than wall (CPU-seconds), which profile consumers surface
+//! as coverage > 1.
 //!
 //! The `lp` subsystem additionally reports the sparse revised simplex's
 //! performance counters (DESIGN.md §12): `lp.refactorizations` (basis
@@ -33,6 +47,7 @@
 //! reusable basis). Warm-start effectiveness is the ratio of
 //! `warm_start_pivots` to `simplex_iterations`.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs::File;
@@ -40,6 +55,27 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard, Once, Weak};
 use std::time::Instant;
+
+pub mod profile;
+
+/// Process-global profiling switch, flipped by the CLI's `--profile`
+/// flag (and by benches). When on, the solver layers that normally skip
+/// stage timing (LP factorize/ftran-btran/pricing laps, evaluator MWU
+/// and exact-LP spans) read the clock and emit their breakdowns. The
+/// flag changes *timing collection only* — never arithmetic — so plan
+/// costs and telemetry counters are identical with it on or off (pinned
+/// by `crates/bench/tests/profile_invariants.rs`).
+static PROFILING: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Turn the process-global profiling switch on or off.
+pub fn set_profiling(on: bool) {
+    PROFILING.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Is the process-global profiling switch on?
+pub fn profiling() -> bool {
+    PROFILING.load(std::sync::atomic::Ordering::Relaxed)
+}
 
 /// Subsystem labels used across the workspace, so call sites and tests
 /// can't drift apart on spelling.
@@ -73,8 +109,9 @@ pub enum EventKind {
     Counter(u64),
     /// A point-in-time measurement.
     Metric(f64),
-    /// A completed wall-clock span of this duration.
-    Span { dur_us: u64 },
+    /// A completed wall-clock span: inclusive duration plus the
+    /// parent-exclusive self time (`self_us ≤ dur_us`).
+    Span { dur_us: u64, self_us: u64 },
 }
 
 impl Event {
@@ -100,8 +137,9 @@ impl serde::Serialize for Event {
         match &self.kind {
             EventKind::Counter(v) => obj.push(("value".into(), serde::Value::Num(*v as f64))),
             EventKind::Metric(v) => obj.push(("value".into(), serde::Value::Num(*v))),
-            EventKind::Span { dur_us } => {
+            EventKind::Span { dur_us, self_us } => {
                 obj.push(("dur_us".into(), serde::Value::Num(*dur_us as f64)));
+                obj.push(("self_us".into(), serde::Value::Num(*self_us as f64)));
             }
         }
         serde::Value::Object(obj)
@@ -137,11 +175,20 @@ impl serde::Deserialize for Event {
                     .as_f64()
                     .ok_or_else(|| serde::Error::custom("metric value must be a number"))?,
             ),
-            Some("span") => EventKind::Span {
-                dur_us: need("dur_us")?
+            Some("span") => {
+                let dur_us = need("dur_us")?
                     .as_u64()
-                    .ok_or_else(|| serde::Error::custom("dur_us must be an integer"))?,
-            },
+                    .ok_or_else(|| serde::Error::custom("dur_us must be an integer"))?;
+                // Streams written before self-time tracking carry no
+                // `self_us`; treat every such span as a leaf.
+                let self_us = match value.get("self_us") {
+                    None => dur_us,
+                    Some(v) => v
+                        .as_u64()
+                        .ok_or_else(|| serde::Error::custom("self_us must be an integer"))?,
+                };
+                EventKind::Span { dur_us, self_us }
+            }
             _ => return Err(serde::Error::custom("event must be counter|metric|span")),
         };
         Ok(Event {
@@ -158,10 +205,60 @@ impl serde::Deserialize for Event {
 struct Store {
     /// Running totals per (sys, name).
     counters: BTreeMap<(String, String), u64>,
-    /// Span count and total duration per (sys, name).
-    spans: BTreeMap<(String, String), (u64, u64)>,
+    /// Span count, total duration, and total self time per (sys, name).
+    spans: BTreeMap<(String, String), (u64, u64, u64)>,
     /// Every event in emission order.
     events: Vec<Event>,
+}
+
+// Per-thread stack of child-time accumulators, one entry per live
+// `SpanGuard` on this thread. When a guard drops it subtracts the
+// accumulated child time from its own duration (→ self time) and
+// charges its full duration to the parent entry. Replayed/deferred
+// spans (`record_span`) charge only their *self* time to the top entry,
+// because a flat replay stream contains every descendant and each one
+// charges the same enclosing span.
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Push a fresh child-time accumulator; returns the entry's depth
+/// (stack length after the push) so a non-LIFO drop can still find it.
+fn stack_push() -> usize {
+    SPAN_STACK.with(|s| {
+        let mut st = s.borrow_mut();
+        st.push(0);
+        st.len()
+    })
+}
+
+/// Pop the entry pushed at `depth`, merging any abandoned deeper
+/// entries, then charge `dur_us` to the new top (the parent). Returns
+/// the accumulated child time for the popped entry.
+fn stack_pop_and_charge(depth: usize, dur_us: u64) -> u64 {
+    SPAN_STACK.with(|s| {
+        let mut st = s.borrow_mut();
+        let mut child_us = 0;
+        if st.len() >= depth {
+            while st.len() >= depth {
+                child_us += st.pop().expect("len >= depth >= 1");
+            }
+        }
+        if let Some(top) = st.last_mut() {
+            *top = top.saturating_add(dur_us);
+        }
+        child_us
+    })
+}
+
+/// Charge a leaf/replayed span's self time to the enclosing live span
+/// on this thread, if any.
+fn stack_charge(self_us: u64) {
+    SPAN_STACK.with(|s| {
+        if let Some(top) = s.borrow_mut().last_mut() {
+            *top = top.saturating_add(self_us);
+        }
+    });
 }
 
 struct Inner {
@@ -263,15 +360,28 @@ impl Telemetry {
 
     /// Record a completed span with an explicit duration. This is how
     /// parallel phases replay per-worker buffers into a shared sink in a
-    /// deterministic order: the duration was measured on the worker, only
-    /// the emission is deferred.
+    /// deterministic order (the duration was measured on the worker,
+    /// only the emission is deferred), and how accumulated stage timers
+    /// (e.g. the simplex's factorize/ftran/pricing clocks) surface as
+    /// spans. The span is treated as a leaf: `self_us = dur_us`, and
+    /// that self time is charged to the enclosing live span so the
+    /// parent's own self time stays exclusive.
     #[inline]
     pub fn record_span(&self, sys: &str, name: &str, dur_us: u64) {
+        self.record_span_parts(sys, name, dur_us, dur_us);
+    }
+
+    /// Record a completed span with explicit duration *and* self time
+    /// (a replayed span that already excluded its nested children).
+    /// Charges `self_us` to the enclosing live span on this thread.
+    #[inline]
+    pub fn record_span_parts(&self, sys: &str, name: &str, dur_us: u64, self_us: u64) {
         let Some(inner) = &self.inner else { return };
+        stack_charge(self_us);
         inner.emit(Event {
             t_us: inner.now_us(),
             sys: sys.to_string(),
-            kind: EventKind::Span { dur_us },
+            kind: EventKind::Span { dur_us, self_us },
             name: name.to_string(),
         });
     }
@@ -286,12 +396,14 @@ impl Telemetry {
                 sys: String::new(),
                 name: String::new(),
                 start: None,
+                depth: 0,
             },
             Some(_) => SpanGuard {
                 tel: self.clone(),
                 sys: sys.to_string(),
                 name: name.to_string(),
                 start: Some(Instant::now()),
+                depth: stack_push(),
             },
         }
     }
@@ -307,7 +419,9 @@ impl Telemetry {
             match e.kind {
                 EventKind::Counter(delta) => target.incr(&e.sys, &e.name, delta),
                 EventKind::Metric(value) => target.record(&e.sys, &e.name, value),
-                EventKind::Span { dur_us } => target.record_span(&e.sys, &e.name, dur_us),
+                EventKind::Span { dur_us, self_us } => {
+                    target.record_span_parts(&e.sys, &e.name, dur_us, self_us)
+                }
             }
         }
     }
@@ -353,9 +467,28 @@ impl Telemetry {
             Some(i) => lock(&i.store)
                 .spans
                 .iter()
-                .map(|((s, n), (c, t))| (s.clone(), n.clone(), *c, *t))
+                .map(|((s, n), (c, t, _))| (s.clone(), n.clone(), *c, *t))
                 .collect(),
         }
+    }
+
+    /// Span aggregates as (sys, name, count, total_us, self_us), ordered
+    /// by (sys, name). The self-time column is what the `--profile`
+    /// breakdown consumes: it sums to ≤ total wall on serial streams.
+    pub fn spans_self(&self) -> Vec<(String, String, u64, u64, u64)> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(i) => lock(&i.store)
+                .spans
+                .iter()
+                .map(|((s, n), (c, t, se))| (s.clone(), n.clone(), *c, *t, *se))
+                .collect(),
+        }
+    }
+
+    /// Microseconds since this handle was created; 0 when disabled.
+    pub fn elapsed_us(&self) -> u64 {
+        self.inner.as_ref().map(|i| i.now_us()).unwrap_or(0)
     }
 
     /// Every event recorded so far, in emission order.
@@ -373,14 +506,15 @@ impl Telemetry {
             return String::new();
         }
         let mut out = String::new();
-        let spans = self.spans();
+        let spans = self.spans_self();
         if !spans.is_empty() {
             out.push_str("phase times:\n");
-            for (sys, name, count, total_us) in &spans {
+            for (sys, name, count, total_us, self_us) in &spans {
                 writeln!(
                     out,
-                    "  {sys:<8} {name:<28} {:>10.3} ms  ({count} span{})",
+                    "  {sys:<8} {name:<28} {:>10.3} ms  self {:>10.3} ms  ({count} span{})",
                     *total_us as f64 / 1e3,
+                    *self_us as f64 / 1e3,
                     if *count == 1 { "" } else { "s" }
                 )
                 .unwrap();
@@ -410,10 +544,11 @@ impl Inner {
                 EventKind::Counter(delta) => {
                     *store.counters.entry(key).or_insert(0) += delta;
                 }
-                EventKind::Span { dur_us } => {
-                    let slot = store.spans.entry(key).or_insert((0, 0));
+                EventKind::Span { dur_us, self_us } => {
+                    let slot = store.spans.entry(key).or_insert((0, 0, 0));
                     slot.0 += 1;
                     slot.1 += dur_us;
+                    slot.2 += self_us;
                 }
                 EventKind::Metric(_) => {}
             }
@@ -480,6 +615,9 @@ pub struct SpanGuard {
     sys: String,
     name: String,
     start: Option<Instant>,
+    /// Position of this guard's child-time accumulator in the
+    /// per-thread span stack (stack length right after the push).
+    depth: usize,
 }
 
 impl Drop for SpanGuard {
@@ -487,10 +625,12 @@ impl Drop for SpanGuard {
         let Some(start) = self.start else { return };
         let Some(inner) = &self.tel.inner else { return };
         let dur_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let child_us = stack_pop_and_charge(self.depth, dur_us);
+        let self_us = dur_us.saturating_sub(child_us);
         inner.emit(Event {
             t_us: inner.now_us(),
             sys: std::mem::take(&mut self.sys),
-            kind: EventKind::Span { dur_us },
+            kind: EventKind::Span { dur_us, self_us },
             name: std::mem::take(&mut self.name),
         });
     }
@@ -655,7 +795,10 @@ mod tests {
             Event {
                 t_us: 56,
                 sys: sys::EVAL.into(),
-                kind: EventKind::Span { dur_us: 420 },
+                kind: EventKind::Span {
+                    dur_us: 420,
+                    self_us: 300,
+                },
                 name: "check".into(),
             },
         ];
@@ -664,5 +807,111 @@ mod tests {
             let back: Event = serde_json::from_str(&json).unwrap();
             assert_eq!(back, event);
         }
+    }
+
+    #[test]
+    fn spans_without_self_us_deserialize_as_leaves() {
+        let line = r#"{"t_us":56,"sys":"eval","event":"span","name":"check","dur_us":420}"#;
+        let back: Event = serde_json::from_str(line).unwrap();
+        assert_eq!(
+            back.kind,
+            EventKind::Span {
+                dur_us: 420,
+                self_us: 420
+            }
+        );
+    }
+
+    /// Busy-wait so nested spans accrue measurable, deterministic-enough
+    /// durations without `thread::sleep` flakiness.
+    fn spin_us(us: u64) {
+        let start = Instant::now();
+        while start.elapsed().as_micros() < us as u128 {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn nested_spans_record_parent_exclusive_self_time() {
+        let tel = Telemetry::memory();
+        {
+            let _plan = tel.span(sys::PIPELINE, "plan");
+            spin_us(2_000);
+            {
+                let _lp = tel.span(sys::LP, "solve_mip");
+                spin_us(3_000);
+                drop(tel.span(sys::LP, "factorize")); // zero-length leaf
+            }
+            spin_us(1_000);
+        }
+        let by_name: BTreeMap<String, (u64, u64)> = tel
+            .spans_self()
+            .into_iter()
+            .map(|(_, n, _, t, s)| (n, (t, s)))
+            .collect();
+        let (plan_total, plan_self) = by_name["plan"];
+        let (lp_total, lp_self) = by_name["solve_mip"];
+        // The inner span's full duration is excluded from the outer's
+        // self time, so the self times sum to ≤ the outer total (= the
+        // stream's total wall).
+        assert!(plan_self <= plan_total - lp_total + 10);
+        assert!(lp_self <= lp_total);
+        let self_sum: u64 = tel.spans_self().iter().map(|(_, _, _, _, s)| *s).sum();
+        assert!(
+            self_sum <= plan_total,
+            "self times {self_sum} exceed wall {plan_total}"
+        );
+        // And the breakdown still accounts for the bulk of the wall.
+        assert!(self_sum + 500 >= plan_total, "{self_sum} vs {plan_total}");
+    }
+
+    #[test]
+    fn deferred_spans_charge_the_enclosing_live_span() {
+        let tel = Telemetry::memory();
+        {
+            let _mip = tel.span(sys::LP, "solve_mip");
+            spin_us(1_000);
+            // A stage timer accumulated elsewhere, surfaced as a leaf
+            // span: its time must come out of solve_mip's self time.
+            tel.record_span(sys::LP, "factorize", 700);
+        }
+        let by_name: BTreeMap<String, (u64, u64)> = tel
+            .spans_self()
+            .into_iter()
+            .map(|(_, n, _, t, s)| (n, (t, s)))
+            .collect();
+        let (mip_total, mip_self) = by_name["solve_mip"];
+        assert_eq!(by_name["factorize"], (700, 700));
+        assert!(mip_self <= mip_total - 700 + 10);
+    }
+
+    #[test]
+    fn replayed_nested_streams_charge_only_their_self_time() {
+        // A worker buffer with a parent span (dur 100, self 40) and its
+        // child (dur 60): replaying into a live span must subtract 100
+        // (the worker's span-covered wall), not 160.
+        let buf = Telemetry::memory();
+        buf.record_span_parts(sys::EVAL, "check", 60, 60);
+        buf.record_span_parts(sys::EVAL, "separate", 100, 40);
+        let target = Telemetry::memory();
+        {
+            let _outer = tel_span_with_spin(&target, 2_000);
+            buf.replay_into(&target);
+        }
+        let by_name: BTreeMap<String, (u64, u64)> = target
+            .spans_self()
+            .into_iter()
+            .map(|(_, n, _, t, s)| (n, (t, s)))
+            .collect();
+        let (outer_total, outer_self) = by_name["outer"];
+        assert_eq!(by_name["check"], (60, 60));
+        assert_eq!(by_name["separate"], (100, 40));
+        assert!(outer_self <= outer_total - 100 + 10);
+    }
+
+    fn tel_span_with_spin(tel: &Telemetry, us: u64) -> SpanGuard {
+        let g = tel.span(sys::PIPELINE, "outer");
+        spin_us(us);
+        g
     }
 }

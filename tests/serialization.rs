@@ -79,7 +79,10 @@ fn telemetry_events_roundtrip_through_json() {
         Event {
             t_us: u64::MAX >> 12,
             sys: "eval".into(),
-            kind: EventKind::Span { dur_us: 420 },
+            kind: EventKind::Span {
+                dur_us: 420,
+                self_us: 300,
+            },
             name: "check".into(),
         },
     ];
@@ -120,10 +123,13 @@ fn telemetry_jsonl_schema_is_golden() {
             Event {
                 t_us: 56,
                 sys: "eval".into(),
-                kind: EventKind::Span { dur_us: 420 },
+                kind: EventKind::Span {
+                    dur_us: 420,
+                    self_us: 420,
+                },
                 name: "check".into(),
             },
-            r#"{"t_us":56,"sys":"eval","event":"span","name":"check","dur_us":420}"#,
+            r#"{"t_us":56,"sys":"eval","event":"span","name":"check","dur_us":420,"self_us":420}"#,
         ),
     ];
     for (event, expected) in &golden {
@@ -133,6 +139,18 @@ fn telemetry_jsonl_schema_is_golden() {
             "telemetry JSONL schema drifted"
         );
     }
+    // Pre-`self_us` streams stay readable: a span line without the field
+    // deserializes as a leaf (`self_us = dur_us`).
+    let legacy = r#"{"t_us":56,"sys":"eval","event":"span","name":"check","dur_us":420}"#;
+    let back: Event = serde_json::from_str(legacy).expect("legacy span line parses");
+    assert_eq!(
+        back.kind,
+        EventKind::Span {
+            dur_us: 420,
+            self_us: 420
+        },
+        "legacy spans must read as leaves"
+    );
 }
 
 #[test]
@@ -157,7 +175,7 @@ fn jsonl_sink_writes_parseable_schema_conformant_lines() {
         let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
         match event.kind {
             EventKind::Span { .. } => {
-                assert_eq!(keys, ["t_us", "sys", "event", "name", "dur_us"]);
+                assert_eq!(keys, ["t_us", "sys", "event", "name", "dur_us", "self_us"]);
             }
             _ => assert_eq!(keys, ["t_us", "sys", "event", "name", "value"]),
         }
