@@ -1,0 +1,140 @@
+//! Schema of `BENCH_churn.json`, the online re-planning benchmark
+//! emitted by `fig17_churn`.
+//!
+//! Like `BENCH_scenarios.json`, the file is a stable interface read by
+//! field name: renaming, retyping or reordering a field is a breaking
+//! change and must bump [`CHURN_SCHEMA_VERSION`];
+//! `crates/bench/tests/churn_schema.rs` pins the layout. Event classes
+//! are serialized as their stable wire names
+//! (`np_churn::ChurnEvent::class`), not enum variants.
+
+use serde::{Deserialize, Serialize};
+
+/// Bump on any breaking change to [`ChurnBench`] and friends.
+pub const CHURN_SCHEMA_VERSION: u32 = 1;
+
+/// Top-level contents of `BENCH_churn.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChurnBench {
+    /// Layout version, [`CHURN_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// Master seed (instance, stream and planner all derive from it).
+    pub seed: u64,
+    /// `true` for `--quick` (CI-sized budgets), `false` for `--full`.
+    pub quick: bool,
+    /// Size tier wire name of the instance (`A`–`F`).
+    pub tier: String,
+    /// IP links in the initial instance.
+    pub links: usize,
+    /// Traffic-flow components.
+    pub flows: usize,
+    /// Failure scenarios.
+    pub failures: usize,
+    /// Eq. 1 cost of the initial (pre-churn) plan.
+    pub initial_cost: f64,
+    /// Wall time of the initial cold plan (full RL+ILP pipeline), ms.
+    pub initial_plan_millis: f64,
+    /// The headline comparison: one link decommission, incremental
+    /// re-plan vs cold re-plan from scratch.
+    pub single_link: SingleLinkReplan,
+    /// Per-event outcomes over the seeded stream, in stream order.
+    pub events: Vec<ChurnEventRow>,
+    /// Stability aggregated per event class over [`Self::events`].
+    pub classes: Vec<ClassStability>,
+}
+
+/// The acceptance-bar measurement: after a single link decommission,
+/// re-plan incrementally (carry the plan, keep still-valid Benders
+/// certificates, warm-start the master) and cold (full pipeline on the
+/// perturbed instance, RL training included).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SingleLinkReplan {
+    /// The event token (`link-remove:<i>`).
+    pub event: String,
+    /// Wall time of the cold re-plan, ms.
+    pub cold_millis: f64,
+    /// Wall time of the incremental re-plan, ms.
+    pub incremental_millis: f64,
+    /// `cold_millis / incremental_millis` — the ≥10× acceptance bar.
+    pub speedup: f64,
+    /// Eq. 1 cost of the cold re-plan.
+    pub cold_cost: f64,
+    /// Eq. 1 cost of the incremental re-plan (proved optimal: the
+    /// incremental master runs at gap 0).
+    pub incremental_cost: f64,
+    /// `incremental_cost / cold_cost`; ≤ 1 means the warm path gave up
+    /// nothing.
+    pub cost_ratio: f64,
+    /// Benders certificates that survived the perturbation.
+    pub certs_retained: u64,
+    /// Benders certificates the perturbation invalidated.
+    pub certs_dropped: u64,
+}
+
+/// One event of the seeded stream.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChurnEventRow {
+    /// 0-based position in the stream.
+    pub index: usize,
+    /// Event class wire name (`demand-scale`, `link-add`, `link-remove`,
+    /// `failure-add`, `fiber-cost`).
+    pub class: String,
+    /// Full event token.
+    pub event: String,
+    /// Wall time of the incremental re-plan for this event, ms.
+    pub incremental_millis: f64,
+    /// Eq. 1 plan cost after the event.
+    pub cost: f64,
+    /// `cost` minus the pre-event cost (negative: churn made the plan
+    /// cheaper).
+    pub cost_delta: f64,
+    /// Plan stability: L1 distance in capacity units between the carried
+    /// plan and the re-planned one (0 = the old plan survived).
+    pub churn: u64,
+    /// Benders certificates that survived this event's perturbation.
+    pub certs_retained: u64,
+    /// Benders certificates the perturbation invalidated.
+    pub certs_dropped: u64,
+    /// Ladder rung name the event's solve settled on.
+    pub quality: String,
+}
+
+/// Stability per event class: how much plan churn an event of this class
+/// causes vs how much it moves the cost.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClassStability {
+    /// Event class wire name.
+    pub class: String,
+    /// Events of this class in the stream.
+    pub events: usize,
+    /// Mean L1 plan churn per event.
+    pub mean_churn: f64,
+    /// Mean `|cost_delta|` per event.
+    pub mean_abs_cost_delta: f64,
+    /// Mean wall time of the incremental re-plan, ms.
+    pub mean_millis: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_aggregation_inputs_survive_round_trip() {
+        let row = ChurnEventRow {
+            index: 0,
+            class: "demand-scale".into(),
+            event: "demand-scale:1.1".into(),
+            incremental_millis: 12.5,
+            cost: 100.0,
+            cost_delta: 2.5,
+            churn: 4,
+            certs_retained: 7,
+            certs_dropped: 0,
+            quality: "optimal".into(),
+        };
+        let body = serde_json::to_string(&row).expect("serialize");
+        let back: ChurnEventRow = serde_json::from_str(&body).expect("deserialize");
+        assert_eq!(back, row);
+    }
+}

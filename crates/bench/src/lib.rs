@@ -14,6 +14,7 @@
 //! | `fig12_capacity_units` | Fig. 12 — action granularity |
 //! | `fig13_relax_factor` | Fig. 13 — relax factor α |
 //! | `fig16_scenario_matrix` | beyond-paper — {family × tier × failures} sweep |
+//! | `fig17_churn` | beyond-paper — online re-planning under churn |
 //!
 //! Every binary accepts `--quick` (CI-sized, the default) or `--full`
 //! (longer budgets), plus `--seed <u64>` and `--out <dir>`.
@@ -23,6 +24,7 @@ use std::fmt::Display;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub mod churn;
 pub mod scenario;
 
 /// Shared command-line options for experiment binaries.

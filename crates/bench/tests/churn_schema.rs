@@ -1,0 +1,150 @@
+//! Golden-schema pin for `BENCH_churn.json`.
+//!
+//! Mirrors `tests/scenario_schema.rs`: the churn bench is read by field
+//! name downstream, so this test serializes a fully-populated bench and
+//! compares it to the canonical golden string. If it fails, either
+//! restore the layout or bump `CHURN_SCHEMA_VERSION` *and* update the
+//! golden text deliberately.
+
+use np_bench::churn::{
+    ChurnBench, ChurnEventRow, ClassStability, SingleLinkReplan, CHURN_SCHEMA_VERSION,
+};
+
+fn sample_bench() -> ChurnBench {
+    ChurnBench {
+        schema_version: CHURN_SCHEMA_VERSION,
+        seed: 42,
+        quick: true,
+        tier: "B".into(),
+        links: 32,
+        flows: 60,
+        failures: 20,
+        initial_cost: 250.75,
+        initial_plan_millis: 512.5,
+        single_link: SingleLinkReplan {
+            event: "link-remove:3".into(),
+            cold_millis: 480.0,
+            incremental_millis: 24.5,
+            speedup: 19.5918,
+            cold_cost: 260.5,
+            incremental_cost: 260.5,
+            cost_ratio: 1.0,
+            certs_retained: 18,
+            certs_dropped: 3,
+        },
+        events: vec![ChurnEventRow {
+            index: 0,
+            class: "demand-scale".into(),
+            event: "demand-scale:1.1".into(),
+            incremental_millis: 12.25,
+            cost: 255.5,
+            cost_delta: 4.75,
+            churn: 6,
+            certs_retained: 21,
+            certs_dropped: 0,
+            quality: "optimal".into(),
+        }],
+        classes: vec![ClassStability {
+            class: "demand-scale".into(),
+            events: 1,
+            mean_churn: 6.0,
+            mean_abs_cost_delta: 4.75,
+            mean_millis: 12.25,
+        }],
+    }
+}
+
+/// The full canonical serialization, field for field. A rename, a
+/// removal, a type change or a reorder all fail here.
+#[test]
+fn golden_serialization_is_stable() {
+    let golden = r#"{
+  "schema_version": 1,
+  "seed": 42,
+  "quick": true,
+  "tier": "B",
+  "links": 32,
+  "flows": 60,
+  "failures": 20,
+  "initial_cost": 250.75,
+  "initial_plan_millis": 512.5,
+  "single_link": {
+    "event": "link-remove:3",
+    "cold_millis": 480,
+    "incremental_millis": 24.5,
+    "speedup": 19.5918,
+    "cold_cost": 260.5,
+    "incremental_cost": 260.5,
+    "cost_ratio": 1,
+    "certs_retained": 18,
+    "certs_dropped": 3
+  },
+  "events": [
+    {
+      "index": 0,
+      "class": "demand-scale",
+      "event": "demand-scale:1.1",
+      "incremental_millis": 12.25,
+      "cost": 255.5,
+      "cost_delta": 4.75,
+      "churn": 6,
+      "certs_retained": 21,
+      "certs_dropped": 0,
+      "quality": "optimal"
+    }
+  ],
+  "classes": [
+    {
+      "class": "demand-scale",
+      "events": 1,
+      "mean_churn": 6,
+      "mean_abs_cost_delta": 4.75,
+      "mean_millis": 12.25
+    }
+  ]
+}"#;
+    let body = serde_json::to_string_pretty(&sample_bench()).expect("serialize");
+    assert_eq!(
+        body, golden,
+        "BENCH_churn.json layout changed; bump CHURN_SCHEMA_VERSION and \
+         update the golden string if this is intentional"
+    );
+}
+
+#[test]
+fn round_trip_is_lossless() {
+    let bench = sample_bench();
+    let body = serde_json::to_string(&bench).expect("serialize");
+    let back: ChurnBench = serde_json::from_str(&body).expect("deserialize");
+    assert_eq!(back, bench);
+}
+
+/// Readers must tolerate files from *newer* writers that add fields.
+#[test]
+fn unknown_fields_are_ignored_on_read() {
+    let mut v: serde_json::Value =
+        serde_json::from_str(&serde_json::to_string(&sample_bench()).unwrap()).unwrap();
+    let serde_json::Value::Object(top) = &mut v else {
+        panic!("bench serializes to an object");
+    };
+    top.push(("future_field".into(), serde_json::json!("ignored")));
+    let back: ChurnBench = serde_json::from_value(v).expect("forward-compatible read");
+    assert_eq!(back, sample_bench());
+}
+
+/// The event-class wire names in a written bench parse back onto
+/// `np_churn::ChurnEvent`, so the stream can be replayed from the JSON.
+#[test]
+fn event_tokens_parse_back_onto_churn_events() {
+    let bench = sample_bench();
+    for row in &bench.events {
+        let ev = np_churn::ChurnEvent::parse(&row.event).expect("token parses");
+        assert_eq!(ev.class(), row.class);
+    }
+    assert_eq!(
+        np_churn::ChurnEvent::parse(&bench.single_link.event)
+            .expect("single-link token parses")
+            .class(),
+        "link-remove"
+    );
+}

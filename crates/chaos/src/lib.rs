@@ -53,9 +53,14 @@ pub enum FaultClass {
     TruncateCheckpoint,
     /// Hard process death (panic) at a checkpoint boundary.
     Kill,
+    /// A link repeatedly going down and back up mid-replan: the replan
+    /// loop answers a fire by removing the flapping link, re-planning,
+    /// re-adding it and re-planning again — both perturbation paths of
+    /// the churn engine under one fault.
+    LinkFlap,
 }
 
-const NUM_CLASSES: usize = 6;
+const NUM_CLASSES: usize = 7;
 
 impl FaultClass {
     /// Every class, in spec order.
@@ -66,6 +71,7 @@ impl FaultClass {
         FaultClass::Deadline,
         FaultClass::TruncateCheckpoint,
         FaultClass::Kill,
+        FaultClass::LinkFlap,
     ];
 
     /// The spec-grammar name.
@@ -77,6 +83,7 @@ impl FaultClass {
             FaultClass::Deadline => "deadline",
             FaultClass::TruncateCheckpoint => "truncate-checkpoint",
             FaultClass::Kill => "kill",
+            FaultClass::LinkFlap => "link-flap",
         }
     }
 
@@ -93,6 +100,7 @@ impl FaultClass {
             FaultClass::Deadline => 3,
             FaultClass::TruncateCheckpoint => 4,
             FaultClass::Kill => 5,
+            FaultClass::LinkFlap => 6,
         }
     }
 }
@@ -465,6 +473,79 @@ mod tests {
         // Display keeps the offending token visible for CLI reporting.
         let msg = FaultPlan::parse("deadline%150").unwrap_err().to_string();
         assert!(msg.contains("deadline%150"), "{msg}");
+    }
+
+    #[test]
+    fn link_flap_is_a_first_class_fault() {
+        assert_eq!(FaultClass::LinkFlap.name(), "link-flap");
+        assert_eq!(
+            FaultClass::from_name("link-flap"),
+            Some(FaultClass::LinkFlap)
+        );
+        assert_eq!(FaultClass::ALL.len(), NUM_CLASSES);
+        let chaos = Chaos::new(FaultPlan::parse("seed=3,link-flap@1-2").unwrap());
+        let fires: Vec<bool> = (0..4)
+            .map(|_| chaos.should_fire(FaultClass::LinkFlap))
+            .collect();
+        assert_eq!(fires, [false, true, true, false]);
+        assert_eq!(chaos.fired(FaultClass::LinkFlap), 2);
+        // The summary counts it like every other class.
+        assert_eq!(chaos.fired(FaultClass::Kill), 0);
+    }
+
+    #[test]
+    fn spec_parser_edge_cases() {
+        // Whitespace and empty tokens are tolerated anywhere.
+        let plan = FaultPlan::parse("  , seed=9 ,, link-flap@2 ,  ").unwrap();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.triggers, vec![(FaultClass::LinkFlap, Trigger::At(2))]);
+        // A single-point range is allowed and equals its endpoints.
+        let plan = FaultPlan::parse("link-flap@3-3").unwrap();
+        assert_eq!(
+            plan.triggers,
+            vec![(FaultClass::LinkFlap, Trigger::Range(3, 3))]
+        );
+        // The last seed token wins (specs are processed left to right).
+        assert_eq!(FaultPlan::parse("seed=1,seed=2").unwrap().seed, 2);
+        // An empty class name is an unknown class, not a panic.
+        assert_eq!(
+            FaultPlan::parse("@3"),
+            Err(ChaosError::UnknownClass {
+                name: String::new()
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("%50"),
+            Err(ChaosError::UnknownClass {
+                name: String::new()
+            })
+        );
+        // Empty seed value and empty occurrence are typed errors.
+        assert!(matches!(
+            FaultPlan::parse("seed="),
+            Err(ChaosError::BadSeed { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::parse("link-flap@"),
+            Err(ChaosError::BadOccurrence { .. })
+        ));
+        // Inner whitespace does not silently parse.
+        assert!(matches!(
+            FaultPlan::parse("link-flap@ 2"),
+            Err(ChaosError::BadOccurrence { .. })
+        ));
+        // A huge occurrence (u64::MAX) round-trips.
+        let plan = FaultPlan::parse(&format!("kill@{}", u64::MAX)).unwrap();
+        assert_eq!(
+            plan.triggers,
+            vec![(FaultClass::Kill, Trigger::At(u64::MAX))]
+        );
+        // Fractional percentages parse and stay in [0, 1].
+        let plan = FaultPlan::parse("nan-grad%0.5").unwrap();
+        assert_eq!(
+            plan.triggers,
+            vec![(FaultClass::NanGrad, Trigger::Prob(0.005))]
+        );
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! and a flat `{"units": [u32...], "cost": f64}` object for plans.
 
 use neuroplan::baselines::{solve_ilp, solve_ilp_heur, BaselineBudget};
-use neuroplan::{validate_plan, NeuroPlan, NeuroPlanConfig};
+use neuroplan::{validate_plan, NeuroPlan, NeuroPlanConfig, ReplanConfig};
+use np_churn::ChurnSpec;
 use np_eval::{EvalConfig, PlanEvaluator};
 use np_telemetry::Telemetry;
 use np_topology::generator::{GeneratorConfig, TopologyPreset};
@@ -32,7 +33,9 @@ fn usage() -> ! {
          [--lp-backend <dense|sparse|auto>] \
          [--telemetry <file>] [--profile [--profile-out <file>]] \
          [--checkpoint-dir <dir>] [--resume] \
-         [--chaos <spec>] [--out <file>]\n  neuroplan evaluate \
+         [--chaos <spec>] [--out <file>]\n  neuroplan replan \
+         [instance + plan flags as above] --events <spec|file> \
+         [--gap <f64>] [--prune-alpha <f64>] [--flap-seed <u64>]\n  neuroplan evaluate \
          --topology <file> [--plan <file>] [--workers <n|auto>] [--telemetry <file>] \
          [--profile [--profile-out <file>]]\n  \
          neuroplan baseline [--preset <a..e> | --topology <file>] --method \
@@ -278,6 +281,82 @@ fn finish_telemetry(tel: &Telemetry, flags: &HashMap<String, String>) {
     }
 }
 
+/// Build the planner configuration from the shared `plan`/`replan`
+/// flags (`--quick|--default`, `--alpha`, `--seed`, `--workers`,
+/// `--stage-budget`, `--max-retries`, `--no-degrade`, `--lp-backend`).
+fn planner_config(
+    flags: &HashMap<String, String>,
+    lp_backend: np_lp::LpBackend,
+) -> NeuroPlanConfig {
+    let mut cfg = if flags.contains_key("default") {
+        NeuroPlanConfig::default()
+    } else {
+        NeuroPlanConfig::quick()
+    };
+    if let Some(alpha) = flags.get("alpha") {
+        cfg.relax_factor = alpha.parse().unwrap_or_else(|_| {
+            eprintln!("--alpha takes a number >= 1");
+            exit(2)
+        });
+    }
+    if let Some(seed) = flags.get("seed") {
+        cfg = cfg.with_seed(seed.parse().unwrap_or_else(|_| {
+            eprintln!("--seed takes a u64");
+            exit(2)
+        }));
+    }
+    // Only an explicit --workers opts into the multi-actor
+    // determinism contract; results then match at every count.
+    if flags.contains_key("workers") {
+        cfg = cfg.with_workers(workers_of(flags));
+    }
+    if let Some(secs) = flags.get("stage-budget") {
+        let secs: f64 = secs.parse().unwrap_or_else(|_| {
+            eprintln!("--stage-budget takes seconds");
+            exit(2)
+        });
+        if secs < 0.0 {
+            eprintln!("--stage-budget takes seconds >= 0");
+            exit(2)
+        }
+        cfg = cfg.with_stage_budget(secs);
+    }
+    if let Some(n) = flags.get("max-retries") {
+        cfg = cfg.with_max_retries(n.parse().unwrap_or_else(|_| {
+            eprintln!("--max-retries takes a small integer");
+            exit(2)
+        }));
+    }
+    if flags.contains_key("no-degrade") {
+        cfg = cfg.with_degrade(false);
+    }
+    cfg.with_lp_backend(lp_backend)
+}
+
+/// `--events <spec|file>`: an inline churn spec (`seed=7,n=10` or a
+/// `;`-separated event list), or the path of a file holding one.
+fn churn_spec_of(flags: &HashMap<String, String>) -> ChurnSpec {
+    let Some(raw) = flags.get("events") else {
+        eprintln!("replan needs --events <spec|file>");
+        usage()
+    };
+    match ChurnSpec::parse(raw) {
+        Ok(spec) => spec,
+        Err(inline_err) => {
+            let Ok(body) = std::fs::read_to_string(raw) else {
+                eprintln!(
+                    "--events is neither a valid inline spec ({inline_err}) nor a readable file"
+                );
+                exit(2)
+            };
+            ChurnSpec::parse(&body).unwrap_or_else(|e| {
+                eprintln!("invalid churn spec in {raw}: {e}");
+                exit(2)
+            })
+        }
+    }
+}
+
 fn write_or_print(flags: &HashMap<String, String>, body: &str) {
     match flags.get("out") {
         Some(path) => {
@@ -314,49 +393,7 @@ fn main() {
         }
         "plan" => {
             let net = load_network(&flags);
-            let mut cfg = if flags.contains_key("default") {
-                NeuroPlanConfig::default()
-            } else {
-                NeuroPlanConfig::quick()
-            };
-            if let Some(alpha) = flags.get("alpha") {
-                cfg.relax_factor = alpha.parse().unwrap_or_else(|_| {
-                    eprintln!("--alpha takes a number >= 1");
-                    exit(2)
-                });
-            }
-            if let Some(seed) = flags.get("seed") {
-                cfg = cfg.with_seed(seed.parse().unwrap_or_else(|_| {
-                    eprintln!("--seed takes a u64");
-                    exit(2)
-                }));
-            }
-            // Only an explicit --workers opts into the multi-actor
-            // determinism contract; results then match at every count.
-            if flags.contains_key("workers") {
-                cfg = cfg.with_workers(workers_of(&flags));
-            }
-            if let Some(secs) = flags.get("stage-budget") {
-                let secs: f64 = secs.parse().unwrap_or_else(|_| {
-                    eprintln!("--stage-budget takes seconds");
-                    exit(2)
-                });
-                if secs < 0.0 {
-                    eprintln!("--stage-budget takes seconds >= 0");
-                    exit(2)
-                }
-                cfg = cfg.with_stage_budget(secs);
-            }
-            if let Some(n) = flags.get("max-retries") {
-                cfg = cfg.with_max_retries(n.parse().unwrap_or_else(|_| {
-                    eprintln!("--max-retries takes a small integer");
-                    exit(2)
-                }));
-            }
-            if flags.contains_key("no-degrade") {
-                cfg = cfg.with_degrade(false);
-            }
-            cfg = cfg.with_lp_backend(lp_backend);
+            let cfg = planner_config(&flags, lp_backend);
             let tel = telemetry_of(&flags);
             let mut planner = NeuroPlan::with_telemetry(cfg, tel.clone());
             if let Some(dir) = flags.get("checkpoint-dir") {
@@ -397,6 +434,106 @@ fn main() {
                 "cost": result.final_cost,
                 "first_stage_cost": result.first_stage_cost,
                 "quality": result.quality.name(),
+            });
+            write_or_print(&flags, &serde_json::to_string_pretty(&body).expect("json"));
+        }
+        "replan" => {
+            let net = load_network(&flags);
+            let spec = churn_spec_of(&flags);
+            let events = spec.resolve(&net);
+            let cfg = planner_config(&flags, lp_backend);
+            let mut rcfg = ReplanConfig::default();
+            if let Some(gap) = flags.get("gap") {
+                rcfg.gap_tol = gap.parse().unwrap_or_else(|_| {
+                    eprintln!("--gap takes a number >= 0");
+                    exit(2)
+                });
+            }
+            if let Some(alpha) = flags.get("prune-alpha") {
+                rcfg.prune_alpha = Some(alpha.parse().unwrap_or_else(|_| {
+                    eprintln!("--prune-alpha takes a number >= 1");
+                    exit(2)
+                }));
+            }
+            if let Some(seed) = flags.get("flap-seed") {
+                rcfg.flap_seed = seed.parse().unwrap_or_else(|_| {
+                    eprintln!("--flap-seed takes a u64");
+                    exit(2)
+                });
+            }
+            let tel = telemetry_of(&flags);
+            let mut planner = NeuroPlan::with_telemetry(cfg, tel.clone());
+            if let Some(dir) = flags.get("checkpoint-dir") {
+                planner = planner.with_checkpoint(dir, flags.contains_key("resume"));
+            } else if flags.contains_key("resume") {
+                eprintln!("--resume needs --checkpoint-dir");
+                exit(2)
+            }
+            let report = planner.replan(&net, &events, &rcfg).unwrap_or_else(|e| {
+                finish_telemetry(&tel, &flags);
+                finish_chaos();
+                eprintln!("replan failed: {e}");
+                exit(1)
+            });
+            if let Err(e) = validate_plan(&report.net, &report.final_units) {
+                eprintln!("final plan failed validation: {e}");
+                exit(1)
+            }
+            finish_telemetry(&tel, &flags);
+            finish_chaos();
+            for ev in &report.events {
+                match &ev.skipped {
+                    Some(reason) => eprintln!(
+                        "event {:>3} {:<14} SKIPPED ({reason})",
+                        ev.index, ev.class
+                    ),
+                    None => eprintln!(
+                        "event {:>3} {:<14} cost {:>10.1}  churn {:>4}  cuts kept {}/dropped {}{}{}",
+                        ev.index,
+                        ev.class,
+                        ev.cost,
+                        ev.churn,
+                        ev.certs_retained,
+                        ev.certs_dropped,
+                        if ev.flapped { "  [flap recovered]" } else { "" },
+                        if ev.resumed { "  [resumed]" } else { "" },
+                    ),
+                }
+            }
+            eprintln!(
+                "initial {:.1} -> final {:.1} over {} events ({} applied, {} skipped, {} resumed)",
+                report.initial_cost,
+                report.final_cost,
+                report.events.len(),
+                report.applied(),
+                report.skipped(),
+                report.resumed
+            );
+            let events_json: Vec<serde_json::Value> = report
+                .events
+                .iter()
+                .map(|ev| {
+                    serde_json::json!({
+                        "index": ev.index,
+                        "class": ev.class,
+                        "event": ev.event,
+                        "skipped": ev.skipped,
+                        "cost": ev.cost,
+                        "quality": ev.quality.name(),
+                        "churn": ev.churn,
+                        "certs_retained": ev.certs_retained,
+                        "certs_dropped": ev.certs_dropped,
+                        "flapped": ev.flapped,
+                        "resumed": ev.resumed,
+                        "millis": ev.millis,
+                    })
+                })
+                .collect();
+            let body = serde_json::json!({
+                "units": report.final_units,
+                "cost": report.final_cost,
+                "initial_cost": report.initial_cost,
+                "events": events_json,
             });
             write_or_print(&flags, &serde_json::to_string_pretty(&body).expect("json"));
         }

@@ -66,6 +66,181 @@ pub fn meta_matches(body: &Value, fp: &str) -> bool {
     body.get("fp").and_then(Value::as_str) == Some(fp)
 }
 
+/// How a checkpoint relates to the instance a resume was asked for.
+///
+/// Historically a checkpoint was only usable on the *identical* run
+/// (`Exact`). Re-planning relaxes that to *resumable ancestry*: a
+/// checkpoint taken against topology `T` is still usable on a perturbed
+/// `T′` when the chain of per-event records connects them — each record
+/// carries the fingerprint of the state it was taken from (`afp`) and
+/// the state it produced (`fp`), so the resume can locate the current
+/// instance in the chain and replay only what follows. Unchanged runs
+/// still match `Exact` and keep bit-identical kill-and-resume.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetaMatch {
+    /// The instance is the one the checkpoint started from.
+    Exact,
+    /// The instance is a recorded descendant: resume from the matching
+    /// record (0-based index into the event records) instead of the top.
+    Ancestor(usize),
+    /// The checkpoint belongs to a different instance/stream; ignore it.
+    Mismatch,
+}
+
+/// Stable tag of a churn stream + replan knobs. Part of the replan meta
+/// record: resuming under a different event list or solver setting must
+/// recompute, not splice. `events` are the event display strings;
+/// `knob_bits` the replan config's numeric knobs as raw bits.
+pub fn replan_stream_tag(events: &[String], initial_units: &[u32], knob_bits: &[u64]) -> String {
+    let mut blob = events.join(";");
+    blob.push('\n');
+    for u in initial_units {
+        blob.push_str(&format!("{u},"));
+    }
+    blob.push('\n');
+    for b in knob_bits {
+        blob.push_str(&format!("{b:016x},"));
+    }
+    format!("{:016x}", fnv1a64(blob.as_bytes()))
+}
+
+/// Body of the `replan_meta` record: the fingerprint of the pre-stream
+/// instance, the stream tag, and the starting plan's cost (`cost0` —
+/// an ancestor resume has no way to recompute it, since the caller no
+/// longer holds the pre-stream instance).
+pub fn replan_meta_body(fp: &str, stream: &str, cost0: f64) -> Value {
+    Value::Object(vec![
+        ("fp".to_string(), Value::Str(fp.to_string())),
+        ("stream".to_string(), Value::Str(stream.to_string())),
+        ("cost0".to_string(), Value::Str(f64_to_hex(cost0))),
+    ])
+}
+
+/// The starting plan's cost recorded in a `replan_meta` body.
+pub fn replan_meta_cost0(body: &Value) -> Option<f64> {
+    hex_field(body, "cost0")
+}
+
+/// Whether `body` is a `replan_meta` record for this instance + stream.
+pub fn replan_meta_matches(body: &Value, fp: &str, stream: &str) -> bool {
+    body.get("fp").and_then(Value::as_str) == Some(fp)
+        && body.get("stream").and_then(Value::as_str) == Some(stream)
+}
+
+/// Classify a resume request against a replan checkpoint: `fp_now` is
+/// the fingerprint of the instance the caller holds, `meta` the decoded
+/// `replan_meta` body, `event_fps` the post-event fingerprints of the
+/// decoded event records in order.
+pub fn classify_replan_meta(
+    meta: &Value,
+    stream: &str,
+    fp_now: &str,
+    event_fps: &[String],
+) -> MetaMatch {
+    if meta.get("stream").and_then(Value::as_str) != Some(stream) {
+        return MetaMatch::Mismatch;
+    }
+    if meta.get("fp").and_then(Value::as_str) == Some(fp_now) {
+        return MetaMatch::Exact;
+    }
+    match event_fps.iter().rposition(|fp| fp == fp_now) {
+        Some(i) => MetaMatch::Ancestor(i),
+        None => MetaMatch::Mismatch,
+    }
+}
+
+/// One decoded `replan_event` record: everything the re-planning loop
+/// needs to resume *after* this event without recomputing it — the plan
+/// it settled on, the evaluator state (certificates included, so no
+/// still-valid cut is re-derived), and the fingerprint chain that proves
+/// the record belongs to this instance's history.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplanEventRecord {
+    /// 0-based position in the event stream.
+    pub index: usize,
+    /// Event class (`demand-scale`, `link-add`, ...).
+    pub class: String,
+    /// Event display string (re-parseable by `np_churn`).
+    pub event: String,
+    /// Fingerprint of the instance *before* this event (the ancestor).
+    pub ancestor_fp: String,
+    /// Fingerprint of the instance *after* this event.
+    pub fp: String,
+    /// Plan cost after re-planning this event.
+    pub cost: f64,
+    /// Plan units after re-planning this event.
+    pub units: Vec<u32>,
+    /// [`np_eval::PlanEvaluator::snapshot_state`] blob taken after the
+    /// event's solve (carries every retained certificate).
+    pub eval: String,
+    /// Ladder rung the event's solve settled on.
+    pub quality: PlanQuality,
+    /// `Some(reason)` when the event could not be applied and was skipped
+    /// (the instance and plan are unchanged).
+    pub skipped: Option<String>,
+    /// L1 distance between the carried plan and the re-planned one.
+    pub churn: u64,
+    /// Certificates carried through the event's perturbation.
+    pub retained: u64,
+    /// Certificates invalidated by the event's perturbation.
+    pub dropped: u64,
+    /// Whether a chaos link-flap was recovered during this event.
+    pub flapped: bool,
+}
+
+/// Body of a `replan_event` record.
+pub fn replan_event_body(r: &ReplanEventRecord) -> Value {
+    Value::Object(vec![
+        ("k".to_string(), num(r.index as u64)),
+        ("class".to_string(), Value::Str(r.class.clone())),
+        ("event".to_string(), Value::Str(r.event.clone())),
+        ("afp".to_string(), Value::Str(r.ancestor_fp.clone())),
+        ("fp".to_string(), Value::Str(r.fp.clone())),
+        ("cost".to_string(), Value::Str(f64_to_hex(r.cost))),
+        ("units".to_string(), units_value(&r.units)),
+        ("eval".to_string(), Value::Str(r.eval.clone())),
+        (
+            "quality".to_string(),
+            Value::Str(r.quality.name().to_string()),
+        ),
+        (
+            "skipped".to_string(),
+            match &r.skipped {
+                Some(reason) => Value::Str(reason.clone()),
+                None => Value::Null,
+            },
+        ),
+        ("churn".to_string(), num(r.churn)),
+        ("retained".to_string(), num(r.retained)),
+        ("dropped".to_string(), num(r.dropped)),
+        ("flapped".to_string(), num(u64::from(r.flapped))),
+    ])
+}
+
+/// Decode a `replan_event` record body.
+pub fn decode_replan_event(body: &Value) -> Option<ReplanEventRecord> {
+    let skipped = match body.get("skipped")? {
+        Value::Null => None,
+        v => Some(v.as_str()?.to_string()),
+    };
+    Some(ReplanEventRecord {
+        index: u64_field(body, "k")? as usize,
+        class: str_field(body, "class")?,
+        event: str_field(body, "event")?,
+        ancestor_fp: str_field(body, "afp")?,
+        fp: str_field(body, "fp")?,
+        cost: hex_field(body, "cost")?,
+        units: units_field(body, "units")?,
+        eval: str_field(body, "eval")?,
+        quality: PlanQuality::from_name(&str_field(body, "quality")?)?,
+        skipped,
+        churn: u64_field(body, "churn")?,
+        retained: u64_field(body, "retained")?,
+        dropped: u64_field(body, "dropped")?,
+        flapped: u64_field(body, "flapped")? != 0,
+    })
+}
+
 fn num(n: u64) -> Value {
     Value::Num(n as f64)
 }
@@ -371,6 +546,83 @@ mod tests {
         assert_eq!(back.cost.to_bits(), first.cost.to_bits());
         assert_eq!(back.rl_cost, None);
         assert_eq!(back.certificates, first.certificates);
+    }
+
+    #[test]
+    fn replan_event_record_round_trips() {
+        let rec = ReplanEventRecord {
+            index: 4,
+            class: "link-remove".to_string(),
+            event: "link-remove:2".to_string(),
+            ancestor_fp: "00112233aabbccdd".to_string(),
+            fp: "ffeeddcc44556677".to_string(),
+            cost: 1234.5,
+            units: vec![0, 3, 7],
+            eval: "1|0|2|-|deadbeef;0,3ff0000000000000".to_string(),
+            quality: PlanQuality::Incumbent,
+            skipped: None,
+            churn: 9,
+            retained: 5,
+            dropped: 2,
+            flapped: true,
+        };
+        let back = decode_replan_event(&replan_event_body(&rec)).expect("round trip");
+        assert_eq!(back, rec);
+        let skipped = ReplanEventRecord {
+            skipped: Some("structurally infeasible".to_string()),
+            flapped: false,
+            ..rec
+        };
+        let back = decode_replan_event(&replan_event_body(&skipped)).expect("round trip");
+        assert_eq!(back, skipped);
+        assert!(decode_replan_event(&Value::Null).is_none());
+    }
+
+    #[test]
+    fn replan_meta_classifies_exact_ancestor_and_mismatch() {
+        let stream = replan_stream_tag(
+            &["demand-scale:1.1".to_string()],
+            &[1, 2, 3],
+            &[0, u64::MAX, 7],
+        );
+        let meta = replan_meta_body("aaaa000000000000", &stream, 512.25);
+        assert!(replan_meta_matches(&meta, "aaaa000000000000", &stream));
+        assert!(!replan_meta_matches(&meta, "bbbb000000000000", &stream));
+        assert_eq!(
+            replan_meta_cost0(&meta).map(f64::to_bits),
+            Some(512.25f64.to_bits())
+        );
+        let fps = vec![
+            "1111000000000000".to_string(),
+            "2222000000000000".to_string(),
+        ];
+        assert_eq!(
+            classify_replan_meta(&meta, &stream, "aaaa000000000000", &fps),
+            MetaMatch::Exact
+        );
+        assert_eq!(
+            classify_replan_meta(&meta, &stream, "2222000000000000", &fps),
+            MetaMatch::Ancestor(1)
+        );
+        assert_eq!(
+            classify_replan_meta(&meta, &stream, "9999000000000000", &fps),
+            MetaMatch::Mismatch
+        );
+        // A different stream never matches, even from the exact instance.
+        assert_eq!(
+            classify_replan_meta(&meta, "other-stream", "aaaa000000000000", &fps),
+            MetaMatch::Mismatch
+        );
+        // The tag is sensitive to every component of the stream spec.
+        let other_events =
+            replan_stream_tag(&["link-add:0".to_string()], &[1, 2, 3], &[0, u64::MAX, 7]);
+        let other_units = replan_stream_tag(
+            &["demand-scale:1.1".to_string()],
+            &[1, 2],
+            &[0, u64::MAX, 7],
+        );
+        assert_ne!(stream, other_events);
+        assert_ne!(stream, other_units);
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod env;
 pub mod greedy;
 pub mod master;
 pub mod pipeline;
+pub mod replan;
 pub mod report;
 
 pub use analysis::{analyze_plan, PlanAnalysis};
@@ -44,4 +45,5 @@ pub use greedy::greedy_augment;
 pub use master::{solve_master, solve_master_telemetry, MasterConfig, MasterOutcome};
 pub use np_supervisor::{PlanQuality, StageBudget, SupervisionReport, SupervisorConfig};
 pub use pipeline::{validate_plan, FirstStage, NeuroPlan, NeuroPlanResult, PlanError, PlanFailure};
+pub use replan::{EventReport, ReplanConfig, ReplanReport};
 pub use report::{PhaseReport, PruningReport};

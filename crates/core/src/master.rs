@@ -429,8 +429,12 @@ pub fn lp_round_plan(
     // One persistent LP lives across all separation rounds: each round
     // appends its cuts in place and the next solve re-optimizes from the
     // previous optimal basis (dual simplex on the sparse backend) instead
-    // of rebuilding and re-solving from scratch. Rows only ever grow —
-    // `IncrementalLp::solve` asserts the monotonicity.
+    // of rebuilding and re-solving from scratch. This loop only ever
+    // appends, so it stays on `IncrementalLp`'s warm fast path (the
+    // monotonicity assert still guards it); callers that must *retire*
+    // rows — the churn re-planner invalidating Benders cuts — use
+    // `IncrementalLp::add_tagged_row`/`remove_tagged`, which trade the
+    // warm basis for a forced refactorization on the shrunken model.
     let mut inc = IncrementalLp::new(model, scfg);
     const MAX_ROUNDS: usize = 60;
     let result = 'rounds: {

@@ -223,7 +223,7 @@ impl NeuroPlan {
 
     /// Best-effort record append: a full disk must degrade the run to
     /// "unresumable", never kill it.
-    fn append(&self, path: &Path, kind: &str, body: Value, chaos: &np_chaos::Chaos) {
+    pub(crate) fn append(&self, path: &Path, kind: &str, body: Value, chaos: &np_chaos::Chaos) {
         let t0 = np_telemetry::profiling().then(std::time::Instant::now);
         if let Err(e) = append_record(path, kind, body, chaos) {
             eprintln!("warning: failed to write checkpoint record `{kind}`: {e}");

@@ -1,0 +1,787 @@
+//! Online re-planning under churn (DESIGN.md §14): apply a stream of
+//! [`ChurnEvent`]s to a planned instance and re-plan after every event
+//! *incrementally*. The trained policy is never retrained — the master
+//! restarts from the carried plan and is seeded with every Benders cut
+//! whose validity survived the perturbation. Cut invalidation is exact:
+//! the evaluator's per-scenario certificate store is updated surgically
+//! by [`np_eval::PlanEvaluator::apply_perturbation`] (demand scaling
+//! rescales certificates in place, a link addition drops exactly the
+//! scenarios where the new link is alive, a link removal keeps every
+//! certificate with remapped coefficients), so re-separation work is
+//! spent only on rows a change actually invalidated.
+//!
+//! Fault tolerance mirrors the main pipeline: every solve runs under the
+//! supervisor ladder (master → LP rounding → carried plan), an event
+//! whose perturbation would make the instance structurally infeasible is
+//! skipped with the previous plan kept, and — with a checkpoint
+//! directory — each event appends a `replan_event` record to
+//! `<dir>/replan.jsonl` carrying the *ancestor fingerprint chain*: the
+//! fingerprint of the instance before and after the event plus the
+//! evaluator's certificate snapshot. A killed stream resumes by locating
+//! the current instance in that chain and replaying only perturbations
+//! (no solves, no cut re-derivation) up to the first unrecorded event.
+
+use crate::checkpoint::{self, MetaMatch, ReplanEventRecord};
+use crate::master::{lp_round_plan, plan_cost_of, solve_master_telemetry, MasterConfig};
+use crate::pipeline::{NeuroPlan, PlanFailure};
+use np_chaos::checkpoint::read_records;
+use np_chaos::FaultClass;
+use np_churn::ChurnEvent;
+use np_eval::{EvalStats, PlanEvaluator};
+use np_flow::MetricCut;
+use np_lp::MipStatus;
+use np_supervisor::{PlanQuality, StageError, SupervisionReport, Supervisor};
+use np_telemetry::sys;
+use np_topology::{LinkId, Network, PerturbDelta, Perturbation};
+
+/// Knobs of the incremental re-planning loop.
+#[derive(Clone, Debug)]
+pub struct ReplanConfig {
+    /// Relative optimality gap for each per-event master solve. `0.0`
+    /// makes every incremental solve prove optimality — the setting the
+    /// equivalence suite uses to compare against a cold master.
+    pub gap_tol: f64,
+    /// `Some(α)`: prune each event's master around the carried plan with
+    /// relax factor α (faster, inexact — the optimum may sit outside the
+    /// pruned box). `None` (default): full spectrum bounds, the same
+    /// search space as a cold master, so incremental equals cold exactly
+    /// and is merely warmer.
+    pub prune_alpha: Option<f64>,
+    /// Seed for the chaos link-flap victim choice (deterministic per
+    /// event index, so a resumed stream replays the same flap).
+    pub flap_seed: u64,
+}
+
+impl Default for ReplanConfig {
+    fn default() -> Self {
+        ReplanConfig {
+            gap_tol: MasterConfig::DEFAULT_GAP,
+            prune_alpha: None,
+            flap_seed: 0,
+        }
+    }
+}
+
+/// What happened at one event of the stream.
+#[derive(Clone, Debug)]
+pub struct EventReport {
+    /// 0-based position in the stream.
+    pub index: usize,
+    /// Event class (`demand-scale`, `link-add`, ...).
+    pub class: String,
+    /// Event display string.
+    pub event: String,
+    /// `Some(reason)` when the event could not be applied (the instance
+    /// and plan are unchanged — the stream keeps going).
+    pub skipped: Option<String>,
+    /// Plan cost after this event.
+    pub cost: f64,
+    /// Ladder rung the event's solve settled on.
+    pub quality: PlanQuality,
+    /// Plan stability: L1 distance in units between the carried plan and
+    /// the re-planned one (0 = the old plan survived unchanged).
+    pub churn: u64,
+    /// Benders certificates that survived this event's perturbation.
+    pub certs_retained: u64,
+    /// Benders certificates the perturbation invalidated.
+    pub certs_dropped: u64,
+    /// Whether a chaos link-flap was recovered during this event.
+    pub flapped: bool,
+    /// Whether this event was restored from a checkpoint instead of
+    /// being re-solved.
+    pub resumed: bool,
+    /// Wall time spent on this event, milliseconds (0 when restored
+    /// from a checkpoint — nothing was solved).
+    pub millis: f64,
+}
+
+/// Outcome of a full churn stream.
+#[derive(Clone, Debug)]
+pub struct ReplanReport {
+    /// Cost of the plan the stream started from.
+    pub initial_cost: f64,
+    /// Cost of the final plan.
+    pub final_cost: f64,
+    /// Units per link of the final plan (indexed by the final instance's
+    /// link table).
+    pub final_units: Vec<u32>,
+    /// The instance after every applied event.
+    pub net: Network,
+    /// Per-event outcomes, in stream order.
+    pub events: Vec<EventReport>,
+    /// Events restored from a checkpoint instead of re-solved.
+    pub resumed: usize,
+    /// Per-stage retry/backoff/degrade trace.
+    pub supervision: SupervisionReport,
+    /// Evaluator instrumentation accumulated across the stream
+    /// (perturbation surgery counters included).
+    pub eval_stats: EvalStats,
+}
+
+impl ReplanReport {
+    /// Events whose perturbation was applied (not skipped).
+    pub fn applied(&self) -> usize {
+        self.events.iter().filter(|e| e.skipped.is_none()).count()
+    }
+
+    /// Events skipped because their perturbation failed validation.
+    pub fn skipped(&self) -> usize {
+        self.events.len() - self.applied()
+    }
+}
+
+impl NeuroPlan {
+    /// Plan from scratch, then run the event stream incrementally.
+    ///
+    /// Note the planning run and the re-planning stream share
+    /// [`NeuroPlan::checkpoint_dir`]: the plan writes
+    /// `checkpoint.jsonl`, the stream `replan.jsonl`, and a resume
+    /// restores both.
+    pub fn replan(
+        &self,
+        net: &Network,
+        events: &[ChurnEvent],
+        rcfg: &ReplanConfig,
+    ) -> Result<ReplanReport, PlanFailure> {
+        let planned = self.try_plan(net)?;
+        self.replan_from(net, &planned.final_units, events, rcfg)
+    }
+
+    /// Run the event stream starting from an existing plan.
+    ///
+    /// `net`/`initial_units` are the instance and plan the stream starts
+    /// from. With a checkpoint + `resume`, `net` may instead be a
+    /// recorded *descendant* of the stream's start (the ancestor-chain
+    /// relaxation of [`checkpoint::MetaMatch`]); `initial_units` and
+    /// `events` must then still be the original stream spec, which is
+    /// what the fingerprint chain is verified against.
+    pub fn replan_from(
+        &self,
+        net: &Network,
+        initial_units: &[u32],
+        events: &[ChurnEvent],
+        rcfg: &ReplanConfig,
+    ) -> Result<ReplanReport, PlanFailure> {
+        let _replan_span = self.tel.span(sys::PIPELINE, "replan");
+        let chaos = np_chaos::global();
+        let sup = Supervisor::new(self.cfg.supervisor, self.tel.clone());
+
+        let mut cur = net.clone();
+        let mut units = initial_units.to_vec();
+        // A length mismatch is only legal on an ancestor resume (the
+        // caller holds a perturbed descendant whose link table differs
+        // from the stream's start); anywhere else it is caller error.
+        let lengths_ok = units.len() == cur.link_ids().count();
+        let resuming = self.resume && self.checkpoint_dir.is_some();
+        if !lengths_ok && !resuming {
+            return Err(PlanFailure::StageExhausted {
+                stage: "replan".to_string(),
+                reason: "initial plan does not have one entry per link".to_string(),
+            });
+        }
+        let mut initial_cost = if lengths_ok {
+            plan_cost_of(&cur, &units)
+        } else {
+            f64::NAN
+        };
+        let mut cost = initial_cost;
+        let mut quality = PlanQuality::Optimal;
+        let mut eval_stats = EvalStats::default();
+        let mut reports: Vec<EventReport> = Vec::with_capacity(events.len());
+
+        // ---- checkpoint: locate ourselves in the recorded chain ------
+        let ckpt = self.checkpoint_dir.as_ref().map(|d| d.join("replan.jsonl"));
+        let event_strs: Vec<String> = events.iter().map(|e| e.to_string()).collect();
+        let knob_bits = [
+            rcfg.gap_tol.to_bits(),
+            rcfg.prune_alpha.map_or(u64::MAX, f64::to_bits),
+            rcfg.flap_seed,
+        ];
+        let stream = checkpoint::replan_stream_tag(&event_strs, initial_units, &knob_bits);
+        let mut start = 0usize;
+        let mut eval_blob: Option<String> = None;
+        if let Some(path) = &ckpt {
+            let fp_now = checkpoint::fingerprint(&cur, &self.cfg);
+            let mut kept: Vec<ReplanEventRecord> = Vec::new();
+            let mut total_decoded = 0usize;
+            let mut meta_ok = false;
+            let mut meta_body: Option<serde_json::Value> = None;
+            if self.resume {
+                let records = read_records(path);
+                let decoded: Vec<ReplanEventRecord> = records
+                    .iter()
+                    .skip(1)
+                    .take_while(|r| r.kind == "replan_event")
+                    .filter_map(|r| checkpoint::decode_replan_event(&r.body))
+                    .collect();
+                total_decoded = decoded.len();
+                let meta = records.first().filter(|r| r.kind == "replan_meta");
+                let fps: Vec<String> = decoded.iter().map(|r| r.fp.clone()).collect();
+                let class = match meta {
+                    Some(m) => checkpoint::classify_replan_meta(&m.body, &stream, &fp_now, &fps),
+                    None => MetaMatch::Mismatch,
+                };
+                let replay_from = match class {
+                    MetaMatch::Exact => Some(0),
+                    // The instance we hold *is* the state record `i`
+                    // produced: adopt its plan and certificates, replay
+                    // only what follows. The pre-stream cost comes from
+                    // the meta record — the caller no longer holds the
+                    // instance it was computed on.
+                    MetaMatch::Ancestor(i) => {
+                        for rec in &decoded[..=i] {
+                            reports.push(report_of(rec, true));
+                        }
+                        if let Some(c0) = meta.and_then(|m| checkpoint::replan_meta_cost0(&m.body))
+                        {
+                            initial_cost = c0;
+                        }
+                        units = decoded[i].units.clone();
+                        cost = decoded[i].cost;
+                        quality = decoded[i].quality;
+                        eval_blob = Some(decoded[i].eval.clone());
+                        start = decoded[i].index + 1;
+                        Some(i + 1)
+                    }
+                    MetaMatch::Mismatch => {
+                        if !records.is_empty() {
+                            eprintln!(
+                                "warning: replan checkpoint in {} does not match this \
+                                 instance/stream; starting fresh",
+                                path.display()
+                            );
+                        }
+                        None
+                    }
+                };
+                if let Some(from) = replay_from {
+                    meta_ok = true;
+                    meta_body = meta.map(|m| m.body.clone());
+                    kept = decoded[..from].to_vec();
+                    for rec in &decoded[from..] {
+                        if !replay_record(&mut cur, rec, &event_strs, rcfg, &self.cfg) {
+                            break;
+                        }
+                        units = rec.units.clone();
+                        cost = rec.cost;
+                        quality = rec.quality;
+                        eval_blob = Some(rec.eval.clone());
+                        start = rec.index + 1;
+                        reports.push(report_of(rec, true));
+                        kept.push(rec.clone());
+                    }
+                }
+            }
+            if !meta_ok {
+                if lengths_ok {
+                    if let Some(dir) = path.parent() {
+                        let _ = std::fs::create_dir_all(dir);
+                    }
+                    let _ = std::fs::remove_file(path);
+                    self.append(
+                        path,
+                        "replan_meta",
+                        checkpoint::replan_meta_body(&fp_now, &stream, initial_cost),
+                        chaos,
+                    );
+                }
+            } else if kept.len() < total_decoded {
+                // Some trailing records were rejected (stale chain after
+                // an earlier divergence): rewrite the file — keeping the
+                // original meta record, which anchors the chain at the
+                // stream's true start — so the next resume never sees
+                // duplicate event indices.
+                if let Some(body) = meta_body {
+                    let _ = std::fs::remove_file(path);
+                    self.append(path, "replan_meta", body, chaos);
+                    for rec in &kept {
+                        self.append(
+                            path,
+                            "replan_event",
+                            checkpoint::replan_event_body(rec),
+                            chaos,
+                        );
+                    }
+                }
+            }
+        }
+        if units.len() != cur.link_ids().count() {
+            return Err(PlanFailure::StageExhausted {
+                stage: "replan".to_string(),
+                reason: "instance matches no recorded checkpoint ancestor and the initial \
+                         plan does not fit its link table"
+                    .to_string(),
+            });
+        }
+        let resumed = reports.len();
+        self.tel
+            .incr(sys::PIPELINE, "replan_resumed_events", resumed as u64);
+
+        // The evaluator is built on the instance as replay left it; the
+        // snapshot restores every certificate the recorded run had
+        // already derived, so resuming re-separates nothing that is
+        // still valid.
+        let mut evaluator = PlanEvaluator::with_telemetry(&cur, self.cfg.eval, self.tel.clone());
+        if let Some(blob) = eval_blob {
+            if !evaluator.restore_state(&blob) {
+                eprintln!("warning: checkpointed evaluator state failed to restore; cuts will be re-derived");
+            }
+        }
+
+        // ---- the live loop -------------------------------------------
+        for k in start..events.len() {
+            let _event_span = self.tel.span(sys::PIPELINE, "replan_event");
+            self.tel.incr(sys::PIPELINE, "replan_events", 1);
+            let event_t0 = std::time::Instant::now();
+            let afp = ckpt
+                .as_ref()
+                .map(|_| checkpoint::fingerprint(&cur, &self.cfg));
+            let mut flapped = false;
+            // Chaos link-flap: a link drops mid-stream and comes back.
+            // Recovery is two full incremental re-plans — down (traffic
+            // rerouted onto the survivors) and up (the link re-added with
+            // its exact former spec) — so the stream continues from a
+            // plan that is feasible at every intermediate state.
+            if chaos.should_fire(FaultClass::LinkFlap) {
+                if let Some(victim) = flap_victim(&cur, rcfg.flap_seed, k) {
+                    flapped = true;
+                    self.tel.incr(sys::PIPELINE, "replan_flaps", 1);
+                    let delta = cur
+                        .apply_perturbation(&Perturbation::LinkRemove { link: victim })
+                        .expect("flap victim was validated on a clone");
+                    evaluator.apply_perturbation(&cur, &delta);
+                    units = delta.carry_units(&cur, &units);
+                    let spec = match &delta {
+                        PerturbDelta::LinkRemove { spec, .. } => spec.clone(),
+                        _ => unreachable!("link removal yields a LinkRemove delta"),
+                    };
+                    let (u, _, _) = self.replan_solve(&sup, &cur, &mut evaluator, &units, rcfg)?;
+                    units = u;
+                    let delta = cur
+                        .apply_perturbation(&Perturbation::LinkAdd { link: spec })
+                        .expect("re-adding a just-removed link is valid");
+                    evaluator.apply_perturbation(&cur, &delta);
+                    units = delta.carry_units(&cur, &units);
+                    let (u, _, _) = self.replan_solve(&sup, &cur, &mut evaluator, &units, rcfg)?;
+                    units = u;
+                }
+            }
+
+            // Apply the event on a clone first: a perturbation that fails
+            // validation — or that leaves some scenario with no surviving
+            // path at any capacity — must not poison the live instance
+            // (the evaluator's surgery has no inverse), so such an event
+            // is skipped and the stream recovers by keeping the plan.
+            let ev = &events[k];
+            let mut skipped: Option<String> = None;
+            let mut applied = false;
+            match ev.to_perturbation(&cur) {
+                Err(e) => skipped = Some(e.to_string()),
+                Ok(p) => {
+                    let mut cand = cur.clone();
+                    match cand.apply_perturbation(&p) {
+                        Err(e) => skipped = Some(e.to_string()),
+                        Ok(delta) => {
+                            if !np_churn::structurally_ok(&cand) {
+                                skipped = Some(
+                                    "perturbed instance is structurally infeasible".to_string(),
+                                );
+                            } else {
+                                cur = cand;
+                                evaluator.apply_perturbation(&cur, &delta);
+                                units = delta.carry_units(&cur, &units);
+                                applied = true;
+                            }
+                        }
+                    }
+                }
+            }
+
+            let carried = units.clone();
+            if applied {
+                let (u, c, q) = self.replan_solve(&sup, &cur, &mut evaluator, &carried, rcfg)?;
+                units = u;
+                cost = c;
+                quality = q;
+            } else {
+                self.tel.incr(sys::PIPELINE, "replan_skipped", 1);
+                cost = plan_cost_of(&cur, &units);
+            }
+            let churn: u64 = units
+                .iter()
+                .zip(carried.iter())
+                .map(|(&a, &b)| u64::from(a.abs_diff(b)))
+                .sum();
+            let delta_stats = evaluator.take_stats();
+            let (retained, dropped) = (
+                delta_stats.perturb_certs_retained,
+                delta_stats.perturb_certs_dropped,
+            );
+            eval_stats.merge(&delta_stats);
+
+            if let (Some(path), Some(afp)) = (&ckpt, afp) {
+                let rec = ReplanEventRecord {
+                    index: k,
+                    class: ev.class().to_string(),
+                    event: event_strs[k].clone(),
+                    ancestor_fp: afp,
+                    fp: checkpoint::fingerprint(&cur, &self.cfg),
+                    cost,
+                    units: units.clone(),
+                    eval: evaluator.snapshot_state(),
+                    quality,
+                    skipped: skipped.clone(),
+                    churn,
+                    retained,
+                    dropped,
+                    flapped,
+                };
+                self.append(
+                    path,
+                    "replan_event",
+                    checkpoint::replan_event_body(&rec),
+                    chaos,
+                );
+            }
+            reports.push(EventReport {
+                index: k,
+                class: ev.class().to_string(),
+                event: event_strs[k].clone(),
+                skipped,
+                cost,
+                quality,
+                churn,
+                certs_retained: retained,
+                certs_dropped: dropped,
+                flapped,
+                resumed: false,
+                millis: event_t0.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+
+        Ok(ReplanReport {
+            initial_cost,
+            final_cost: cost,
+            final_units: units,
+            net: cur,
+            events: reports,
+            resumed,
+            supervision: sup.report(),
+            eval_stats,
+        })
+    }
+
+    /// One incremental master solve under the supervisor ladder.
+    ///
+    /// The master is seeded with every certificate that survived the
+    /// perturbations so far and warm-started from the carried plan —
+    /// but only when that plan still verifies: `solve_master` installs
+    /// its warm plan's cost as the branch-and-bound cutoff and may
+    /// return the warm plan itself, so an infeasible carry must probe
+    /// out before it reaches the solver.
+    fn replan_solve(
+        &self,
+        sup: &Supervisor,
+        net: &Network,
+        evaluator: &mut PlanEvaluator,
+        carried: &[u32],
+        rcfg: &ReplanConfig,
+    ) -> Result<(Vec<u32>, f64, PlanQuality), PlanFailure> {
+        let mut bounds = match rcfg.prune_alpha {
+            Some(alpha) => MasterConfig::pruned_bounds(net, carried, alpha),
+            None => MasterConfig::spectrum_bounds(net),
+        };
+        let caps: Vec<f64> = carried
+            .iter()
+            .map(|&u| f64::from(u) * net.unit_gbps)
+            .collect();
+        let probe = evaluator.check(&caps);
+        let warm_feasible = probe.feasible;
+        let warm_cost = plan_cost_of(net, carried);
+        let seed_cuts: Vec<MetricCut> = (0..evaluator.num_scenarios())
+            .filter_map(|i| evaluator.certificate(i).cloned())
+            .collect();
+        self.tel
+            .incr(sys::PIPELINE, "replan_seed_cuts", seed_cuts.len() as u64);
+        let budget = self.cfg.supervisor.budget;
+
+        // An infeasible *pruned* master is not an infeasible instance —
+        // the α-box around the carried plan can exclude every feasible
+        // point (a demand surge needs more than α× capacity somewhere).
+        // One retry with full spectrum bounds settles which it is.
+        let mut tried_full = rcfg.prune_alpha.is_none();
+        let failure = loop {
+            let master_try = sup.run("replan_master", |ctx| {
+                if ctx.exhausted() {
+                    return Err(StageError::Transient(
+                        "stage budget exhausted before the re-plan master solve".to_string(),
+                    ));
+                }
+                let node_limit = {
+                    let scaled = self
+                        .cfg
+                        .mip_node_limit
+                        .saturating_mul(ctx.attempt as usize + 1);
+                    match budget.max_nodes {
+                        Some(cap) => scaled.min(cap),
+                        None => scaled,
+                    }
+                };
+                let cfg = MasterConfig {
+                    upper_bounds: bounds.clone(),
+                    cutoff: warm_feasible.then_some(warm_cost * (1.0 + 1e-9) + 1e-9),
+                    node_limit,
+                    time_limit_secs: self.cfg.mip_time_limit_secs.min(ctx.remaining_secs()),
+                    max_cuts_per_round: 8,
+                    seed_cuts: seed_cuts.clone(),
+                    granularity: 1,
+                    gap_tol: rcfg.gap_tol,
+                    warm_units: warm_feasible.then(|| carried.to_vec()),
+                    polish_final: true,
+                    lp_backend: self.cfg.lp_backend,
+                };
+                let outcome = solve_master_telemetry(net, evaluator, &cfg, &self.tel);
+                if outcome.has_plan() {
+                    let q = if outcome.status == MipStatus::Optimal {
+                        PlanQuality::Optimal
+                    } else {
+                        PlanQuality::Incumbent
+                    };
+                    Ok((outcome, q))
+                } else if outcome.status == MipStatus::Infeasible {
+                    Err(StageError::Fatal(
+                        "master proved the perturbed instance infeasible".to_string(),
+                    ))
+                } else {
+                    Err(StageError::Transient(format!(
+                        "master returned no incumbent (status {:?})",
+                        outcome.status
+                    )))
+                }
+            });
+            match master_try {
+                Ok((outcome, q)) => return Ok((outcome.units, outcome.cost, q)),
+                Err(StageError::Fatal(_)) if !tried_full => {
+                    tried_full = true;
+                    self.tel.incr(sys::PIPELINE, "replan_prune_fallbacks", 1);
+                    bounds = MasterConfig::spectrum_bounds(net);
+                }
+                Err(e) => break e,
+            }
+        };
+
+        // The ladder: LP rounding, then the carried plan (when feasible).
+        if sup.may_degrade() {
+            sup.note_degrade("replan_master", PlanQuality::Rounded);
+            let rounded = sup.run("replan_lp_round", |ctx| {
+                if ctx.exhausted() {
+                    return Err(StageError::Transient(
+                        "stage budget exhausted before LP rounding".to_string(),
+                    ));
+                }
+                let cfg = MasterConfig {
+                    upper_bounds: bounds.clone(),
+                    cutoff: None,
+                    node_limit: self.cfg.mip_node_limit,
+                    time_limit_secs: self.cfg.mip_time_limit_secs,
+                    max_cuts_per_round: 8,
+                    seed_cuts: Vec::new(),
+                    granularity: 1,
+                    gap_tol: rcfg.gap_tol,
+                    warm_units: None,
+                    polish_final: false,
+                    lp_backend: self.cfg.lp_backend,
+                };
+                let mut deadline = || ctx.remaining_secs() <= 0.0;
+                match lp_round_plan(net, evaluator, &cfg, &mut deadline, &self.tel) {
+                    Some((units, cost)) => Ok((units, cost)),
+                    None => Err(StageError::Transient(
+                        "LP rounding found no verifiable plan".to_string(),
+                    )),
+                }
+            });
+            if let Ok((units, cost)) = rounded {
+                return Ok((units, cost, PlanQuality::Rounded));
+            }
+            if warm_feasible {
+                sup.note_degrade("replan_lp_round", PlanQuality::Heuristic);
+                sup.note_skip("replan_heuristic");
+                return Ok((carried.to_vec(), warm_cost, PlanQuality::Heuristic));
+            }
+        }
+        Err(match failure {
+            StageError::Fatal(reason) => PlanFailure::Infeasible { reason },
+            StageError::Transient(reason) => PlanFailure::StageExhausted {
+                stage: "replan_master".to_string(),
+                reason,
+            },
+        })
+    }
+}
+
+fn report_of(rec: &ReplanEventRecord, resumed: bool) -> EventReport {
+    EventReport {
+        index: rec.index,
+        class: rec.class.clone(),
+        event: rec.event.clone(),
+        skipped: rec.skipped.clone(),
+        cost: rec.cost,
+        quality: rec.quality,
+        churn: rec.churn,
+        certs_retained: rec.retained,
+        certs_dropped: rec.dropped,
+        flapped: rec.flapped,
+        resumed,
+        millis: 0.0,
+    }
+}
+
+/// Re-apply one recorded event's perturbations (flap included, solves
+/// excluded) to `cur`, verify-then-commit: `cur` is only mutated when
+/// the whole record replays cleanly and lands on the recorded
+/// fingerprint. `false` = the chain diverges here; the caller re-solves
+/// from this event onward.
+fn replay_record(
+    cur: &mut Network,
+    rec: &ReplanEventRecord,
+    event_strs: &[String],
+    rcfg: &ReplanConfig,
+    cfg: &crate::config::NeuroPlanConfig,
+) -> bool {
+    let k = rec.index;
+    if k >= event_strs.len() || rec.event != event_strs[k] {
+        return false;
+    }
+    if rec.ancestor_fp != checkpoint::fingerprint(cur, cfg) {
+        return false;
+    }
+    let mut next = cur.clone();
+    if rec.flapped && !replay_flap(&mut next, rcfg.flap_seed, k) {
+        return false;
+    }
+    if rec.skipped.is_none() {
+        let Ok(ev) = ChurnEvent::parse(&rec.event) else {
+            return false;
+        };
+        let Ok(p) = ev.to_perturbation(&next) else {
+            return false;
+        };
+        if next.apply_perturbation(&p).is_err() || !np_churn::structurally_ok(&next) {
+            return false;
+        }
+    }
+    if checkpoint::fingerprint(&next, cfg) != rec.fp {
+        return false;
+    }
+    *cur = next;
+    true
+}
+
+/// Deterministic flap victim for event `k`: a seeded starting point in
+/// the link table, then the first link whose removal validates and
+/// leaves every scenario structurally feasible. `None` when no link can
+/// be dropped (the flap is then recorded as not having happened).
+fn flap_victim(net: &Network, flap_seed: u64, k: usize) -> Option<LinkId> {
+    let n = net.link_ids().count();
+    if n <= 1 {
+        return None;
+    }
+    let mut s = flap_seed ^ (k as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let start = (np_churn::splitmix64(&mut s) % n as u64) as usize;
+    for j in 0..n {
+        let victim = LinkId::new((start + j) % n);
+        let mut cand = net.clone();
+        if cand
+            .apply_perturbation(&Perturbation::LinkRemove { link: victim })
+            .is_ok()
+            && np_churn::structurally_ok(&cand)
+        {
+            return Some(victim);
+        }
+    }
+    None
+}
+
+/// Replay a recorded flap: remove the (deterministically re-derived)
+/// victim and re-add its exact spec, without the intermediate solves.
+fn replay_flap(net: &mut Network, flap_seed: u64, k: usize) -> bool {
+    let Some(victim) = flap_victim(net, flap_seed, k) else {
+        return false;
+    };
+    let Ok(delta) = net.apply_perturbation(&Perturbation::LinkRemove { link: victim }) else {
+        return false;
+    };
+    let PerturbDelta::LinkRemove { spec, .. } = delta else {
+        return false;
+    };
+    net.apply_perturbation(&Perturbation::LinkAdd { link: spec })
+        .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NeuroPlanConfig;
+    use crate::pipeline::validate_plan;
+    use np_churn::ChurnSpec;
+    use np_topology::generator::GeneratorConfig;
+
+    fn planned(seed: u64) -> (Network, Vec<u32>) {
+        let net = GeneratorConfig::a_variant(0.5).generate();
+        let planner = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(seed));
+        let result = planner.plan(&net);
+        (net, result.final_units)
+    }
+
+    #[test]
+    fn stream_of_every_class_replans_and_validates() {
+        let (net, units) = planned(7);
+        let spec =
+            "demand-scale:1.1; link-add:0; fiber-cost:0:1.5; failure-add:fiber:0; link-remove:1";
+        let events = ChurnSpec::parse(spec).unwrap().resolve(&net);
+        let planner = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(7));
+        let report = planner
+            .replan_from(&net, &units, &events, &ReplanConfig::default())
+            .expect("stream replans");
+        assert_eq!(report.events.len(), events.len());
+        // Every event either applied or recovered by skipping — never a
+        // failure — and the final plan verifies on the final instance.
+        validate_plan(&report.net, &report.final_units).expect("final plan validates");
+        assert!(report.final_cost > 0.0);
+        assert!(report.eval_stats.perturb_certs_retained > 0);
+    }
+
+    #[test]
+    fn infeasible_event_is_skipped_and_stream_recovers() {
+        let (net, units) = planned(11);
+        // Removing every link one after another must eventually hit an
+        // event that would disconnect a demand; the stream skips it and
+        // the final plan still validates.
+        let n = net.link_ids().count();
+        let events: Vec<ChurnEvent> = (0..n)
+            .map(|_| ChurnEvent::parse("link-remove:0").unwrap())
+            .collect();
+        let planner = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(11));
+        let report = planner
+            .replan_from(&net, &units, &events, &ReplanConfig::default())
+            .expect("stream survives infeasible events");
+        assert!(report.skipped() > 0, "some removal must be infeasible");
+        assert!(report.net.link_ids().count() >= 1);
+        validate_plan(&report.net, &report.final_units).expect("final plan validates");
+    }
+
+    #[test]
+    fn generated_stream_applies_every_event() {
+        let (net, units) = planned(13);
+        let events = np_churn::generate_stream(&net, 99, 6);
+        let planner = NeuroPlan::new(NeuroPlanConfig::quick().with_seed(13));
+        let report = planner
+            .replan_from(&net, &units, &events, &ReplanConfig::default())
+            .expect("generated stream replans");
+        // Generated streams are pre-validated on a scratch instance, so
+        // nothing is skipped.
+        assert_eq!(report.skipped(), 0);
+        assert_eq!(report.applied(), events.len());
+        validate_plan(&report.net, &report.final_units).expect("final plan validates");
+    }
+}

@@ -1,0 +1,365 @@
+//! Equivalence and resume suite for the incremental re-planner
+//! (DESIGN.md §14).
+//!
+//! The core claim of exact Benders-cut invalidation is that the
+//! incremental path changes *where the work happens*, never *what the
+//! answer is*: with a zero optimality gap, a master warm-started from
+//! the carried plan and seeded with every surviving certificate must
+//! prove the same optimal cost as a cold master built from nothing on
+//! the perturbed instance — for every event of a stream, at 1 and at 4
+//! workers. The checkpoint half: a stream killed mid-event resumes
+//! through the ancestor-fingerprint chain to the same final plan, with
+//! already-solved events replayed (perturbations only) rather than
+//! re-solved.
+
+use neuroplan::master::{solve_master, MasterConfig, MasterOutcome};
+use neuroplan::{NeuroPlan, NeuroPlanConfig, PlanQuality, ReplanConfig, ReplanReport};
+use np_churn::ChurnEvent;
+use np_eval::{EvalConfig, PlanEvaluator};
+use np_lp::MipStatus;
+use np_topology::generator::GeneratorConfig;
+use np_topology::Network;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Tier-A instance with half the capacity pre-provisioned.
+fn tier_a() -> Network {
+    GeneratorConfig::a_variant(0.5).generate()
+}
+
+/// A cheap deterministic starting plan (the greedy reference); the
+/// equivalence claims are about the master, not the RL stage.
+fn greedy_units(net: &Network, eval: EvalConfig) -> Vec<u32> {
+    let mut ref_net = net.clone();
+    neuroplan::greedy_augment(&mut ref_net, eval).expect("instance is feasible");
+    ref_net
+        .link_ids()
+        .map(|l| ref_net.link(l).capacity_units)
+        .collect()
+}
+
+/// Planner config for exact solves: huge node/time budget so a zero gap
+/// always proves optimality.
+fn exact_cfg(workers: usize) -> NeuroPlanConfig {
+    let mut cfg = NeuroPlanConfig::quick().with_seed(1);
+    if workers > 1 {
+        cfg = cfg.with_workers(workers);
+    }
+    cfg.mip_node_limit = 1_000_000;
+    cfg.mip_time_limit_secs = 600.0;
+    cfg
+}
+
+fn exact_rcfg() -> ReplanConfig {
+    ReplanConfig {
+        gap_tol: 0.0,
+        ..ReplanConfig::default()
+    }
+}
+
+/// Cold re-plan baseline: a fresh evaluator (no certificates) and a
+/// master with no warm start, no seed cuts and a zero gap on the
+/// perturbed instance — everything re-derived from scratch.
+fn cold_master(net: &Network, eval: EvalConfig) -> MasterOutcome {
+    let mut evaluator = PlanEvaluator::new(net, eval);
+    let cfg = MasterConfig {
+        upper_bounds: MasterConfig::spectrum_bounds(net),
+        cutoff: None,
+        node_limit: 1_000_000,
+        time_limit_secs: 600.0,
+        max_cuts_per_round: 8,
+        seed_cuts: Vec::new(),
+        granularity: 1,
+        gap_tol: 0.0,
+        warm_units: None,
+        polish_final: false,
+        lp_backend: np_lp::LpBackend::Auto,
+    };
+    solve_master(net, &mut evaluator, &cfg)
+}
+
+fn incremental_stream(workers: usize, events: &[ChurnEvent], net: &Network) -> ReplanReport {
+    let cfg = exact_cfg(workers);
+    let units = greedy_units(net, cfg.eval);
+    NeuroPlan::new(cfg)
+        .replan_from(net, &units, events, &exact_rcfg())
+        .expect("stream replans")
+}
+
+/// The 10-event seeded smoke stream: per event, the incremental master
+/// proves the same optimal cost a cold master proves from scratch, and
+/// the whole stream is bit-identical at 1 and 4 workers.
+#[test]
+fn smoke_stream_incremental_equals_cold_at_one_and_four_workers() {
+    let net = tier_a();
+    let events = np_churn::generate_stream(&net, 42, 10);
+    assert_eq!(events.len(), 10);
+    let r1 = incremental_stream(1, &events, &net);
+    let r4 = incremental_stream(4, &events, &net);
+    assert_eq!(r1.skipped(), 0, "generated events all apply");
+
+    // Determinism across worker counts: the entire event trajectory.
+    assert_eq!(r1.final_units, r4.final_units);
+    assert_eq!(r1.final_cost.to_bits(), r4.final_cost.to_bits());
+    for (a, b) in r1.events.iter().zip(&r4.events) {
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "event {}", a.index);
+        assert_eq!(a.churn, b.churn, "event {}", a.index);
+    }
+
+    // Exactness against the cold baseline, event by event.
+    let eval = exact_cfg(1).eval;
+    let mut cur = net.clone();
+    for (ev, rep) in events.iter().zip(&r1.events) {
+        let p = ev.to_perturbation(&cur).expect("generated event converts");
+        cur.apply_perturbation(&p).expect("generated event applies");
+        assert_eq!(
+            rep.quality,
+            PlanQuality::Optimal,
+            "zero gap proves optimality at event {}",
+            rep.index
+        );
+        let cold = cold_master(&cur, eval);
+        assert_eq!(cold.status, MipStatus::Optimal, "event {}", rep.index);
+        assert!(
+            (cold.cost - rep.cost).abs() <= 1e-6 * cold.cost.abs().max(1.0),
+            "event {} ({}): incremental {} != cold {}",
+            rep.index,
+            rep.class,
+            rep.cost,
+            cold.cost
+        );
+    }
+    // The stream exercised the cut-surgery paths, not just rebuilds.
+    assert!(r1.eval_stats.perturb_certs_retained > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Randomized event streams: after the whole stream, the
+    /// invalidate-and-rederive master has reached the same optimal cost
+    /// as a cold master on the final perturbed instance.
+    #[test]
+    fn randomized_stream_incremental_matches_cold(
+        seed in 0u64..1_000_000,
+        n in 2usize..5,
+    ) {
+        let net = tier_a();
+        let events = np_churn::generate_stream(&net, seed, n);
+        let report = incremental_stream(1, &events, &net);
+        prop_assert_eq!(report.skipped(), 0);
+        let last = report.events.last().expect("non-empty stream");
+        prop_assert_eq!(last.quality, PlanQuality::Optimal);
+        let cold = cold_master(&report.net, exact_cfg(1).eval);
+        prop_assert_eq!(cold.status, MipStatus::Optimal);
+        prop_assert!(
+            (cold.cost - report.final_cost).abs() <= 1e-6 * cold.cost.abs().max(1.0),
+            "incremental {} != cold {}", report.final_cost, cold.cost
+        );
+    }
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("np-replan-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// A finished stream resumes entirely from its records: same final plan,
+/// zero solver or evaluator work.
+#[test]
+fn finished_stream_resumes_without_any_recomputation() {
+    let dir = tmp_dir("full-resume");
+    let net = tier_a();
+    let events = np_churn::generate_stream(&net, 7, 4);
+    let cfg = exact_cfg(1);
+    let units = greedy_units(&net, cfg.eval);
+    let first = NeuroPlan::new(cfg.clone())
+        .with_checkpoint(&dir, false)
+        .replan_from(&net, &units, &events, &exact_rcfg())
+        .expect("stream replans");
+    let resumed = NeuroPlan::new(cfg)
+        .with_checkpoint(&dir, true)
+        .replan_from(&net, &units, &events, &exact_rcfg())
+        .expect("stream resumes");
+    assert_eq!(resumed.resumed, events.len(), "every event restored");
+    assert_eq!(resumed.final_units, first.final_units);
+    assert_eq!(resumed.final_cost.to_bits(), first.final_cost.to_bits());
+    assert_eq!(
+        resumed.eval_stats.scenario_checks, 0,
+        "a full resume re-separates nothing"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The ancestor relaxation: a checkpoint taken against topology T is
+/// resumable on the perturbed T′ the records derive — the resume
+/// locates T′ in the fingerprint chain instead of demanding an
+/// identical instance.
+#[test]
+fn checkpoint_resumes_on_perturbed_descendant_instance() {
+    let dir = tmp_dir("ancestor-resume");
+    let net = tier_a();
+    // A link whose removal keeps every scenario structurally feasible.
+    let removable = net
+        .link_ids()
+        .find(|&l| {
+            let mut cand = net.clone();
+            cand.apply_perturbation(&np_topology::Perturbation::LinkRemove { link: l })
+                .is_ok()
+                && np_churn::structurally_ok(&cand)
+        })
+        .expect("tier A has a removable link");
+    let events: Vec<ChurnEvent> = [
+        "demand-scale:1.2".to_string(),
+        format!("link-remove:{}", removable.index()),
+        "demand-scale:1.1".to_string(),
+    ]
+    .iter()
+    .map(|t| ChurnEvent::parse(t).expect("valid event"))
+    .collect();
+    let cfg = exact_cfg(1);
+    let units = greedy_units(&net, cfg.eval);
+    let first = NeuroPlan::new(cfg.clone())
+        .with_checkpoint(&dir, false)
+        .replan_from(&net, &units, &events, &exact_rcfg())
+        .expect("stream replans");
+    assert_eq!(first.skipped(), 0);
+
+    // Reconstruct the instance as it stood after event 1 — a descendant
+    // with a *different link table* than the stream's start.
+    let mut descendant = net.clone();
+    for ev in &events[..2] {
+        let p = ev.to_perturbation(&descendant).expect("event converts");
+        descendant.apply_perturbation(&p).expect("event applies");
+    }
+    assert_ne!(descendant.link_ids().count(), net.link_ids().count());
+
+    let resumed = NeuroPlan::new(cfg)
+        .with_checkpoint(&dir, true)
+        .replan_from(&descendant, &units, &events, &exact_rcfg())
+        .expect("ancestor resume works");
+    assert!(resumed.resumed >= 2, "events up to the descendant restored");
+    assert_eq!(resumed.final_units, first.final_units);
+    assert_eq!(resumed.final_cost.to_bits(), first.final_cost.to_bits());
+    assert_eq!(resumed.initial_cost.to_bits(), first.initial_cost.to_bits());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- chaos kill mid-stream (subprocess) -----------------------------
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_neuroplan")
+}
+
+fn run(args: &[&str], chaos: Option<&str>) -> Output {
+    let mut cmd = Command::new(bin());
+    cmd.args(args);
+    match chaos {
+        Some(spec) => cmd.env("NP_CHAOS", spec),
+        None => cmd.env_remove("NP_CHAOS"),
+    };
+    cmd.output().expect("spawn neuroplan")
+}
+
+fn plan_of(path: &Path) -> (Vec<u64>, u64) {
+    let body = std::fs::read_to_string(path).expect("plan file");
+    let v: serde_json::Value = serde_json::from_str(&body).expect("plan JSON");
+    let units: Vec<u64> = v["units"]
+        .as_array()
+        .expect("units array")
+        .iter()
+        .map(|u| u.as_u64().expect("unit"))
+        .collect();
+    let cost = v["cost"].as_f64().expect("cost").to_bits();
+    (units, cost)
+}
+
+fn replan_args<'a>(dir: &'a str, out: &'a str, extra: &[&'a str]) -> Vec<&'a str> {
+    let mut args = vec![
+        "replan",
+        "--preset",
+        "a",
+        "--fill",
+        "0.5",
+        "--quick",
+        "--seed",
+        "5",
+        "--events",
+        "seed=5,n=5",
+        "--checkpoint-dir",
+        dir,
+        "--out",
+        out,
+    ];
+    args.extend_from_slice(extra);
+    args
+}
+
+/// Kill the process mid-stream, resume, and land on the uninterrupted
+/// run's exact plan — with the already-solved prefix replayed from the
+/// ancestor-fingerprint chain instead of re-solved.
+#[test]
+fn kill_mid_stream_resumes_to_the_uninterrupted_plan() {
+    let clean_dir = tmp_dir("kill-clean");
+    let clean_out = clean_dir.join("plan.json");
+    let out = run(
+        &replan_args(
+            clean_dir.to_str().unwrap(),
+            clean_out.to_str().unwrap(),
+            &[],
+        ),
+        None,
+    );
+    assert!(
+        out.status.success(),
+        "uninterrupted replan failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reference = plan_of(&clean_out);
+
+    let dir = tmp_dir("kill-resume");
+    let out_path = dir.join("plan.json");
+    // The plan phase burns supervisor occurrences 0..=7 (RL ladder,
+    // master, polish); occurrence 8 is event 0's replan_master and 9 is
+    // event 1's — kill@9 dies inside event 1's solve, after event 0's
+    // record hit the checkpoint.
+    let killed = run(
+        &replan_args(dir.to_str().unwrap(), out_path.to_str().unwrap(), &[]),
+        Some("kill@9"),
+    );
+    assert!(
+        !killed.status.success(),
+        "kill@9 must abort the run:\n{}",
+        String::from_utf8_lossy(&killed.stderr)
+    );
+    assert!(!out_path.exists(), "no plan written by the killed run");
+    assert!(
+        dir.join("replan.jsonl").exists(),
+        "the killed run recorded its solved prefix"
+    );
+
+    let resumed = run(
+        &replan_args(
+            dir.to_str().unwrap(),
+            out_path.to_str().unwrap(),
+            &["--resume"],
+        ),
+        None,
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(resumed.status.success(), "resume failed:\n{stderr}");
+    assert!(
+        stderr.contains("[resumed]"),
+        "solved prefix restored from records, not recomputed:\n{stderr}"
+    );
+    assert_eq!(
+        plan_of(&out_path),
+        reference,
+        "resume lands on the same plan"
+    );
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -2,11 +2,11 @@
 //! and parallel failure groups.
 
 use crate::checker::{check_scenario, CheckConfig, Verdict};
-use crate::scenario::{build_all, ScenarioCtx};
+use crate::scenario::{build_all, scenario_at, ScenarioCtx};
 use crate::stats::EvalStats;
 use np_flow::MetricCut;
 use np_telemetry::{sys, Telemetry};
-use np_topology::{LinkId, Network};
+use np_topology::{LinkId, Network, PerturbDelta};
 use std::time::Instant;
 
 /// Per-worker result of a parallel scenario scan: the chunk's offset, its
@@ -625,6 +625,100 @@ impl PlanEvaluator {
         self.cursor = cursor;
         true
     }
+
+    /// Carry the evaluator across a perturbation instead of rebuilding it
+    /// from scratch. `net` must be the *post*-perturbation network and
+    /// `delta` the value [`Network::apply_perturbation`] returned for it.
+    ///
+    /// The exact cut-validity rules (DESIGN.md §14):
+    ///
+    /// * **demand-scale f** — every context survives (commodity demands
+    ///   and witness flows scale in place, warm bases stay structurally
+    ///   valid) and every certificate survives with `rhs *= f`: the rhs
+    ///   `Σ d·dist` is linear in demand at a fixed length function.
+    /// * **link-add** — exactly the scenarios in which the new link is
+    ///   *alive* are rebuilt and their certificates dropped (the new
+    ///   link can shorten metric distances, so the old bound may be
+    ///   loose); scenarios where it is dead keep everything.
+    /// * **link-remove** — *no* certificate is invalidated: a feasible
+    ///   flow on the reduced link set extends with zero capacity on the
+    ///   removed link, so the inequality still holds with the removed
+    ///   coefficient dropped. Contexts that contained the link are
+    ///   rebuilt; the rest just renumber their link tags and keep warm
+    ///   bases and witnesses.
+    /// * **failure-add** — one new context is appended (certificate
+    ///   `None`); every existing scenario and certificate is untouched.
+    /// * **fiber-cost** — feasibility does not mention costs; no-op.
+    pub fn apply_perturbation(&mut self, net: &Network, delta: &PerturbDelta) {
+        let _perturb_span = self.tel.span(sys::EVAL, "perturb");
+        let sa = self.cfg.source_aggregation;
+        match delta {
+            PerturbDelta::DemandScale { factor } => {
+                for ctx in &mut self.ctxs {
+                    for c in &mut ctx.commodities {
+                        c.demand *= factor;
+                    }
+                    if let Some(w) = ctx.witness.borrow_mut().as_mut() {
+                        for f in w.iter_mut() {
+                            *f *= factor;
+                        }
+                    }
+                    self.stats.perturb_ctx_reused += 1;
+                }
+                for cert in self.certs.iter_mut().flatten() {
+                    cert.scale_demand(*factor);
+                    self.stats.perturb_certs_retained += 1;
+                }
+            }
+            PerturbDelta::LinkAdd { link } => {
+                for (idx, ctx) in self.ctxs.iter_mut().enumerate() {
+                    let scenario = scenario_at(idx);
+                    if net.link_alive(*link, scenario) {
+                        *ctx = ScenarioCtx::build(net, scenario, sa);
+                        self.stats.perturb_ctx_rebuilt += 1;
+                        if self.certs[idx].take().is_some() {
+                            self.stats.perturb_certs_dropped += 1;
+                        }
+                    } else {
+                        self.stats.perturb_ctx_reused += 1;
+                        if self.certs[idx].is_some() {
+                            self.stats.perturb_certs_retained += 1;
+                        }
+                    }
+                }
+            }
+            PerturbDelta::LinkRemove { removed, remap, .. } => {
+                let map_total =
+                    |l: LinkId| remap[l.index()].expect("remap is total over surviving links");
+                for (idx, ctx) in self.ctxs.iter_mut().enumerate() {
+                    if ctx.arc_link.contains(removed) {
+                        *ctx = ScenarioCtx::build(net, scenario_at(idx), sa);
+                        self.stats.perturb_ctx_rebuilt += 1;
+                    } else {
+                        ctx.graph.retag_links(map_total);
+                        for l in &mut ctx.arc_link {
+                            *l = map_total(*l);
+                        }
+                        self.stats.perturb_ctx_reused += 1;
+                    }
+                    if let Some(cert) = self.certs[idx].take() {
+                        self.certs[idx] = Some(cert.remap_links(|l| remap[l.index()]));
+                        self.stats.perturb_certs_retained += 1;
+                    }
+                }
+            }
+            PerturbDelta::FailureAdd { failure } => {
+                self.ctxs.push(ScenarioCtx::build(net, Some(*failure), sa));
+                self.certs.push(None);
+                self.stats.perturb_ctx_rebuilt += 1;
+            }
+            PerturbDelta::FiberCostChange { .. } => {}
+        }
+        // A previously-verified prefix may have flipped either way —
+        // restart the stateful scan.
+        self.cursor = 0;
+        self.publish_stats();
+    }
 }
 
 /// Helper for tests and harnesses: capacities of a network as a dense
@@ -810,5 +904,157 @@ mod tests {
         let st = ev.take_stats();
         assert!(st.scenario_checks > 0);
         assert_eq!(ev.stats, EvalStats::default());
+    }
+
+    use np_topology::Perturbation;
+
+    /// Verdicts of the carried evaluator must match a cold rebuild on
+    /// the perturbed instance for every capacity vector tried.
+    fn assert_matches_cold(ev: &mut PlanEvaluator, net: &Network) {
+        let mut cold = PlanEvaluator::new(net, EvalConfig::default());
+        assert_eq!(ev.num_scenarios(), cold.num_scenarios());
+        for scale in [0.0, 0.4, 3.0, 1e4] {
+            ev.reset();
+            cold.reset();
+            let caps: Vec<f64> = net
+                .link_ids()
+                .map(|l| (net.capacity_gbps(l) + 5.0) * scale)
+                .collect();
+            let a = ev.check(&caps);
+            let b = cold.check(&caps);
+            assert_eq!(a.feasible, b.feasible, "scale {scale}");
+            assert_eq!(a.first_violated, b.first_violated, "scale {scale}");
+            assert_eq!(a.structural, b.structural, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn demand_scale_rescales_certificates_in_place() {
+        let mut net = GeneratorConfig::a_variant(0.0).generate();
+        let mut ev = PlanEvaluator::new(&net, EvalConfig::default());
+        let caps = vec![0.0; net.links().len()];
+        assert!(!ev.check(&caps).feasible);
+        let rhs_before = ev.certificate(0).expect("cert").rhs;
+        let delta = net
+            .apply_perturbation(&Perturbation::DemandScale { factor: 2.0 })
+            .unwrap();
+        ev.apply_perturbation(&net, &delta);
+        let cert = ev.certificate(0).expect("cert survives");
+        assert!((cert.rhs - 2.0 * rhs_before).abs() < 1e-9);
+        assert!(ev.stats.perturb_certs_retained > 0);
+        assert_eq!(ev.stats.perturb_certs_dropped, 0);
+        assert_eq!(ev.stats.perturb_ctx_rebuilt, 0);
+        assert_matches_cold(&mut ev, &net);
+    }
+
+    #[test]
+    fn link_add_invalidates_exactly_alive_scenarios() {
+        let mut net = preset_network(TopologyPreset::A);
+        let mut ev = PlanEvaluator::new(&net, EvalConfig::default());
+        // Fail everything to stock the certificate store.
+        let zeros = vec![0.0; net.links().len()];
+        let _ = ev.separate(&zeros, usize::MAX);
+        let certs_before: Vec<bool> = (0..ev.num_scenarios())
+            .map(|i| ev.certificate(i).is_some())
+            .collect();
+        assert!(certs_before.iter().any(|&c| c), "separation stocks certs");
+        // A parallel twin of link 0 is always a valid add.
+        let mut twin = net.link(LinkId::new(0)).clone();
+        twin.capacity_units = 0;
+        twin.min_units = 0;
+        let delta = net
+            .apply_perturbation(&Perturbation::LinkAdd { link: twin })
+            .unwrap();
+        let new_link = match &delta {
+            np_topology::PerturbDelta::LinkAdd { link } => *link,
+            other => panic!("{other:?}"),
+        };
+        ev.apply_perturbation(&net, &delta);
+        assert_eq!(ev.num_scenarios(), certs_before.len());
+        for (idx, &had_cert) in certs_before.iter().enumerate() {
+            let alive = net.link_alive(new_link, scenario_at(idx));
+            if alive {
+                assert!(
+                    ev.certificate(idx).is_none(),
+                    "scenario {idx}: new link alive, cert must be dropped"
+                );
+            } else {
+                assert_eq!(
+                    ev.certificate(idx).is_some(),
+                    had_cert,
+                    "scenario {idx}: new link dead, cert must be untouched"
+                );
+            }
+        }
+        assert_matches_cold(&mut ev, &net);
+    }
+
+    #[test]
+    fn link_remove_keeps_every_certificate_remapped() {
+        let mut net = preset_network(TopologyPreset::A);
+        let mut ev = PlanEvaluator::new(&net, EvalConfig::default());
+        let zeros = vec![0.0; net.links().len()];
+        let _ = ev.separate(&zeros, usize::MAX);
+        let had_cert: usize = (0..ev.num_scenarios())
+            .filter(|&i| ev.certificate(i).is_some())
+            .count();
+        assert!(had_cert > 0);
+        let victim = LinkId::new(net.links().len() / 2);
+        let delta = net
+            .apply_perturbation(&Perturbation::LinkRemove { link: victim })
+            .unwrap();
+        ev.apply_perturbation(&net, &delta);
+        let still: usize = (0..ev.num_scenarios())
+            .filter(|&i| ev.certificate(i).is_some())
+            .count();
+        assert_eq!(still, had_cert, "link removal never invalidates a cut");
+        assert_eq!(ev.stats.perturb_certs_dropped, 0);
+        // Remapped certificates only mention surviving link ids.
+        for i in 0..ev.num_scenarios() {
+            if let Some(c) = ev.certificate(i) {
+                for &(l, _) in &c.coeff {
+                    assert!(l.index() < net.links().len(), "stale id {l} in cert {i}");
+                }
+            }
+        }
+        assert_matches_cold(&mut ev, &net);
+    }
+
+    #[test]
+    fn failure_add_appends_one_unproven_scenario() {
+        let mut net = preset_network(TopologyPreset::A);
+        let mut ev = PlanEvaluator::new(&net, EvalConfig::default());
+        let n = ev.num_scenarios();
+        let failure = np_topology::Failure {
+            name: "perturb:extra".into(),
+            kind: net.failures()[0].kind.clone(),
+        };
+        let delta = net
+            .apply_perturbation(&Perturbation::FailureAdd { failure })
+            .unwrap();
+        ev.apply_perturbation(&net, &delta);
+        assert_eq!(ev.num_scenarios(), n + 1);
+        assert!(ev.certificate(n).is_none());
+        assert_matches_cold(&mut ev, &net);
+    }
+
+    #[test]
+    fn fiber_cost_change_is_invisible_to_the_evaluator() {
+        let mut net = preset_network(TopologyPreset::A);
+        let mut ev = PlanEvaluator::new(&net, EvalConfig::default());
+        ev.check(&abundant(&net));
+        let stats_before = ev.stats.clone();
+        let delta = net
+            .apply_perturbation(&Perturbation::FiberCostChange {
+                fiber: np_topology::FiberId::new(0),
+                factor: 2.5,
+            })
+            .unwrap();
+        ev.apply_perturbation(&net, &delta);
+        assert_eq!(
+            ev.stats.perturb_ctx_rebuilt,
+            stats_before.perturb_ctx_rebuilt
+        );
+        assert_matches_cold(&mut ev, &net);
     }
 }

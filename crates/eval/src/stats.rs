@@ -27,6 +27,18 @@ pub struct EvalStats {
     pub mwu_calls: u64,
     /// Exact LP invocations.
     pub lp_calls: u64,
+    /// Scenario contexts carried through a perturbation unchanged (up to
+    /// a link renumbering) — warm bases and witnesses survive.
+    pub perturb_ctx_reused: u64,
+    /// Scenario contexts rebuilt from scratch after a perturbation.
+    pub perturb_ctx_rebuilt: u64,
+    /// Certificates carried through a perturbation (rescaled or
+    /// remapped, never re-derived).
+    pub perturb_certs_retained: u64,
+    /// Certificates invalidated by a perturbation (the inducing
+    /// scenario's graph gained a link, so the old metric bound may be
+    /// loose).
+    pub perturb_certs_dropped: u64,
     /// Wall-clock time inside the evaluator.
     pub elapsed: Duration,
     /// Wall microseconds inside the MWU solver, populated only under the
@@ -45,7 +57,7 @@ impl EvalStats {
     /// This is the bridge into the telemetry layer: serial and parallel
     /// evaluation publish through the same merged block, so they report
     /// the same counter names with the same meanings.
-    pub fn counter_fields(&self) -> [(&'static str, u64); 9] {
+    pub fn counter_fields(&self) -> [(&'static str, u64); 13] {
         [
             ("scenario_checks", self.scenario_checks),
             ("stateful_skips", self.stateful_skips),
@@ -56,6 +68,10 @@ impl EvalStats {
             ("greedy_hits", self.greedy_hits),
             ("mwu_calls", self.mwu_calls),
             ("lp_calls", self.lp_calls),
+            ("perturb_ctx_reused", self.perturb_ctx_reused),
+            ("perturb_ctx_rebuilt", self.perturb_ctx_rebuilt),
+            ("perturb_certs_retained", self.perturb_certs_retained),
+            ("perturb_certs_dropped", self.perturb_certs_dropped),
         ]
     }
 
@@ -71,6 +87,10 @@ impl EvalStats {
         self.greedy_hits += other.greedy_hits;
         self.mwu_calls += other.mwu_calls;
         self.lp_calls += other.lp_calls;
+        self.perturb_ctx_reused += other.perturb_ctx_reused;
+        self.perturb_ctx_rebuilt += other.perturb_ctx_rebuilt;
+        self.perturb_certs_retained += other.perturb_certs_retained;
+        self.perturb_certs_dropped += other.perturb_certs_dropped;
         self.elapsed += other.elapsed;
         self.mwu_us += other.mwu_us;
         self.exact_lp_us += other.exact_lp_us;

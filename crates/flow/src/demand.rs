@@ -87,6 +87,23 @@ impl DemandProfile {
             top_decile_share: share(top_demand),
         }
     }
+
+    /// The profile after a **uniform demand drift** by `factor`: volumes
+    /// scale, every demand-weighted share is invariant. This is the
+    /// np-flow statement of why uniform churn events are cheap — the
+    /// *shape* of the matrix (which drives policy and aggregation) is a
+    /// fixed point of the drift.
+    pub fn drifted(&self, factor: f64) -> DemandProfile {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "drift factor must be finite and positive, got {factor}"
+        );
+        DemandProfile {
+            total_gbps: self.total_gbps * factor,
+            mean_pair_gbps: self.mean_pair_gbps * factor,
+            ..self.clone()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -179,5 +196,18 @@ mod tests {
         assert_eq!(p.total_gbps, 0.0);
         assert_eq!(p.dc_share, 0.0);
         assert_eq!(p.mean_pair_gbps, 0.0);
+    }
+
+    #[test]
+    fn drift_scales_volume_and_fixes_shares() {
+        let net = family_network(TopologyFamily::Wan, SizeTier::A);
+        let p = DemandProfile::of(&net);
+        let d = p.drifted(1.25);
+        assert!((d.total_gbps - 1.25 * p.total_gbps).abs() < 1e-9);
+        assert!((d.mean_pair_gbps - 1.25 * p.mean_pair_gbps).abs() < 1e-9);
+        assert_eq!(d.dc_share, p.dc_share);
+        assert_eq!(d.gold_share, p.gold_share);
+        assert_eq!(d.top_decile_share, p.top_decile_share);
+        assert_eq!(d.pairs, p.pairs);
     }
 }

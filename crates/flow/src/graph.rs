@@ -126,6 +126,18 @@ impl FlowGraph {
         )
     }
 
+    /// Rewrite every arc's link tag through `map` — a link renumbering
+    /// after a topology perturbation. The graph's structure, capacities
+    /// and arc order are untouched, so cached bases and witnesses built
+    /// on this graph stay aligned.
+    pub fn retag_links(&mut self, map: impl Fn(LinkId) -> LinkId) {
+        for arc in &mut self.arcs {
+            if let Some(l) = arc.link {
+                arc.link = Some(map(l));
+            }
+        }
+    }
+
     /// Update the capacity of an arc in place, rejecting negative or
     /// non-finite values.
     pub fn try_set_cap(&mut self, id: ArcId, cap: f64) -> Result<(), FlowError> {

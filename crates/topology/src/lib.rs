@@ -30,6 +30,7 @@ pub mod generator;
 pub mod ids;
 pub mod model;
 pub mod network;
+pub mod perturb;
 pub mod policy;
 pub mod reference;
 pub mod transform;
@@ -41,5 +42,6 @@ pub use generator::{GeneratorConfig, TopologyPreset};
 pub use ids::{FailureId, FiberId, FlowId, LinkId, SiteId};
 pub use model::{CosClass, Failure, FailureKind, Fiber, Flow, IpLink, Site};
 pub use network::{FailureImpact, Network, PlanSnapshot};
+pub use perturb::{PerturbDelta, Perturbation};
 pub use policy::ReliabilityPolicy;
 pub use transform::{transform, TransformedGraph};

@@ -52,10 +52,10 @@ impl PlanSnapshot {
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Network {
     sites: Vec<Site>,
-    fibers: Vec<Fiber>,
-    links: Vec<IpLink>,
-    flows: Vec<Flow>,
-    failures: Vec<Failure>,
+    pub(crate) fibers: Vec<Fiber>,
+    pub(crate) links: Vec<IpLink>,
+    pub(crate) flows: Vec<Flow>,
+    pub(crate) failures: Vec<Failure>,
     /// Which flows must survive which failures.
     pub policy: ReliabilityPolicy,
     /// The Eq. 1 objective parameters.
@@ -65,7 +65,7 @@ pub struct Network {
     pub unit_gbps: f64,
     /// Capacities at construction time; plan cost is charged for capacity
     /// *added above* this baseline plus newly-lit fibers.
-    base_units: Vec<u32>,
+    pub(crate) base_units: Vec<u32>,
     links_over_fiber: Vec<Vec<LinkId>>,
     impacts: Vec<FailureImpact>,
     /// Per-unit cost of each link (IP term + amortized optical share),
@@ -116,6 +116,23 @@ impl Network {
             }
         }
         Ok(net)
+    }
+
+    /// Re-run full construction-time validation after an in-crate
+    /// mutation (perturbation ops): invariants, derived caches, and the
+    /// Eq. 4 spectrum check. On error the caller must discard the
+    /// instance — caches may be half-rebuilt.
+    pub(crate) fn revalidate(&mut self) -> Result<(), TopologyError> {
+        self.validate()?;
+        self.rebuild_caches();
+        for fiber in self.fiber_ids() {
+            if self.spectrum_used(fiber) > self.fibers[fiber.index()].spectrum_ghz + 1e-9 {
+                return Err(TopologyError::Invalid(format!(
+                    "capacities exceed spectrum of {fiber}"
+                )));
+            }
+        }
+        Ok(())
     }
 
     fn validate(&self) -> Result<(), TopologyError> {
@@ -209,7 +226,7 @@ impl Network {
         Ok(())
     }
 
-    fn rebuild_caches(&mut self) {
+    pub(crate) fn rebuild_caches(&mut self) {
         self.links_over_fiber = vec![Vec::new(); self.fibers.len()];
         for (i, link) in self.links.iter().enumerate() {
             for &(fid, _) in &link.fiber_path {

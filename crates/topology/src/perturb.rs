@@ -1,0 +1,390 @@
+//! Fallible perturbation ops: the churn surface of a planning instance.
+//!
+//! A production network is not a one-shot problem — demands drift, links
+//! get built and decommissioned, the failure set under protection grows,
+//! fiber economics change. Each [`Perturbation`] is one such atomic
+//! change, applied through [`Network::apply_perturbation`], which either
+//! leaves the instance in a fully re-validated state or returns an error
+//! without mutating anything.
+//!
+//! The returned [`PerturbDelta`] states what changed in the terms that
+//! downstream incremental caches need: which dense link ids survived
+//! (and where they moved), which scenario appeared, which uniform factor
+//! hit the demand matrix. The cut-validity rules of the re-planning
+//! pipeline (DESIGN.md §14) are keyed entirely off this delta.
+
+use crate::error::TopologyError;
+use crate::ids::{FailureId, FiberId, LinkId};
+use crate::model::{Failure, IpLink};
+use crate::network::Network;
+
+/// One atomic change to a planning instance.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Perturbation {
+    /// Scale every flow's demand by a uniform positive factor.
+    DemandScale {
+        /// Multiplier applied to every `demand_gbps` (must be finite, > 0).
+        factor: f64,
+    },
+    /// Add a new IP link; it is appended at the end of the link table, so
+    /// existing [`LinkId`]s are untouched. `capacity_units` becomes the
+    /// new link's baseline (plan cost is charged above it).
+    LinkAdd {
+        /// Full spec of the link to add.
+        link: IpLink,
+    },
+    /// Decommission one IP link. Links after it shift down by one id.
+    LinkRemove {
+        /// The link to remove.
+        link: LinkId,
+    },
+    /// Grow the failure set by one scenario (appended, so existing
+    /// [`FailureId`]s and the dense scenario order are untouched).
+    FailureAdd {
+        /// The failure to start protecting against.
+        failure: Failure,
+    },
+    /// Scale one fiber's build cost by a positive factor (new economics;
+    /// changes per-unit link costs, nothing about feasibility).
+    FiberCostChange {
+        /// The fiber whose build cost changes.
+        fiber: FiberId,
+        /// Multiplier on `build_cost` (must be finite, > 0).
+        factor: f64,
+    },
+}
+
+/// What actually changed, in the coordinates downstream caches live in.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PerturbDelta {
+    /// Every demand was multiplied by `factor`.
+    DemandScale {
+        /// The uniform factor that was applied.
+        factor: f64,
+    },
+    /// A link appeared at the end of the link table.
+    LinkAdd {
+        /// Id of the new link.
+        link: LinkId,
+    },
+    /// A link disappeared; all later ids shifted down by one.
+    LinkRemove {
+        /// The (pre-removal) id of the removed link.
+        removed: LinkId,
+        /// Full spec of what was removed — enough to re-add it (the
+        /// link-flap recovery path does exactly that).
+        spec: IpLink,
+        /// Old dense id → new dense id; `None` for the removed link.
+        remap: Vec<Option<LinkId>>,
+    },
+    /// A failure scenario was appended.
+    FailureAdd {
+        /// Id of the new failure.
+        failure: FailureId,
+    },
+    /// One fiber's build cost was rescaled; per-unit link costs changed.
+    FiberCostChange {
+        /// The fiber whose cost changed.
+        fiber: FiberId,
+        /// The factor that was applied.
+        factor: f64,
+    },
+}
+
+impl PerturbDelta {
+    /// Carry a per-link plan (units indexed by pre-perturbation
+    /// [`LinkId`]) onto the post-perturbation link table: surviving links
+    /// keep their units, a removed link's entry is dropped, an added link
+    /// starts at its baseline. `net` must be the *post*-perturbation
+    /// network.
+    pub fn carry_units(&self, net: &Network, units: &[u32]) -> Vec<u32> {
+        match self {
+            PerturbDelta::LinkAdd { link } => {
+                let mut out = units.to_vec();
+                out.push(net.base_units(*link));
+                out
+            }
+            PerturbDelta::LinkRemove { removed, .. } => {
+                let mut out = units.to_vec();
+                out.remove(removed.index());
+                out
+            }
+            _ => units.to_vec(),
+        }
+    }
+
+    /// Map a pre-perturbation [`LinkId`] to its post-perturbation id
+    /// (`None` if the link was removed).
+    pub fn map_link(&self, link: LinkId) -> Option<LinkId> {
+        match self {
+            PerturbDelta::LinkRemove { remap, .. } => remap.get(link.index()).copied().flatten(),
+            _ => Some(link),
+        }
+    }
+
+    /// One-word class name (telemetry / bench grouping).
+    pub fn class(&self) -> &'static str {
+        match self {
+            PerturbDelta::DemandScale { .. } => "demand-scale",
+            PerturbDelta::LinkAdd { .. } => "link-add",
+            PerturbDelta::LinkRemove { .. } => "link-remove",
+            PerturbDelta::FailureAdd { .. } => "failure-add",
+            PerturbDelta::FiberCostChange { .. } => "fiber-cost",
+        }
+    }
+}
+
+impl Network {
+    /// Apply one perturbation, re-validating the instance end to end.
+    /// On error the network is left exactly as it was.
+    pub fn apply_perturbation(&mut self, p: &Perturbation) -> Result<PerturbDelta, TopologyError> {
+        match p {
+            Perturbation::DemandScale { factor } => {
+                check_factor(*factor, "demand-scale")?;
+                for flow in &mut self.flows {
+                    flow.demand_gbps *= factor;
+                }
+                Ok(PerturbDelta::DemandScale { factor: *factor })
+            }
+            Perturbation::LinkAdd { link } => {
+                let mut cand = self.clone();
+                cand.links.push(link.clone());
+                cand.base_units.push(link.capacity_units);
+                cand.revalidate()?;
+                let id = LinkId::new(cand.links.len() - 1);
+                *self = cand;
+                Ok(PerturbDelta::LinkAdd { link: id })
+            }
+            Perturbation::LinkRemove { link } => {
+                let idx = link.index();
+                if idx >= self.links.len() {
+                    return Err(TopologyError::Invalid(format!(
+                        "cannot remove {link}: only {} links",
+                        self.links.len()
+                    )));
+                }
+                let mut cand = self.clone();
+                let spec = cand.links.remove(idx);
+                cand.base_units.remove(idx);
+                cand.revalidate()?;
+                let remap = (0..self.links.len())
+                    .map(|i| match i.cmp(&idx) {
+                        std::cmp::Ordering::Less => Some(LinkId::new(i)),
+                        std::cmp::Ordering::Equal => None,
+                        std::cmp::Ordering::Greater => Some(LinkId::new(i - 1)),
+                    })
+                    .collect();
+                *self = cand;
+                Ok(PerturbDelta::LinkRemove {
+                    removed: *link,
+                    spec,
+                    remap,
+                })
+            }
+            Perturbation::FailureAdd { failure } => {
+                let mut cand = self.clone();
+                cand.failures.push(failure.clone());
+                cand.revalidate()?;
+                let id = FailureId::new(cand.failures.len() - 1);
+                *self = cand;
+                Ok(PerturbDelta::FailureAdd { failure: id })
+            }
+            Perturbation::FiberCostChange { fiber, factor } => {
+                check_factor(*factor, "fiber-cost")?;
+                let idx = fiber.index();
+                if idx >= self.fibers.len() {
+                    return Err(TopologyError::UnknownFiber(*fiber));
+                }
+                self.fibers[idx].build_cost *= factor;
+                self.rebuild_caches();
+                Ok(PerturbDelta::FiberCostChange {
+                    fiber: *fiber,
+                    factor: *factor,
+                })
+            }
+        }
+    }
+}
+
+fn check_factor(factor: f64, what: &str) -> Result<(), TopologyError> {
+    if factor.is_finite() && factor > 0.0 {
+        Ok(())
+    } else {
+        Err(TopologyError::Invalid(format!(
+            "{what} factor must be finite and positive, got {factor}"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SiteId;
+    use crate::network::tests::square;
+
+    fn extra_link() -> IpLink {
+        // Parallel to the square's link 2 (sites 2-3 over fiber f2).
+        IpLink {
+            src: SiteId::new(2),
+            dst: SiteId::new(3),
+            fiber_path: vec![(FiberId::new(2), 1.0)],
+            capacity_units: 1,
+            min_units: 0,
+            length_km: 100.0,
+        }
+    }
+
+    #[test]
+    fn demand_scale_is_uniform_and_fallible() {
+        let mut net = square();
+        let before = net.total_demand_gbps();
+        let d = net
+            .apply_perturbation(&Perturbation::DemandScale { factor: 1.5 })
+            .unwrap();
+        assert_eq!(d, PerturbDelta::DemandScale { factor: 1.5 });
+        assert!((net.total_demand_gbps() - 1.5 * before).abs() < 1e-9);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = net.apply_perturbation(&Perturbation::DemandScale { factor: bad });
+            assert!(err.is_err(), "factor {bad} must be rejected");
+        }
+        assert!((net.total_demand_gbps() - 1.5 * before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_add_appends_and_validates() {
+        let mut net = square();
+        let n = net.links().len();
+        let d = net
+            .apply_perturbation(&Perturbation::LinkAdd { link: extra_link() })
+            .unwrap();
+        assert_eq!(
+            d,
+            PerturbDelta::LinkAdd {
+                link: LinkId::new(n)
+            }
+        );
+        assert_eq!(net.links().len(), n + 1);
+        assert_eq!(net.base_units(LinkId::new(n)), 1);
+        // The new link shows up in the fiber occupancy and failure impacts.
+        assert!(net
+            .links_over_fiber(FiberId::new(2))
+            .contains(&LinkId::new(n)));
+        // A broken spec is rejected without mutating.
+        let mut bad = extra_link();
+        bad.fiber_path = vec![(FiberId::new(0), 1.0)]; // f0 doesn't reach 2-3
+        assert!(net
+            .apply_perturbation(&Perturbation::LinkAdd { link: bad })
+            .is_err());
+        assert_eq!(net.links().len(), n + 1);
+    }
+
+    #[test]
+    fn link_remove_remaps_and_reports_spec() {
+        let mut net = square();
+        let n = net.links().len();
+        let spec_before = net.link(LinkId::new(1)).clone();
+        let d = net
+            .apply_perturbation(&Perturbation::LinkRemove {
+                link: LinkId::new(1),
+            })
+            .unwrap();
+        let PerturbDelta::LinkRemove {
+            removed,
+            spec,
+            remap,
+        } = &d
+        else {
+            panic!("wrong delta {d:?}");
+        };
+        assert_eq!(*removed, LinkId::new(1));
+        assert_eq!(*spec, spec_before);
+        assert_eq!(remap.len(), n);
+        assert_eq!(remap[0], Some(LinkId::new(0)));
+        assert_eq!(remap[1], None);
+        assert_eq!(remap[2], Some(LinkId::new(1)));
+        assert_eq!(net.links().len(), n - 1);
+        assert_eq!(d.map_link(LinkId::new(5)), Some(LinkId::new(4)));
+        assert_eq!(d.map_link(LinkId::new(1)), None);
+        // carry_units drops the removed entry.
+        let units: Vec<u32> = (0..n as u32).collect();
+        let carried = d.carry_units(&net, &units);
+        assert_eq!(carried, vec![0, 2, 3, 4, 5]);
+        // Out-of-range removal fails cleanly.
+        assert!(net
+            .apply_perturbation(&Perturbation::LinkRemove {
+                link: LinkId::new(99)
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn failure_add_appends_scenario() {
+        let mut net = square();
+        let k = net.failures().len();
+        let d = net
+            .apply_perturbation(&Perturbation::FailureAdd {
+                failure: Failure {
+                    name: "cut:f2".into(),
+                    kind: crate::model::FailureKind::FiberCut(FiberId::new(2)),
+                },
+            })
+            .unwrap();
+        assert_eq!(
+            d,
+            PerturbDelta::FailureAdd {
+                failure: FailureId::new(k)
+            }
+        );
+        assert_eq!(net.failures().len(), k + 1);
+        assert!(!net.impact(FailureId::new(k)).dead_links.is_empty());
+        // A failure naming an unknown fiber is rejected.
+        assert!(net
+            .apply_perturbation(&Perturbation::FailureAdd {
+                failure: Failure {
+                    name: "cut:f99".into(),
+                    kind: crate::model::FailureKind::FiberCut(FiberId::new(99)),
+                },
+            })
+            .is_err());
+        assert_eq!(net.failures().len(), k + 1);
+    }
+
+    #[test]
+    fn fiber_cost_change_rescales_unit_costs_only() {
+        let mut net = square();
+        let unit2 = net.unit_cost(LinkId::new(2));
+        let snap = net.snapshot();
+        net.apply_perturbation(&Perturbation::FiberCostChange {
+            fiber: FiberId::new(2),
+            factor: 3.0,
+        })
+        .unwrap();
+        // IP term 10 + optical share 0.005*3 (only the optical share of
+        // fiber 2 scales).
+        assert!(net.unit_cost(LinkId::new(2)) > unit2);
+        assert_eq!(net.snapshot(), snap, "capacities untouched");
+        assert!(net
+            .apply_perturbation(&Perturbation::FiberCostChange {
+                fiber: FiberId::new(0),
+                factor: -2.0,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn removed_then_readded_link_round_trips() {
+        let mut net = square();
+        let d = net
+            .apply_perturbation(&Perturbation::LinkRemove {
+                link: LinkId::new(4),
+            })
+            .unwrap();
+        let PerturbDelta::LinkRemove { spec, .. } = d else {
+            panic!()
+        };
+        let n = net.links().len();
+        net.apply_perturbation(&Perturbation::LinkAdd { link: spec.clone() })
+            .unwrap();
+        assert_eq!(net.link(LinkId::new(n)), &spec);
+    }
+}
