@@ -15,6 +15,7 @@
 //! | `fig13_relax_factor` | Fig. 13 — relax factor α |
 //! | `fig16_scenario_matrix` | beyond-paper — {family × tier × failures} sweep |
 //! | `fig17_churn` | beyond-paper — online re-planning under churn |
+//! | `fig18_serve` | beyond-paper — planning-as-a-service latency |
 //!
 //! Every binary accepts `--quick` (CI-sized, the default) or `--full`
 //! (longer budgets), plus `--seed <u64>` and `--out <dir>`.
@@ -26,6 +27,7 @@ use std::path::{Path, PathBuf};
 
 pub mod churn;
 pub mod scenario;
+pub mod serve;
 
 /// Shared command-line options for experiment binaries.
 #[derive(Clone, Debug)]

@@ -1,0 +1,107 @@
+//! Schema of `BENCH_serve.json`, the planning-service benchmark emitted
+//! by `fig18_serve`.
+//!
+//! Like `BENCH_churn.json`, the file is a stable interface read by
+//! field name: renaming, retyping or reordering a field is a breaking
+//! change and must bump [`SERVE_SCHEMA_VERSION`];
+//! `crates/bench/tests/serve_schema.rs` pins the layout.
+
+use serde::{Deserialize, Serialize};
+
+/// Bump on any breaking change to [`ServeBench`] and friends.
+pub const SERVE_SCHEMA_VERSION: u32 = 1;
+
+/// Top-level contents of `BENCH_serve.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServeBench {
+    /// Layout version, [`SERVE_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// Master seed (request seeds derive from it).
+    pub seed: u64,
+    /// `true` for `--quick` (CI-sized budgets), `false` for `--full`.
+    pub quick: bool,
+    /// Worker threads in the daemon under test.
+    pub workers: usize,
+    /// Closed-loop requests each client issues per phase.
+    pub requests_per_client: usize,
+    /// One row per client-concurrency level (1, 4, 16).
+    pub levels: Vec<ConcurrencyLevel>,
+}
+
+/// Cold vs warm service latency at one client-concurrency level.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConcurrencyLevel {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Never-seen topology fingerprints: full RL+ILP pipeline per
+    /// request.
+    pub cold: PhaseStats,
+    /// Fingerprints already in the warm cache: plan validation only.
+    pub warm: PhaseStats,
+    /// `cold.p50_millis / warm.p50_millis` — the ≥10× acceptance bar.
+    pub warm_speedup_p50: f64,
+}
+
+/// Latency/throughput aggregate over one phase's requests.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Requests measured (clients × requests_per_client).
+    pub requests: usize,
+    /// Wall time of the whole phase, ms.
+    pub wall_millis: f64,
+    /// `requests / wall seconds`.
+    pub throughput_rps: f64,
+    /// Median submit→terminal latency, ms.
+    pub p50_millis: f64,
+    /// 99th-percentile submit→terminal latency (nearest-rank), ms.
+    pub p99_millis: f64,
+}
+
+/// Nearest-rank percentile over unsorted latency samples (ms).
+pub fn percentile(samples: &[f64], pct: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of no samples");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&samples, 50.0), 50.0);
+        assert_eq!(percentile(&samples, 99.0), 99.0);
+        assert_eq!(percentile(&samples, 100.0), 100.0);
+        assert_eq!(percentile(&[7.5], 50.0), 7.5);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+    }
+
+    #[test]
+    fn level_survives_round_trip() {
+        let level = ConcurrencyLevel {
+            clients: 4,
+            cold: PhaseStats {
+                requests: 12,
+                wall_millis: 1200.0,
+                throughput_rps: 10.0,
+                p50_millis: 350.0,
+                p99_millis: 480.0,
+            },
+            warm: PhaseStats {
+                requests: 12,
+                wall_millis: 40.0,
+                throughput_rps: 300.0,
+                p50_millis: 3.0,
+                p99_millis: 9.0,
+            },
+            warm_speedup_p50: 350.0 / 3.0,
+        };
+        let body = serde_json::to_string(&level).expect("serialize");
+        let back: ConcurrencyLevel = serde_json::from_str(&body).expect("deserialize");
+        assert_eq!(back, level);
+    }
+}

@@ -1,0 +1,97 @@
+//! Golden-schema pin for `BENCH_serve.json`.
+//!
+//! Mirrors `tests/churn_schema.rs`: the serve bench is read by field
+//! name downstream, so this test serializes a fully-populated bench and
+//! compares it to the canonical golden string. If it fails, either
+//! restore the layout or bump `SERVE_SCHEMA_VERSION` *and* update the
+//! golden text deliberately.
+
+use np_bench::serve::{ConcurrencyLevel, PhaseStats, ServeBench, SERVE_SCHEMA_VERSION};
+
+fn sample_bench() -> ServeBench {
+    ServeBench {
+        schema_version: SERVE_SCHEMA_VERSION,
+        seed: 42,
+        quick: true,
+        workers: 4,
+        requests_per_client: 3,
+        levels: vec![ConcurrencyLevel {
+            clients: 4,
+            cold: PhaseStats {
+                requests: 12,
+                wall_millis: 1500.5,
+                throughput_rps: 8.0,
+                p50_millis: 420.25,
+                p99_millis: 610.5,
+            },
+            warm: PhaseStats {
+                requests: 12,
+                wall_millis: 48.5,
+                throughput_rps: 247.4,
+                p50_millis: 3.5,
+                p99_millis: 11.25,
+            },
+            warm_speedup_p50: 120.07,
+        }],
+    }
+}
+
+/// The full canonical serialization, field for field. A rename, a
+/// removal, a type change or a reorder all fail here.
+#[test]
+fn golden_serialization_is_stable() {
+    let golden = r#"{
+  "schema_version": 1,
+  "seed": 42,
+  "quick": true,
+  "workers": 4,
+  "requests_per_client": 3,
+  "levels": [
+    {
+      "clients": 4,
+      "cold": {
+        "requests": 12,
+        "wall_millis": 1500.5,
+        "throughput_rps": 8,
+        "p50_millis": 420.25,
+        "p99_millis": 610.5
+      },
+      "warm": {
+        "requests": 12,
+        "wall_millis": 48.5,
+        "throughput_rps": 247.4,
+        "p50_millis": 3.5,
+        "p99_millis": 11.25
+      },
+      "warm_speedup_p50": 120.07
+    }
+  ]
+}"#;
+    let body = serde_json::to_string_pretty(&sample_bench()).expect("serialize");
+    assert_eq!(
+        body, golden,
+        "BENCH_serve.json layout changed; bump SERVE_SCHEMA_VERSION and \
+         update the golden string if this is intentional"
+    );
+}
+
+#[test]
+fn round_trip_is_lossless() {
+    let bench = sample_bench();
+    let body = serde_json::to_string(&bench).expect("serialize");
+    let back: ServeBench = serde_json::from_str(&body).expect("deserialize");
+    assert_eq!(back, bench);
+}
+
+/// Readers must tolerate files from *newer* writers that add fields.
+#[test]
+fn unknown_fields_are_ignored_on_read() {
+    let mut v: serde_json::Value =
+        serde_json::from_str(&serde_json::to_string(&sample_bench()).unwrap()).unwrap();
+    let serde_json::Value::Object(top) = &mut v else {
+        panic!("bench serializes to an object");
+    };
+    top.push(("future_field".into(), serde_json::json!("ignored")));
+    let back: ServeBench = serde_json::from_value(v).expect("forward-compatible read");
+    assert_eq!(back, sample_bench());
+}

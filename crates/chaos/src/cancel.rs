@@ -1,0 +1,84 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a shared flag threaded from a request's owner
+//! (a serve daemon handling `cancel`, a CLI signal handler) down into
+//! the long-running planning loops. The loops never block on it — they
+//! poll at their deterministic boundaries (supervisor stage entry and
+//! retry, trainer epoch, branch-and-bound deadline checks via
+//! `StageCtx::exhausted`), so a cancelled run always stops on a
+//! complete, checkpointable unit of work and a resume stays bit-exact.
+//!
+//! The token lives in this crate (not np-supervisor) because it is the
+//! lowest layer both the supervisor and the RL trainer depend on.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Cloning shares the flag; `Default` makes
+/// a fresh, un-cancelled token.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Whether two tokens share one flag (tests and sanity checks).
+    pub fn same_as(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(a.same_as(&b));
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled(), "cancel is visible through every clone");
+        a.cancel();
+        assert!(b.is_cancelled(), "cancel is idempotent");
+    }
+
+    #[test]
+    fn fresh_tokens_are_independent() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        assert!(!a.same_as(&b));
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn token_crosses_threads() {
+        let token = CancelToken::new();
+        let t = token.clone();
+        let h = std::thread::spawn(move || {
+            while !t.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        token.cancel();
+        assert!(h.join().unwrap());
+    }
+}

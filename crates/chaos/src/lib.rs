@@ -25,7 +25,10 @@
 //! (NaN in the policy/value gradients), `pool-panic` (worker-thread
 //! panic), `deadline` (solver wall-clock exhaustion), `truncate-checkpoint`
 //! (torn checkpoint write), `kill` (hard process death at a checkpoint
-//! boundary, for kill-and-resume tests).
+//! boundary, for kill-and-resume tests), `link-flap` (a link bouncing
+//! mid-replan), and the serve-daemon classes `client-disconnect`,
+//! `slow-client` and `worker-death` (connection drops, stalled reads
+//! and worker-thread deaths inside np-serve).
 //!
 //! Instrumented code asks [`Chaos::should_fire`] (serial trigger points:
 //! each call is one occurrence) or [`Chaos::fires_at`] (parallel trigger
@@ -36,7 +39,13 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
+pub mod cancel;
 pub mod checkpoint;
+pub mod lock;
+pub mod signals;
+
+pub use cancel::CancelToken;
+pub use lock::{DirLock, LockError};
 
 /// The injectable fault classes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,9 +67,21 @@ pub enum FaultClass {
     /// re-adding it and re-planning again — both perturbation paths of
     /// the churn engine under one fault.
     LinkFlap,
+    /// A serve client vanishing mid-exchange: the connection drops
+    /// before the response is written. The request itself must keep
+    /// running and stay retrievable on reconnect.
+    ClientDisconnect,
+    /// A serve client stalling mid-frame: the read blocks past the
+    /// server's patience. The connection is shed without disturbing the
+    /// daemon or any in-flight solve.
+    SlowClient,
+    /// A serve worker thread dying mid-solve. The daemon replaces the
+    /// worker and the claimed request is re-queued (once) and resumed
+    /// from its checkpoint.
+    WorkerDeath,
 }
 
-const NUM_CLASSES: usize = 7;
+const NUM_CLASSES: usize = 10;
 
 impl FaultClass {
     /// Every class, in spec order.
@@ -72,6 +93,9 @@ impl FaultClass {
         FaultClass::TruncateCheckpoint,
         FaultClass::Kill,
         FaultClass::LinkFlap,
+        FaultClass::ClientDisconnect,
+        FaultClass::SlowClient,
+        FaultClass::WorkerDeath,
     ];
 
     /// The spec-grammar name.
@@ -84,6 +108,9 @@ impl FaultClass {
             FaultClass::TruncateCheckpoint => "truncate-checkpoint",
             FaultClass::Kill => "kill",
             FaultClass::LinkFlap => "link-flap",
+            FaultClass::ClientDisconnect => "client-disconnect",
+            FaultClass::SlowClient => "slow-client",
+            FaultClass::WorkerDeath => "worker-death",
         }
     }
 
@@ -101,6 +128,9 @@ impl FaultClass {
             FaultClass::TruncateCheckpoint => 4,
             FaultClass::Kill => 5,
             FaultClass::LinkFlap => 6,
+            FaultClass::ClientDisconnect => 7,
+            FaultClass::SlowClient => 8,
+            FaultClass::WorkerDeath => 9,
         }
     }
 }
@@ -491,6 +521,36 @@ mod tests {
         assert_eq!(chaos.fired(FaultClass::LinkFlap), 2);
         // The summary counts it like every other class.
         assert_eq!(chaos.fired(FaultClass::Kill), 0);
+    }
+
+    #[test]
+    fn serve_fault_classes_are_first_class() {
+        for (class, name) in [
+            (FaultClass::ClientDisconnect, "client-disconnect"),
+            (FaultClass::SlowClient, "slow-client"),
+            (FaultClass::WorkerDeath, "worker-death"),
+        ] {
+            assert_eq!(class.name(), name);
+            assert_eq!(FaultClass::from_name(name), Some(class));
+        }
+        assert_eq!(FaultClass::ALL.len(), NUM_CLASSES);
+        // Occurrence counters are per class: a worker-death trigger never
+        // bleeds into the connection-level classes.
+        let chaos = Chaos::new(
+            FaultPlan::parse("worker-death@0,client-disconnect@1,slow-client@0").unwrap(),
+        );
+        assert!(chaos.should_fire(FaultClass::WorkerDeath));
+        assert!(!chaos.should_fire(FaultClass::ClientDisconnect));
+        assert!(chaos.should_fire(FaultClass::ClientDisconnect));
+        assert!(chaos.should_fire(FaultClass::SlowClient));
+        assert_eq!(
+            chaos.summary(),
+            vec![
+                ("client-disconnect", 1),
+                ("slow-client", 1),
+                ("worker-death", 1)
+            ]
+        );
     }
 
     #[test]

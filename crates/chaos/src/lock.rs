@@ -1,0 +1,192 @@
+//! Checkpoint-directory lock files.
+//!
+//! A checkpoint/journal chain is an append-only record of one logical
+//! run; two writers appending concurrently interleave records and
+//! corrupt the chain for both. [`DirLock::acquire`] claims a directory
+//! by creating `<dir>/.np-lock` exclusively (`create_new`, an atomic
+//! operation on every filesystem we care about) with the owner's PID
+//! inside. Dropping the guard removes the file.
+//!
+//! A crashed owner leaves its lock behind, so acquisition does stale
+//! detection: if the lock names a PID that is provably dead (no
+//! `/proc/<pid>` on a system that has `/proc`), the lock is reclaimed.
+//! When liveness cannot be decided the lock is honored and the caller
+//! gets a [`LockError::Held`] naming the owner — a clear error beats a
+//! corrupted chain.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// File name of the lock inside the protected directory.
+pub const LOCK_FILE: &str = ".np-lock";
+
+/// Why a directory lock could not be acquired.
+#[derive(Debug)]
+pub enum LockError {
+    /// Another live process holds the lock.
+    Held {
+        /// The lock file path.
+        path: PathBuf,
+        /// PID recorded in the lock file (0 when unreadable).
+        owner_pid: u32,
+    },
+    /// Filesystem trouble creating or inspecting the lock.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Held { path, owner_pid } => write!(
+                f,
+                "checkpoint directory is locked by pid {owner_pid} ({}); \
+                 if that process is gone, delete the lock file to recover",
+                path.display()
+            ),
+            LockError::Io(e) => write!(f, "cannot lock checkpoint directory: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// An exclusive claim on a checkpoint directory. Released on drop.
+#[derive(Debug)]
+pub struct DirLock {
+    path: PathBuf,
+}
+
+impl DirLock {
+    /// Claim `dir` for this process, creating the directory if needed.
+    /// A stale lock (provably dead owner) is reclaimed; a live one is a
+    /// [`LockError::Held`].
+    pub fn acquire(dir: &Path) -> Result<DirLock, LockError> {
+        std::fs::create_dir_all(dir).map_err(LockError::Io)?;
+        let path = dir.join(LOCK_FILE);
+        for _ in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    let _ = writeln!(file, "{{\"pid\":{}}}", std::process::id());
+                    let _ = file.flush();
+                    return Ok(DirLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let owner_pid = read_owner(&path);
+                    if pid_is_dead(owner_pid) {
+                        // Stale: the owner is gone. Remove and retry the
+                        // exclusive create (another reclaimer may win the
+                        // race, in which case the second pass reports it).
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    return Err(LockError::Held { path, owner_pid });
+                }
+                Err(e) => return Err(LockError::Io(e)),
+            }
+        }
+        Err(LockError::Held {
+            owner_pid: read_owner(&path),
+            path,
+        })
+    }
+
+    /// The lock file this guard holds.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn read_owner(path: &Path) -> u32 {
+    let Ok(body) = std::fs::read_to_string(path) else {
+        return 0;
+    };
+    let Ok(v) = serde_json::from_str::<serde_json::Value>(&body) else {
+        return 0;
+    };
+    v.get("pid").and_then(|p| p.as_u64()).unwrap_or(0) as u32
+}
+
+/// Provably dead: the system exposes `/proc` and the PID's entry is
+/// absent. An unreadable owner (pid 0) or a system without `/proc`
+/// cannot be decided, so the lock is treated as live.
+fn pid_is_dead(pid: u32) -> bool {
+    if pid == 0 || pid == std::process::id() {
+        return false;
+    }
+    let proc_root = Path::new("/proc");
+    proc_root.is_dir() && !proc_root.join(pid.to_string()).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("np-lock-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn acquire_release_acquire() {
+        let dir = tmp("cycle");
+        let lock = DirLock::acquire(&dir).expect("first acquire");
+        assert!(lock.path().exists());
+        drop(lock);
+        assert!(!dir.join(LOCK_FILE).exists(), "drop removes the file");
+        let _again = DirLock::acquire(&dir).expect("re-acquire after release");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_acquire_is_held_with_the_owner_pid() {
+        let dir = tmp("held");
+        let _lock = DirLock::acquire(&dir).expect("first acquire");
+        match DirLock::acquire(&dir) {
+            Err(LockError::Held { owner_pid, path }) => {
+                assert_eq!(owner_pid, std::process::id());
+                assert!(path.ends_with(LOCK_FILE));
+                let msg = LockError::Held { path, owner_pid }.to_string();
+                assert!(msg.contains(&owner_pid.to_string()), "{msg}");
+            }
+            other => panic!("expected Held, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_pid_is_reclaimed() {
+        if !Path::new("/proc").is_dir() {
+            return; // liveness is undecidable here; covered on Linux CI
+        }
+        let dir = tmp("stale");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A PID that cannot be alive: beyond the default pid_max.
+        std::fs::write(dir.join(LOCK_FILE), "{\"pid\":4194999}").unwrap();
+        let lock = DirLock::acquire(&dir).expect("stale lock reclaimed");
+        drop(lock);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_lock_is_honored_not_reclaimed() {
+        let dir = tmp("garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(LOCK_FILE), "not json").unwrap();
+        match DirLock::acquire(&dir) {
+            Err(LockError::Held { owner_pid, .. }) => assert_eq!(owner_pid, 0),
+            other => panic!("expected Held, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

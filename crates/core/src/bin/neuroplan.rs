@@ -12,7 +12,8 @@
 //! and a flat `{"units": [u32...], "cost": f64}` object for plans.
 
 use neuroplan::baselines::{solve_ilp, solve_ilp_heur, BaselineBudget};
-use neuroplan::{validate_plan, NeuroPlan, NeuroPlanConfig, ReplanConfig};
+use neuroplan::{validate_plan, NeuroPlan, NeuroPlanConfig, NeuroPlanService, ReplanConfig};
+use np_chaos::signals;
 use np_churn::ChurnSpec;
 use np_eval::{EvalConfig, PlanEvaluator};
 use np_telemetry::Telemetry;
@@ -40,7 +41,12 @@ fn usage() -> ! {
          [--profile [--profile-out <file>]]\n  \
          neuroplan baseline [--preset <a..e> | --topology <file>] --method \
          <ilp|ilp-heur|decompose> [--time <secs>] [--workers <n|auto>] \
-         [--telemetry <file>]"
+         [--telemetry <file>]\n  neuroplan serve \
+         [--addr <host:port>] [--state-dir <dir>] [--workers <n|auto>] \
+         [--queue-cap <n>] [--cache-cap <n>] [--telemetry <file>] [--chaos <spec>]\n  \
+         neuroplan request --addr <host:port> --do \
+         <run|submit|status|result|cancel|stats|shutdown> [--id <n>] \
+         [--timeout <secs>] [instance flags as for plan] [--events <spec>] [--out <file>]"
     );
     exit(2)
 }
@@ -357,6 +363,34 @@ fn churn_spec_of(flags: &HashMap<String, String>) -> ChurnSpec {
     }
 }
 
+/// Exclusive claim on `--checkpoint-dir`: two processes appending to one
+/// checkpoint/journal chain corrupt it for both, so refuse up front with
+/// the owner's pid. The guard must stay alive for the whole run.
+fn lock_checkpoint_dir(flags: &HashMap<String, String>) -> Option<np_chaos::DirLock> {
+    let dir = flags.get("checkpoint-dir")?;
+    match np_chaos::DirLock::acquire(std::path::Path::new(dir)) {
+        Ok(lock) => Some(lock),
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1)
+        }
+    }
+}
+
+/// A `PlanFailure::Cancelled` after SIGINT/SIGTERM is a graceful stop:
+/// telemetry is flushed, the checkpoint chain ends on a complete epoch,
+/// and the exit code is the conventional `128 + signo` (130/143).
+fn exit_if_signalled(tel: &Telemetry, flags: &HashMap<String, String>) {
+    if let Some(signo) = signals::received() {
+        finish_telemetry(tel, flags);
+        finish_chaos();
+        eprintln!(
+            "interrupted by signal {signo}; telemetry flushed, checkpoint complete — resume with --resume"
+        );
+        exit(signals::exit_code(signo));
+    }
+}
+
 fn write_or_print(flags: &HashMap<String, String>, body: &str) {
     match flags.get("out") {
         Some(path) => {
@@ -395,7 +429,9 @@ fn main() {
             let net = load_network(&flags);
             let cfg = planner_config(&flags, lp_backend);
             let tel = telemetry_of(&flags);
-            let mut planner = NeuroPlan::with_telemetry(cfg, tel.clone());
+            let _lock = lock_checkpoint_dir(&flags);
+            let mut planner =
+                NeuroPlan::with_telemetry(cfg, tel.clone()).with_cancel(signals::install());
             if let Some(dir) = flags.get("checkpoint-dir") {
                 planner = planner.with_checkpoint(dir, flags.contains_key("resume"));
             } else if flags.contains_key("resume") {
@@ -403,6 +439,7 @@ fn main() {
                 exit(2)
             }
             let result = planner.try_plan(&net).unwrap_or_else(|e| {
+                exit_if_signalled(&tel, &flags);
                 finish_telemetry(&tel, &flags);
                 finish_chaos();
                 eprintln!("plan failed: {e}");
@@ -432,6 +469,9 @@ fn main() {
             let body = serde_json::json!({
                 "units": result.final_units,
                 "cost": result.final_cost,
+                // Bit-exact cost for cross-process comparisons (the
+                // daemon's results carry the same field).
+                "cost_hex": np_chaos::checkpoint::f64_to_hex(result.final_cost),
                 "first_stage_cost": result.first_stage_cost,
                 "quality": result.quality.name(),
             });
@@ -462,7 +502,9 @@ fn main() {
                 });
             }
             let tel = telemetry_of(&flags);
-            let mut planner = NeuroPlan::with_telemetry(cfg, tel.clone());
+            let _lock = lock_checkpoint_dir(&flags);
+            let mut planner =
+                NeuroPlan::with_telemetry(cfg, tel.clone()).with_cancel(signals::install());
             if let Some(dir) = flags.get("checkpoint-dir") {
                 planner = planner.with_checkpoint(dir, flags.contains_key("resume"));
             } else if flags.contains_key("resume") {
@@ -470,6 +512,7 @@ fn main() {
                 exit(2)
             }
             let report = planner.replan(&net, &events, &rcfg).unwrap_or_else(|e| {
+                exit_if_signalled(&tel, &flags);
                 finish_telemetry(&tel, &flags);
                 finish_chaos();
                 eprintln!("replan failed: {e}");
@@ -652,6 +695,167 @@ fn main() {
             }
             finish_chaos();
         }
+        "serve" => {
+            let tel = telemetry_of(&flags);
+            let state_dir = flags
+                .get("state-dir")
+                .cloned()
+                .unwrap_or_else(|| "np-serve-state".to_string());
+            let parse_cap = |key: &str, default: usize| -> usize {
+                match flags.get(key) {
+                    None => default,
+                    Some(v) => v.parse().unwrap_or_else(|_| {
+                        eprintln!("--{key} takes a positive integer");
+                        exit(2)
+                    }),
+                }
+            };
+            let cfg = np_serve::ServerConfig {
+                addr: flags
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+                workers: workers_of(&flags),
+                queue_capacity: parse_cap("queue-cap", 16),
+                cache_capacity: parse_cap("cache-cap", 8),
+                state_dir: state_dir.clone().into(),
+                read_timeout: std::time::Duration::from_secs(30),
+            };
+            let service = NeuroPlanService::new(&state_dir, tel.clone());
+            // SIGINT/SIGTERM fire the daemon-wide shutdown token: running
+            // solves stop at their next stage boundary *without* terminal
+            // journal records, so the next start resumes them.
+            let shutdown = signals::install();
+            let server = np_serve::Server::start(cfg, service, tel.clone(), shutdown)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot start daemon: {e}");
+                    exit(1)
+                });
+            // Scripts scrape this line for the ephemeral port.
+            println!("listening on {}", server.addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            server.wait();
+            finish_telemetry(&tel, &flags);
+            finish_chaos();
+            if let Some(signo) = signals::received() {
+                eprintln!("daemon stopped by signal {signo}; journal is resumable");
+                exit(signals::exit_code(signo));
+            }
+        }
+        "request" => {
+            let Some(addr) = flags.get("addr") else {
+                eprintln!("request needs --addr <host:port>");
+                usage()
+            };
+            let action = flags.get("do").map(String::as_str).unwrap_or("run");
+            let mut client = np_serve::Client::connect(addr).unwrap_or_else(|e| {
+                eprintln!("cannot connect to {addr}: {e}");
+                exit(1)
+            });
+            let id_flag = || -> u64 {
+                flags
+                    .get("id")
+                    .unwrap_or_else(|| {
+                        eprintln!("--do {action} needs --id <n>");
+                        usage()
+                    })
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("--id takes an integer");
+                        exit(2)
+                    })
+            };
+            let timeout = std::time::Duration::from_secs_f64(
+                flags
+                    .get("timeout")
+                    .map(|t| {
+                        t.parse().unwrap_or_else(|_| {
+                            eprintln!("--timeout takes seconds");
+                            exit(2)
+                        })
+                    })
+                    .unwrap_or(600.0),
+            );
+            let reply = match action {
+                "submit" => client.submit(&request_spec_of(&flags)),
+                "run" => {
+                    let reply = client.submit(&request_spec_of(&flags)).unwrap_or_else(|e| {
+                        eprintln!("submit failed: {e}");
+                        exit(1)
+                    });
+                    match np_serve::client::submit_id(&reply) {
+                        Some(id) => {
+                            eprintln!("request {id} admitted; waiting...");
+                            client.wait(id, timeout)
+                        }
+                        None => Ok(reply), // shed/rejected: print the envelope
+                    }
+                }
+                "status" => client.status(id_flag()),
+                "result" => client.result(id_flag()),
+                "cancel" => client.cancel(id_flag()),
+                "stats" => client.stats(),
+                "shutdown" => client.shutdown(),
+                other => {
+                    eprintln!("unknown --do {other}");
+                    usage()
+                }
+            };
+            let reply = reply.unwrap_or_else(|e| {
+                eprintln!("request failed: {e}");
+                exit(1)
+            });
+            let ok = reply.get("ok").and_then(|v| v.as_bool()) == Some(true);
+            let state = reply.get("state").and_then(|v| v.as_str()).unwrap_or("");
+            write_or_print(&flags, &serde_json::to_string_pretty(&reply).expect("json"));
+            if !ok || state == "failed" {
+                exit(1)
+            }
+        }
         _ => usage(),
     }
+}
+
+/// Package the plan-request flags into the daemon's JSON spec (the
+/// service-side mirror of `load_network` + `planner_config`).
+fn request_spec_of(flags: &HashMap<String, String>) -> serde_json::Value {
+    let mut fields: Vec<(String, serde_json::Value)> = Vec::new();
+    let put_str = |fields: &mut Vec<(String, serde_json::Value)>, key: &str, spec_key: &str| {
+        if let Some(v) = flags.get(key) {
+            fields.push((spec_key.to_string(), serde_json::Value::Str(v.clone())));
+        }
+    };
+    put_str(&mut fields, "preset", "preset");
+    put_str(&mut fields, "family", "family");
+    put_str(&mut fields, "size-tier", "size_tier");
+    put_str(&mut fields, "failure-model", "failure_model");
+    put_str(&mut fields, "events", "events");
+    for (key, spec_key) in [
+        ("fill", "fill"),
+        ("alpha", "alpha"),
+        ("stage-budget", "stage_budget"),
+    ] {
+        if let Some(v) = flags.get(key) {
+            let num: f64 = v.parse().unwrap_or_else(|_| {
+                eprintln!("--{key} takes a number");
+                exit(2)
+            });
+            fields.push((spec_key.to_string(), serde_json::Value::Num(num)));
+        }
+    }
+    if let Some(v) = flags.get("seed") {
+        let num: f64 = v.parse().unwrap_or_else(|_| {
+            eprintln!("--seed takes a u64");
+            exit(2)
+        });
+        fields.push(("seed".to_string(), serde_json::Value::Num(num)));
+    }
+    if flags.contains_key("default") {
+        fields.push(("default".to_string(), serde_json::Value::Bool(true)));
+    }
+    if flags.contains_key("long-term") {
+        fields.push(("long_term".to_string(), serde_json::Value::Bool(true)));
+    }
+    serde_json::Value::Object(fields)
 }

@@ -71,6 +71,7 @@ impl Default for NeuroPlanConfig {
                 rollout_workers: 1,
                 rollout_seed: 0,
                 wall_limit_secs: f64::INFINITY,
+                stop: None,
             },
             eval: {
                 let mut eval = EvalConfig::default();

@@ -34,6 +34,7 @@ pub mod master;
 pub mod pipeline;
 pub mod replan;
 pub mod report;
+pub mod service;
 
 pub use analysis::{analyze_plan, PlanAnalysis};
 pub use config::NeuroPlanConfig;
@@ -47,3 +48,4 @@ pub use np_supervisor::{PlanQuality, StageBudget, SupervisionReport, SupervisorC
 pub use pipeline::{validate_plan, FirstStage, NeuroPlan, NeuroPlanResult, PlanError, PlanFailure};
 pub use replan::{EventReport, ReplanConfig, ReplanReport};
 pub use report::{PhaseReport, PruningReport};
+pub use service::NeuroPlanService;

@@ -91,6 +91,10 @@ pub enum PlanFailure {
         /// What proved it infeasible.
         reason: String,
     },
+    /// The run's [`np_chaos::CancelToken`] fired. Never retried and
+    /// never degraded: a cancelled request must release its worker at
+    /// the next stage boundary, not grind down the quality ladder.
+    Cancelled,
 }
 
 impl std::fmt::Display for PlanFailure {
@@ -103,6 +107,7 @@ impl std::fmt::Display for PlanFailure {
             PlanFailure::Infeasible { reason } => {
                 write!(f, "planning instance is infeasible: {reason}")
             }
+            PlanFailure::Cancelled => write!(f, "planning run was cancelled"),
         }
     }
 }
@@ -182,6 +187,11 @@ pub struct NeuroPlan {
     /// bit for bit; a checkpoint from a different instance or config is
     /// detected by fingerprint and ignored.
     pub resume: bool,
+    /// Cooperative cancellation for the whole run, polled at supervisor
+    /// stage boundaries and trainer epoch boundaries. Cancelling stops
+    /// the run with [`PlanFailure::Cancelled`] on a complete,
+    /// checkpointable unit of work, so a later resume is bit-exact.
+    pub cancel: np_chaos::CancelToken,
 }
 
 impl NeuroPlan {
@@ -192,6 +202,7 @@ impl NeuroPlan {
             tel: Telemetry::noop(),
             checkpoint_dir: None,
             resume: false,
+            cancel: np_chaos::CancelToken::new(),
         }
     }
 
@@ -204,6 +215,7 @@ impl NeuroPlan {
             tel,
             checkpoint_dir: None,
             resume: false,
+            cancel: np_chaos::CancelToken::new(),
         }
     }
 
@@ -212,6 +224,13 @@ impl NeuroPlan {
     pub fn with_checkpoint(mut self, dir: impl Into<PathBuf>, resume: bool) -> Self {
         self.checkpoint_dir = Some(dir.into());
         self.resume = resume;
+        self
+    }
+
+    /// Share a cancellation token with this run's owner (a serve daemon
+    /// or a CLI signal handler).
+    pub fn with_cancel(mut self, cancel: np_chaos::CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -260,7 +279,8 @@ impl NeuroPlan {
     pub fn try_plan(&self, net: &Network) -> Result<NeuroPlanResult, PlanFailure> {
         let _plan_span = self.tel.span(sys::PIPELINE, "plan");
         let chaos = np_chaos::global();
-        let sup = Supervisor::new(self.cfg.supervisor, self.tel.clone());
+        let sup =
+            Supervisor::new(self.cfg.supervisor, self.tel.clone()).with_cancel(self.cancel.clone());
         let ckpt = self.checkpoint_path();
         let mut records: Vec<Record> = Vec::new();
         if let Some(path) = &ckpt {
@@ -342,6 +362,7 @@ impl NeuroPlan {
                     })
                     .map_err(|e| match e {
                         StageError::Fatal(reason) => PlanFailure::Infeasible { reason },
+                        StageError::Cancelled => PlanFailure::Cancelled,
                         StageError::Transient(reason) => PlanFailure::StageExhausted {
                             stage: "first_stage".to_string(),
                             reason,
@@ -517,6 +538,7 @@ impl NeuroPlan {
         // cap directly, wall cap via the trainer's own epoch-boundary
         // check so the stop always lands on a checkpointable epoch.
         let mut tcfg = self.cfg.train.clone();
+        tcfg.stop = Some(self.cancel.clone());
         if let Some(ctx) = ctx {
             if let Some(cap) = ctx.budget.max_epochs {
                 tcfg.epochs = tcfg.epochs.min(cap);
@@ -551,6 +573,12 @@ impl NeuroPlan {
             }
             None => train_resumable(&mut env, &mut agent, &tcfg, &self.tel, chaos, resume, None),
         };
+        // A cancelled run stops here, on the epoch boundary the trainer
+        // just checkpointed — never spend the final rollouts or the
+        // master on a request nobody is waiting for.
+        if self.cancel.is_cancelled() {
+            return Err(StageError::Cancelled);
+        }
 
         // Final rollouts: stochastic samples plus one greedy decode. With
         // the wall budget spent, the stochastic extras are dropped but
@@ -727,6 +755,9 @@ impl NeuroPlan {
 
         let (outcome, quality) = match master_try {
             Ok(v) => v,
+            // Cancellation never walks the ladder: the point is to free
+            // the worker now, not to hand back a degraded plan.
+            Err(StageError::Cancelled) => return Err(PlanFailure::Cancelled),
             Err(StageError::Fatal(reason)) => {
                 // A feasible first-stage plan exists, so "infeasible"
                 // here is a solver artifact; the ladder still applies.

@@ -164,7 +164,8 @@ impl NeuroPlan {
     ) -> Result<ReplanReport, PlanFailure> {
         let _replan_span = self.tel.span(sys::PIPELINE, "replan");
         let chaos = np_chaos::global();
-        let sup = Supervisor::new(self.cfg.supervisor, self.tel.clone());
+        let sup =
+            Supervisor::new(self.cfg.supervisor, self.tel.clone()).with_cancel(self.cancel.clone());
 
         let mut cur = net.clone();
         let mut units = initial_units.to_vec();
@@ -570,6 +571,12 @@ impl NeuroPlan {
             }
         };
 
+        // Cancellation never walks the ladder — not even to the carried
+        // plan; the caller asked the run to stop, not to degrade.
+        if matches!(failure, StageError::Cancelled) {
+            return Err(PlanFailure::Cancelled);
+        }
+
         // The ladder: LP rounding, then the carried plan (when feasible).
         if sup.may_degrade() {
             sup.note_degrade("replan_master", PlanQuality::Rounded);
@@ -611,6 +618,7 @@ impl NeuroPlan {
         }
         Err(match failure {
             StageError::Fatal(reason) => PlanFailure::Infeasible { reason },
+            StageError::Cancelled => PlanFailure::Cancelled,
             StageError::Transient(reason) => PlanFailure::StageExhausted {
                 stage: "replan_master".to_string(),
                 reason,

@@ -55,6 +55,11 @@ pub struct TrainConfig {
     /// same boundary, which is how the anytime tests cut training
     /// deterministically (DESIGN.md §11).
     pub wall_limit_secs: f64,
+    /// Cooperative cancellation, polled at the same epoch boundary as
+    /// `wall_limit_secs` so a cancelled run still ends on a complete,
+    /// checkpointable epoch and resumes bit-exactly. `None` (the
+    /// default) never stops.
+    pub stop: Option<np_chaos::CancelToken>,
 }
 
 impl Default for TrainConfig {
@@ -73,6 +78,7 @@ impl Default for TrainConfig {
             rollout_workers: 1,
             rollout_seed: 0,
             wall_limit_secs: f64::INFINITY,
+            stop: None,
         }
     }
 }
@@ -376,6 +382,12 @@ pub fn train_resumable(
                 || chaos.should_fire(np_chaos::FaultClass::Deadline))
         {
             tel.incr(sys::RL, "budget_stops", 1);
+            break;
+        }
+        // Cooperative cancellation stops at the same boundary for the
+        // same reason: everything behind us is checkpointed.
+        if cfg.stop.as_ref().is_some_and(|t| t.is_cancelled()) {
+            tel.incr(sys::RL, "cancel_stops", 1);
             break;
         }
         let _epoch_span = tel.span(sys::RL, "epoch");

@@ -1,0 +1,417 @@
+//! End-to-end tests of the daemon over real sockets, with a mock
+//! planning service. The robustness pillars each get a pinned path:
+//! admission control sheds, cancel frees the worker, shutdown leaves
+//! in-flight work resumable, and every serve fault class recovers.
+
+use np_chaos::{CancelToken, Chaos, FaultPlan};
+use np_serve::client::submit_id;
+use np_serve::{Client, PlanService, RequestCtx, Server, ServerConfig, ServiceFailure};
+use np_telemetry::Telemetry;
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("np-serve-it-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec(tag: &str) -> Value {
+    Value::Object(vec![("tag".to_string(), Value::Str(tag.to_string()))])
+}
+
+/// A service that "solves" by sleeping in cancellable slices, then
+/// echoes the spec. Records the `resume` flag of every run it sees.
+struct SliceService {
+    /// Total simulated solve time.
+    work: Duration,
+    /// `(id, resumed)` for every run started.
+    runs: Mutex<Vec<(u64, bool)>>,
+    started: AtomicU64,
+}
+
+impl SliceService {
+    fn new(work: Duration) -> SliceService {
+        SliceService {
+            work,
+            runs: Mutex::new(Vec::new()),
+            started: AtomicU64::new(0),
+        }
+    }
+}
+
+impl PlanService for SliceService {
+    fn execute(&self, spec: &Value, ctx: &RequestCtx<'_>) -> Result<Value, ServiceFailure> {
+        self.runs.lock().unwrap().push((ctx.id, ctx.resume));
+        self.started.fetch_add(1, Ordering::SeqCst);
+        // Stage boundaries every 5ms: this is where cancel is observed.
+        let slices = (self.work.as_millis() / 5).max(1);
+        for _ in 0..slices {
+            if ctx.cancel.is_cancelled() {
+                return Err(ServiceFailure::Cancelled);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if ctx.cancel.is_cancelled() {
+            return Err(ServiceFailure::Cancelled);
+        }
+        Ok(Value::Object(vec![
+            ("echo".to_string(), spec.clone()),
+            ("id".to_string(), Value::Num(ctx.id as f64)),
+        ]))
+    }
+}
+
+fn start(
+    name: &str,
+    workers: usize,
+    queue_capacity: usize,
+    service: Arc<SliceService>,
+) -> (Server<Arc<SliceService>>, String) {
+    start_in(
+        &tmp(name),
+        workers,
+        queue_capacity,
+        service,
+        Chaos::disabled(),
+    )
+}
+
+fn start_in(
+    dir: &Path,
+    workers: usize,
+    queue_capacity: usize,
+    service: Arc<SliceService>,
+    chaos: Chaos,
+) -> (Server<Arc<SliceService>>, String) {
+    let cfg = ServerConfig {
+        workers,
+        queue_capacity,
+        read_timeout: Duration::from_secs(2),
+        ..ServerConfig::local(dir.to_path_buf())
+    };
+    let server =
+        Server::start_with_chaos(cfg, service, Telemetry::noop(), CancelToken::new(), chaos)
+            .expect("server starts");
+    let addr = server.addr().to_string();
+    (server, addr)
+}
+
+#[test]
+fn submit_poll_result_round_trip() {
+    let svc = Arc::new(SliceService::new(Duration::from_millis(10)));
+    let (server, addr) = start("roundtrip", 1, 8, Arc::clone(&svc));
+    let mut c = Client::connect(&addr).unwrap();
+    let reply = c.submit(&spec("alpha")).unwrap();
+    let id = submit_id(&reply).expect("admitted");
+    let result = c.wait(id, Duration::from_secs(5)).unwrap();
+    assert_eq!(
+        result.get("state").and_then(|v| v.as_str()),
+        Some("done"),
+        "{result:?}"
+    );
+    let echoed = result.get("result").and_then(|r| r.get("echo")).unwrap();
+    assert_eq!(echoed.get("tag").and_then(|v| v.as_str()), Some("alpha"));
+    // Status for an unknown id is a clean 404, not a hang.
+    let missing = c.status(999).unwrap();
+    assert_eq!(missing.get("code").and_then(|v| v.as_u64()), Some(404));
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn admission_control_sheds_with_429() {
+    // One slow worker + capacity 2: the queue fills, the rest shed.
+    let svc = Arc::new(SliceService::new(Duration::from_millis(400)));
+    let (server, addr) = start("shed", 1, 2, Arc::clone(&svc));
+    let mut c = Client::connect(&addr).unwrap();
+    let mut admitted = Vec::new();
+    let mut shed = 0;
+    for i in 0..8 {
+        let reply = c.submit(&spec(&format!("r{i}"))).unwrap();
+        match submit_id(&reply) {
+            Some(id) => admitted.push(id),
+            None => {
+                assert_eq!(
+                    reply.get("code").and_then(|v| v.as_u64()),
+                    Some(429),
+                    "sheds are explicit: {reply:?}"
+                );
+                shed += 1;
+            }
+        }
+    }
+    assert!(shed >= 4, "most of the burst must shed (shed {shed})");
+    assert!(!admitted.is_empty());
+    // The admitted ones all finish: shedding protects, not poisons.
+    for id in admitted {
+        let result = c.wait(id, Duration::from_secs(10)).unwrap();
+        assert_eq!(result.get("state").and_then(|v| v.as_str()), Some("done"));
+    }
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn cancel_frees_the_worker_within_one_boundary() {
+    let svc = Arc::new(SliceService::new(Duration::from_secs(30)));
+    let (server, addr) = start("cancel-running", 1, 8, Arc::clone(&svc));
+    let mut c = Client::connect(&addr).unwrap();
+    let long = submit_id(&c.submit(&spec("long")).unwrap()).unwrap();
+    // Wait until it is actually running, then cancel it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let st = c.status(long).unwrap();
+        if st.get("state").and_then(|v| v.as_str()) == Some("running") {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let ack = c.cancel(long).unwrap();
+    assert_eq!(ack.get("cancelling").and_then(|v| v.as_bool()), Some(true));
+    let result = c.wait(long, Duration::from_secs(5)).unwrap();
+    assert_eq!(
+        result.get("state").and_then(|v| v.as_str()),
+        Some("cancelled"),
+        "a 30s solve ended in ms: the worker freed at a slice boundary"
+    );
+    // The freed worker picks up new work immediately.
+    let quick_svc_run = submit_id(&c.submit(&spec("after")).unwrap()).unwrap();
+    // (Still the 30s service — cancel this one too, proving the worker
+    // was live enough to start it.)
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let st = c.status(quick_svc_run).unwrap();
+        if st.get("state").and_then(|v| v.as_str()) == Some("running") {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "worker never freed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    c.cancel(quick_svc_run).unwrap();
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn cancel_of_a_queued_request_never_runs_it() {
+    let svc = Arc::new(SliceService::new(Duration::from_millis(300)));
+    let (server, addr) = start("cancel-queued", 1, 8, Arc::clone(&svc));
+    let mut c = Client::connect(&addr).unwrap();
+    let head = submit_id(&c.submit(&spec("head")).unwrap()).unwrap();
+    let queued = submit_id(&c.submit(&spec("queued")).unwrap()).unwrap();
+    let ack = c.cancel(queued).unwrap();
+    assert_eq!(
+        ack.get("state").and_then(|v| v.as_str()),
+        Some("cancelled"),
+        "a queued cancel is terminal immediately"
+    );
+    let result = c.wait(head, Duration::from_secs(10)).unwrap();
+    assert_eq!(result.get("state").and_then(|v| v.as_str()), Some("done"));
+    // The cancelled request was never started by the service.
+    let runs = svc.runs.lock().unwrap();
+    assert!(
+        runs.iter().all(|(id, _)| *id != queued),
+        "cancelled-in-queue must not reach the service: {runs:?}"
+    );
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn concurrent_submit_cancel_races_stay_consistent() {
+    let svc = Arc::new(SliceService::new(Duration::from_millis(20)));
+    let (server, addr) = start("races", 4, 64, Arc::clone(&svc));
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            let mut ids = Vec::new();
+            for i in 0..10 {
+                let reply = c.submit(&spec(&format!("t{t}-{i}"))).unwrap();
+                let id = submit_id(&reply).expect("capacity 64 admits all");
+                // Cancel every other request, racing the workers.
+                if i % 2 == 0 {
+                    let _ = c.cancel(id).unwrap();
+                }
+                ids.push(id);
+            }
+            ids
+        }));
+    }
+    let all: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    assert_eq!(all.len(), 40);
+    // Every request reaches a terminal state; ids are unique.
+    let mut seen = std::collections::HashSet::new();
+    let mut c = Client::connect(&addr).unwrap();
+    for id in all {
+        assert!(seen.insert(id), "duplicate id {id}");
+        let result = c.wait(id, Duration::from_secs(20)).unwrap();
+        let state = result.get("state").and_then(|v| v.as_str()).unwrap();
+        assert!(
+            state == "done" || state == "cancelled",
+            "id {id} ended {state}"
+        );
+    }
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn shutdown_leaves_in_flight_work_resumable() {
+    let dir = tmp("resume");
+    let svc = Arc::new(SliceService::new(Duration::from_secs(30)));
+    let (server, addr) = start_in(&dir, 1, 8, Arc::clone(&svc), Chaos::disabled());
+    let mut c = Client::connect(&addr).unwrap();
+    let id = submit_id(&c.submit(&spec("survivor")).unwrap()).unwrap();
+    // Let it start, then shut the daemon down mid-solve.
+    std::thread::sleep(Duration::from_millis(30));
+    drop(c);
+    server.shutdown_and_wait();
+
+    // Restart over the same state dir with a fast service: the journal
+    // replays the pending request with `resume` set.
+    let svc2 = Arc::new(SliceService::new(Duration::from_millis(10)));
+    let (server2, addr2) = start_in(&dir, 1, 8, Arc::clone(&svc2), Chaos::disabled());
+    let mut c2 = Client::connect(&addr2).unwrap();
+    let result = c2.wait(id, Duration::from_secs(10)).unwrap();
+    assert_eq!(result.get("state").and_then(|v| v.as_str()), Some("done"));
+    let runs = svc2.runs.lock().unwrap();
+    assert_eq!(
+        runs.as_slice(),
+        &[(id, true)],
+        "replayed request keeps its id and carries the resume flag"
+    );
+    drop(runs);
+    server2.shutdown_and_wait();
+}
+
+#[test]
+fn finished_results_survive_a_restart() {
+    let dir = tmp("retrieve");
+    let svc = Arc::new(SliceService::new(Duration::from_millis(5)));
+    let (server, addr) = start_in(&dir, 1, 8, Arc::clone(&svc), Chaos::disabled());
+    let mut c = Client::connect(&addr).unwrap();
+    let id = submit_id(&c.submit(&spec("keep")).unwrap()).unwrap();
+    let before = c.wait(id, Duration::from_secs(5)).unwrap();
+    drop(c);
+    server.shutdown_and_wait();
+
+    let svc2 = Arc::new(SliceService::new(Duration::from_millis(5)));
+    let (server2, addr2) = start_in(&dir, 1, 8, Arc::clone(&svc2), Chaos::disabled());
+    let mut c2 = Client::connect(&addr2).unwrap();
+    let after = c2.result(id).unwrap();
+    assert_eq!(
+        serde_json::to_string(&after).unwrap(),
+        serde_json::to_string(&before).unwrap(),
+        "a journaled result is byte-identical across restarts"
+    );
+    assert!(
+        svc2.runs.lock().unwrap().is_empty(),
+        "a finished request is never re-executed"
+    );
+    server2.shutdown_and_wait();
+}
+
+#[test]
+fn worker_death_requeues_once_with_resume() {
+    let plan = FaultPlan::parse("worker-death@0").unwrap();
+    let svc = Arc::new(SliceService::new(Duration::from_millis(10)));
+    let (server, addr) = start_in(&tmp("wdeath"), 1, 8, Arc::clone(&svc), Chaos::new(plan));
+    let mut c = Client::connect(&addr).unwrap();
+    let id = submit_id(&c.submit(&spec("victim")).unwrap()).unwrap();
+    let result = c.wait(id, Duration::from_secs(10)).unwrap();
+    assert_eq!(result.get("state").and_then(|v| v.as_str()), Some("done"));
+    let runs = svc.runs.lock().unwrap();
+    assert_eq!(
+        runs.as_slice(),
+        &[(id, true)],
+        "the retry after the injected death carries resume"
+    );
+    drop(runs);
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn worker_death_twice_fails_cleanly() {
+    let plan = FaultPlan::parse("worker-death@0-1").unwrap();
+    let svc = Arc::new(SliceService::new(Duration::from_millis(10)));
+    let (server, addr) = start_in(&tmp("wdeath2"), 1, 8, Arc::clone(&svc), Chaos::new(plan));
+    let mut c = Client::connect(&addr).unwrap();
+    let id = submit_id(&c.submit(&spec("victim")).unwrap()).unwrap();
+    let result = c.wait(id, Duration::from_secs(10)).unwrap();
+    assert_eq!(
+        result.get("state").and_then(|v| v.as_str()),
+        Some("failed"),
+        "two deaths exhaust the retry: explicit failure, no infinite loop"
+    );
+    assert!(
+        svc.runs.lock().unwrap().is_empty(),
+        "both claims died before reaching the service"
+    );
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn client_disconnect_keeps_the_request_running() {
+    // The first response frame is dropped on the floor (the "client"
+    // vanished); the request still runs and a reconnect retrieves it.
+    let plan = FaultPlan::parse("client-disconnect@0").unwrap();
+    let svc = Arc::new(SliceService::new(Duration::from_millis(20)));
+    let (server, addr) = start_in(&tmp("cdisc"), 1, 8, Arc::clone(&svc), Chaos::new(plan));
+    let mut c = Client::connect(&addr).unwrap();
+    // The submit is processed, but its response never arrives: the
+    // read fails with EOF.
+    let submit_err = c.submit(&spec("ghost"));
+    assert!(submit_err.is_err(), "connection dropped before the reply");
+    drop(c);
+    // Reconnect: the request was admitted (journal-first) and ran.
+    let mut c2 = Client::connect(&addr).unwrap();
+    let result = c2.wait(1, Duration::from_secs(10)).unwrap();
+    assert_eq!(result.get("state").and_then(|v| v.as_str()), Some("done"));
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn slow_client_is_shed_without_disturbing_solves() {
+    let plan = FaultPlan::parse("slow-client@1").unwrap();
+    let svc = Arc::new(SliceService::new(Duration::from_millis(100)));
+    let (server, addr) = start_in(&tmp("slow"), 1, 8, Arc::clone(&svc), Chaos::new(plan));
+    // Connection A submits fine (occurrence 0 of the read-loop check),
+    // then stalls: its next read (occurrence 1) sheds the connection.
+    let mut a = Client::connect(&addr).unwrap();
+    let id = submit_id(&a.submit(&spec("work")).unwrap()).unwrap();
+    let stalled = a.status(id);
+    assert!(stalled.is_err(), "the stalled connection was shed");
+    // Connection B is unaffected, and so is the solve.
+    let mut b = Client::connect(&addr).unwrap();
+    let result = b.wait(id, Duration::from_secs(10)).unwrap();
+    assert_eq!(result.get("state").and_then(|v| v.as_str()), Some("done"));
+    server.shutdown_and_wait();
+}
+
+#[test]
+fn two_daemons_cannot_share_a_state_dir() {
+    let dir = tmp("locked");
+    let svc = Arc::new(SliceService::new(Duration::from_millis(5)));
+    let (server, _) = start_in(&dir, 1, 8, Arc::clone(&svc), Chaos::disabled());
+    let cfg = ServerConfig::local(dir.clone());
+    let second = Server::start_with_chaos(
+        cfg,
+        Arc::clone(&svc),
+        Telemetry::noop(),
+        CancelToken::new(),
+        Chaos::disabled(),
+    );
+    match second {
+        Err(e) => assert!(
+            e.to_string().contains("locked by pid"),
+            "the lock error names the owner: {e}"
+        ),
+        Ok(_) => panic!("second daemon must not start over a live state dir"),
+    }
+    server.shutdown_and_wait();
+}

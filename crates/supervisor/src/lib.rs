@@ -208,6 +208,9 @@ pub enum StageError {
     Transient(String),
     /// Retrying cannot help (structural infeasibility, bad input).
     Fatal(String),
+    /// The run's [`CancelToken`] fired. Never retried, never degraded:
+    /// the caller asked the whole solve to stop.
+    Cancelled,
 }
 
 impl StageError {
@@ -215,6 +218,7 @@ impl StageError {
     pub fn reason(&self) -> &str {
         match self {
             StageError::Transient(s) | StageError::Fatal(s) => s,
+            StageError::Cancelled => "cancelled",
         }
     }
 }
@@ -224,6 +228,7 @@ impl std::fmt::Display for StageError {
         match self {
             StageError::Transient(s) => write!(f, "transient: {s}"),
             StageError::Fatal(s) => write!(f, "fatal: {s}"),
+            StageError::Cancelled => f.write_str("cancelled"),
         }
     }
 }
@@ -281,6 +286,7 @@ pub struct StageCtx<'a> {
     pub budget: &'a StageBudget,
     started: Instant,
     chaos: &'a np_chaos::Chaos,
+    cancel: &'a np_chaos::CancelToken,
 }
 
 impl StageCtx<'_> {
@@ -293,13 +299,21 @@ impl StageCtx<'_> {
         (self.budget.wall_secs - self.started.elapsed().as_secs_f64()).max(0.0)
     }
 
-    /// True when the stage should stop: wall budget spent, or the
-    /// chaos plan fires a `deadline` fault at this trigger point.
-    /// Chaos firing is occurrence-counted and therefore deterministic
-    /// across worker counts; call only at serial boundaries.
+    /// Whether the run's [`CancelToken`] has fired. Stages poll this at
+    /// their deterministic boundaries and return
+    /// [`StageError::Cancelled`] to stop the whole run.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// True when the stage should stop: wall budget spent, the run
+    /// cancelled, or the chaos plan fires a `deadline` fault at this
+    /// trigger point. Chaos firing is occurrence-counted and therefore
+    /// deterministic across worker counts; call only at serial
+    /// boundaries.
     pub fn exhausted(&self) -> bool {
         let chaos_deadline = self.chaos.should_fire(np_chaos::FaultClass::Deadline);
-        chaos_deadline || self.remaining_secs() <= 0.0
+        chaos_deadline || self.cancelled() || self.remaining_secs() <= 0.0
     }
 }
 
@@ -310,6 +324,7 @@ pub struct Supervisor {
     cfg: SupervisorConfig,
     tel: Telemetry,
     chaos: np_chaos::Chaos,
+    cancel: np_chaos::CancelToken,
     stages: Mutex<Vec<StageStats>>,
     degrades: Mutex<u32>,
 }
@@ -326,9 +341,19 @@ impl Supervisor {
             cfg,
             tel,
             chaos,
+            cancel: np_chaos::CancelToken::new(),
             stages: Mutex::new(Vec::new()),
             degrades: Mutex::new(0),
         }
+    }
+
+    /// Attach a cooperative cancellation token. A cancelled token stops
+    /// the supervisor at the next stage boundary or retry, and stages
+    /// observe it mid-attempt through [`StageCtx::exhausted`] /
+    /// [`StageCtx::cancelled`].
+    pub fn with_cancel(mut self, cancel: np_chaos::CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// The configuration this supervisor enforces.
@@ -366,6 +391,13 @@ impl Supervisor {
         let mut last_err = StageError::Transient("stage never attempted".to_string());
         let mut result = None;
         for attempt in 0..=self.cfg.retry.max_retries {
+            // Cancellation wins over retries and backoff: a cancelled run
+            // stops at the next boundary, never burning another attempt.
+            if self.cancel.is_cancelled() {
+                last_err = StageError::Cancelled;
+                self.tel.incr(sys::SUPERVISOR, "cancelled_stages", 1);
+                break;
+            }
             if attempt > 0 {
                 // Out of wall budget: stop burning attempts on a stage
                 // the ladder is about to route around.
@@ -387,6 +419,7 @@ impl Supervisor {
                 budget: &self.cfg.budget,
                 started: Instant::now(),
                 chaos: &self.chaos,
+                cancel: &self.cancel,
             };
             let span = self.tel.span(sys::SUPERVISOR, stage);
             let outcome = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
@@ -397,9 +430,12 @@ impl Supervisor {
                     break;
                 }
                 Ok(Err(err)) => {
-                    let fatal = matches!(err, StageError::Fatal(_));
+                    let stop = !matches!(err, StageError::Transient(_));
+                    if matches!(err, StageError::Cancelled) {
+                        self.tel.incr(sys::SUPERVISOR, "cancelled_stages", 1);
+                    }
                     last_err = err;
-                    if fatal {
+                    if stop {
                         break;
                     }
                 }
@@ -662,6 +698,55 @@ mod tests {
         .unwrap();
         assert!(!s.config().budget.is_unlimited());
         assert!(StageBudget::UNLIMITED.is_unlimited());
+    }
+
+    #[test]
+    fn cancel_before_the_stage_skips_every_attempt() {
+        let token = np_chaos::CancelToken::new();
+        let s = sup(SupervisorConfig {
+            retry: fast_retry(),
+            ..SupervisorConfig::default()
+        })
+        .with_cancel(token.clone());
+        token.cancel();
+        let mut calls = 0;
+        let out: Result<(), _> = s.run("never", |_| {
+            calls += 1;
+            Ok(())
+        });
+        assert_eq!(calls, 0, "a cancelled run must not start the stage");
+        assert_eq!(out, Err(StageError::Cancelled));
+        assert!(s.report().stage("never").unwrap().failed);
+    }
+
+    #[test]
+    fn cancel_mid_stage_is_seen_and_never_retried() {
+        let token = np_chaos::CancelToken::new();
+        let s = sup(SupervisorConfig {
+            retry: fast_retry(),
+            ..SupervisorConfig::default()
+        })
+        .with_cancel(token.clone());
+        let mut calls = 0;
+        let out: Result<(), _> = s.run("solve", |ctx| {
+            calls += 1;
+            assert!(!ctx.cancelled(), "not cancelled at entry");
+            token.cancel();
+            assert!(ctx.cancelled());
+            assert!(ctx.exhausted(), "cancellation exhausts the stage ctx");
+            Err(StageError::Cancelled)
+        });
+        assert_eq!(calls, 1, "Cancelled is terminal, not a transient");
+        assert_eq!(out, Err(StageError::Cancelled));
+        // Later stages stop at the boundary without an attempt.
+        let out2: Result<(), _> = s.run("next", |_| Ok(()));
+        assert_eq!(out2, Err(StageError::Cancelled));
+    }
+
+    #[test]
+    fn cancelled_error_reason_and_display() {
+        assert_eq!(StageError::Cancelled.reason(), "cancelled");
+        assert_eq!(StageError::Cancelled.to_string(), "cancelled");
     }
 
     #[test]

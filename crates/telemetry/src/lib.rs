@@ -87,6 +87,7 @@ pub mod sys {
     pub const PIPELINE: &str = "pipeline";
     pub const POOL: &str = "pool";
     pub const SUPERVISOR: &str = "supervisor";
+    pub const SERVE: &str = "serve";
 }
 
 /// One telemetry event, as written to the JSONL sink.
